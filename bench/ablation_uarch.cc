@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Microarchitecture sweep: how much machine does the VISA framework
+ * actually harvest? Since the VISA decouples analysis from the
+ * implementation, *any* complex configuration can sit under it — this
+ * sweep varies superscalar width and window size and reports the
+ * speedup over the explicitly-safe pipeline (the "simple/complex"
+ * column of Table 3) for each configuration, demonstrating the
+ * "arbitrarily complex implementation" claim of §1.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace visa;
+using namespace visa::bench;
+
+namespace
+{
+
+struct Config
+{
+    const char *name;
+    OooParams params;
+};
+
+std::vector<Config>
+configs()
+{
+    std::vector<Config> v;
+    {
+        OooParams p;
+        p.fetchWidth = p.dispatchWidth = p.issueWidth = p.retireWidth = 2;
+        p.robSize = 64;
+        p.iqSize = 32;
+        p.lsqSize = 32;
+        p.dcachePorts = 1;
+        v.push_back({"2-wide/64", p});
+    }
+    {
+        OooParams p;    // the paper's configuration
+        v.push_back({"4-wide/128", p});
+    }
+    {
+        OooParams p;
+        p.fetchWidth = p.dispatchWidth = p.issueWidth = p.retireWidth = 8;
+        p.robSize = 256;
+        p.iqSize = 128;
+        p.lsqSize = 128;
+        p.dcachePorts = 4;
+        v.push_back({"8-wide/256", p});
+    }
+    return v;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Microarchitecture sweep: simple/complex speedup per "
+                "configuration (1 GHz, cold)\n\n");
+    std::printf("%-9s", "bench");
+    for (const auto &c : configs())
+        std::printf(" %12s", c.name);
+    std::printf("\n");
+
+    for (const auto &name : clabNames()) {
+        Workload wl = makeWorkload(name);
+        Rig<SimpleCpu> simple(wl.program);
+        simple.cpu->run(20'000'000'000ULL);
+        std::printf("%-9s", name.c_str());
+        for (const auto &c : configs()) {
+            MainMemory mem;
+            Platform plat;
+            MemController mc;
+            mem.loadProgram(wl.program);
+            OooCpu cpu(wl.program, mem, plat, mc, c.params);
+            cpu.resetForTask();
+            cpu.run(20'000'000'000ULL);
+            if (plat.lastChecksum() != wl.expectedChecksum) {
+                std::printf(" %12s", "BAD-CKSUM");
+                continue;
+            }
+            std::printf(" %11.2fx",
+                        static_cast<double>(simple.cpu->cycles()) /
+                            static_cast<double>(cpu.cycles()));
+        }
+        std::printf("\n");
+    }
+    std::printf("\nexpected shape: speedup grows with width/window, "
+                "with diminishing returns on serial kernels; the VISA "
+                "guarantee is configuration-independent\n");
+    return 0;
+}

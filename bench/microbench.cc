@@ -1,0 +1,143 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the infrastructure itself:
+ * assembler throughput, simulator speed of both pipelines (per
+ * simulated instruction/cycle), the VisaTimer recurrence, the WCET
+ * analyzer, and the frequency-speculation solver.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hh"
+#include "cpu/visa_timing.hh"
+#include "isa/assembler.hh"
+
+using namespace visa;
+using namespace visa::bench;
+
+namespace
+{
+
+const Workload &
+cachedWorkload(const std::string &name)
+{
+    static std::map<std::string, Workload> cache;
+    auto it = cache.find(name);
+    if (it == cache.end())
+        it = cache.emplace(name, makeWorkload(name)).first;
+    return it->second;
+}
+
+void
+BM_AssembleMm(benchmark::State &state)
+{
+    std::string src = makeMm().source;
+    for (auto _ : state) {
+        Program p = assemble(src);
+        benchmark::DoNotOptimize(p.text.data());
+    }
+}
+BENCHMARK(BM_AssembleMm);
+
+void
+BM_VisaTimerRecurrence(benchmark::State &state)
+{
+    TimingRecord rec;
+    rec.exLatency = 1;
+    VisaTimer timer;
+    timer.reset();
+    for (auto _ : state) {
+        timer.consume(rec);
+        benchmark::DoNotOptimize(timer);
+        benchmark::ClobberMemory();
+    }
+    benchmark::DoNotOptimize(timer.totalCycles());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VisaTimerRecurrence);
+
+void
+BM_SimpleCpuRun(benchmark::State &state)
+{
+    const Workload &wl = cachedWorkload("mm");
+    std::int64_t insts = 0;
+    for (auto _ : state) {
+        Rig<SimpleCpu> rig(wl.program);
+        rig.cpu->run(20'000'000'000ULL);
+        insts += static_cast<std::int64_t>(rig.cpu->retired());
+        benchmark::DoNotOptimize(rig.cpu->cycles());
+    }
+    state.SetItemsProcessed(insts);    // guest instructions/second
+}
+BENCHMARK(BM_SimpleCpuRun)->Unit(benchmark::kMillisecond);
+
+void
+BM_OooCpuRun(benchmark::State &state)
+{
+    const Workload &wl = cachedWorkload("mm");
+    for (auto _ : state) {
+        Rig<OooCpu> rig(wl.program);
+        rig.cpu->run(20'000'000'000ULL);
+        benchmark::DoNotOptimize(rig.cpu->cycles());
+    }
+}
+BENCHMARK(BM_OooCpuRun)->Unit(benchmark::kMillisecond);
+
+void
+BM_OooCpuSimpleMode(benchmark::State &state)
+{
+    const Workload &wl = cachedWorkload("mm");
+    for (auto _ : state) {
+        Rig<OooCpu> rig(wl.program);
+        rig.cpu->switchToSimple();
+        rig.cpu->run(20'000'000'000ULL);
+        benchmark::DoNotOptimize(rig.cpu->cycles());
+    }
+}
+BENCHMARK(BM_OooCpuSimpleMode)->Unit(benchmark::kMillisecond);
+
+void
+BM_WcetAnalyze(benchmark::State &state)
+{
+    const Workload &wl = cachedWorkload("fft");
+    WcetAnalyzer an(wl.program);
+    for (auto _ : state) {
+        WcetReport rep = an.analyze(1000);
+        benchmark::DoNotOptimize(rep.taskCycles);
+    }
+}
+BENCHMARK(BM_WcetAnalyze)->Unit(benchmark::kMillisecond);
+
+void
+BM_WcetAnalyzerConstruction(benchmark::State &state)
+{
+    const Workload &wl = cachedWorkload("adpcm");
+    for (auto _ : state) {
+        WcetAnalyzer an(wl.program);
+        benchmark::DoNotOptimize(an.numSubtasks());
+    }
+}
+BENCHMARK(BM_WcetAnalyzerConstruction)->Unit(benchmark::kMillisecond);
+
+void
+BM_FreqSpecSolver(benchmark::State &state)
+{
+    const Workload &wl = cachedWorkload("lms");
+    WcetAnalyzer an(wl.program);
+    DvsTable dvs;
+    DMissProfile dmiss = profileDataMisses(wl.program);
+    WcetTable wcet(an, dvs, &dmiss);
+    PetEstimator pets(wl.numSubtasks, PetPolicy{});
+    pets.seed(profileComplexAets(wl.program, wl.numSubtasks));
+    double deadline = wcet.taskSeconds(700);
+    for (auto _ : state) {
+        FreqPair p = solveVisaSpeculation(wcet, pets, dvs, deadline,
+                                          2e-6, 1000);
+        benchmark::DoNotOptimize(p.fSpec);
+    }
+}
+BENCHMARK(BM_FreqSpecSolver);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces paper Table 3: per benchmark, the dynamic instruction
+ * count, the number of sub-tasks, the derived tight/loose deadlines,
+ * the analyzer's WCET at 1 GHz, the measured execution times of the
+ * simple-fixed and complex processors at 1 GHz, and the WCET/simple
+ * and simple/complex ratios.
+ *
+ * Expected shape (paper values): WCET/simple close to 1 for the
+ * regular kernels, largest for srt (2.0 in the paper — early exit and
+ * data-dependent swaps); simple/complex around 3-6x.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace visa;
+using namespace visa::bench;
+
+int
+main()
+{
+    std::printf("Table 3: C-lab benchmarks (times at 1 GHz)\n");
+    std::printf("%-7s %10s %5s %11s %11s %10s %10s %10s %8s %8s\n",
+                "bench", "dyn.inst", "#sub", "tight(us)", "loose(us)",
+                "WCET(us)", "simple(us)", "complex(us)", "W/simp",
+                "simp/cplx");
+
+    auto row = [&](const std::string &name) {
+        ExperimentSetup setup = makeSetup(name);
+        const Program &prog = setup.wl.program;
+
+        Rig<SimpleCpu> simple(prog);
+        simple.cpu->run(20'000'000'000ULL);
+        Rig<OooCpu> complex_rig(prog);
+        complex_rig.cpu->run(20'000'000'000ULL);
+
+        const double wcet_us =
+            static_cast<double>(setup.wcet->taskCycles(1000)) / 1000.0;
+        const double simple_us =
+            static_cast<double>(simple.cpu->cycles()) / 1000.0;
+        const double complex_us =
+            static_cast<double>(complex_rig.cpu->cycles()) / 1000.0;
+
+        std::printf("%-7s %10llu %5d %11.1f %11.1f %10.1f %10.1f "
+                    "%10.1f %8.2f %8.2f\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(
+                        simple.cpu->retired()),
+                    setup.wl.numSubtasks, setup.tightDeadline * 1e6,
+                    setup.looseDeadline * 1e6, wcet_us, simple_us,
+                    complex_us, wcet_us / simple_us,
+                    simple_us / complex_us);
+    };
+    for (const auto &name : clabNames())
+        row(name);
+    std::printf("\npaper shape: WCET/simple in [1.0, 1.4] except srt "
+                "~2.0; simple/complex in [3.1, 5.8]\n");
+    std::printf("\nextended suite (not in the paper's Table 3):\n");
+    for (const auto &name : extendedNames())
+        row(name);
+    return 0;
+}

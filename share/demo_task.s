@@ -1,0 +1,43 @@
+# A small hard real-time task for visa-sim: scale, accumulate, publish.
+# Three sub-tasks with loop bounds; the wdinc table is the parameter
+# block the run-time system programs with watchdog increments.
+#
+#   visa-sim --cpu complex --wcet --stats share/demo_task.s
+
+        .subtask 1
+        la   r4, input
+        la   r5, output
+        addi r6, r0, 64
+        addi r7, r0, 3
+scale:  lw   r8, 0(r4)
+        mul  r8, r8, r7
+        sw   r8, 0(r5)
+        addi r4, r4, 4
+        addi r5, r5, 4
+        subi r6, r6, 1
+        .loopbound 64
+        bgtz r6, scale
+
+        .subtask 2
+        la   r5, output
+        addi r6, r0, 64
+        addi r9, r0, 0
+acc:    lw   r8, 0(r5)
+        add  r9, r9, r8
+        addi r5, r5, 4
+        subi r6, r6, 1
+        .loopbound 64
+        bgtz r6, acc
+
+        .subtask 3
+        li   r10, 0xFFFF0018        # checksum MMIO port
+        sw   r9, 0(r10)
+        halt
+
+        .data
+input:  .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+        .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+        .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+        .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+output: .space 256
+wdinc:  .space 12

@@ -1,0 +1,50 @@
+#include "core/checkpoints.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+CheckpointPlan
+computeCheckpoints(const WcetTable &wcet, MHz f_rec, MHz f_spec,
+                   double deadline_s, double ovhd_s,
+                   Cycles arm_delay_cycles)
+{
+    CheckpointPlan plan;
+    const int s = wcet.numSubtasks();
+    for (int i = 0; i < s; ++i) {
+        double cp = deadline_s - ovhd_s - wcet.remainingSeconds(i, f_rec);
+        if (cp <= 0.0)
+            fatal("checkpoints: checkpoint %d is %.3g us; deadline "
+                  "cannot be guaranteed at f_rec=%u MHz", i + 1,
+                  cp * 1e6, f_rec);
+        plan.checkpoints.push_back(cp);
+    }
+    // Monotonicity follows from WCET positivity; enforce anyway.
+    for (int i = 1; i < s; ++i) {
+        if (plan.checkpoints[static_cast<std::size_t>(i)] <
+            plan.checkpoints[static_cast<std::size_t>(i - 1)]) {
+            panic("checkpoints: non-monotonic schedule");
+        }
+    }
+    const double fhz = f_spec * 1e6;
+    std::int64_t first =
+        static_cast<std::int64_t>(std::floor(plan.checkpoints[0] * fhz)) -
+        static_cast<std::int64_t>(arm_delay_cycles);
+    if (first <= 0)
+        fatal("checkpoints: first checkpoint unreachable after the "
+              "%llu-cycle arming delay",
+              static_cast<unsigned long long>(arm_delay_cycles));
+    plan.increments.push_back(first);
+    for (int i = 1; i < s; ++i) {
+        double delta = plan.checkpoints[static_cast<std::size_t>(i)] -
+                       plan.checkpoints[static_cast<std::size_t>(i - 1)];
+        plan.increments.push_back(
+            static_cast<std::int64_t>(std::floor(delta * fhz)));
+    }
+    return plan;
+}
+
+} // namespace visa

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Checkpoint arithmetic (paper §2.1-2.2). Each sub-task i gets an
+ * interim deadline
+ *
+ *   checkpoint_i = deadline - ovhd - sum_{k=i..s} WCET_{k,f_rec}   (EQ 1)
+ *
+ * — the latest time sub-task i-1 may still be running such that
+ * switching to the safe configuration (simple mode at the recovery
+ * frequency) still meets the final deadline even if *no* work of
+ * sub-task i survives. The watchdog counter enforces checkpoints in
+ * cycles at the executing (speculative) frequency: the first sub-task
+ * arms it with floor(checkpoint_1 * f) cycles and each later sub-task
+ * i adds floor((checkpoint_i - checkpoint_{i-1}) * f).
+ */
+
+#ifndef VISA_CORE_CHECKPOINTS_HH
+#define VISA_CORE_CHECKPOINTS_HH
+
+#include <vector>
+
+#include "core/wcet_table.hh"
+
+namespace visa
+{
+
+/** Checkpoint schedule for one task instance. */
+struct CheckpointPlan
+{
+    /** checkpoint_i in seconds from task start (index 0 = sub-task 1). */
+    std::vector<double> checkpoints;
+    /**
+     * Watchdog programming at the speculative frequency: increments[0]
+     * arms the counter at the start of sub-task 1; increments[i] is
+     * added at the start of sub-task i+1.
+     */
+    std::vector<std::int64_t> increments;
+};
+
+/**
+ * Compute EQ 1 checkpoints and the watchdog increments.
+ *
+ * @param wcet         per-sub-task WCETs (for the safe configuration)
+ * @param f_rec        recovery frequency used in EQ 1
+ * @param f_spec       executing frequency (watchdog cycle conversion)
+ * @param deadline_s   the task deadline, seconds from task start
+ * @param ovhd_s       reconfiguration + frequency switch overhead
+ *
+ * Fails (FatalError) if any checkpoint is non-positive — the deadline
+ * cannot be guaranteed with this {f_spec, f_rec} pair.
+ */
+/**
+ * @param arm_delay_cycles cycles (at f_spec) elapsing between task
+ *        release and the first snippet arming the watchdog (DVS
+ *        software plus the snippet prologue); subtracted from the
+ *        first watchdog increment so checkpoints stay anchored to the
+ *        task release time.
+ */
+CheckpointPlan computeCheckpoints(const WcetTable &wcet, MHz f_rec,
+                                  MHz f_spec, double deadline_s,
+                                  double ovhd_s,
+                                  Cycles arm_delay_cycles = 0);
+
+} // namespace visa
+
+#endif // VISA_CORE_CHECKPOINTS_HH

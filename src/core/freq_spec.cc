@@ -1,0 +1,99 @@
+#include "core/freq_spec.hh"
+
+namespace visa
+{
+
+namespace
+{
+
+/** Check EQ 4 for every misprediction point. */
+bool
+visaFeasible(const WcetTable &wcet, const PetEstimator &pet,
+             MHz f_spec, MHz f_rec, double deadline_s, double ovhd_s,
+             Cycles extra_cycles)
+{
+    const int s = wcet.numSubtasks();
+    double pet_prefix =
+        static_cast<double>(extra_cycles) / (f_spec * 1e6);
+    for (int i = 0; i < s; ++i) {
+        pet_prefix += pet.petSeconds(i, f_spec);
+        double total =
+            pet_prefix + ovhd_s + wcet.remainingSeconds(i, f_rec);
+        if (total > deadline_s)
+            return false;
+    }
+    return true;
+}
+
+/** Check EQ 2 for every misprediction point. */
+bool
+conventionalFeasible(const WcetTable &wcet, const PetEstimator &pet,
+                     MHz f_spec, MHz f_rec, double deadline_s,
+                     double ovhd_s, Cycles extra_cycles)
+{
+    const int s = wcet.numSubtasks();
+    double pet_prefix =
+        static_cast<double>(extra_cycles) / (f_spec * 1e6);
+    for (int i = 0; i < s; ++i) {
+        double total = pet_prefix + wcet.subtaskSeconds(i, f_spec) +
+                       ovhd_s + wcet.remainingSeconds(i + 1, f_rec);
+        if (total > deadline_s)
+            return false;
+        pet_prefix += pet.petSeconds(i, f_spec);
+    }
+    // Also require the fully-speculative schedule itself to fit.
+    return pet_prefix <= deadline_s;
+}
+
+template <typename Feasible>
+FreqPair
+lowestPair(const DvsTable &dvs, Feasible feasible)
+{
+    for (const auto &spec : dvs.settings()) {
+        for (const auto &rec : dvs.settings()) {
+            if (rec.freq < spec.freq)
+                continue;
+            if (feasible(spec.freq, rec.freq))
+                return {true, spec.freq, rec.freq};
+        }
+    }
+    return {};
+}
+
+} // anonymous namespace
+
+FreqPair
+solveVisaSpeculation(const WcetTable &wcet, const PetEstimator &pet,
+                     const DvsTable &dvs, double deadline_s,
+                     double ovhd_s, Cycles overhead_cycles_at_fspec)
+{
+    return lowestPair(dvs, [&](MHz fs, MHz fr) {
+        return visaFeasible(wcet, pet, fs, fr, deadline_s, ovhd_s,
+                            overhead_cycles_at_fspec);
+    });
+}
+
+FreqPair
+solveConventionalSpeculation(const WcetTable &wcet,
+                             const PetEstimator &pet,
+                             const DvsTable &dvs, double deadline_s,
+                             double ovhd_s,
+                             Cycles overhead_cycles_at_fspec)
+{
+    return lowestPair(dvs, [&](MHz fs, MHz fr) {
+        return conventionalFeasible(wcet, pet, fs, fr, deadline_s,
+                                    ovhd_s, overhead_cycles_at_fspec);
+    });
+}
+
+MHz
+solveStaticFrequency(const WcetTable &wcet, const DvsTable &dvs,
+                     double deadline_s)
+{
+    for (const auto &s : dvs.settings())
+        if (wcet.taskSeconds(s.freq) <= deadline_s)
+            return s.freq;
+    return 0;
+}
+
+} // namespace visa

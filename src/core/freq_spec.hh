@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Frequency speculation solvers (paper §4).
+ *
+ * Conventional frequency speculation (Rotenberg; EQ 2) guards every
+ * possible misprediction point i:
+ *
+ *   sum_{j<i} PET_{j,fspec} + WCET_{i,fspec} + ovhd
+ *     + sum_{k>i} WCET_{k,frec} <= deadline
+ *
+ * The VISA adaptation (EQ 4) removes the need to bound the mispredicted
+ * sub-task on the complex pipeline — recovery switches to simple mode,
+ * so the VISA WCET covers it:
+ *
+ *   sum_{j<=i} PET_{j,fspec} + ovhd
+ *     + sum_{k>=i} WCET_{k,frec} <= deadline
+ *
+ * Both solvers return the lowest feasible {f_spec, f_rec} pair over
+ * the DVS table (minimal f_spec, then minimal f_rec >= f_spec).
+ */
+
+#ifndef VISA_CORE_FREQ_SPEC_HH
+#define VISA_CORE_FREQ_SPEC_HH
+
+#include "core/pet.hh"
+#include "core/wcet_table.hh"
+#include "power/dvs.hh"
+
+namespace visa
+{
+
+/** A speculative/recovery operating-point pair. */
+struct FreqPair
+{
+    bool feasible = false;
+    MHz fSpec = 0;
+    MHz fRec = 0;
+};
+
+/**
+ * EQ 4: the VISA-adapted speculation solver.
+ * @param overhead_cycles_at_fspec cycles charged at the speculative
+ *        frequency on top of the PETs (DVS software at task start plus
+ *        the pipeline-drain budget at a missed checkpoint)
+ */
+FreqPair solveVisaSpeculation(const WcetTable &wcet,
+                              const PetEstimator &pet,
+                              const DvsTable &dvs, double deadline_s,
+                              double ovhd_s,
+                              Cycles overhead_cycles_at_fspec = 0);
+
+/**
+ * EQ 2: conventional frequency speculation (requires the WCETs to
+ * hold on the executing processor — usable by simple-fixed only).
+ */
+FreqPair solveConventionalSpeculation(const WcetTable &wcet,
+                                      const PetEstimator &pet,
+                                      const DvsTable &dvs,
+                                      double deadline_s, double ovhd_s,
+                                      Cycles overhead_cycles_at_fspec = 0);
+
+/**
+ * No speculation: the lowest single frequency whose whole-task WCET
+ * meets the deadline. @return 0 MHz if infeasible even at the top
+ * setting.
+ */
+MHz solveStaticFrequency(const WcetTable &wcet, const DvsTable &dvs,
+                         double deadline_s);
+
+} // namespace visa
+
+#endif // VISA_CORE_FREQ_SPEC_HH

@@ -1,0 +1,72 @@
+#include "core/pet.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+PetEstimator::PetEstimator(int num_subtasks, PetPolicy policy)
+    : policy_(policy),
+      history_(static_cast<std::size_t>(num_subtasks)),
+      pets_(static_cast<std::size_t>(num_subtasks), 0)
+{
+    if (num_subtasks <= 0)
+        fatal("pet: need at least one sub-task");
+    if (policy.window <= 0)
+        fatal("pet: history window must be positive");
+}
+
+void
+PetEstimator::record(int k, std::uint64_t aet_cycles)
+{
+    auto &h = history_[static_cast<std::size_t>(k)];
+    h.push_back(aet_cycles);
+    while (static_cast<int>(h.size()) > policy_.window)
+        h.pop_front();
+}
+
+void
+PetEstimator::reevaluate()
+{
+    for (std::size_t k = 0; k < history_.size(); ++k) {
+        const auto &h = history_[k];
+        if (h.empty())
+            continue;
+        if (policy_.kind == PetPolicy::LastN) {
+            pets_[k] = *std::max_element(h.begin(), h.end());
+        } else {
+            // Histogram: choose the smallest bucket boundary such
+            // that at most targetMissRate of samples lie above it.
+            std::vector<std::uint64_t> sorted(h.begin(), h.end());
+            std::sort(sorted.begin(), sorted.end());
+            auto allowed = static_cast<std::size_t>(std::floor(
+                policy_.targetMissRate *
+                static_cast<double>(sorted.size())));
+            std::size_t idx = sorted.size() - 1 -
+                              std::min(allowed, sorted.size() - 1);
+            std::uint64_t v = sorted[idx];
+            // Round up to the bucket boundary (histogram resolution).
+            std::uint64_t b = policy_.bucketCycles;
+            pets_[k] = (v + b - 1) / b * b;
+        }
+    }
+}
+
+std::uint64_t
+PetEstimator::petCycles(int k) const
+{
+    return pets_[static_cast<std::size_t>(k)];
+}
+
+void
+PetEstimator::seed(const std::vector<std::uint64_t> &pets)
+{
+    if (pets.size() != pets_.size())
+        fatal("pet: seed size mismatch");
+    pets_ = pets;
+}
+
+} // namespace visa

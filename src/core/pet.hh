@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Predicted execution times (paper §4.3). Each sub-task records its
+ * actual execution times (AET, in cycles, from the memory-mapped cycle
+ * counter); PETs are re-evaluated every tenth task execution using
+ * either
+ *  - last-N: PET = max of the last N recorded AETs, or
+ *  - histogram: PET = the value such that a target fraction of
+ *    recorded AETs exceed it (a probabilistic misprediction-rate
+ *    knob; 0 targets no mispredictions).
+ *
+ * AETs of sub-tasks that ran (partly) in simple mode are scaled down
+ * by a configurable factor before recording, approximating what the
+ * complex pipeline would have taken (§4.3).
+ */
+
+#ifndef VISA_CORE_PET_HH
+#define VISA_CORE_PET_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace visa
+{
+
+/** PET selection policy. */
+struct PetPolicy
+{
+    enum Kind { LastN, Histogram } kind = LastN;
+    /** last-N window / histogram depth. */
+    int window = 10;
+    /** Histogram: target probability that an AET exceeds the PET. */
+    double targetMissRate = 0.0;
+    /** Histogram bucket width, cycles. */
+    std::uint64_t bucketCycles = 64;
+};
+
+/** AET history and PET estimation for one task's sub-tasks. */
+class PetEstimator
+{
+  public:
+    PetEstimator(int num_subtasks, PetPolicy policy);
+
+    /** Record the AET (cycles) of sub-task @p k (0-based). */
+    void record(int k, std::uint64_t aet_cycles);
+
+    /**
+     * Recompute PETs from the recorded histories (call every tenth
+     * task, per the paper). Sub-tasks with no history keep their
+     * previous PET.
+     */
+    void reevaluate();
+
+    /** Current PET of sub-task @p k, cycles. */
+    std::uint64_t petCycles(int k) const;
+
+    /** PET of sub-task @p k in seconds at frequency @p f. */
+    double
+    petSeconds(int k, MHz f) const
+    {
+        return static_cast<double>(petCycles(k)) / (f * 1e6);
+    }
+
+    /** Seed all PETs (used before any history exists). */
+    void seed(const std::vector<std::uint64_t> &pets);
+
+    int numSubtasks() const
+    {
+        return static_cast<int>(pets_.size());
+    }
+
+  private:
+    PetPolicy policy_;
+    std::vector<std::deque<std::uint64_t>> history_;
+    std::vector<std::uint64_t> pets_;
+};
+
+} // namespace visa
+
+#endif // VISA_CORE_PET_HH

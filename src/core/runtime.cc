@@ -1,0 +1,340 @@
+#include "core/runtime.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+namespace
+{
+
+/** Hard cap so runaway guest code cannot hang an experiment. */
+constexpr Cycles runawayBudget = 20'000'000'000ULL;
+
+} // anonymous namespace
+
+DvsRuntime::DvsRuntime(Cpu &cpu, const Program &prog, MainMemory &mem,
+                       const WcetTable &wcet, const DvsTable &dvs,
+                       RuntimeConfig cfg)
+    : cpu_(cpu), prog_(prog), mem_(mem), wcet_(wcet), dvs_(dvs),
+      cfg_(std::move(cfg)), pets_(wcet.numSubtasks(), cfg_.petPolicy)
+{
+    if (cfg_.deadlineSeconds <= 0.0)
+        fatal("runtime: deadline must be positive");
+    // Seed PETs conservatively with the WCETs at the top setting: the
+    // first tasks run fast and histories tighten the PETs from there.
+    std::vector<std::uint64_t> seed;
+    for (int k = 0; k < wcet.numSubtasks(); ++k)
+        seed.push_back(wcet.subtaskCycles(k, dvs.maxFreq()));
+    pets_.seed(seed);
+}
+
+void
+DvsRuntime::switchFrequency(MHz f)
+{
+    const MHz old = cpu_.frequency();
+    const Cycles now = cpu_.cycles();
+    taskSeconds_ += static_cast<double>(now - epochStartCycles_) /
+                    (old * 1e6);
+    epochStartCycles_ = now;
+    if (meter_)
+        meter_->closeEpoch(old);
+    cpu_.setFrequency(f);
+}
+
+void
+DvsRuntime::writeWatchdogParams(const CheckpointPlan &plan)
+{
+    auto it = prog_.symbols.find("wdinc");
+    if (it == prog_.symbols.end())
+        fatal("runtime: program has no 'wdinc' parameter table but "
+              "checkpointing is enabled");
+    for (std::size_t i = 0; i < plan.increments.size(); ++i) {
+        mem_.writeWord(it->second + static_cast<Addr>(4 * i),
+                       static_cast<Word>(plan.increments[i]));
+    }
+}
+
+void
+DvsRuntime::disableWatchdogParams()
+{
+    auto it = prog_.symbols.find("wdinc");
+    if (it == prog_.symbols.end())
+        return;
+    for (int i = 0; i < wcet_.numSubtasks(); ++i)
+        mem_.writeWord(it->second + static_cast<Addr>(4 * i), 0);
+}
+
+TaskStats
+DvsRuntime::runTask(bool induce_miss)
+{
+    const bool reeval =
+        tasksRun_ == 0 ||
+        (cfg_.reevalPeriod > 0 && tasksRun_ % cfg_.reevalPeriod == 0);
+    if (reeval) {
+        if (tasksRun_ > 0)
+            pets_.reevaluate();
+        current_ = chooseFrequencies();
+        if (!current_.feasible)
+            fatal("runtime: deadline %.3g ms infeasible",
+                  cfg_.deadlineSeconds * 1e3);
+        if (speculating_)
+            plan_ = buildPlan();
+        else
+            plan_.reset();
+    }
+
+    TaskStats ts;
+    ts.fSpec = current_.fSpec;
+    ts.fRec = current_.fRec;
+    ts.speculating = speculating_;
+
+    cpu_.resetForTask();
+    prepare();
+
+    Platform &platform = cpu_.platform();
+    platform.clearWatchdog();
+    platform.resetCycleCounter();
+    platform.maskWatchdog(!(speculating_ && plan_));
+    platform.setRecoveryFreq(current_.fRec);
+
+    if (induce_miss)
+        cpu_.flushCachesAndPredictors();
+
+    taskSeconds_ = 0.0;
+    epochStartCycles_ = 0;
+    missedSubtask_ = -1;
+    switchFrequency(current_.fSpec);
+
+    // The DVS software (PET re-evaluation, EQ 1/EQ 4 solving) runs on
+    // this processor every tenth task; charge its modeled cost.
+    if (reeval && tasksRun_ > 0)
+        cpu_.advanceIdle(cfg_.dvsSoftwareCycles);
+
+    if (plan_ && speculating_)
+        writeWatchdogParams(*plan_);
+    else
+        disableWatchdogParams();
+
+    std::vector<std::pair<int, std::uint64_t>> aets;
+    platform.onAetReport = [&](int sub, std::uint64_t aet) {
+        aets.emplace_back(sub, aet);
+    };
+
+    for (;;) {
+        RunResult res = cpu_.run(runawayBudget);
+        if (res.reason == StopReason::Halted)
+            break;
+        if (res.reason == StopReason::WatchdogExpired) {
+            DPRINTF("Runtime",
+                    "missed checkpoint in sub-task %d of task %d; "
+                    "recovering\n",
+                    platform.currentSubtask(), tasksRun_);
+            ts.missedCheckpoint = true;
+            missedSubtask_ = platform.currentSubtask();
+            ts.missedSubtask = missedSubtask_;
+            ++stats_.checkpointMisses;
+            platform.maskWatchdog(true);
+            recover();
+            continue;
+        }
+        fatal("runtime: task exceeded the runaway cycle budget");
+    }
+    platform.onAetReport = nullptr;
+
+    // Close the final epoch.
+    const MHz final_freq = cpu_.frequency();
+    taskSeconds_ +=
+        static_cast<double>(cpu_.cycles() - epochStartCycles_) /
+        (final_freq * 1e6);
+    epochStartCycles_ = cpu_.cycles();
+    if (meter_)
+        meter_->closeEpoch(final_freq);
+
+    ts.completionSeconds = taskSeconds_;
+    ts.deadlineMet = taskSeconds_ <= cfg_.deadlineSeconds + 1e-12;
+    ts.retired = cpu_.retired();
+    ts.checksum = platform.lastChecksum();
+    ts.checksumReported = platform.checksumReported();
+
+    // Park at the floor frequency until the period ends (§5.2).
+    if (meter_ && ts.deadlineMet) {
+        MHz idle = cfg_.idleFreq ? cfg_.idleFreq : dvs_.minFreq();
+        meter_->accountIdle(cfg_.deadlineSeconds - taskSeconds_, idle);
+    }
+
+    // Record AET histories; simple-mode portions are scaled (§4.3).
+    for (auto [sub, aet] : aets) {
+        double v = static_cast<double>(aet);
+        if (scaleAllAets_ ||
+            (missedSubtask_ >= 1 && sub >= missedSubtask_))
+            v *= recoveryAetScale_;
+        if (sub >= 1 && sub <= pets_.numSubtasks())
+            pets_.record(sub - 1,
+                         static_cast<std::uint64_t>(std::llround(v)));
+    }
+
+    ++tasksRun_;
+    ++stats_.tasks;
+    stats_.totalBusySeconds += taskSeconds_;
+    if (!ts.deadlineMet)
+        ++stats_.deadlineMisses;
+    return ts;
+}
+
+// ---- VISA framework on the complex processor ----
+
+FreqPair
+VisaComplexRuntime::chooseFrequencies()
+{
+    FreqPair pair = solveVisaSpeculation(
+        wcet_, pets_, dvs_, cfg_.deadlineSeconds, cfg_.ovhdSeconds,
+        overheadCyclesAtFspec());
+    if (pair.feasible) {
+        speculating_ = true;
+        fallbackSimple_ = false;
+        scaleAllAets_ = false;
+        return pair;
+    }
+    // EQ 4 infeasible with the current PETs: attempt the task in the
+    // explicitly-safe configuration (simple mode at a statically
+    // sufficient frequency). PET histories recorded meanwhile let a
+    // later re-evaluation switch speculation back on.
+    MHz fstatic = solveStaticFrequency(wcet_, dvs_, cfg_.deadlineSeconds);
+    if (fstatic == 0)
+        return {};
+    speculating_ = false;
+    fallbackSimple_ = true;
+    scaleAllAets_ = true;    // AETs will be simple-mode cycles
+    return {true, fstatic, fstatic};
+}
+
+CheckpointPlan
+VisaComplexRuntime::buildPlan()
+{
+    // EQ 1 checkpoints at the recovery frequency (§4.2). The drain
+    // budget shifts every checkpoint earlier; the DVS software and
+    // snippet prologue delay the arming.
+    double drain_s = static_cast<double>(cfg_.drainBudgetCycles) /
+                     (current_.fSpec * 1e6);
+    return computeCheckpoints(wcet_, current_.fRec, current_.fSpec,
+                              cfg_.deadlineSeconds - drain_s,
+                              cfg_.ovhdSeconds,
+                              cfg_.dvsSoftwareCycles +
+                                  cfg_.armSlackCycles);
+}
+
+void
+VisaComplexRuntime::recover()
+{
+    // Drain the out-of-order engine into simple mode (cycles are
+    // simulated), then switch to the recovery frequency and charge the
+    // fixed reconfiguration overhead.
+    ooo_.switchToSimple();
+    switchFrequency(current_.fRec);
+    const Cycles ovhd_cycles = static_cast<Cycles>(
+        std::ceil(cfg_.ovhdSeconds * current_.fRec * 1e6));
+    cpu_.advanceIdle(ovhd_cycles);
+}
+
+void
+VisaComplexRuntime::prepare()
+{
+    if (fallbackSimple_)
+        ooo_.switchToSimple();
+    else
+        ooo_.switchToComplex();
+}
+
+// ---- explicitly-safe simple-fixed processor ----
+
+FreqPair
+SimpleFixedRuntime::chooseFrequencies()
+{
+    // Frequency speculation is used only when it lowers the frequency
+    // below the static requirement (paper §6.2).
+    MHz fstatic = solveStaticFrequency(wcet_, dvs_, cfg_.deadlineSeconds);
+    // The per-sub-task detection slack (see buildPlan) can let every
+    // sub-task overrun its PET by armSlackCycles undetected; budget it.
+    FreqPair spec = solveConventionalSpeculation(
+        wcet_, pets_, dvs_, cfg_.deadlineSeconds, cfg_.ovhdSeconds,
+        cfg_.dvsSoftwareCycles +
+            static_cast<Cycles>(wcet_.numSubtasks()) *
+                cfg_.armSlackCycles);
+    if (spec.feasible && (fstatic == 0 || spec.fSpec < fstatic)) {
+        speculating_ = true;
+        return spec;
+    }
+    if (fstatic != 0) {
+        speculating_ = false;
+        return {true, fstatic, fstatic};
+    }
+    return {};
+}
+
+CheckpointPlan
+SimpleFixedRuntime::buildPlan()
+{
+    // Conventional frequency speculation (Rotenberg): the watchdog
+    // detects a sub-task exceeding its *predicted* execution time —
+    // each sub-task adds its own PET budget. EQ 2 already charges the
+    // full WCET of the mispredicted sub-task at f_spec, so detection
+    // inside the sub-task is safe by construction.
+    // Each budget carries a small slack covering the instrumentation
+    // snippet between the AET measurement and the watchdog advance;
+    // otherwise a PET equal to the historical maximum expires inside
+    // the snippet on every typical task.
+    CheckpointPlan plan;
+    double t = 0.0;
+    for (int i = 0; i < wcet_.numSubtasks(); ++i) {
+        std::uint64_t inc = pets_.petCycles(i) + cfg_.armSlackCycles;
+        plan.increments.push_back(static_cast<std::int64_t>(inc));
+        t += pets_.petSeconds(i, current_.fSpec);
+        plan.checkpoints.push_back(t);
+    }
+    return plan;
+}
+
+void
+SimpleFixedRuntime::recover()
+{
+    switchFrequency(current_.fRec);
+    const Cycles ovhd_cycles = static_cast<Cycles>(
+        std::ceil(cfg_.ovhdSeconds * current_.fRec * 1e6));
+    cpu_.advanceIdle(ovhd_cycles);
+}
+
+void
+SimpleFixedRuntime::prepare()
+{
+}
+
+std::vector<std::uint64_t>
+profileComplexAets(const Program &prog, int num_subtasks, double margin,
+                   MHz freq)
+{
+    MainMemory mem;
+    Platform platform;
+    MemController memctrl;
+    mem.loadProgram(prog);
+    OooCpu cpu(prog, mem, platform, memctrl);
+    cpu.resetForTask();
+    cpu.setFrequency(freq);
+    std::vector<std::uint64_t> aets(
+        static_cast<std::size_t>(num_subtasks), 0);
+    platform.onAetReport = [&](int sub, std::uint64_t aet) {
+        if (sub >= 1 && sub <= num_subtasks) {
+            aets[static_cast<std::size_t>(sub - 1)] =
+                static_cast<std::uint64_t>(
+                    std::ceil(static_cast<double>(aet) * margin));
+        }
+    };
+    auto res = cpu.run(20'000'000'000ULL);
+    if (res.reason != StopReason::Halted)
+        fatal("profileComplexAets: program did not halt");
+    return aets;
+}
+
+} // namespace visa

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * The VISA run-time system: executes a periodic hard real-time task
+ * instance by instance, programming the watchdog from the checkpoint
+ * schedule (EQ 1), choosing operating points by frequency speculation
+ * (EQ 2 on the explicitly-safe processor, EQ 4 on the VISA-compliant
+ * complex processor), collecting AET histories from the guest's
+ * instrumentation snippets, re-evaluating PETs every tenth task, and
+ * responding to missed-checkpoint exceptions by reconfiguring to the
+ * safe configuration (simple mode and/or the recovery frequency).
+ */
+
+#ifndef VISA_CORE_RUNTIME_HH
+#define VISA_CORE_RUNTIME_HH
+
+#include <optional>
+
+#include "core/checkpoints.hh"
+#include "core/freq_spec.hh"
+#include "core/pet.hh"
+#include "core/wcet_table.hh"
+#include "cpu/ooo_cpu.hh"
+#include "cpu/simple_cpu.hh"
+#include "power/meter.hh"
+
+namespace visa
+{
+
+/** Configuration of the run-time system. */
+struct RuntimeConfig
+{
+    /** Task deadline == period, seconds. */
+    double deadlineSeconds = 0.0;
+    /** Mode/frequency switch overhead (the ovhd term of EQ 1-4). */
+    double ovhdSeconds = dvsSwitchOverheadNs * 1e-9;
+    /** PETs are re-evaluated every this many task executions (§4.3). */
+    int reevalPeriod = 10;
+    /** PET selection policy. */
+    PetPolicy petPolicy{};
+    /**
+     * Factor applied to AET cycles recorded while in simple mode
+     * (§4.3): approximates complex-mode time, "based on the relative
+     * performance of the complex and simple modes". Deployments should
+     * measure it per task (the experiment harnesses do); a too-small
+     * factor underestimates PETs and can trap the schedule in a
+     * recurring-miss loop. The default matches the paper's mid-range
+     * 3.5x speedup.
+     */
+    double simpleModeAetScale = 0.28;
+    /**
+     * Park frequency between completion and the deadline (§5.2);
+     * 0 selects the DVS table's lowest operating point.
+     */
+    MHz idleFreq = 0;
+    /**
+     * Modeled cost, in cycles, of the DVS software that re-evaluates
+     * PETs and recomputes frequencies/checkpoints every tenth task
+     * (charged on re-evaluation tasks; see DESIGN.md substitution 4).
+     */
+    Cycles dvsSoftwareCycles = 5000;
+    /**
+     * Budget, in cycles at the speculative frequency, for draining the
+     * complex pipeline after a missed-checkpoint exception. Part of
+     * the recovery budget in EQ 1/EQ 4 (the paper folds it into the
+     * "fixed implementation-dependent overhead").
+     */
+    Cycles drainBudgetCycles = 2048;
+    /**
+     * Cycles between task release and the first snippet's watchdog
+     * store (snippet prologue), subtracted from the first watchdog
+     * increment.
+     */
+    Cycles armSlackCycles = 64;
+};
+
+/** Outcome of one task instance. */
+struct TaskStats
+{
+    double completionSeconds = 0.0;
+    bool deadlineMet = false;
+    bool missedCheckpoint = false;
+    int missedSubtask = -1;          ///< 1-based, -1 = none
+    MHz fSpec = 0;
+    MHz fRec = 0;
+    bool speculating = false;        ///< simple-fixed may decline EQ 2
+    std::uint64_t retired = 0;
+    Word checksum = 0;
+    bool checksumReported = false;
+};
+
+/** Aggregates over a whole experiment. */
+struct ExperimentStats
+{
+    int tasks = 0;
+    int deadlineMisses = 0;          ///< must stay 0 (safety!)
+    int checkpointMisses = 0;
+    double totalBusySeconds = 0.0;
+};
+
+/** Common machinery of both run-time flavors. */
+class DvsRuntime
+{
+  public:
+    virtual ~DvsRuntime() = default;
+
+    /**
+     * Execute one task instance.
+     * @param induce_miss flush caches/predictors first (Fig. 4's
+     *        mechanism for forcing mispredicted tasks)
+     */
+    TaskStats runTask(bool induce_miss = false);
+
+    /** Attach a power meter; the runtime closes epochs at switches. */
+    void attachMeter(PowerMeter *meter) { meter_ = meter; }
+
+    const ExperimentStats &stats() const { return stats_; }
+    PetEstimator &pets() { return pets_; }
+    int tasksRun() const { return tasksRun_; }
+    double deadlineSeconds() const { return cfg_.deadlineSeconds; }
+
+  protected:
+    DvsRuntime(Cpu &cpu, const Program &prog, MainMemory &mem,
+               const WcetTable &wcet, const DvsTable &dvs,
+               RuntimeConfig cfg);
+
+    /** Choose {f_spec, f_rec} for the next task. */
+    virtual FreqPair chooseFrequencies() = 0;
+    /** Build the watchdog programming for the chosen pair. */
+    virtual CheckpointPlan buildPlan() = 0;
+    /** Respond to a missed checkpoint (switch mode and/or frequency). */
+    virtual void recover() = 0;
+    /** Reconfigure for a fresh task attempt (complex mode etc.). */
+    virtual void prepare() = 0;
+
+    void switchFrequency(MHz f);
+    void writeWatchdogParams(const CheckpointPlan &plan);
+    void disableWatchdogParams();
+
+    Cpu &cpu_;
+    const Program &prog_;
+    MainMemory &mem_;
+    const WcetTable &wcet_;
+    const DvsTable &dvs_;
+    RuntimeConfig cfg_;
+    PetEstimator pets_;
+    PowerMeter *meter_ = nullptr;
+
+    FreqPair current_{};
+    bool speculating_ = true;
+    std::optional<CheckpointPlan> plan_;
+    int tasksRun_ = 0;
+    ExperimentStats stats_;
+
+    /** Solver budget charged at f_spec (DVS software + drain). */
+    Cycles
+    overheadCyclesAtFspec() const
+    {
+        return cfg_.dvsSoftwareCycles + cfg_.drainBudgetCycles;
+    }
+
+    /**
+     * Set by chooseFrequencies() when the whole task runs in the safe
+     * configuration on the complex processor: all its AETs must be
+     * scaled to the complex-mode domain before entering the history.
+     */
+    bool scaleAllAets_ = false;
+
+    /**
+     * Factor applied to AETs of sub-tasks that ran (partly) after a
+     * missed checkpoint. The complex runtime maps simple-mode cycles
+     * back to the complex domain (§4.3); the simple-fixed runtime's
+     * recovery only changes frequency, so its AETs stay comparable
+     * (factor 1).
+     */
+    double recoveryAetScale_ = 1.0;
+
+    // per-instance bookkeeping
+    double taskSeconds_ = 0.0;
+    Cycles epochStartCycles_ = 0;
+    int missedSubtask_ = -1;
+};
+
+/**
+ * The VISA framework on the complex processor: EQ 4 speculation,
+ * recovery = drain + simple mode + recovery frequency.
+ */
+class VisaComplexRuntime : public DvsRuntime
+{
+  public:
+    VisaComplexRuntime(OooCpu &cpu, const Program &prog, MainMemory &mem,
+                       const WcetTable &wcet, const DvsTable &dvs,
+                       RuntimeConfig cfg)
+        : DvsRuntime(cpu, prog, mem, wcet, dvs, cfg), ooo_(cpu)
+    {
+        recoveryAetScale_ = cfg_.simpleModeAetScale;
+    }
+
+  protected:
+    FreqPair chooseFrequencies() override;
+    CheckpointPlan buildPlan() override;
+    void recover() override;
+    void prepare() override;
+
+  private:
+    OooCpu &ooo_;
+    /**
+     * When EQ 4 is infeasible with the current PETs (e.g. before any
+     * history exists under very tight deadlines), the task runs
+     * explicitly safe: simple mode at a statically sufficient
+     * frequency.
+     */
+    bool fallbackSimple_ = false;
+};
+
+/**
+ * The explicitly-safe simple-fixed processor: EQ 2 speculation when it
+ * lowers the frequency (paper §6.2), otherwise a fixed safe frequency;
+ * recovery = recovery frequency only.
+ */
+class SimpleFixedRuntime : public DvsRuntime
+{
+  public:
+    SimpleFixedRuntime(SimpleCpu &cpu, const Program &prog,
+                       MainMemory &mem, const WcetTable &wcet,
+                       const DvsTable &dvs, RuntimeConfig cfg)
+        : DvsRuntime(cpu, prog, mem, wcet, dvs, cfg)
+    {
+    }
+
+  protected:
+    FreqPair chooseFrequencies() override;
+    CheckpointPlan buildPlan() override;
+    void recover() override;
+    void prepare() override;
+};
+
+/**
+ * Off-line profiling of per-sub-task AETs on the complex processor
+ * (the PET seeding method of Rotenberg's original frequency
+ * speculation, which §4.3's run-time profiling then keeps refining).
+ *
+ * @param margin multiplier applied to the measured AETs
+ * @return AET cycles per sub-task (at 1 GHz), scaled by @p margin
+ */
+std::vector<std::uint64_t> profileComplexAets(const Program &prog,
+                                              int num_subtasks,
+                                              double margin = 1.1,
+                                              MHz freq = 1000);
+
+} // namespace visa
+
+#endif // VISA_CORE_RUNTIME_HH

@@ -1,0 +1,75 @@
+#include "core/schedulability.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+double
+utilization(const std::vector<PeriodicTask> &tasks)
+{
+    double u = 0.0;
+    for (const auto &t : tasks) {
+        if (t.period <= 0.0)
+            fatal("schedulability: non-positive period");
+        u += t.wcet / t.period;
+    }
+    return u;
+}
+
+double
+rmUtilizationBound(int n)
+{
+    if (n <= 0)
+        fatal("schedulability: need at least one task");
+    return n * (std::pow(2.0, 1.0 / n) - 1.0);
+}
+
+bool
+rmSchedulableByBound(const std::vector<PeriodicTask> &tasks)
+{
+    return utilization(tasks) <=
+           rmUtilizationBound(static_cast<int>(tasks.size())) + 1e-12;
+}
+
+bool
+rmResponseTimeFeasible(const std::vector<PeriodicTask> &tasks)
+{
+    std::vector<PeriodicTask> sorted = tasks;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const PeriodicTask &a, const PeriodicTask &b) {
+                  return a.period < b.period;
+              });
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        double r = sorted[i].wcet;
+        for (int iter = 0; iter < 1000; ++iter) {
+            double interference = 0.0;
+            for (std::size_t j = 0; j < i; ++j) {
+                interference += std::ceil(r / sorted[j].period) *
+                                sorted[j].wcet;
+            }
+            double next = sorted[i].wcet + interference;
+            if (next > sorted[i].period)
+                return false;
+            if (std::fabs(next - r) < 1e-12) {
+                r = next;
+                break;
+            }
+            r = next;
+        }
+        if (r > sorted[i].period)
+            return false;
+    }
+    return true;
+}
+
+bool
+edfSchedulable(const std::vector<PeriodicTask> &tasks)
+{
+    return utilization(tasks) <= 1.0 + 1e-12;
+}
+
+} // namespace visa

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Classic schedulability tests for periodic task sets (Liu & Layland,
+ * the paper's reference [19]): the rate-monotonic utilization bound
+ * and the EDF utilization test, plus RM response-time analysis. Used
+ * to validate that the single periodic hard real-time task plus its
+ * deadline is a schedulable configuration, and provided as part of the
+ * library's public API for system designers budgeting WCETs.
+ */
+
+#ifndef VISA_CORE_SCHEDULABILITY_HH
+#define VISA_CORE_SCHEDULABILITY_HH
+
+#include <vector>
+
+namespace visa
+{
+
+/** One periodic task: WCET C and period T (deadline = period). */
+struct PeriodicTask
+{
+    double wcet = 0.0;      ///< seconds
+    double period = 0.0;    ///< seconds
+};
+
+/** Total utilization sum(C_i / T_i). */
+double utilization(const std::vector<PeriodicTask> &tasks);
+
+/** Liu-Layland RM bound: n (2^(1/n) - 1). */
+double rmUtilizationBound(int n);
+
+/**
+ * Sufficient RM test: utilization <= the Liu-Layland bound.
+ * (Necessary-and-sufficient analysis is rmResponseTimeFeasible.)
+ */
+bool rmSchedulableByBound(const std::vector<PeriodicTask> &tasks);
+
+/**
+ * Exact RM response-time analysis (tasks sorted by period internally;
+ * deadline = period). @return true if every task's worst-case response
+ * time fits its period.
+ */
+bool rmResponseTimeFeasible(const std::vector<PeriodicTask> &tasks);
+
+/** EDF: feasible iff utilization <= 1. */
+bool edfSchedulable(const std::vector<PeriodicTask> &tasks);
+
+} // namespace visa
+
+#endif // VISA_CORE_SCHEDULABILITY_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The Virtual Simple Architecture specification (paper §3.1, Table 1).
+ *
+ * A VISA is the *timing contract* worst-case analysis is performed
+ * against: a six-stage scalar in-order pipeline (fetch, decode,
+ * register read, execute, memory, writeback) with
+ *  - an instruction cache but no dynamic branch predictor; conditional
+ *    branches follow the backward-taken/forward-not-taken heuristic,
+ *    branch targets are cached with the branches (merged BTB/I-cache),
+ *    and indirect-branch targets are not predicted (fetch stalls),
+ *  - a four-cycle misprediction penalty / indirect stall (four stages
+ *    between fetch and execute),
+ *  - a single unpipelined universal function unit with MIPS R10K
+ *    latencies,
+ *  - a one-cycle load-use interlock,
+ *  - the cache geometry and worst-case memory stall time of Table 1.
+ *
+ * Executable semantics of the contract live in cpu/visa_timing.hh
+ * (the recurrence shared by the simple-fixed simulator, the complex
+ * processor's simple mode, and the WCET analyzer); this header
+ * aggregates the parameters so the three layers of §3 — VISA, timing
+ * analyzer, processor — are configured from one place.
+ */
+
+#ifndef VISA_CORE_VISA_SPEC_HH
+#define VISA_CORE_VISA_SPEC_HH
+
+#include "mem/cache.hh"
+#include "mem/memctrl.hh"
+#include "wcet/analyzer.hh"
+
+namespace visa
+{
+
+/** The VISA contract parameters (Table 1). */
+struct VisaSpec
+{
+    /** Pipeline depth (fetch ... writeback). */
+    int pipelineStages = 6;
+    /** Stages between fetch and execute: the redirect penalty. */
+    int mispredictPenalty = 4;
+    /** L1 caches: 64 KB, 4-way, 64 B blocks, 1-cycle hits. */
+    CacheParams icache{"icache", 64 * 1024, 4, 64};
+    CacheParams dcache{"dcache", 64 * 1024, 4, 64};
+    /** Worst-case memory stall time (ns, frequency-independent). */
+    double memStallNs = 100.0;
+
+    /** Analyzer parameters consistent with this contract. */
+    AnalyzerParams
+    analyzerParams() const
+    {
+        AnalyzerParams p;
+        p.icache = icache;
+        p.memStallNs = memStallNs;
+        return p;
+    }
+
+    /** Memory-controller timing consistent with this contract. */
+    MemCtrlParams
+    memCtrlParams() const
+    {
+        MemCtrlParams p;
+        p.accessNs = memStallNs;
+        return p;
+    }
+};
+
+} // namespace visa
+
+#endif // VISA_CORE_VISA_SPEC_HH

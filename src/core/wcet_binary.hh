@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Parameterized WCET metadata (paper §1.2): "Parameterized WCET
+ * information for a task would be appended to the task's binary, and
+ * the task will execute safely within any system that complies with
+ * the VISA for which the WCET information was calculated (WCET would
+ * be expressed in cycles for frequency scaling, divided into
+ * components that scale and do not scale with frequency, and
+ * parameterized in terms of worst-case memory latency since the
+ * memory sub-system is outside the influence of processor design)."
+ *
+ * This module realizes that: each sub-task's WCET is decomposed into
+ *   core cycles (scale with frequency)  +
+ *   memory-stall events x ceil(mem_ns * f)  (memory-latency term),
+ * fitted conservatively against the analyzer across the DVS range, and
+ * serialized to a text section a deployment appends to the binary. A
+ * VISA-compliant system with a *different* memory latency can then
+ * instantiate safe WCETs without re-running the analyzer.
+ */
+
+#ifndef VISA_CORE_WCET_BINARY_HH
+#define VISA_CORE_WCET_BINARY_HH
+
+#include <string>
+#include <vector>
+
+#include "power/dvs.hh"
+#include "wcet/analyzer.hh"
+
+namespace visa
+{
+
+/** Frequency- and memory-latency-parameterized WCET of one task. */
+class ParameterizedWcet
+{
+  public:
+    /** One sub-task's decomposition. */
+    struct Component
+    {
+        Cycles coreCycles = 0;         ///< scales with frequency
+        std::uint64_t memEvents = 0;   ///< worst-case memory stalls
+    };
+
+    ParameterizedWcet() = default;
+
+    /**
+     * Fit the decomposition against the analyzer over every operating
+     * point of @p dvs so that the parameterized bound dominates the
+     * analyzer's bound at each sampled setting.
+     */
+    static ParameterizedWcet fit(const WcetAnalyzer &analyzer,
+                                 const DvsTable &dvs,
+                                 const DMissProfile *dmiss = nullptr);
+
+    /**
+     * WCET of sub-task @p k in cycles at @p f MHz on a VISA system
+     * whose worst-case memory stall time is @p mem_ns.
+     */
+    Cycles subtaskCycles(int k, MHz f, double mem_ns) const;
+
+    /** Whole-task WCET (sum over sub-tasks), cycles. */
+    Cycles taskCycles(MHz f, double mem_ns) const;
+
+    int numSubtasks() const
+    {
+        return static_cast<int>(components_.size());
+    }
+
+    const std::vector<Component> &components() const
+    {
+        return components_;
+    }
+
+    /** Worst-case memory stall time the fit was computed for, ns. */
+    double nativeMemNs() const { return nativeMemNs_; }
+
+    /** Serialize to the text section appended to a task binary. */
+    std::string serialize() const;
+
+    /** Parse a serialized section; fatal on malformed input. */
+    static ParameterizedWcet deserialize(const std::string &text);
+
+  private:
+    std::vector<Component> components_;
+    double nativeMemNs_ = 100.0;
+};
+
+} // namespace visa
+
+#endif // VISA_CORE_WCET_BINARY_HH

@@ -1,0 +1,55 @@
+#include "core/wcet_table.hh"
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+WcetTable::WcetTable(const WcetAnalyzer &analyzer, const DvsTable &dvs,
+                     const DMissProfile *dmiss)
+{
+    numSubtasks_ = analyzer.numSubtasks();
+    for (const auto &setting : dvs.settings()) {
+        WcetReport rep = analyzer.analyze(setting.freq, dmiss);
+        table_[setting.freq] = rep.subtaskCycles;
+    }
+}
+
+const std::vector<Cycles> &
+WcetTable::row(MHz f) const
+{
+    auto it = table_.find(f);
+    if (it == table_.end())
+        fatal("wcet table: no entry for %u MHz", f);
+    return it->second;
+}
+
+Cycles
+WcetTable::subtaskCycles(int k, MHz f) const
+{
+    const auto &r = row(f);
+    if (k < 0 || k >= static_cast<int>(r.size()))
+        fatal("wcet table: bad sub-task index %d", k);
+    return r[static_cast<std::size_t>(k)];
+}
+
+Cycles
+WcetTable::taskCycles(MHz f) const
+{
+    Cycles sum = 0;
+    for (Cycles c : row(f))
+        sum += c;
+    return sum;
+}
+
+double
+WcetTable::remainingSeconds(int k, MHz f) const
+{
+    const auto &r = row(f);
+    double sum = 0.0;
+    for (std::size_t i = static_cast<std::size_t>(k); i < r.size(); ++i)
+        sum += static_cast<double>(r[i]) / (f * 1e6);
+    return sum;
+}
+
+} // namespace visa

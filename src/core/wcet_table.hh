@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-frequency, per-sub-task WCET tables. The analyzer's memory
+ * stalls are specified in nanoseconds, so the cycle-level WCET differs
+ * per DVS setting (paper §2.1: "there is a different WCET for each
+ * frequency setting"); this table precomputes all of them.
+ */
+
+#ifndef VISA_CORE_WCET_TABLE_HH
+#define VISA_CORE_WCET_TABLE_HH
+
+#include <map>
+#include <vector>
+
+#include "power/dvs.hh"
+#include "wcet/analyzer.hh"
+
+namespace visa
+{
+
+/** WCET_{k,f} for every sub-task k and DVS setting f. */
+class WcetTable
+{
+  public:
+    /**
+     * Run the analyzer at every operating point of @p dvs.
+     * @param dmiss optional trace-based D-cache padding (§3.3)
+     */
+    WcetTable(const WcetAnalyzer &analyzer, const DvsTable &dvs,
+              const DMissProfile *dmiss = nullptr);
+
+    int numSubtasks() const { return numSubtasks_; }
+
+    /** WCET of sub-task @p k (0-based) in cycles at @p f. */
+    Cycles subtaskCycles(int k, MHz f) const;
+
+    /** WCET of sub-task @p k in seconds at @p f. */
+    double
+    subtaskSeconds(int k, MHz f) const
+    {
+        return static_cast<double>(subtaskCycles(k, f)) / (f * 1e6);
+    }
+
+    /** Whole-task WCET in cycles at @p f (sum over sub-tasks). */
+    Cycles taskCycles(MHz f) const;
+
+    /** Whole-task WCET in seconds at @p f. */
+    double
+    taskSeconds(MHz f) const
+    {
+        return static_cast<double>(taskCycles(f)) / (f * 1e6);
+    }
+
+    /** Sum of sub-task WCET seconds for sub-tasks k..s-1 at @p f. */
+    double remainingSeconds(int k, MHz f) const;
+
+  private:
+    const std::vector<Cycles> &row(MHz f) const;
+
+    int numSubtasks_ = 0;
+    std::map<MHz, std::vector<Cycles>> table_;
+};
+
+} // namespace visa
+
+#endif // VISA_CORE_WCET_TABLE_HH

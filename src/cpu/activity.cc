@@ -1,0 +1,26 @@
+#include "cpu/activity.hh"
+
+namespace visa
+{
+
+const char *
+unitName(Unit u)
+{
+    switch (u) {
+      case Unit::ICache:       return "icache";
+      case Unit::DCache:       return "dcache";
+      case Unit::Bpred:        return "bpred";
+      case Unit::FetchQueue:   return "fetchq";
+      case Unit::RenameMap:    return "rename";
+      case Unit::IssueQueue:   return "iq";
+      case Unit::Lsq:          return "lsq";
+      case Unit::RegfileRead:  return "regread";
+      case Unit::RegfileWrite: return "regwrite";
+      case Unit::Fu:           return "fu";
+      case Unit::ActiveList:   return "activelist";
+      case Unit::ResultBus:    return "resultbus";
+      default:                 return "<bad>";
+    }
+}
+
+} // namespace visa

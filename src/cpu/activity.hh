@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-structure activity counters reported by the pipeline simulators
+ * and consumed by the Wattch-style power model (paper §5.2: separate
+ * physical register file, active list, issue queue, load/store queue).
+ */
+
+#ifndef VISA_CPU_ACTIVITY_HH
+#define VISA_CPU_ACTIVITY_HH
+
+#include <array>
+#include <cstdint>
+
+namespace visa
+{
+
+/** Microarchitectural structures tracked for power. */
+enum class Unit : int
+{
+    ICache = 0,
+    DCache,
+    Bpred,          ///< gshare table + indirect target table
+    FetchQueue,
+    RenameMap,
+    IssueQueue,     ///< wakeup/select CAM
+    Lsq,            ///< load/store queue CAM
+    RegfileRead,    ///< physical (or architectural) register file read
+    RegfileWrite,
+    Fu,             ///< a function-unit operation
+    ActiveList,     ///< reorder buffer / active list
+    ResultBus,
+    NumUnits
+};
+
+inline constexpr int numUnits = static_cast<int>(Unit::NumUnits);
+
+/** Access counts per structure plus total cycles. */
+struct PowerActivity
+{
+    std::array<std::uint64_t, numUnits> accesses{};
+    std::uint64_t cycles = 0;
+
+    void
+    add(Unit u, std::uint64_t n = 1)
+    {
+        accesses[static_cast<int>(u)] += n;
+    }
+
+    std::uint64_t
+    count(Unit u) const
+    {
+        return accesses[static_cast<int>(u)];
+    }
+
+    void
+    reset()
+    {
+        accesses.fill(0);
+        cycles = 0;
+    }
+
+    /** Element-wise difference (this - earlier snapshot). */
+    PowerActivity
+    since(const PowerActivity &earlier) const
+    {
+        PowerActivity d;
+        for (int i = 0; i < numUnits; ++i)
+            d.accesses[i] = accesses[i] - earlier.accesses[i];
+        d.cycles = cycles - earlier.cycles;
+        return d;
+    }
+};
+
+/** @return a short name for @p u ("icache", "iq", ...). */
+const char *unitName(Unit u);
+
+} // namespace visa
+
+#endif // VISA_CPU_ACTIVITY_HH

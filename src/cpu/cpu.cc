@@ -1,0 +1,201 @@
+#include "cpu/cpu.hh"
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace visa
+{
+
+void
+ExecCore::reset()
+{
+    state_ = ArchState{};
+    state_.pc = prog_.entry;
+    state_.writeInt(reg::sp, defaultStackTop);
+}
+
+ExecInfo
+ExecCore::step(bool defer_mmio)
+{
+    ExecInfo info;
+    info.pc = state_.pc;
+    const Instruction &inst = prog_.at(state_.pc);
+    info.inst = inst;
+    info.nextPc = state_.pc + 4;
+
+    switch (inst.cls()) {
+      case InstrClass::IntAlu:
+      case InstrClass::IntMult:
+      case InstrClass::IntDiv:
+        state_.writeInt(inst.rd,
+                        evalIntAlu(inst, state_.readInt(inst.rs),
+                                   state_.readInt(inst.rt)));
+        break;
+
+      case InstrClass::FpAlu:
+      case InstrClass::FpMult:
+      case InstrClass::FpDiv:
+        switch (inst.op) {
+          case Opcode::CVT_D_W:
+            state_.fpRegs[inst.rd] = static_cast<double>(
+                static_cast<std::int32_t>(state_.readInt(inst.rs)));
+            break;
+          case Opcode::CVT_W_D:
+            state_.writeInt(inst.rd,
+                            static_cast<Word>(static_cast<std::int32_t>(
+                                state_.fpRegs[inst.rs])));
+            break;
+          case Opcode::C_EQ_D: case Opcode::C_LT_D: case Opcode::C_LE_D:
+            state_.fcc = evalFpCmp(inst, state_.fpRegs[inst.rs],
+                                   state_.fpRegs[inst.rt]);
+            break;
+          default:
+            state_.fpRegs[inst.rd] = evalFpAlu(inst, state_.fpRegs[inst.rs],
+                                               state_.fpRegs[inst.rt]);
+        }
+        break;
+
+      case InstrClass::Load: {
+        info.isMem = true;
+        info.isLoad = true;
+        info.effAddr = effectiveAddr(inst, state_.readInt(inst.rs));
+        info.isMmio = mmio::contains(info.effAddr);
+        if (info.isMmio) {
+            if (inst.op != Opcode::LW)
+                fatal("MMIO access must use lw/sw (pc 0x%x)", info.pc);
+            if (defer_mmio)
+                info.mmioDest = inst.rd;
+            else
+                state_.writeInt(inst.rd, platform_.load(info.effAddr));
+        } else if (inst.op == Opcode::LDC1) {
+            state_.fpRegs[inst.rd] = mem_.readDouble(info.effAddr);
+        } else {
+            Word raw = static_cast<Word>(
+                mem_.read(info.effAddr, inst.memBytes()));
+            state_.writeInt(inst.rd, extendLoad(inst.op, raw));
+        }
+        break;
+      }
+
+      case InstrClass::Store: {
+        info.isMem = true;
+        info.effAddr = effectiveAddr(inst, state_.readInt(inst.rs));
+        info.isMmio = mmio::contains(info.effAddr);
+        if (info.isMmio) {
+            if (inst.op != Opcode::SW)
+                fatal("MMIO access must use lw/sw (pc 0x%x)", info.pc);
+            if (!defer_mmio)
+                platform_.store(info.effAddr, state_.readInt(inst.rt));
+            // deferred stores are performed by performMmio()
+        } else if (inst.op == Opcode::SDC1) {
+            mem_.writeDouble(info.effAddr, state_.fpRegs[inst.rt]);
+        } else {
+            mem_.write(info.effAddr, state_.readInt(inst.rt),
+                       inst.memBytes());
+        }
+        break;
+      }
+
+      case InstrClass::CondBranch:
+      case InstrClass::DirectJump:
+      case InstrClass::IndirectJump: {
+        ControlEval ev = evalControl(inst, info.pc, state_.readInt(inst.rs),
+                                     state_.readInt(inst.rt), state_.fcc);
+        info.taken = ev.taken;
+        info.nextPc = ev.taken ? ev.target : info.pc + 4;
+        if (inst.op == Opcode::JAL)
+            state_.writeInt(reg::ra, info.pc + 4);
+        else if (inst.op == Opcode::JALR)
+            state_.writeInt(inst.rd, info.pc + 4);
+        break;
+      }
+
+      case InstrClass::Nop:
+        break;
+
+      case InstrClass::Halt:
+        info.halted = true;
+        info.nextPc = info.pc;
+        break;
+    }
+
+    state_.pc = info.nextPc;
+    return info;
+}
+
+void
+ExecCore::performMmio(const ExecInfo &info)
+{
+    if (!info.isMmio)
+        return;
+    if (info.isLoad) {
+        state_.writeInt(info.mmioDest, platform_.load(info.effAddr));
+    } else {
+        platform_.store(info.effAddr, state_.readInt(info.inst.rt));
+    }
+}
+
+Cpu::Cpu(const Program &prog, MainMemory &mem, Platform &platform,
+         MemController &memctrl,
+         const CacheParams &icache_params, const CacheParams &dcache_params)
+    : prog_(prog), mem_(mem), platform_(platform), memctrl_(memctrl),
+      icache_(icache_params), dcache_(dcache_params),
+      core_(prog, mem, platform)
+{
+}
+
+void
+Cpu::resetForTask()
+{
+    // Bank the finished instance's cycles so the activity counters
+    // stay monotonic across tasks (the subclass resets its per-task
+    // cycle counter after this call).
+    activityCycleBase_ += cycles();
+    core_.reset();
+    retired_ = 0;
+    halted_ = false;
+    // No sync here: the subclass zeroes its per-task cycle counter
+    // after this call, and the banked base already equals the
+    // cumulative count. activity_.cycles refreshes on the first step.
+}
+
+void
+Cpu::flushCachesAndPredictors()
+{
+    icache_.flush();
+    dcache_.flush();
+}
+
+void
+Cpu::dumpStats(std::ostream &os) const
+{
+    StatGroup g(statsName());
+    g.scalar("cycles", "simulated cycles this task").set(cycles());
+    g.scalar("instructions", "instructions retired").set(retired_);
+    g.formula("ipc",
+              [this]() {
+                  Cycles c = cycles();
+                  return c ? static_cast<double>(retired_) /
+                                 static_cast<double>(c)
+                           : 0.0;
+              },
+              "retired instructions per cycle");
+    g.scalar("icache_accesses").set(icache_.accesses());
+    g.scalar("icache_misses").set(icache_.misses());
+    g.scalar("dcache_accesses").set(dcache_.accesses());
+    g.scalar("dcache_misses").set(dcache_.misses());
+    g.formula("dcache_miss_rate", [this]() {
+        return dcache_.accesses()
+                   ? static_cast<double>(dcache_.misses()) /
+                         static_cast<double>(dcache_.accesses())
+                   : 0.0;
+    });
+    for (int u = 0; u < numUnits; ++u) {
+        g.scalar(std::string("activity_") +
+                 unitName(static_cast<Unit>(u)))
+            .set(activity_.count(static_cast<Unit>(u)));
+    }
+    g.dump(os);
+}
+
+} // namespace visa

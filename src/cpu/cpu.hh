@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Common CPU machinery: architectural state, the shared functional
+ * execution core, and the abstract processor interface implemented by
+ * the simple-fixed pipeline and the complex pipeline.
+ */
+
+#ifndef VISA_CPU_CPU_HH
+#define VISA_CPU_CPU_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "cpu/activity.hh"
+#include "isa/program.hh"
+#include "isa/semantics.hh"
+#include "mem/cache.hh"
+#include "mem/memctrl.hh"
+#include "mem/memory.hh"
+#include "mem/platform.hh"
+#include "sim/types.hh"
+
+namespace visa
+{
+
+/** Architected register state. */
+struct ArchState
+{
+    std::array<Word, numIntRegs> intRegs{};
+    std::array<double, numFpRegs> fpRegs{};
+    bool fcc = false;
+    Addr pc = 0;
+
+    Word
+    readInt(int r) const
+    {
+        return r == 0 ? 0 : intRegs[static_cast<std::size_t>(r)];
+    }
+    void
+    writeInt(int r, Word v)
+    {
+        if (r != 0)
+            intRegs[static_cast<std::size_t>(r)] = v;
+    }
+};
+
+/** Everything a pipeline needs to know about one executed instruction. */
+struct ExecInfo
+{
+    Instruction inst;
+    Addr pc = 0;
+    Addr nextPc = 0;
+    bool halted = false;
+
+    bool isMem = false;
+    bool isMmio = false;
+    bool isLoad = false;
+    Addr effAddr = 0;
+
+    bool taken = false;         ///< control outcome (jumps always taken)
+
+    /** For deferred MMIO loads: destination register to write later. */
+    int mmioDest = -1;
+};
+
+/**
+ * Functional (untimed) executor shared by both pipelines. The complex
+ * pipeline executes instructions functionally at dispatch (the
+ * SimpleScalar sim-outorder approach); the simple pipeline at commit.
+ */
+class ExecCore
+{
+  public:
+    ExecCore(const Program &prog, MainMemory &mem, Platform &platform)
+        : prog_(prog), mem_(mem), platform_(platform)
+    {
+    }
+
+    /** Reset registers and set the PC to the program entry. */
+    void reset();
+
+    /**
+     * Execute the instruction at the current PC and advance it.
+     *
+     * @param defer_mmio when true, loads/stores to the MMIO window are
+     *        *not* performed; the caller must invoke performMmio() once
+     *        simulated time has advanced to the instruction's memory
+     *        stage (keeps cycle-counter reads exact on the in-order
+     *        pipeline).
+     */
+    ExecInfo step(bool defer_mmio);
+
+    /** Perform the deferred MMIO access of @p info. */
+    void performMmio(const ExecInfo &info);
+
+    ArchState &state() { return state_; }
+    const ArchState &state() const { return state_; }
+    const Program &program() const { return prog_; }
+
+  private:
+    const Program &prog_;
+    MainMemory &mem_;
+    Platform &platform_;
+    ArchState state_;
+};
+
+/** Why a run() call returned. */
+enum class StopReason
+{
+    Halted,             ///< the task executed HALT
+    WatchdogExpired,    ///< missed-checkpoint exception (unmasked)
+    CycleBudget,        ///< the caller's cycle budget was exhausted
+};
+
+/** Result of a run() call. */
+struct RunResult
+{
+    StopReason reason = StopReason::Halted;
+};
+
+inline constexpr Cycles noCycleLimit = ~static_cast<Cycles>(0);
+
+/**
+ * Abstract processor: a program plus caches, memory timing, platform
+ * devices, and power-activity accounting. Concrete subclasses:
+ * SimpleCpu (the explicitly-safe simple-fixed processor) and OooCpu
+ * (the complex processor with its simple mode).
+ */
+class Cpu
+{
+  public:
+    Cpu(const Program &prog, MainMemory &mem, Platform &platform,
+        MemController &memctrl,
+        const CacheParams &icache_params, const CacheParams &dcache_params);
+    virtual ~Cpu() = default;
+
+    Cpu(const Cpu &) = delete;
+    Cpu &operator=(const Cpu &) = delete;
+
+    /**
+     * Reset architectural state and per-task cycle accounting for a new
+     * task instance. Caches and predictors stay warm (the paper models
+     * 200 consecutive executions of a periodic task).
+     */
+    virtual void resetForTask();
+
+    /**
+     * Run until HALT, an unmasked watchdog expiry, or the cycle budget.
+     * Resumable: a subsequent call continues from the stop point.
+     */
+    virtual RunResult run(Cycles max_cycles = noCycleLimit) = 0;
+
+    /** Invalidate caches and predictors (Fig. 4 induced mispredictions). */
+    virtual void flushCachesAndPredictors();
+
+    /**
+     * Advance simulated time by @p n cycles with the pipeline idle
+     * (models reconfiguration / frequency-switch overhead).
+     */
+    virtual void advanceIdle(Cycles n) = 0;
+
+    /** Change the core clock; affects miss penalties in cycles. */
+    virtual void
+    setFrequency(MHz f)
+    {
+        freq_ = f;
+        platform_.setCurrentFreq(f);
+    }
+    MHz frequency() const { return freq_; }
+
+    /** Cycles elapsed in the current task instance. */
+    virtual Cycles cycles() const = 0;
+
+    /** Instructions retired in the current task instance. */
+    std::uint64_t retired() const { return retired_; }
+
+    bool halted() const { return halted_; }
+
+    PowerActivity &activity() { return activity_; }
+    const PowerActivity &activity() const { return activity_; }
+
+    ArchState &arch() { return core_.state(); }
+    Cache &icache() { return icache_; }
+    Cache &dcache() { return dcache_; }
+    Platform &platform() { return platform_; }
+
+    /**
+     * Dump simulation statistics (gem5-style "name value # desc"
+     * lines): cycles, instructions, IPC, cache behavior, and
+     * per-structure activity counts.
+     */
+    virtual void dumpStats(std::ostream &os) const;
+
+  protected:
+    /** Statistics group name ("simple", "complex"). */
+    virtual const char *statsName() const = 0;
+
+  protected:
+    /**
+     * Refresh activity_.cycles as a *cumulative* count across task
+     * instances (access counters accumulate, so the cycle counter must
+     * too — the power meter differences snapshots across tasks).
+     */
+    void
+    syncActivityCycles()
+    {
+        activity_.cycles = activityCycleBase_ + cycles();
+    }
+
+    /** Uncontended miss penalty at the current frequency. */
+    Cycles missPenalty() const { return memctrl_.stallCycles(freq_); }
+
+    const Program &prog_;
+    MainMemory &mem_;
+    Platform &platform_;
+    MemController &memctrl_;
+    Cache icache_;
+    Cache dcache_;
+    ExecCore core_;
+    MHz freq_ = 1000;
+    std::uint64_t retired_ = 0;
+    bool halted_ = false;
+    PowerActivity activity_;
+    /** Cycles of completed task instances (see syncActivityCycles). */
+    Cycles activityCycleBase_ = 0;
+};
+
+} // namespace visa
+
+#endif // VISA_CPU_CPU_HH

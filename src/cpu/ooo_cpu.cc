@@ -1,0 +1,573 @@
+#include "cpu/ooo_cpu.hh"
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace visa
+{
+
+OooCpu::OooCpu(const Program &prog, MainMemory &mem, Platform &platform,
+               MemController &memctrl, const OooParams &params)
+    : Cpu(prog, mem, platform, memctrl,
+          CacheParams{"icache", 64 * 1024, 4, 64},
+          CacheParams{"dcache", 64 * 1024, 4, 64}),
+      params_(params),
+      gshare_(params.gshareLog2),
+      indirect_(params.indirectLog2)
+{
+    lastIntWriter_.fill(-1);
+    lastFpWriter_.fill(-1);
+}
+
+void
+OooCpu::resetForTask()
+{
+    Cpu::resetForTask();
+    cycle_ = 0;
+    ticked_ = 0;
+    seqCounter_ = 0;
+    fetchQueue_.clear();
+    rob_.clear();
+    lastIntWriter_.fill(-1);
+    lastFpWriter_.fill(-1);
+    lastFccWriter_ = -1;
+    fetchReadyCycle_ = 0;
+    fetchBlockedSeq_ = -1;
+    lastFetchBlock_ = ~0u;
+    haltFetched_ = false;
+    mispredicts_ = 0;
+    iqCount_ = 0;
+    lsqCount_ = 0;
+    timer_.reset();
+    timerBase_ = 0;
+    prevWasLoad_ = false;
+    simpleFetchGroup_ = 0;
+    memctrl_.reset();
+}
+
+void
+OooCpu::flushCachesAndPredictors()
+{
+    Cpu::flushCachesAndPredictors();
+    gshare_.flush();
+    indirect_.flush();
+}
+
+Platform::TickResult
+OooCpu::tickTo(Cycles to)
+{
+    if (to <= ticked_)
+        return {};
+    auto res = platform_.tickN(to - ticked_);
+    if (res.expired)
+        res.offset += ticked_;
+    ticked_ = to;
+    return res;
+}
+
+void
+OooCpu::advanceIdle(Cycles n)
+{
+    cycle_ += n;
+    if (mode_ == Mode::Simple) {
+        timerBase_ = cycle_;
+        timer_.reset();
+        prevWasLoad_ = false;
+    }
+    tickTo(cycle_);
+    syncActivityCycles();
+}
+
+const OooCpu::RobEntry *
+OooCpu::findBySeq(std::uint64_t seq) const
+{
+    if (rob_.empty() || seq < rob_.front().seq)
+        return nullptr;
+    std::size_t idx = static_cast<std::size_t>(seq - rob_.front().seq);
+    if (idx >= rob_.size())
+        return nullptr;
+    return &rob_[idx];
+}
+
+OooCpu::RobEntry *
+OooCpu::findBySeq(std::uint64_t seq)
+{
+    return const_cast<RobEntry *>(
+        static_cast<const OooCpu *>(this)->findBySeq(seq));
+}
+
+bool
+OooCpu::sourcesReady(const RobEntry &e) const
+{
+    for (std::int64_t p : e.srcProducers) {
+        if (p < 0)
+            continue;
+        const RobEntry *prod = findBySeq(static_cast<std::uint64_t>(p));
+        if (!prod)
+            continue;    // producer already retired
+        if (!prod->issued || prod->completeCycle > cycle_)
+            return false;
+    }
+    return true;
+}
+
+bool
+OooCpu::olderStoresIssued(const RobEntry &load) const
+{
+    for (const auto &e : rob_) {
+        if (e.seq >= load.seq)
+            break;
+        if (e.info.isMem && !e.info.isLoad && !e.info.isMmio && !e.issued)
+            return false;
+    }
+    return true;
+}
+
+bool
+OooCpu::overlapsOlderStore(const RobEntry &load) const
+{
+    const Addr lo = load.info.effAddr;
+    const Addr hi = lo + static_cast<Addr>(load.info.inst.memBytes());
+    for (const auto &e : rob_) {
+        if (e.seq >= load.seq)
+            break;
+        if (!e.info.isMem || e.info.isLoad || e.info.isMmio)
+            continue;
+        const Addr slo = e.info.effAddr;
+        const Addr shi = slo + static_cast<Addr>(e.info.inst.memBytes());
+        if (slo < hi && lo < shi)
+            return true;
+    }
+    return false;
+}
+
+int
+OooCpu::outstandingLoadMisses() const
+{
+    int n = 0;
+    for (const auto &e : rob_)
+        if (e.issued && e.wasMiss && e.completeCycle > cycle_)
+            ++n;
+    return n;
+}
+
+void
+OooCpu::fetchStage()
+{
+    if (haltFetched_ || fetchBlockedSeq_ >= 0 || cycle_ < fetchReadyCycle_)
+        return;
+
+    int n = 0;
+    bool block_end = false;
+    bool charged_icache = false;
+    while (n < params_.fetchWidth && !haltFetched_ && !block_end &&
+           static_cast<int>(fetchQueue_.size()) < params_.fetchQueueSize) {
+        const Addr pc = core_.state().pc;
+        const Addr blk = pc / icache_.blockBytes();
+        if (blk != lastFetchBlock_) {
+            bool hit = icache_.access(pc, false);
+            activity_.add(Unit::ICache);
+            charged_icache = true;
+            lastFetchBlock_ = blk;
+            if (!hit) {
+                // Blocking fill; fetch retries once the line arrives.
+                fetchReadyCycle_ = cycle_ + missPenalty();
+                break;
+            }
+        } else if (!charged_icache) {
+            activity_.add(Unit::ICache);
+            charged_icache = true;
+        }
+
+        // Functional execution happens here (oracle); MMIO devices are
+        // accessed immediately, in program order.
+        ExecInfo info = core_.step(false);
+        FetchEntry fe;
+        fe.info = info;
+        fe.seq = seqCounter_++;
+        fe.fetchCycle = cycle_;
+
+        const Instruction &inst = info.inst;
+        if (inst.isCondBranch()) {
+            activity_.add(Unit::Bpred);
+            bool pred = gshare_.predict(pc);
+            gshare_.update(pc, info.taken);
+            if (pred != info.taken) {
+                fe.mispredicted = true;
+                ++mispredicts_;
+                fetchBlockedSeq_ = static_cast<std::int64_t>(fe.seq);
+                block_end = true;
+            } else if (info.taken) {
+                block_end = true;
+            }
+        } else if (inst.isIndirectJump()) {
+            activity_.add(Unit::Bpred);
+            Addr pred_target = indirect_.predict(pc);
+            indirect_.update(pc, info.nextPc);
+            if (pred_target != info.nextPc) {
+                fe.mispredicted = true;
+                ++mispredicts_;
+                fetchBlockedSeq_ = static_cast<std::int64_t>(fe.seq);
+            }
+            block_end = true;
+        } else if (inst.isDirectJump()) {
+            block_end = true;
+        }
+
+        if (info.halted)
+            haltFetched_ = true;
+        activity_.add(Unit::FetchQueue);
+        fetchQueue_.push_back(fe);
+        ++n;
+    }
+}
+
+void
+OooCpu::dispatchStage()
+{
+    int n = 0;
+    while (n < params_.dispatchWidth && !fetchQueue_.empty()) {
+        const FetchEntry &fe = fetchQueue_.front();
+        if (fe.fetchCycle + static_cast<Cycles>(params_.frontLatency) >
+            cycle_)
+            break;
+        if (robFull())
+            break;
+        if (iqOccupancy() >= params_.iqSize)
+            break;
+        if (fe.info.isMem && !fe.info.isMmio &&
+            lsqOccupancy() >= params_.lsqSize)
+            break;
+
+        RobEntry e;
+        e.info = fe.info;
+        e.seq = fe.seq;
+        e.dispatchCycle = cycle_;
+        e.mispredicted = fe.mispredicted;
+
+        int k = 0;
+        const Instruction &inst = e.info.inst;
+        for (int r : inst.srcIntRegs()) {
+            if (r > 0 && lastIntWriter_[static_cast<std::size_t>(r)] >= 0)
+                e.srcProducers[static_cast<std::size_t>(k++)] =
+                    lastIntWriter_[static_cast<std::size_t>(r)];
+        }
+        for (int r : inst.srcFpRegs()) {
+            if (r >= 0 && lastFpWriter_[static_cast<std::size_t>(r)] >= 0)
+                e.srcProducers[static_cast<std::size_t>(k++)] =
+                    lastFpWriter_[static_cast<std::size_t>(r)];
+        }
+        if (inst.readsFcc() && lastFccWriter_ >= 0)
+            e.srcProducers[static_cast<std::size_t>(k++)] = lastFccWriter_;
+
+        int di = inst.destIntReg();
+        if (di >= 0)
+            lastIntWriter_[static_cast<std::size_t>(di)] =
+                static_cast<std::int64_t>(e.seq);
+        int df = inst.destFpReg();
+        if (df >= 0)
+            lastFpWriter_[static_cast<std::size_t>(df)] =
+                static_cast<std::int64_t>(e.seq);
+        if (inst.writesFcc())
+            lastFccWriter_ = static_cast<std::int64_t>(e.seq);
+
+        activity_.add(Unit::RenameMap);
+        activity_.add(Unit::ActiveList);
+        if (e.info.isMem && !e.info.isMmio)
+            activity_.add(Unit::Lsq);
+
+        rob_.push_back(e);
+        ++iqCount_;
+        if (e.info.isMem && !e.info.isMmio)
+            ++lsqCount_;
+        fetchQueue_.pop_front();
+        ++n;
+    }
+}
+
+void
+OooCpu::issueStage()
+{
+    int issued = 0;
+    int misses_outstanding = outstandingLoadMisses();
+    for (auto &e : rob_) {
+        if (issued >= params_.issueWidth)
+            break;
+        if (e.issued || e.dispatchCycle >= cycle_)
+            continue;
+        if (!sourcesReady(e))
+            continue;
+
+        const Instruction &inst = e.info.inst;
+        if (e.info.isMem && !e.info.isMmio) {
+            if (e.info.isLoad) {
+                if (!olderStoresIssued(e))
+                    continue;
+                if (overlapsOlderStore(e)) {
+                    // Store-to-load forwarding inside the LSQ.
+                    e.completeCycle = cycle_ + 2;
+                    activity_.add(Unit::Lsq);
+                } else {
+                    if (memPortsUsed_ >= params_.dcachePorts)
+                        continue;
+                    bool hit = dcache_.probe(e.info.effAddr);
+                    if (!hit &&
+                        misses_outstanding >= memctrl_.maxOutstanding())
+                        continue;
+                    ++memPortsUsed_;
+                    dcache_.access(e.info.effAddr, false);
+                    activity_.add(Unit::DCache);
+                    activity_.add(Unit::Lsq);
+                    if (hit) {
+                        e.completeCycle = cycle_ + 2;
+                    } else {
+                        e.completeCycle = memctrl_.schedule(cycle_ + 2,
+                                                            freq_);
+                        e.wasMiss = true;
+                        ++misses_outstanding;
+                    }
+                }
+            } else {
+                // Stores compute their address and sit in the LSQ; the
+                // data cache is written at retire.
+                e.completeCycle = cycle_ + 1;
+                activity_.add(Unit::Lsq);
+            }
+        } else {
+            e.completeCycle = cycle_ + inst.latency();
+        }
+
+        e.issued = true;
+        --iqCount_;
+        ++issued;
+        activity_.add(Unit::IssueQueue);
+        activity_.add(Unit::Fu);
+        activity_.add(Unit::ResultBus);
+        for (int r : inst.srcIntRegs())
+            if (r > 0)
+                activity_.add(Unit::RegfileRead);
+        for (int r : inst.srcFpRegs())
+            if (r >= 0)
+                activity_.add(Unit::RegfileRead);
+        if (inst.destIntReg() >= 0 || inst.destFpReg() >= 0)
+            activity_.add(Unit::RegfileWrite);
+
+        if (static_cast<std::int64_t>(e.seq) == fetchBlockedSeq_) {
+            fetchReadyCycle_ = e.completeCycle + 1;
+            fetchBlockedSeq_ = -1;
+        }
+    }
+}
+
+void
+OooCpu::retireStage()
+{
+    int n = 0;
+    while (n < params_.retireWidth && !rob_.empty()) {
+        RobEntry &e = rob_.front();
+        if (!e.issued || e.completeCycle + 1 > cycle_)
+            break;
+        if (e.info.isMem && !e.info.isLoad && !e.info.isMmio) {
+            if (memPortsUsed_ >= params_.dcachePorts)
+                break;
+            ++memPortsUsed_;
+            bool hit = dcache_.access(e.info.effAddr, true);
+            activity_.add(Unit::DCache);
+            if (!hit) {
+                // Write-allocate through the write buffer: consumes
+                // memory bandwidth but does not stall retirement.
+                memctrl_.schedule(cycle_, freq_);
+            }
+        }
+        if (e.info.isMem && !e.info.isMmio)
+            --lsqCount_;
+        if (e.info.halted)
+            halted_ = true;
+        rob_.pop_front();
+        ++retired_;
+        ++n;
+    }
+}
+
+RunResult
+OooCpu::runComplex(Cycles budget_end)
+{
+    while (true) {
+        if (halted_ && rob_.empty())
+            return {StopReason::Halted};
+        if (cycle_ >= budget_end)
+            return {StopReason::CycleBudget};
+        ++cycle_;
+        memPortsUsed_ = 0;
+        retireStage();
+        issueStage();
+        dispatchStage();
+        fetchStage();
+        syncActivityCycles();
+        auto t = tickTo(cycle_);
+        if (t.expired) {
+            DPRINTF("Watchdog", "expired at cycle %llu (sub-task %d)\n",
+                    static_cast<unsigned long long>(cycle_),
+                    platform_.currentSubtask());
+            return {StopReason::WatchdogExpired};
+        }
+    }
+}
+
+void
+OooCpu::switchToSimple()
+{
+    if (mode_ == Mode::Simple)
+        return;
+    // Drain: stop fetching and let everything in flight retire. The
+    // run-time system masks the watchdog before reconfiguring, so
+    // expiries during the drain are benign.
+    while (!rob_.empty() || !fetchQueue_.empty()) {
+        ++cycle_;
+        memPortsUsed_ = 0;
+        retireStage();
+        issueStage();
+        dispatchStage();
+        tickTo(cycle_);
+    }
+    DPRINTF("Mode", "drained at cycle %llu; entering simple mode\n",
+            static_cast<unsigned long long>(cycle_));
+    mode_ = Mode::Simple;
+    timerBase_ = cycle_;
+    timer_.reset();
+    prevWasLoad_ = false;
+    fetchBlockedSeq_ = -1;
+    fetchReadyCycle_ = cycle_;
+    lastFetchBlock_ = ~0u;
+    syncActivityCycles();
+}
+
+void
+OooCpu::switchToComplex()
+{
+    if (mode_ == Mode::Complex)
+        return;
+    if (!rob_.empty() || !fetchQueue_.empty())
+        panic("switchToComplex with a non-idle pipeline");
+    DPRINTF("Mode", "entering complex mode at cycle %llu\n",
+            static_cast<unsigned long long>(cycle_));
+    mode_ = Mode::Complex;
+    fetchReadyCycle_ = cycle_;
+    lastFetchBlock_ = ~0u;
+}
+
+RunResult
+OooCpu::runSimple(Cycles budget_end)
+{
+    // The §3.2 simple mode: VISA timing via the shared recurrence,
+    // complex-datapath power accounting.
+    while (true) {
+        if (halted_)
+            return {StopReason::Halted};
+        if (cycle_ >= budget_end)
+            return {StopReason::CycleBudget};
+
+        const Addr pc = core_.state().pc;
+        const Cycles penalty = missPenalty();
+
+        bool ihit = icache_.access(pc, false);
+        // The fetch unit retrieves a full fetch block and buffers it;
+        // the I-cache is read once per four sequential instructions.
+        if (simpleFetchGroup_++ % 4 == 0)
+            activity_.add(Unit::ICache);
+        activity_.add(Unit::FetchQueue);
+
+        ExecInfo info = core_.step(true);
+        const Instruction &inst = info.inst;
+
+        bool dhit = true;
+        if (info.isMem && !info.isMmio) {
+            dhit = dcache_.access(info.effAddr, !info.isLoad);
+            activity_.add(Unit::DCache);
+        }
+
+        bool redirect = false;
+        if (inst.isCondBranch()) {
+            redirect = staticPredictTaken(inst, pc) != info.taken;
+        } else if (inst.isIndirectJump()) {
+            redirect = true;
+        }
+
+        TimingRecord rec;
+        rec.exLatency = inst.latency();
+        rec.imissPenalty = ihit ? 0 : penalty;
+        rec.dmissPenalty =
+            (info.isMem && !info.isMmio && !dhit) ? penalty : 0;
+        rec.loadUseStall = prevWasLoad_ && inst.dependsOn(prevInst_);
+        rec.redirect = redirect;
+        timer_.consume(rec);
+        cycle_ = timerBase_ + timer_.totalCycles();
+
+        // Renaming still locates operands in the physical register
+        // file (one map read per source and destination); logical-to-
+        // physical mappings never change (§3.2).
+        int nmap = 0;
+        for (int r : inst.srcIntRegs())
+            if (r > 0) {
+                ++nmap;
+                activity_.add(Unit::RegfileRead);
+            }
+        for (int r : inst.srcFpRegs())
+            if (r >= 0) {
+                ++nmap;
+                activity_.add(Unit::RegfileRead);
+            }
+        if (inst.destIntReg() >= 0 || inst.destFpReg() >= 0) {
+            ++nmap;
+            activity_.add(Unit::RegfileWrite);
+        }
+        activity_.add(Unit::RenameMap, static_cast<std::uint64_t>(nmap));
+        activity_.add(Unit::Fu);
+        activity_.add(Unit::ResultBus);
+
+        auto tick = tickTo(timerBase_ + timer_.lastMemDone());
+        if (info.isMmio)
+            core_.performMmio(info);
+
+        prevInst_ = inst;
+        prevWasLoad_ = info.isLoad;
+        ++retired_;
+        syncActivityCycles();
+
+        if (tick.expired)
+            return {StopReason::WatchdogExpired};
+        if (info.halted) {
+            halted_ = true;
+            cycle_ = timerBase_ + timer_.totalCycles();
+            tickTo(cycle_);
+            return {StopReason::Halted};
+        }
+    }
+}
+
+void
+OooCpu::dumpStats(std::ostream &os) const
+{
+    Cpu::dumpStats(os);
+    StatGroup g(statsName());
+    g.scalar("branch_mispredicts",
+             "conditional + indirect mispredictions")
+        .set(mispredicts_);
+    g.scalar("mode_simple", "1 when in the VISA simple mode")
+        .set(mode_ == Mode::Simple ? 1 : 0);
+    g.dump(os);
+}
+
+RunResult
+OooCpu::run(Cycles max_cycles)
+{
+    const Cycles budget_end = max_cycles == noCycleLimit
+        ? noCycleLimit
+        : cycle_ + max_cycles;
+    if (halted_)
+        return {StopReason::Halted};
+    return mode_ == Mode::Complex ? runComplex(budget_end)
+                                  : runSimple(budget_end);
+}
+
+} // namespace visa

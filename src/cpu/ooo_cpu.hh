@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The complex processor (paper §3.2): a dynamically scheduled 4-way
+ * superscalar with a 128-entry reorder buffer, 64-entry issue queue,
+ * 64-entry load/store queue, 4 pipelined universal function units,
+ * 2 data-cache ports, a 2^16-entry gshare predictor and a 2^16-entry
+ * indirect-target table. Seven stages: fetch, dispatch, issue, register
+ * read, execute/memory, writeback, retire.
+ *
+ * It also implements the VISA-compliant *simple mode* with every §3.2
+ * alteration: BTFN static prediction, fetch-block buffering with
+ * 1 instruction/cycle hand-down, renaming without map updates, issue
+ * queue bypass, a single unpipelined FU, LSQ bypass with program-order
+ * data-cache access, stores issuing in the memory stage, no active-list
+ * residency, and a single outstanding memory request. Simple-mode
+ * timing is produced by the same VisaTimer recurrence as the
+ * simple-fixed processor, making VISA conformance structural; power
+ * accounting differs (large physical register file, rename lookups).
+ *
+ * Modeling approach (the SimpleScalar sim-outorder one): instructions
+ * execute functionally, in order, at fetch; the cycle-driven timing
+ * model tracks structure occupancy and dependences. Mispredicted
+ * branches stall fetch until they resolve (perfect squash: wrong-path
+ * instructions consume no resources; documented in DESIGN.md).
+ */
+
+#ifndef VISA_CPU_OOO_CPU_HH
+#define VISA_CPU_OOO_CPU_HH
+
+#include <deque>
+
+#include "cpu/bpred.hh"
+#include "cpu/cpu.hh"
+#include "cpu/visa_timing.hh"
+
+namespace visa
+{
+
+/** Complex-processor structure sizes (paper §3.2). */
+struct OooParams
+{
+    int fetchWidth = 4;
+    int dispatchWidth = 4;
+    int issueWidth = 4;
+    int retireWidth = 4;
+    int robSize = 128;
+    int iqSize = 64;
+    int lsqSize = 64;
+    int dcachePorts = 2;
+    int fetchQueueSize = 16;
+    /** Cycles between fetch and dispatch (front-end depth). */
+    int frontLatency = 2;
+    unsigned gshareLog2 = 16;
+    unsigned indirectLog2 = 16;
+};
+
+/** The complex 4-way out-of-order processor with a VISA simple mode. */
+class OooCpu : public Cpu
+{
+  public:
+    enum class Mode { Complex, Simple };
+
+    OooCpu(const Program &prog, MainMemory &mem, Platform &platform,
+           MemController &memctrl, const OooParams &params = {});
+
+    void resetForTask() override;
+    RunResult run(Cycles max_cycles = noCycleLimit) override;
+    void advanceIdle(Cycles n) override;
+    Cycles cycles() const override { return cycle_; }
+    void flushCachesAndPredictors() override;
+
+    /**
+     * Drain the out-of-order engine and reconfigure into simple mode
+     * (the missed-checkpoint response). The cycles the drain takes are
+     * simulated; the caller additionally charges the fixed
+     * reconfiguration overhead via advanceIdle().
+     */
+    void switchToSimple();
+
+    /** Reconfigure back to complex mode; the pipeline must be idle. */
+    void switchToComplex();
+
+    Mode mode() const { return mode_; }
+
+    std::uint64_t branchMispredicts() const { return mispredicts_; }
+    const OooParams &params() const { return params_; }
+
+    void dumpStats(std::ostream &os) const override;
+
+  protected:
+    const char *statsName() const override { return "complex"; }
+
+  private:
+    // ---- complex engine ----
+    struct FetchEntry
+    {
+        ExecInfo info;
+        std::uint64_t seq = 0;
+        Cycles fetchCycle = 0;
+        bool mispredicted = false;
+    };
+
+    struct RobEntry
+    {
+        ExecInfo info;
+        std::uint64_t seq = 0;
+        std::array<std::int64_t, 3> srcProducers{-1, -1, -1};
+        Cycles dispatchCycle = 0;
+        Cycles completeCycle = 0;
+        bool issued = false;
+        bool wasMiss = false;
+        bool mispredicted = false;
+    };
+
+    RunResult runComplex(Cycles budget_end);
+    RunResult runSimple(Cycles budget_end);
+
+    void fetchStage();
+    void dispatchStage();
+    void issueStage();
+    void retireStage();
+
+    bool sourcesReady(const RobEntry &e) const;
+    bool olderStoresIssued(const RobEntry &load) const;
+    bool overlapsOlderStore(const RobEntry &load) const;
+    int outstandingLoadMisses() const;
+
+    const RobEntry *findBySeq(std::uint64_t seq) const;
+    RobEntry *findBySeq(std::uint64_t seq);
+
+    Platform::TickResult tickTo(Cycles to);
+
+    bool robFull() const
+    {
+        return static_cast<int>(rob_.size()) >= params_.robSize;
+    }
+    int iqOccupancy() const { return iqCount_; }
+    int lsqOccupancy() const { return lsqCount_; }
+
+    OooParams params_;
+    Mode mode_ = Mode::Complex;
+    Gshare gshare_;
+    IndirectPredictor indirect_;
+
+    Cycles cycle_ = 0;
+    Cycles ticked_ = 0;
+    std::uint64_t seqCounter_ = 0;
+
+    std::deque<FetchEntry> fetchQueue_;
+    std::deque<RobEntry> rob_;
+
+    // Last writer (sequence number) of each architectural register.
+    std::array<std::int64_t, numIntRegs> lastIntWriter_;
+    std::array<std::int64_t, numFpRegs> lastFpWriter_;
+    std::int64_t lastFccWriter_ = -1;
+
+    Cycles fetchReadyCycle_ = 0;
+    std::int64_t fetchBlockedSeq_ = -1;   ///< unresolved mispredict
+    Addr lastFetchBlock_ = ~0u;
+    bool haltFetched_ = false;
+    int memPortsUsed_ = 0;
+    int iqCount_ = 0;
+    int lsqCount_ = 0;
+
+    std::uint64_t mispredicts_ = 0;
+
+    // ---- simple-mode engine (shared VISA timing recurrence) ----
+    VisaTimer timer_;
+    Cycles timerBase_ = 0;
+    Instruction prevInst_;
+    bool prevWasLoad_ = false;
+    std::uint64_t simpleFetchGroup_ = 0;
+};
+
+} // namespace visa
+
+#endif // VISA_CPU_OOO_CPU_HH

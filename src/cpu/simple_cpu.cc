@@ -1,0 +1,155 @@
+#include "cpu/simple_cpu.hh"
+
+#include "cpu/bpred.hh"
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+CacheParams
+visaICacheParams()
+{
+    return {"icache", 64 * 1024, 4, 64};
+}
+
+CacheParams
+visaDCacheParams()
+{
+    return {"dcache", 64 * 1024, 4, 64};
+}
+
+SimpleCpu::SimpleCpu(const Program &prog, MainMemory &mem,
+                     Platform &platform, MemController &memctrl)
+    : Cpu(prog, mem, platform, memctrl,
+          visaICacheParams(), visaDCacheParams())
+{
+}
+
+void
+SimpleCpu::resetForTask()
+{
+    Cpu::resetForTask();
+    timer_.reset();
+    cycleBase_ = 0;
+    ticked_ = 0;
+    prevWasLoad_ = false;
+    prevInst_ = Instruction{};
+    mispredicts_ = 0;
+}
+
+Platform::TickResult
+SimpleCpu::tickTo(Cycles to)
+{
+    if (to <= ticked_)
+        return {};
+    auto res = platform_.tickN(to - ticked_);
+    if (res.expired)
+        res.offset += ticked_;    // make the offset absolute
+    ticked_ = to;
+    return res;
+}
+
+void
+SimpleCpu::advanceIdle(Cycles n)
+{
+    // The pipeline drains and sits idle for n cycles (reconfiguration /
+    // frequency switch). The watchdog and cycle counter keep running.
+    cycleBase_ = cycles() + n;
+    timer_.reset();
+    tickTo(cycleBase_);
+    prevWasLoad_ = false;
+    syncActivityCycles();
+}
+
+RunResult
+SimpleCpu::run(Cycles max_cycles)
+{
+    const Cycles budget_end = max_cycles == noCycleLimit
+        ? noCycleLimit
+        : cycles() + max_cycles;
+
+    while (true) {
+        if (halted_)
+            return {StopReason::Halted};
+        if (cycles() >= budget_end)
+            return {StopReason::CycleBudget};
+
+        const Addr pc = core_.state().pc;
+        const Cycles penalty = missPenalty();
+
+        // Fetch: blocking I-cache, one access per instruction (scalar).
+        bool ihit = icache_.access(pc, false);
+        activity_.add(Unit::ICache);
+
+        // Functional execution (commit semantics); MMIO deferred until
+        // simulated time reaches this instruction's memory stage.
+        ExecInfo info = core_.step(true);
+        const Instruction &inst = info.inst;
+        if (Debug::enabled("Exec")) {
+            DPRINTF("Exec", "%8llu  %08x  %s\n",
+                    static_cast<unsigned long long>(cycles()), pc,
+                    disassemble(inst, pc).c_str());
+        }
+
+        // Data cache (devices are uncached).
+        bool dhit = true;
+        if (info.isMem && !info.isMmio) {
+            dhit = dcache_.access(info.effAddr, !info.isLoad);
+            activity_.add(Unit::DCache);
+        }
+
+        // Static BTFN prediction; merged BTB means correctly predicted
+        // taken branches cost nothing. Indirect jumps always stall.
+        bool redirect = false;
+        if (inst.isCondBranch()) {
+            bool predicted_taken = staticPredictTaken(inst, pc);
+            redirect = predicted_taken != info.taken;
+            if (redirect)
+                ++mispredicts_;
+        } else if (inst.isIndirectJump()) {
+            redirect = true;
+        }
+
+        TimingRecord rec;
+        rec.exLatency = inst.latency();
+        rec.imissPenalty = ihit ? 0 : penalty;
+        rec.dmissPenalty =
+            (info.isMem && !info.isMmio && !dhit) ? penalty : 0;
+        rec.loadUseStall = prevWasLoad_ && inst.dependsOn(prevInst_);
+        rec.redirect = redirect;
+        timer_.consume(rec);
+
+        // Activity: register file and FU usage.
+        for (int s : inst.srcIntRegs())
+            if (s >= 0)
+                activity_.add(Unit::RegfileRead);
+        for (int s : inst.srcFpRegs())
+            if (s >= 0)
+                activity_.add(Unit::RegfileRead);
+        if (inst.destIntReg() >= 0 || inst.destFpReg() >= 0)
+            activity_.add(Unit::RegfileWrite);
+        activity_.add(Unit::Fu);
+        activity_.add(Unit::ResultBus);
+
+        // Advance the platform to this instruction's memory stage, then
+        // perform any deferred MMIO access at that exact cycle.
+        auto tick = tickTo(cycleBase_ + timer_.lastMemDone());
+        if (info.isMmio)
+            core_.performMmio(info);
+
+        prevInst_ = inst;
+        prevWasLoad_ = info.isLoad;
+        ++retired_;
+        syncActivityCycles();
+
+        if (tick.expired)
+            return {StopReason::WatchdogExpired};
+        if (info.halted) {
+            halted_ = true;
+            tickTo(cycleBase_ + timer_.totalCycles());
+            return {StopReason::Halted};
+        }
+    }
+}
+
+} // namespace visa

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The explicitly-safe "simple-fixed" processor (paper §3.1 and §5.2):
+ * a literal implementation of the VISA — six-stage scalar in-order
+ * pipeline, static BTFN prediction, merged BTB/I-cache, one unpipelined
+ * universal FU, blocking caches, one outstanding memory request.
+ *
+ * Implementation strategy: functional execution at commit plus the
+ * shared VisaTimer recurrence for cycle-exact timing. Squashed
+ * wrong-path fetches do not perturb the I-cache (the fill is cancelled),
+ * so the cache reference stream equals the committed path — the same
+ * stream the static analyzer reasons about.
+ */
+
+#ifndef VISA_CPU_SIMPLE_CPU_HH
+#define VISA_CPU_SIMPLE_CPU_HH
+
+#include "cpu/cpu.hh"
+#include "cpu/visa_timing.hh"
+
+namespace visa
+{
+
+/** Default VISA cache parameters (Table 1). */
+CacheParams visaICacheParams();
+CacheParams visaDCacheParams();
+
+/** The simple-fixed in-order pipeline. */
+class SimpleCpu : public Cpu
+{
+  public:
+    SimpleCpu(const Program &prog, MainMemory &mem, Platform &platform,
+              MemController &memctrl);
+
+    void resetForTask() override;
+    RunResult run(Cycles max_cycles = noCycleLimit) override;
+    void advanceIdle(Cycles n) override;
+    Cycles cycles() const override
+    {
+        return cycleBase_ + timer_.totalCycles();
+    }
+
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+  protected:
+    const char *statsName() const override { return "simple"; }
+
+  private:
+    /** Bring the platform devices up to absolute cycle @p to. */
+    Platform::TickResult tickTo(Cycles to);
+
+    VisaTimer timer_;
+    Cycles cycleBase_ = 0;      ///< cycles accumulated before timer reset
+    Cycles ticked_ = 0;         ///< absolute cycle the platform has seen
+    Instruction prevInst_;
+    bool prevWasLoad_ = false;
+    std::uint64_t mispredicts_ = 0;
+};
+
+} // namespace visa
+
+#endif // VISA_CPU_SIMPLE_CPU_HH

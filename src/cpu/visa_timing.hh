@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The VISA pipeline timing model (paper §3.1): a six-stage scalar
+ * in-order pipeline — fetch, decode, register read, execute, memory,
+ * writeback — with:
+ *   - a blocking I-cache in fetch (merged BTB: correctly-predicted taken
+ *     branches redirect fetch with no bubble),
+ *   - static backward-taken / forward-not-taken prediction; mispredicted
+ *     branches and indirect jumps redirect fetch one cycle after the
+ *     execute stage resolves them (four-cycle penalty),
+ *   - a single unpipelined universal function unit occupying execute for
+ *     the instruction's full latency,
+ *   - a load-use interlock: an instruction depending on the load
+ *     directly ahead of it stalls in register read until the load's
+ *     memory stage completes,
+ *   - a blocking memory stage (one outstanding miss).
+ *
+ * This single implementation is used by three clients: the simple-fixed
+ * processor simulator, the complex processor's simple mode, and the
+ * static WCET analyzer's pipeline evaluator. Sharing it makes the
+ * "simple mode is as timely as the VISA" property structural.
+ */
+
+#ifndef VISA_CPU_VISA_TIMING_HH
+#define VISA_CPU_VISA_TIMING_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace visa
+{
+
+/** Per-instruction timing inputs for the VISA pipeline model. */
+struct TimingRecord
+{
+    /** Execute-stage occupancy (universal FU latency). */
+    Cycles exLatency = 1;
+    /** I-cache miss penalty for this fetch (0 on hit). */
+    Cycles imissPenalty = 0;
+    /** D-cache miss penalty in the memory stage (0 on hit / non-mem). */
+    Cycles dmissPenalty = 0;
+    /**
+     * True when this instruction has a RAW dependence on the
+     * *immediately preceding* instruction and that instruction is a
+     * load (the only register interlock in the VISA).
+     */
+    bool loadUseStall = false;
+    /**
+     * True when fetch must restart after this instruction executes:
+     * mispredicted conditional branch, or any indirect jump (targets of
+     * indirect branches are not predicted).
+     */
+    bool redirect = false;
+};
+
+/**
+ * Incremental evaluator of the VISA pipeline recurrence. Feed committed
+ * instructions in order; query cycle counts at any point. Copyable, so
+ * the WCET analyzer can fork pipeline states when composing paths.
+ */
+class VisaTimer
+{
+  public:
+    /** Reset to an empty pipeline at absolute cycle 0. */
+    void
+    reset()
+    {
+        fetchNext_ = 0;
+        enterRrPrev_ = 0;
+        enterExPrev_ = 0;
+        enterMemPrev_ = 0;
+        leaveMemPrev_ = 0;
+        lastWb_ = 0;
+        count_ = 0;
+    }
+
+    /** Advance the model by one committed instruction. */
+    void
+    consume(const TimingRecord &rec)
+    {
+        const std::int64_t fi = fetchNext_;
+        const std::int64_t if_done =
+            fi + 1 + static_cast<std::int64_t>(rec.imissPenalty);
+        const std::int64_t enter_id = max2(if_done, enterRrPrev_);
+        const std::int64_t enter_rr = max2(enter_id + 1, enterExPrev_);
+        std::int64_t enter_ex = max2(enter_rr + 1, enterMemPrev_);
+        if (rec.loadUseStall)
+            enter_ex = max2(enter_ex, leaveMemPrev_);
+        const std::int64_t leave_ex =
+            enter_ex + static_cast<std::int64_t>(rec.exLatency);
+        const std::int64_t enter_mem = max2(leave_ex, leaveMemPrev_);
+        const std::int64_t leave_mem =
+            enter_mem + 1 + static_cast<std::int64_t>(rec.dmissPenalty);
+
+        fetchNext_ = rec.redirect ? leave_ex + 1 : enter_id;
+        enterRrPrev_ = enter_rr;
+        enterExPrev_ = enter_ex;
+        enterMemPrev_ = enter_mem;
+        leaveMemPrev_ = leave_mem;
+        lastWb_ = leave_mem + 1;
+        ++count_;
+    }
+
+    /**
+     * Total cycles from pipeline start to the writeback of the last
+     * consumed instruction (the drained-pipeline completion time).
+     */
+    Cycles totalCycles() const { return static_cast<Cycles>(lastWb_); }
+
+    /** Memory-stage completion cycle of the last consumed instruction. */
+    Cycles lastMemDone() const { return static_cast<Cycles>(leaveMemPrev_); }
+
+    /** Number of instructions consumed since reset. */
+    std::uint64_t instructions() const { return count_; }
+
+  private:
+    static std::int64_t max2(std::int64_t a, std::int64_t b)
+    {
+        return a > b ? a : b;
+    }
+
+    std::int64_t fetchNext_ = 0;
+    std::int64_t enterRrPrev_ = 0;
+    std::int64_t enterExPrev_ = 0;
+    std::int64_t enterMemPrev_ = 0;
+    std::int64_t leaveMemPrev_ = 0;
+    std::int64_t lastWb_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace visa
+
+#endif // VISA_CPU_VISA_TIMING_HH

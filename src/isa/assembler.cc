@@ -1,0 +1,859 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+#include "isa/encoding.hh"
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+namespace
+{
+
+/** How an immediate/operand is resolved in pass 2. */
+struct ImmSpec
+{
+    enum Kind { None, Literal, Symbol, SymbolHi, SymbolLo } kind = None;
+    std::int64_t value = 0;     ///< literal value or symbol addend
+    std::string symbol;
+};
+
+/** An instruction awaiting symbol resolution. */
+struct ProtoInst
+{
+    Opcode op = Opcode::NOP;
+    std::uint8_t rd = 0, rs = 0, rt = 0;
+    ImmSpec imm;
+    int line = 0;
+};
+
+/** A pending fixup in the data segment (e.g. .word label). */
+struct DataFixup
+{
+    std::size_t offset;         ///< byte offset in the data vector
+    std::string symbol;
+    std::int64_t addend;
+    int line;
+};
+
+[[noreturn]] void
+asmError(int line, const std::string &msg)
+{
+    fatal("assembler: line %d: %s", line, msg.c_str());
+}
+
+/** Split a statement into comma/whitespace-separated operand tokens. */
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',') {
+            if (!cur.empty()) { out.push_back(cur); cur.clear(); }
+        } else if (std::isspace(static_cast<unsigned char>(c))) {
+            if (!cur.empty()) { out.push_back(cur); cur.clear(); }
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+/** Parse a register token; returns {isFp, index} or nullopt. */
+std::optional<std::pair<bool, int>>
+parseReg(const std::string &tok)
+{
+    static const std::unordered_map<std::string, int> aliases = {
+        {"zero", 0}, {"at", 1}, {"gp", 28}, {"sp", 29},
+        {"fp", 30}, {"ra", 31},
+    };
+    auto a = aliases.find(tok);
+    if (a != aliases.end())
+        return {{false, a->second}};
+    if (tok.size() >= 2 && (tok[0] == 'r' || tok[0] == 'f')) {
+        bool all_digits = true;
+        for (std::size_t i = 1; i < tok.size(); ++i)
+            if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+                all_digits = false;
+        if (all_digits) {
+            int idx = std::stoi(tok.substr(1));
+            if (idx >= 0 && idx < 32)
+                return {{tok[0] == 'f', idx}};
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+isIntLiteral(const std::string &tok)
+{
+    if (tok.empty())
+        return false;
+    std::size_t i = (tok[0] == '-' || tok[0] == '+') ? 1 : 0;
+    if (i >= tok.size())
+        return false;
+    if (tok.size() > i + 2 && tok[i] == '0' &&
+        (tok[i + 1] == 'x' || tok[i + 1] == 'X')) {
+        for (std::size_t k = i + 2; k < tok.size(); ++k)
+            if (!std::isxdigit(static_cast<unsigned char>(tok[k])))
+                return false;
+        return true;
+    }
+    for (std::size_t k = i; k < tok.size(); ++k)
+        if (!std::isdigit(static_cast<unsigned char>(tok[k])))
+            return false;
+    return true;
+}
+
+std::int64_t
+parseIntLiteral(const std::string &tok, int line)
+{
+    try {
+        return std::stoll(tok, nullptr, 0);
+    } catch (...) {
+        asmError(line, "bad integer literal '" + tok + "'");
+    }
+}
+
+/** Parse an immediate operand: literal, %hi(sym), %lo(sym), or symbol. */
+ImmSpec
+parseImm(const std::string &tok, int line)
+{
+    ImmSpec spec;
+    if (isIntLiteral(tok)) {
+        spec.kind = ImmSpec::Literal;
+        spec.value = parseIntLiteral(tok, line);
+        return spec;
+    }
+    auto wrapped = [&](const char *prefix) -> std::optional<std::string> {
+        std::size_t n = std::strlen(prefix);
+        if (tok.size() > n + 1 && tok.compare(0, n, prefix) == 0 &&
+            tok[n] == '(' && tok.back() == ')') {
+            return tok.substr(n + 1, tok.size() - n - 2);
+        }
+        return std::nullopt;
+    };
+    if (auto s = wrapped("%hi")) {
+        spec.kind = ImmSpec::SymbolHi;
+        spec.symbol = *s;
+        return spec;
+    }
+    if (auto s = wrapped("%lo")) {
+        spec.kind = ImmSpec::SymbolLo;
+        spec.symbol = *s;
+        return spec;
+    }
+    // symbol, optionally with +addend
+    auto plus = tok.find('+');
+    spec.kind = ImmSpec::Symbol;
+    if (plus != std::string::npos) {
+        spec.symbol = tok.substr(0, plus);
+        spec.value = parseIntLiteral(tok.substr(plus + 1), line);
+    } else {
+        spec.symbol = tok;
+    }
+    return spec;
+}
+
+/** Parse "off(base)" memory operand. @return {imm, baseReg}. */
+std::pair<ImmSpec, int>
+parseMemOperand(const std::string &tok, int line)
+{
+    auto open = tok.rfind('(');
+    if (open == std::string::npos || tok.back() != ')')
+        asmError(line, "bad memory operand '" + tok + "'");
+    std::string off = tok.substr(0, open);
+    std::string base = tok.substr(open + 1, tok.size() - open - 2);
+    auto breg = parseReg(base);
+    if (!breg || breg->first)
+        asmError(line, "bad base register in '" + tok + "'");
+    ImmSpec imm;
+    if (off.empty()) {
+        imm.kind = ImmSpec::Literal;
+        imm.value = 0;
+    } else {
+        imm = parseImm(off, line);
+    }
+    return {imm, breg->second};
+}
+
+/** The assembler state machine. */
+class Assembler
+{
+  public:
+    Assembler(Addr text_base, Addr data_base)
+    {
+        prog.textBase = text_base;
+        prog.dataBase = data_base;
+        prog.entry = text_base;
+    }
+
+    Program run(const std::string &source);
+
+  private:
+    void processLine(std::string line);
+    void directive(const std::string &dir, const std::string &rest);
+    void instruction(const std::string &mnem,
+                     const std::vector<std::string> &ops);
+    void emit(ProtoInst pi);
+    void resolve();
+
+    int intReg(const std::string &tok);
+    int fpReg(const std::string &tok);
+
+    Addr curTextAddr() const
+    {
+        return prog.textBase + static_cast<Addr>(protos.size() * 4);
+    }
+
+    Program prog;
+    std::vector<ProtoInst> protos;
+    std::vector<DataFixup> dataFixups;
+    bool inText = true;
+    int lineNo = 0;
+    std::optional<std::uint64_t> pendingLoopBound;
+    std::optional<int> pendingSubtask;
+    std::string entryLabel;
+};
+
+int
+Assembler::intReg(const std::string &tok)
+{
+    auto r = parseReg(tok);
+    if (!r || r->first)
+        asmError(lineNo, "expected integer register, got '" + tok + "'");
+    return r->second;
+}
+
+int
+Assembler::fpReg(const std::string &tok)
+{
+    auto r = parseReg(tok);
+    if (!r || !r->first)
+        asmError(lineNo, "expected FP register, got '" + tok + "'");
+    return r->second;
+}
+
+void
+Assembler::emit(ProtoInst pi)
+{
+    pi.line = lineNo;
+    if (pendingLoopBound) {
+        prog.loopBounds[curTextAddr()] = *pendingLoopBound;
+        pendingLoopBound.reset();
+    }
+    if (pendingSubtask) {
+        prog.subtaskStarts[curTextAddr()] = *pendingSubtask;
+        pendingSubtask.reset();
+    }
+    protos.push_back(std::move(pi));
+}
+
+void
+Assembler::directive(const std::string &dir, const std::string &rest)
+{
+    auto ops = splitOperands(rest);
+    if (dir == ".text") {
+        inText = true;
+    } else if (dir == ".data") {
+        inText = false;
+    } else if (dir == ".global") {
+        // accepted and ignored
+    } else if (dir == ".entry") {
+        if (ops.size() != 1)
+            asmError(lineNo, ".entry needs one label");
+        entryLabel = ops[0];
+    } else if (dir == ".equ") {
+        // .equ NAME, VALUE — an absolute symbol usable anywhere a
+        // symbol operand is (immediates, %hi/%lo, .word).
+        if (ops.size() != 2 || !isIntLiteral(ops[1]))
+            asmError(lineNo, ".equ needs a name and an integer");
+        if (prog.symbols.count(ops[0]))
+            asmError(lineNo, "duplicate symbol '" + ops[0] + "'");
+        prog.symbols[ops[0]] =
+            static_cast<Addr>(parseIntLiteral(ops[1], lineNo));
+    } else if (dir == ".loopbound") {
+        if (ops.size() != 1 || !isIntLiteral(ops[0]))
+            asmError(lineNo, ".loopbound needs one integer");
+        pendingLoopBound = static_cast<std::uint64_t>(
+            parseIntLiteral(ops[0], lineNo));
+    } else if (dir == ".subtask") {
+        if (ops.size() != 1 || !isIntLiteral(ops[0]))
+            asmError(lineNo, ".subtask needs one integer");
+        pendingSubtask = static_cast<int>(parseIntLiteral(ops[0], lineNo));
+    } else if (dir == ".word" || dir == ".half" || dir == ".byte") {
+        if (inText)
+            asmError(lineNo, dir + " only allowed in .data");
+        int width = dir == ".word" ? 4 : dir == ".half" ? 2 : 1;
+        for (const auto &tok : ops) {
+            if (isIntLiteral(tok)) {
+                std::int64_t v = parseIntLiteral(tok, lineNo);
+                for (int b = 0; b < width; ++b)
+                    prog.data.push_back(
+                        static_cast<std::uint8_t>((v >> (8 * b)) & 0xFF));
+            } else {
+                if (width != 4)
+                    asmError(lineNo, "symbol data must be .word");
+                ImmSpec s = parseImm(tok, lineNo);
+                dataFixups.push_back(
+                    {prog.data.size(), s.symbol, s.value, lineNo});
+                for (int b = 0; b < 4; ++b)
+                    prog.data.push_back(0);
+            }
+        }
+    } else if (dir == ".double") {
+        if (inText)
+            asmError(lineNo, ".double only allowed in .data");
+        for (const auto &tok : ops) {
+            double d;
+            try {
+                d = std::stod(tok);
+            } catch (...) {
+                asmError(lineNo, "bad double literal '" + tok + "'");
+            }
+            std::uint64_t bits;
+            std::memcpy(&bits, &d, 8);
+            for (int b = 0; b < 8; ++b)
+                prog.data.push_back(
+                    static_cast<std::uint8_t>((bits >> (8 * b)) & 0xFF));
+        }
+    } else if (dir == ".ascii" || dir == ".asciz") {
+        if (inText)
+            asmError(lineNo, dir + " only allowed in .data");
+        // The operand is everything between the first and last quote.
+        auto first = rest.find('"');
+        auto last = rest.rfind('"');
+        if (first == std::string::npos || last <= first)
+            asmError(lineNo, dir + " needs a double-quoted string");
+        std::string text = rest.substr(first + 1, last - first - 1);
+        for (std::size_t i = 0; i < text.size(); ++i) {
+            char c = text[i];
+            if (c == '\\' && i + 1 < text.size()) {
+                char e = text[++i];
+                c = e == 'n' ? '\n' : e == 't' ? '\t' : e == '0' ? '\0'
+                                                                 : e;
+            }
+            prog.data.push_back(static_cast<std::uint8_t>(c));
+        }
+        if (dir == ".asciz")
+            prog.data.push_back(0);
+    } else if (dir == ".space") {
+        if (inText)
+            asmError(lineNo, ".space only allowed in .data");
+        if (ops.size() != 1 || !isIntLiteral(ops[0]))
+            asmError(lineNo, ".space needs one integer");
+        std::int64_t n = parseIntLiteral(ops[0], lineNo);
+        prog.data.insert(prog.data.end(), static_cast<std::size_t>(n), 0);
+    } else if (dir == ".align") {
+        if (ops.size() != 1 || !isIntLiteral(ops[0]))
+            asmError(lineNo, ".align needs one integer");
+        std::size_t align = 1ULL << parseIntLiteral(ops[0], lineNo);
+        if (inText) {
+            while ((protos.size() * 4) % align != 0)
+                emit(ProtoInst{Opcode::NOP, 0, 0, 0, {}, lineNo});
+        } else {
+            while (prog.data.size() % align != 0)
+                prog.data.push_back(0);
+        }
+    } else {
+        asmError(lineNo, "unknown directive '" + dir + "'");
+    }
+}
+
+void
+Assembler::instruction(const std::string &mnem,
+                       const std::vector<std::string> &ops)
+{
+    auto need = [&](std::size_t n) {
+        if (ops.size() != n) {
+            asmError(lineNo, mnem + " expects " + std::to_string(n) +
+                             " operands, got " + std::to_string(ops.size()));
+        }
+    };
+    auto rrr = [&](Opcode o) {
+        need(3);
+        ProtoInst p;
+        p.op = o;
+        p.rd = static_cast<std::uint8_t>(intReg(ops[0]));
+        p.rs = static_cast<std::uint8_t>(intReg(ops[1]));
+        p.rt = static_cast<std::uint8_t>(intReg(ops[2]));
+        emit(p);
+    };
+    auto shiftImm = [&](Opcode o) {
+        need(3);
+        ProtoInst p;
+        p.op = o;
+        p.rd = static_cast<std::uint8_t>(intReg(ops[0]));
+        p.rs = static_cast<std::uint8_t>(intReg(ops[1]));
+        p.imm = parseImm(ops[2], lineNo);
+        emit(p);
+    };
+    auto ialu = [&](Opcode o) {
+        need(3);
+        ProtoInst p;
+        p.op = o;
+        p.rd = static_cast<std::uint8_t>(intReg(ops[0]));
+        p.rs = static_cast<std::uint8_t>(intReg(ops[1]));
+        p.imm = parseImm(ops[2], lineNo);
+        emit(p);
+    };
+    auto mem = [&](Opcode o, bool is_store, bool is_fp) {
+        need(2);
+        ProtoInst p;
+        p.op = o;
+        int dreg = is_fp ? fpReg(ops[0]) : intReg(ops[0]);
+        auto [imm, base] = parseMemOperand(ops[1], lineNo);
+        p.imm = imm;
+        p.rs = static_cast<std::uint8_t>(base);
+        if (is_store)
+            p.rt = static_cast<std::uint8_t>(dreg);
+        else
+            p.rd = static_cast<std::uint8_t>(dreg);
+        emit(p);
+    };
+    auto br2 = [&](Opcode o) {
+        need(3);
+        ProtoInst p;
+        p.op = o;
+        p.rs = static_cast<std::uint8_t>(intReg(ops[0]));
+        p.rt = static_cast<std::uint8_t>(intReg(ops[1]));
+        p.imm = parseImm(ops[2], lineNo);
+        emit(p);
+    };
+    auto br1 = [&](Opcode o) {
+        need(2);
+        ProtoInst p;
+        p.op = o;
+        p.rs = static_cast<std::uint8_t>(intReg(ops[0]));
+        p.imm = parseImm(ops[1], lineNo);
+        emit(p);
+    };
+    auto brf = [&](Opcode o) {
+        need(1);
+        ProtoInst p;
+        p.op = o;
+        p.imm = parseImm(ops[0], lineNo);
+        emit(p);
+    };
+    auto f3 = [&](Opcode o) {
+        need(3);
+        ProtoInst p;
+        p.op = o;
+        p.rd = static_cast<std::uint8_t>(fpReg(ops[0]));
+        p.rs = static_cast<std::uint8_t>(fpReg(ops[1]));
+        p.rt = static_cast<std::uint8_t>(fpReg(ops[2]));
+        emit(p);
+    };
+    auto f2 = [&](Opcode o) {
+        need(2);
+        ProtoInst p;
+        p.op = o;
+        p.rd = static_cast<std::uint8_t>(fpReg(ops[0]));
+        p.rs = static_cast<std::uint8_t>(fpReg(ops[1]));
+        emit(p);
+    };
+    auto fcmp = [&](Opcode o) {
+        need(2);
+        ProtoInst p;
+        p.op = o;
+        p.rs = static_cast<std::uint8_t>(fpReg(ops[0]));
+        p.rt = static_cast<std::uint8_t>(fpReg(ops[1]));
+        emit(p);
+    };
+    // Pseudo-instruction helper: cmp+branch via the at register.
+    auto cmpBranch = [&](bool swap, Opcode br) {
+        need(3);
+        ProtoInst cmp;
+        cmp.op = Opcode::SLT;
+        cmp.rd = reg::at;
+        cmp.rs = static_cast<std::uint8_t>(intReg(swap ? ops[1] : ops[0]));
+        cmp.rt = static_cast<std::uint8_t>(intReg(swap ? ops[0] : ops[1]));
+        emit(cmp);
+        ProtoInst b;
+        b.op = br;
+        b.rs = reg::at;
+        b.rt = reg::zero;
+        b.imm = parseImm(ops[2], lineNo);
+        emit(b);
+    };
+
+    if (mnem == "add") rrr(Opcode::ADD);
+    else if (mnem == "sub") rrr(Opcode::SUB);
+    else if (mnem == "mul") rrr(Opcode::MUL);
+    else if (mnem == "div") rrr(Opcode::DIV);
+    else if (mnem == "rem") rrr(Opcode::REM);
+    else if (mnem == "and") rrr(Opcode::AND);
+    else if (mnem == "or") rrr(Opcode::OR);
+    else if (mnem == "xor") rrr(Opcode::XOR);
+    else if (mnem == "nor") rrr(Opcode::NOR);
+    else if (mnem == "slt") rrr(Opcode::SLT);
+    else if (mnem == "sltu") rrr(Opcode::SLTU);
+    else if (mnem == "sllv") rrr(Opcode::SLLV);
+    else if (mnem == "srlv") rrr(Opcode::SRLV);
+    else if (mnem == "srav") rrr(Opcode::SRAV);
+    else if (mnem == "sll") shiftImm(Opcode::SLL);
+    else if (mnem == "srl") shiftImm(Opcode::SRL);
+    else if (mnem == "sra") shiftImm(Opcode::SRA);
+    else if (mnem == "addi") ialu(Opcode::ADDI);
+    else if (mnem == "andi") ialu(Opcode::ANDI);
+    else if (mnem == "ori") ialu(Opcode::ORI);
+    else if (mnem == "xori") ialu(Opcode::XORI);
+    else if (mnem == "slti") ialu(Opcode::SLTI);
+    else if (mnem == "sltiu") ialu(Opcode::SLTIU);
+    else if (mnem == "lui") {
+        need(2);
+        ProtoInst p;
+        p.op = Opcode::LUI;
+        p.rd = static_cast<std::uint8_t>(intReg(ops[0]));
+        p.imm = parseImm(ops[1], lineNo);
+        emit(p);
+    }
+    else if (mnem == "lb") mem(Opcode::LB, false, false);
+    else if (mnem == "lbu") mem(Opcode::LBU, false, false);
+    else if (mnem == "lh") mem(Opcode::LH, false, false);
+    else if (mnem == "lhu") mem(Opcode::LHU, false, false);
+    else if (mnem == "lw") mem(Opcode::LW, false, false);
+    else if (mnem == "ldc1" || mnem == "l.d") mem(Opcode::LDC1, false, true);
+    else if (mnem == "sb") mem(Opcode::SB, true, false);
+    else if (mnem == "sh") mem(Opcode::SH, true, false);
+    else if (mnem == "sw") mem(Opcode::SW, true, false);
+    else if (mnem == "sdc1" || mnem == "s.d") mem(Opcode::SDC1, true, true);
+    else if (mnem == "beq") br2(Opcode::BEQ);
+    else if (mnem == "bne") br2(Opcode::BNE);
+    else if (mnem == "blez") br1(Opcode::BLEZ);
+    else if (mnem == "bgtz") br1(Opcode::BGTZ);
+    else if (mnem == "bltz") br1(Opcode::BLTZ);
+    else if (mnem == "bgez") br1(Opcode::BGEZ);
+    else if (mnem == "bc1t") brf(Opcode::BC1T);
+    else if (mnem == "bc1f") brf(Opcode::BC1F);
+    else if (mnem == "j") {
+        need(1);
+        ProtoInst p;
+        p.op = Opcode::J;
+        p.imm = parseImm(ops[0], lineNo);
+        emit(p);
+    }
+    else if (mnem == "jal") {
+        need(1);
+        ProtoInst p;
+        p.op = Opcode::JAL;
+        p.imm = parseImm(ops[0], lineNo);
+        emit(p);
+    }
+    else if (mnem == "jr") {
+        need(1);
+        ProtoInst p;
+        p.op = Opcode::JR;
+        p.rs = static_cast<std::uint8_t>(intReg(ops[0]));
+        emit(p);
+    }
+    else if (mnem == "jalr") {
+        ProtoInst p;
+        p.op = Opcode::JALR;
+        if (ops.size() == 1) {
+            p.rd = reg::ra;
+            p.rs = static_cast<std::uint8_t>(intReg(ops[0]));
+        } else {
+            need(2);
+            p.rd = static_cast<std::uint8_t>(intReg(ops[0]));
+            p.rs = static_cast<std::uint8_t>(intReg(ops[1]));
+        }
+        emit(p);
+    }
+    else if (mnem == "add.d") f3(Opcode::ADD_D);
+    else if (mnem == "sub.d") f3(Opcode::SUB_D);
+    else if (mnem == "mul.d") f3(Opcode::MUL_D);
+    else if (mnem == "div.d") f3(Opcode::DIV_D);
+    else if (mnem == "neg.d") f2(Opcode::NEG_D);
+    else if (mnem == "abs.d") f2(Opcode::ABS_D);
+    else if (mnem == "mov.d") f2(Opcode::MOV_D);
+    else if (mnem == "cvt.d.w") {
+        need(2);
+        ProtoInst p;
+        p.op = Opcode::CVT_D_W;
+        p.rd = static_cast<std::uint8_t>(fpReg(ops[0]));
+        p.rs = static_cast<std::uint8_t>(intReg(ops[1]));
+        emit(p);
+    }
+    else if (mnem == "cvt.w.d") {
+        need(2);
+        ProtoInst p;
+        p.op = Opcode::CVT_W_D;
+        p.rd = static_cast<std::uint8_t>(intReg(ops[0]));
+        p.rs = static_cast<std::uint8_t>(fpReg(ops[1]));
+        emit(p);
+    }
+    else if (mnem == "c.eq.d") fcmp(Opcode::C_EQ_D);
+    else if (mnem == "c.lt.d") fcmp(Opcode::C_LT_D);
+    else if (mnem == "c.le.d") fcmp(Opcode::C_LE_D);
+    else if (mnem == "nop") {
+        need(0);
+        emit(ProtoInst{});
+    }
+    else if (mnem == "halt") {
+        need(0);
+        ProtoInst p;
+        p.op = Opcode::HALT;
+        emit(p);
+    }
+    // ---- pseudo-instructions ----
+    else if (mnem == "li") {
+        need(2);
+        int rd = intReg(ops[0]);
+        if (!isIntLiteral(ops[1]))
+            asmError(lineNo, "li needs a literal (use la for symbols)");
+        std::int64_t v = parseIntLiteral(ops[1], lineNo);
+        if (v >= -32768 && v <= 32767) {
+            ProtoInst p;
+            p.op = Opcode::ADDI;
+            p.rd = static_cast<std::uint8_t>(rd);
+            p.rs = reg::zero;
+            p.imm = {ImmSpec::Literal, v, {}};
+            emit(p);
+        } else {
+            ProtoInst hi;
+            hi.op = Opcode::LUI;
+            hi.rd = static_cast<std::uint8_t>(rd);
+            hi.imm = {ImmSpec::Literal, (v >> 16) & 0xFFFF, {}};
+            emit(hi);
+            if ((v & 0xFFFF) != 0) {
+                ProtoInst lo;
+                lo.op = Opcode::ORI;
+                lo.rd = static_cast<std::uint8_t>(rd);
+                lo.rs = static_cast<std::uint8_t>(rd);
+                lo.imm = {ImmSpec::Literal, v & 0xFFFF, {}};
+                emit(lo);
+            }
+        }
+    }
+    else if (mnem == "la") {
+        need(2);
+        int rd = intReg(ops[0]);
+        ImmSpec s = parseImm(ops[1], lineNo);
+        if (s.kind != ImmSpec::Symbol)
+            asmError(lineNo, "la needs a symbol operand");
+        ProtoInst hi;
+        hi.op = Opcode::LUI;
+        hi.rd = static_cast<std::uint8_t>(rd);
+        hi.imm = s;
+        hi.imm.kind = ImmSpec::SymbolHi;
+        emit(hi);
+        ProtoInst lo;
+        lo.op = Opcode::ORI;
+        lo.rd = static_cast<std::uint8_t>(rd);
+        lo.rs = static_cast<std::uint8_t>(rd);
+        lo.imm = s;
+        lo.imm.kind = ImmSpec::SymbolLo;
+        emit(lo);
+    }
+    else if (mnem == "move") {
+        need(2);
+        ProtoInst p;
+        p.op = Opcode::OR;
+        p.rd = static_cast<std::uint8_t>(intReg(ops[0]));
+        p.rs = static_cast<std::uint8_t>(intReg(ops[1]));
+        p.rt = reg::zero;
+        emit(p);
+    }
+    else if (mnem == "b") {
+        need(1);
+        ProtoInst p;
+        p.op = Opcode::BEQ;
+        p.rs = reg::zero;
+        p.rt = reg::zero;
+        p.imm = parseImm(ops[0], lineNo);
+        emit(p);
+    }
+    else if (mnem == "blt") cmpBranch(false, Opcode::BNE);
+    else if (mnem == "bge") cmpBranch(false, Opcode::BEQ);
+    else if (mnem == "bgt") cmpBranch(true, Opcode::BNE);
+    else if (mnem == "ble") cmpBranch(true, Opcode::BEQ);
+    else if (mnem == "subi") {
+        need(3);
+        ProtoInst p;
+        p.op = Opcode::ADDI;
+        p.rd = static_cast<std::uint8_t>(intReg(ops[0]));
+        p.rs = static_cast<std::uint8_t>(intReg(ops[1]));
+        p.imm = parseImm(ops[2], lineNo);
+        if (p.imm.kind != ImmSpec::Literal)
+            asmError(lineNo, "subi needs a literal");
+        p.imm.value = -p.imm.value;
+        emit(p);
+    }
+    else if (mnem == "neg") {
+        need(2);
+        ProtoInst p;
+        p.op = Opcode::SUB;
+        p.rd = static_cast<std::uint8_t>(intReg(ops[0]));
+        p.rs = reg::zero;
+        p.rt = static_cast<std::uint8_t>(intReg(ops[1]));
+        emit(p);
+    }
+    else if (mnem == "not") {
+        need(2);
+        ProtoInst p;
+        p.op = Opcode::NOR;
+        p.rd = static_cast<std::uint8_t>(intReg(ops[0]));
+        p.rs = static_cast<std::uint8_t>(intReg(ops[1]));
+        p.rt = reg::zero;
+        emit(p);
+    }
+    else {
+        asmError(lineNo, "unknown mnemonic '" + mnem + "'");
+    }
+}
+
+void
+Assembler::processLine(std::string line)
+{
+    // Strip comments.
+    for (char c : {'#', ';'}) {
+        auto pos = line.find(c);
+        if (pos != std::string::npos)
+            line = line.substr(0, pos);
+    }
+    // Leading label(s).
+    for (;;) {
+        std::size_t i = 0;
+        while (i < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[i])))
+            ++i;
+        std::size_t j = i;
+        while (j < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(line[j])) ||
+                line[j] == '_' || line[j] == '.'))
+            ++j;
+        if (j > i && j < line.size() && line[j] == ':' && line[i] != '.') {
+            std::string label = line.substr(i, j - i);
+            if (prog.symbols.count(label))
+                asmError(lineNo, "duplicate label '" + label + "'");
+            Addr addr = inText
+                ? curTextAddr()
+                : prog.dataBase + static_cast<Addr>(prog.data.size());
+            prog.symbols[label] = addr;
+            line = line.substr(j + 1);
+        } else {
+            break;
+        }
+    }
+    // Statement.
+    std::istringstream ss(line);
+    std::string head;
+    if (!(ss >> head))
+        return;
+    std::string rest;
+    std::getline(ss, rest);
+    if (head[0] == '.') {
+        directive(head, rest);
+    } else {
+        if (!inText)
+            asmError(lineNo, "instruction in .data segment");
+        instruction(head, splitOperands(rest));
+    }
+}
+
+void
+Assembler::resolve()
+{
+    auto symAddr = [&](const std::string &name, int line) -> Addr {
+        auto it = prog.symbols.find(name);
+        if (it == prog.symbols.end())
+            asmError(line, "undefined symbol '" + name + "'");
+        return it->second;
+    };
+
+    prog.text.reserve(protos.size());
+    prog.words.reserve(protos.size());
+    for (std::size_t i = 0; i < protos.size(); ++i) {
+        const ProtoInst &p = protos[i];
+        Addr pc = prog.textBase + static_cast<Addr>(i * 4);
+        Instruction inst;
+        inst.op = p.op;
+        inst.rd = p.rd;
+        inst.rs = p.rs;
+        inst.rt = p.rt;
+        std::int64_t v = 0;
+        switch (p.imm.kind) {
+          case ImmSpec::None:
+            break;
+          case ImmSpec::Literal:
+            v = p.imm.value;
+            break;
+          case ImmSpec::Symbol:
+            v = static_cast<std::int64_t>(symAddr(p.imm.symbol, p.line)) +
+                p.imm.value;
+            break;
+          case ImmSpec::SymbolHi:
+            v = (symAddr(p.imm.symbol, p.line) + p.imm.value) >> 16;
+            break;
+          case ImmSpec::SymbolLo:
+            v = (symAddr(p.imm.symbol, p.line) + p.imm.value) & 0xFFFF;
+            break;
+        }
+        inst.imm = static_cast<std::int32_t>(v);
+        // Range checks for plain immediates (branch ranges are checked
+        // by the encoder, which sees absolute targets).
+        if (!inst.isControl() && p.imm.kind == ImmSpec::Literal) {
+            bool unsigned_imm = inst.op == Opcode::ANDI ||
+                                inst.op == Opcode::ORI ||
+                                inst.op == Opcode::XORI ||
+                                inst.op == Opcode::LUI;
+            if (unsigned_imm) {
+                if (v < 0 || v > 0xFFFF)
+                    asmError(p.line, "immediate out of unsigned-16 range");
+            } else if (inst.op == Opcode::SLL || inst.op == Opcode::SRL ||
+                       inst.op == Opcode::SRA) {
+                if (v < 0 || v > 31)
+                    asmError(p.line, "shift amount out of range");
+            } else if (v < -32768 || v > 32767) {
+                asmError(p.line, "immediate out of signed-16 range");
+            }
+        }
+        prog.text.push_back(inst);
+        prog.words.push_back(encode(inst, pc));
+    }
+
+    for (const auto &fix : dataFixups) {
+        Addr v = symAddr(fix.symbol, fix.line) +
+                 static_cast<Addr>(fix.addend);
+        for (int b = 0; b < 4; ++b)
+            prog.data[fix.offset + static_cast<std::size_t>(b)] =
+                static_cast<std::uint8_t>((v >> (8 * b)) & 0xFF);
+    }
+
+    if (!entryLabel.empty())
+        prog.entry = symAddr(entryLabel, 0);
+}
+
+Program
+Assembler::run(const std::string &source)
+{
+    std::istringstream in(source);
+    std::string line;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        processLine(line);
+    }
+    if (protos.empty())
+        fatal("assembler: empty program");
+    resolve();
+    return std::move(prog);
+}
+
+} // anonymous namespace
+
+Program
+assemble(const std::string &source, Addr text_base, Addr data_base)
+{
+    return Assembler(text_base, data_base).run(source);
+}
+
+} // namespace visa

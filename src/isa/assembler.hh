@@ -1,0 +1,55 @@
+/**
+ * @file
+ * A two-pass assembler for VPISA text.
+ *
+ * Supported syntax (one statement per line, '#' or ';' comments):
+ *
+ *   label:    addi r4, r0, 100
+ *             lw   r5, 12(r4)
+ *             beq  r4, r5, done
+ *             .data
+ *   arr:      .word 1, 2, 3
+ *   buf:      .space 256
+ *   tw:       .double 0.5, -1.25
+ *
+ * Directives: .text .data .word .half .byte .space .double .align
+ *             .global (ignored) .entry <label>
+ *             .loopbound <N>   -- attaches to the next text instruction,
+ *                                 which must be the loop's back-edge
+ *                                 branch; N bounds body iterations per
+ *                                 loop entry
+ *             .subtask <K>     -- next instruction starts sub-task K
+ *
+ * Pseudo-instructions: li, la, move, b, blt/bge/bgt/ble (via r1=at),
+ * subi, neg, not.
+ */
+
+#ifndef VISA_ISA_ASSEMBLER_HH
+#define VISA_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace visa
+{
+
+/**
+ * Assemble @p source into a loadable Program.
+ *
+ * @param source full assembly text
+ * @param text_base base address for the text segment
+ * @param data_base base address for the data segment
+ * @return the assembled program (entry defaults to the first text
+ *         instruction, or the .entry label if given)
+ *
+ * Errors (unknown mnemonic, bad operand, undefined symbol, immediate
+ * overflow) raise FatalError with the offending line number.
+ */
+Program assemble(const std::string &source,
+                 Addr text_base = defaultTextBase,
+                 Addr data_base = defaultDataBase);
+
+} // namespace visa
+
+#endif // VISA_ISA_ASSEMBLER_HH

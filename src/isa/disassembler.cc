@@ -1,0 +1,72 @@
+#include "isa/disassembler.hh"
+
+#include <map>
+#include <sstream>
+
+#include "isa/instruction.hh"
+
+namespace visa
+{
+
+std::string
+disassembleProgram(const Program &prog, const DisasmOptions &opts)
+{
+    // Collect branch/jump targets so each gets a synthesized label,
+    // preferring user symbols when one names the address.
+    std::map<Addr, std::string> labels;
+    for (const auto &[name, addr] : prog.symbols)
+        if (prog.containsPc(addr))
+            labels[addr] = name;
+    int synth = 0;
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        const Instruction &inst = prog.text[i];
+        if (inst.isCondBranch() || inst.isDirectJump()) {
+            Addr target = static_cast<Addr>(inst.imm);
+            if (prog.containsPc(target) && !labels.count(target))
+                labels[target] = "L" + std::to_string(synth++);
+        }
+    }
+
+    std::ostringstream os;
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        const Addr pc = prog.textBase + static_cast<Addr>(i * 4);
+        if (opts.showAnnotations) {
+            auto st = prog.subtaskStarts.find(pc);
+            if (st != prog.subtaskStarts.end())
+                os << "        .subtask " << st->second << '\n';
+            auto lb = prog.loopBounds.find(pc);
+            if (lb != prog.loopBounds.end())
+                os << "        .loopbound " << lb->second << '\n';
+        }
+        auto lbl = labels.find(pc);
+        if (lbl != labels.end())
+            os << lbl->second << ":\n";
+        os << "        ";
+        if (opts.showAddresses) {
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), "%08x  ", pc);
+            os << buf;
+        }
+        if (opts.showEncodings) {
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), "%08x  ", prog.words[i]);
+            os << buf;
+        }
+        const Instruction &inst = prog.text[i];
+        std::string text = disassemble(inst, pc);
+        // Rewrite absolute targets as labels for readability.
+        if (inst.isCondBranch() || inst.isDirectJump()) {
+            Addr target = static_cast<Addr>(inst.imm);
+            auto it = labels.find(target);
+            if (it != labels.end()) {
+                auto hexpos = text.rfind("0x");
+                if (hexpos != std::string::npos)
+                    text = text.substr(0, hexpos) + it->second;
+            }
+        }
+        os << text << '\n';
+    }
+    return os.str();
+}
+
+} // namespace visa

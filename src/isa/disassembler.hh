@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Program-level disassembly: render an assembled Program back to
+ * annotated text — synthesized labels at branch targets, sub-task
+ * markers, loop bounds, and data-symbol cross references. Used by the
+ * tooling examples and for debugging generated workloads.
+ */
+
+#ifndef VISA_ISA_DISASSEMBLER_HH
+#define VISA_ISA_DISASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace visa
+{
+
+/** Options controlling the disassembly rendering. */
+struct DisasmOptions
+{
+    bool showAddresses = true;     ///< prefix every line with its PC
+    bool showEncodings = false;    ///< include the 32-bit word
+    bool showAnnotations = true;   ///< .subtask / .loopbound comments
+};
+
+/** Render the whole text segment of @p prog. */
+std::string disassembleProgram(const Program &prog,
+                               const DisasmOptions &opts = {});
+
+} // namespace visa
+
+#endif // VISA_ISA_DISASSEMBLER_HH

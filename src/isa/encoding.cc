@@ -1,0 +1,334 @@
+#include "isa/encoding.hh"
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+namespace
+{
+
+// Primary opcode field values.
+enum PrimOp : Word
+{
+    OP_SPECIAL = 0x00,
+    OP_ADDI = 0x01, OP_ANDI, OP_ORI, OP_XORI, OP_SLTI, OP_SLTIU, OP_LUI,
+    OP_LB = 0x08, OP_LBU, OP_LH, OP_LHU, OP_LW, OP_LDC1,
+    OP_SB = 0x0E, OP_SH, OP_SW, OP_SDC1,
+    OP_BEQ = 0x12, OP_BNE, OP_BLEZ, OP_BGTZ, OP_BLTZ, OP_BGEZ,
+    OP_BC1T = 0x18, OP_BC1F,
+    OP_J = 0x1A, OP_JAL,
+    OP_COP1 = 0x1C,
+};
+
+// SPECIAL funct field values.
+enum SpecFunct : Word
+{
+    F_ADD = 0, F_SUB, F_MUL, F_DIV, F_REM,
+    F_AND, F_OR, F_XOR, F_NOR, F_SLT, F_SLTU,
+    F_SLLV, F_SRLV, F_SRAV, F_SLL, F_SRL, F_SRA,
+    F_JR, F_JALR, F_NOP, F_HALT,
+};
+
+// COP1 funct field values.
+enum Cop1Funct : Word
+{
+    C1_ADD = 0, C1_SUB, C1_MUL, C1_DIV,
+    C1_NEG, C1_ABS, C1_MOV, C1_CVT_D_W, C1_CVT_W_D,
+    C1_C_EQ, C1_C_LT, C1_C_LE,
+};
+
+Word
+rtype(Word op, Word rs, Word rt, Word rd, Word shamt, Word funct)
+{
+    return (op << 26) | (rs << 21) | (rt << 16) | (rd << 11) |
+           (shamt << 6) | funct;
+}
+
+Word
+itype(Word op, Word rs, Word rt, std::int32_t imm)
+{
+    return (op << 26) | (rs << 21) | (rt << 16) |
+           (static_cast<Word>(imm) & 0xFFFF);
+}
+
+Word
+jtype(Word op, Addr target)
+{
+    return (op << 26) | ((target >> 2) & 0x03FFFFFF);
+}
+
+std::int32_t
+branchOffset(Addr target, Addr pc)
+{
+    std::int64_t diff =
+        (static_cast<std::int64_t>(target) - (static_cast<std::int64_t>(pc) + 4)) / 4;
+    if (diff < -32768 || diff > 32767)
+        fatal("branch at 0x%x to 0x%x out of 16-bit range", pc, target);
+    return static_cast<std::int32_t>(diff);
+}
+
+Addr
+branchTarget(std::int32_t off16, Addr pc)
+{
+    return static_cast<Addr>(static_cast<std::int64_t>(pc) + 4 +
+                             static_cast<std::int64_t>(off16) * 4);
+}
+
+std::int32_t
+sext16(Word w)
+{
+    return static_cast<std::int16_t>(w & 0xFFFF);
+}
+
+} // anonymous namespace
+
+Word
+encode(const Instruction &inst, Addr pc)
+{
+    const Word rd = inst.rd, rs = inst.rs, rt = inst.rt;
+    const std::int32_t imm = inst.imm;
+    switch (inst.op) {
+      case Opcode::ADD:  return rtype(OP_SPECIAL, rs, rt, rd, 0, F_ADD);
+      case Opcode::SUB:  return rtype(OP_SPECIAL, rs, rt, rd, 0, F_SUB);
+      case Opcode::MUL:  return rtype(OP_SPECIAL, rs, rt, rd, 0, F_MUL);
+      case Opcode::DIV:  return rtype(OP_SPECIAL, rs, rt, rd, 0, F_DIV);
+      case Opcode::REM:  return rtype(OP_SPECIAL, rs, rt, rd, 0, F_REM);
+      case Opcode::AND:  return rtype(OP_SPECIAL, rs, rt, rd, 0, F_AND);
+      case Opcode::OR:   return rtype(OP_SPECIAL, rs, rt, rd, 0, F_OR);
+      case Opcode::XOR:  return rtype(OP_SPECIAL, rs, rt, rd, 0, F_XOR);
+      case Opcode::NOR:  return rtype(OP_SPECIAL, rs, rt, rd, 0, F_NOR);
+      case Opcode::SLT:  return rtype(OP_SPECIAL, rs, rt, rd, 0, F_SLT);
+      case Opcode::SLTU: return rtype(OP_SPECIAL, rs, rt, rd, 0, F_SLTU);
+      case Opcode::SLLV: return rtype(OP_SPECIAL, rs, rt, rd, 0, F_SLLV);
+      case Opcode::SRLV: return rtype(OP_SPECIAL, rs, rt, rd, 0, F_SRLV);
+      case Opcode::SRAV: return rtype(OP_SPECIAL, rs, rt, rd, 0, F_SRAV);
+      case Opcode::SLL:
+        return rtype(OP_SPECIAL, rs, 0, rd, imm & 0x1F, F_SLL);
+      case Opcode::SRL:
+        return rtype(OP_SPECIAL, rs, 0, rd, imm & 0x1F, F_SRL);
+      case Opcode::SRA:
+        return rtype(OP_SPECIAL, rs, 0, rd, imm & 0x1F, F_SRA);
+      case Opcode::JR:   return rtype(OP_SPECIAL, rs, 0, 0, 0, F_JR);
+      case Opcode::JALR: return rtype(OP_SPECIAL, rs, 0, rd, 0, F_JALR);
+      case Opcode::NOP:  return rtype(OP_SPECIAL, 0, 0, 0, 0, F_NOP);
+      case Opcode::HALT: return rtype(OP_SPECIAL, 0, 0, 0, 0, F_HALT);
+
+      case Opcode::ADDI:  return itype(OP_ADDI, rs, rd, imm);
+      case Opcode::ANDI:  return itype(OP_ANDI, rs, rd, imm);
+      case Opcode::ORI:   return itype(OP_ORI, rs, rd, imm);
+      case Opcode::XORI:  return itype(OP_XORI, rs, rd, imm);
+      case Opcode::SLTI:  return itype(OP_SLTI, rs, rd, imm);
+      case Opcode::SLTIU: return itype(OP_SLTIU, rs, rd, imm);
+      case Opcode::LUI:   return itype(OP_LUI, 0, rd, imm);
+
+      case Opcode::LB:   return itype(OP_LB, rs, rd, imm);
+      case Opcode::LBU:  return itype(OP_LBU, rs, rd, imm);
+      case Opcode::LH:   return itype(OP_LH, rs, rd, imm);
+      case Opcode::LHU:  return itype(OP_LHU, rs, rd, imm);
+      case Opcode::LW:   return itype(OP_LW, rs, rd, imm);
+      case Opcode::LDC1: return itype(OP_LDC1, rs, rd, imm);
+      case Opcode::SB:   return itype(OP_SB, rs, rt, imm);
+      case Opcode::SH:   return itype(OP_SH, rs, rt, imm);
+      case Opcode::SW:   return itype(OP_SW, rs, rt, imm);
+      case Opcode::SDC1: return itype(OP_SDC1, rs, rt, imm);
+
+      case Opcode::BEQ:
+        return itype(OP_BEQ, rs, rt, branchOffset(imm, pc));
+      case Opcode::BNE:
+        return itype(OP_BNE, rs, rt, branchOffset(imm, pc));
+      case Opcode::BLEZ:
+        return itype(OP_BLEZ, rs, 0, branchOffset(imm, pc));
+      case Opcode::BGTZ:
+        return itype(OP_BGTZ, rs, 0, branchOffset(imm, pc));
+      case Opcode::BLTZ:
+        return itype(OP_BLTZ, rs, 0, branchOffset(imm, pc));
+      case Opcode::BGEZ:
+        return itype(OP_BGEZ, rs, 0, branchOffset(imm, pc));
+      case Opcode::BC1T:
+        return itype(OP_BC1T, 0, 0, branchOffset(imm, pc));
+      case Opcode::BC1F:
+        return itype(OP_BC1F, 0, 0, branchOffset(imm, pc));
+
+      case Opcode::J:   return jtype(OP_J, static_cast<Addr>(imm));
+      case Opcode::JAL: return jtype(OP_JAL, static_cast<Addr>(imm));
+
+      case Opcode::ADD_D: return rtype(OP_COP1, rs, rt, rd, 0, C1_ADD);
+      case Opcode::SUB_D: return rtype(OP_COP1, rs, rt, rd, 0, C1_SUB);
+      case Opcode::MUL_D: return rtype(OP_COP1, rs, rt, rd, 0, C1_MUL);
+      case Opcode::DIV_D: return rtype(OP_COP1, rs, rt, rd, 0, C1_DIV);
+      case Opcode::NEG_D: return rtype(OP_COP1, rs, 0, rd, 0, C1_NEG);
+      case Opcode::ABS_D: return rtype(OP_COP1, rs, 0, rd, 0, C1_ABS);
+      case Opcode::MOV_D: return rtype(OP_COP1, rs, 0, rd, 0, C1_MOV);
+      case Opcode::CVT_D_W:
+        return rtype(OP_COP1, rs, 0, rd, 0, C1_CVT_D_W);
+      case Opcode::CVT_W_D:
+        return rtype(OP_COP1, rs, 0, rd, 0, C1_CVT_W_D);
+      case Opcode::C_EQ_D: return rtype(OP_COP1, rs, rt, 0, 0, C1_C_EQ);
+      case Opcode::C_LT_D: return rtype(OP_COP1, rs, rt, 0, 0, C1_C_LT);
+      case Opcode::C_LE_D: return rtype(OP_COP1, rs, rt, 0, 0, C1_C_LE);
+      default:
+        panic("encode: bad opcode %d", static_cast<int>(inst.op));
+    }
+}
+
+Instruction
+decode(Word w, Addr pc)
+{
+    Instruction inst;
+    const Word op = (w >> 26) & 0x3F;
+    const Word rs = (w >> 21) & 0x1F;
+    const Word rt = (w >> 16) & 0x1F;
+    const Word rd = (w >> 11) & 0x1F;
+    const Word shamt = (w >> 6) & 0x1F;
+    const Word funct = w & 0x3F;
+    const std::int32_t imm16 = sext16(w);
+
+    auto rrr = [&](Opcode o) {
+        inst.op = o;
+        inst.rd = rd; inst.rs = rs; inst.rt = rt;
+    };
+    auto shift = [&](Opcode o) {
+        inst.op = o;
+        inst.rd = rd; inst.rs = rs;
+        inst.imm = static_cast<std::int32_t>(shamt);
+    };
+    auto ialu = [&](Opcode o) {
+        inst.op = o;
+        inst.rd = rt; inst.rs = rs; inst.imm = imm16;
+    };
+    auto ualu = [&](Opcode o) {
+        // Logical immediates are zero-extended by the ISA.
+        inst.op = o;
+        inst.rd = rt; inst.rs = rs;
+        inst.imm = static_cast<std::int32_t>(w & 0xFFFF);
+    };
+    auto load = [&](Opcode o) {
+        inst.op = o;
+        inst.rd = rt; inst.rs = rs; inst.imm = imm16;
+    };
+    auto store = [&](Opcode o) {
+        inst.op = o;
+        inst.rt = rt; inst.rs = rs; inst.imm = imm16;
+    };
+    auto branch2 = [&](Opcode o) {
+        inst.op = o;
+        inst.rs = rs; inst.rt = rt;
+        inst.imm = static_cast<std::int32_t>(branchTarget(imm16, pc));
+    };
+    auto branch1 = [&](Opcode o) {
+        // rt is a don't-care field for single-source branches.
+        inst.op = o;
+        inst.rs = rs;
+        inst.imm = static_cast<std::int32_t>(branchTarget(imm16, pc));
+    };
+    auto branchF = [&](Opcode o) {
+        // FCC branches carry no register operands.
+        inst.op = o;
+        inst.imm = static_cast<std::int32_t>(branchTarget(imm16, pc));
+    };
+
+    switch (op) {
+      case OP_SPECIAL:
+        switch (funct) {
+          case F_ADD:  rrr(Opcode::ADD); break;
+          case F_SUB:  rrr(Opcode::SUB); break;
+          case F_MUL:  rrr(Opcode::MUL); break;
+          case F_DIV:  rrr(Opcode::DIV); break;
+          case F_REM:  rrr(Opcode::REM); break;
+          case F_AND:  rrr(Opcode::AND); break;
+          case F_OR:   rrr(Opcode::OR); break;
+          case F_XOR:  rrr(Opcode::XOR); break;
+          case F_NOR:  rrr(Opcode::NOR); break;
+          case F_SLT:  rrr(Opcode::SLT); break;
+          case F_SLTU: rrr(Opcode::SLTU); break;
+          case F_SLLV: rrr(Opcode::SLLV); break;
+          case F_SRLV: rrr(Opcode::SRLV); break;
+          case F_SRAV: rrr(Opcode::SRAV); break;
+          case F_SLL:  shift(Opcode::SLL); break;
+          case F_SRL:  shift(Opcode::SRL); break;
+          case F_SRA:  shift(Opcode::SRA); break;
+          case F_JR:   inst.op = Opcode::JR; inst.rs = rs; break;
+          case F_JALR:
+            inst.op = Opcode::JALR; inst.rs = rs; inst.rd = rd;
+            break;
+          case F_NOP:  inst.op = Opcode::NOP; break;
+          case F_HALT: inst.op = Opcode::HALT; break;
+          default:
+            fatal("decode: bad SPECIAL funct %u at 0x%x", funct, pc);
+        }
+        break;
+      case OP_ADDI:  ialu(Opcode::ADDI); break;
+      case OP_ANDI:  ualu(Opcode::ANDI); break;
+      case OP_ORI:   ualu(Opcode::ORI); break;
+      case OP_XORI:  ualu(Opcode::XORI); break;
+      case OP_SLTI:  ialu(Opcode::SLTI); break;
+      case OP_SLTIU: ialu(Opcode::SLTIU); break;
+      case OP_LUI:
+        inst.op = Opcode::LUI; inst.rd = rt;
+        inst.imm = static_cast<std::int32_t>(w & 0xFFFF);
+        break;
+      case OP_LB:   load(Opcode::LB); break;
+      case OP_LBU:  load(Opcode::LBU); break;
+      case OP_LH:   load(Opcode::LH); break;
+      case OP_LHU:  load(Opcode::LHU); break;
+      case OP_LW:   load(Opcode::LW); break;
+      case OP_LDC1: load(Opcode::LDC1); break;
+      case OP_SB:   store(Opcode::SB); break;
+      case OP_SH:   store(Opcode::SH); break;
+      case OP_SW:   store(Opcode::SW); break;
+      case OP_SDC1: store(Opcode::SDC1); break;
+      case OP_BEQ:  branch2(Opcode::BEQ); break;
+      case OP_BNE:  branch2(Opcode::BNE); break;
+      case OP_BLEZ: branch1(Opcode::BLEZ); break;
+      case OP_BGTZ: branch1(Opcode::BGTZ); break;
+      case OP_BLTZ: branch1(Opcode::BLTZ); break;
+      case OP_BGEZ: branch1(Opcode::BGEZ); break;
+      case OP_BC1T: branchF(Opcode::BC1T); break;
+      case OP_BC1F: branchF(Opcode::BC1F); break;
+      case OP_J:
+        inst.op = Opcode::J;
+        inst.imm = static_cast<std::int32_t>((w & 0x03FFFFFF) << 2);
+        break;
+      case OP_JAL:
+        inst.op = Opcode::JAL;
+        inst.imm = static_cast<std::int32_t>((w & 0x03FFFFFF) << 2);
+        break;
+      case OP_COP1:
+        switch (funct) {
+          case C1_ADD: rrr(Opcode::ADD_D); break;
+          case C1_SUB: rrr(Opcode::SUB_D); break;
+          case C1_MUL: rrr(Opcode::MUL_D); break;
+          case C1_DIV: rrr(Opcode::DIV_D); break;
+          case C1_NEG: inst.op = Opcode::NEG_D; inst.rd = rd; inst.rs = rs;
+            break;
+          case C1_ABS: inst.op = Opcode::ABS_D; inst.rd = rd; inst.rs = rs;
+            break;
+          case C1_MOV: inst.op = Opcode::MOV_D; inst.rd = rd; inst.rs = rs;
+            break;
+          case C1_CVT_D_W:
+            inst.op = Opcode::CVT_D_W; inst.rd = rd; inst.rs = rs;
+            break;
+          case C1_CVT_W_D:
+            inst.op = Opcode::CVT_W_D; inst.rd = rd; inst.rs = rs;
+            break;
+          case C1_C_EQ:
+            inst.op = Opcode::C_EQ_D; inst.rs = rs; inst.rt = rt;
+            break;
+          case C1_C_LT:
+            inst.op = Opcode::C_LT_D; inst.rs = rs; inst.rt = rt;
+            break;
+          case C1_C_LE:
+            inst.op = Opcode::C_LE_D; inst.rs = rs; inst.rt = rt;
+            break;
+          default:
+            fatal("decode: bad COP1 funct %u at 0x%x", funct, pc);
+        }
+        break;
+      default:
+        fatal("decode: bad primary opcode %u at 0x%x", op, pc);
+    }
+    return inst;
+}
+
+} // namespace visa

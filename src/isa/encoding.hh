@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Binary encoding of VPISA instructions into 32-bit words, MIPS-style:
+ *
+ *   R-type: op(6) rs(5) rt(5) rd(5) shamt(5) funct(6)
+ *   I-type: op(6) rs(5) rt(5) imm(16)            (branch imm: signed word
+ *                                                 offset from pc+4)
+ *   J-type: op(6) target(26)                     (word address)
+ *
+ * Because the decoded Instruction stores branch/jump targets as absolute
+ * byte addresses, both encode and decode take the instruction's PC.
+ */
+
+#ifndef VISA_ISA_ENCODING_HH
+#define VISA_ISA_ENCODING_HH
+
+#include "isa/instruction.hh"
+#include "sim/types.hh"
+
+namespace visa
+{
+
+/** Encode @p inst located at @p pc into a 32-bit word. */
+Word encode(const Instruction &inst, Addr pc);
+
+/** Decode the 32-bit word @p w located at @p pc. */
+Instruction decode(Word w, Addr pc);
+
+} // namespace visa
+
+#endif // VISA_ISA_ENCODING_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Decoded instruction representation plus operand/hazard queries used by
+ * both pipeline simulators and the WCET pipeline model.
+ */
+
+#ifndef VISA_ISA_INSTRUCTION_HH
+#define VISA_ISA_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "isa/isa.hh"
+
+namespace visa
+{
+
+/**
+ * A decoded VPISA instruction. Field meaning depends on the opcode:
+ *  - rd: destination register (int or FP per opcode),
+ *  - rs, rt: source registers (int or FP per opcode),
+ *  - imm: sign-extended immediate, shift amount, or branch/jump target
+ *    (branches/jumps store the *absolute byte address* of the target
+ *    after assembly, which makes CFG construction trivial).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    std::uint8_t rd = 0;
+    std::uint8_t rs = 0;
+    std::uint8_t rt = 0;
+    std::int32_t imm = 0;
+
+    /** @return the functional class. */
+    InstrClass cls() const { return classOf(op); }
+    /** @return execution latency on the universal FU. */
+    Cycles latency() const { return latencyOf(op); }
+
+    bool isLoad() const { return cls() == InstrClass::Load; }
+    bool isStore() const { return cls() == InstrClass::Store; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isCondBranch() const { return cls() == InstrClass::CondBranch; }
+    bool isDirectJump() const { return cls() == InstrClass::DirectJump; }
+    bool isIndirectJump() const { return cls() == InstrClass::IndirectJump; }
+    /** Any instruction that can redirect fetch. */
+    bool
+    isControl() const
+    {
+        auto c = cls();
+        return c == InstrClass::CondBranch || c == InstrClass::DirectJump ||
+               c == InstrClass::IndirectJump;
+    }
+    bool isHalt() const { return op == Opcode::HALT; }
+    bool isNop() const { return op == Opcode::NOP; }
+
+    /** @return true if the conditional branch target is backward. */
+    bool
+    isBackward(Addr pc) const
+    {
+        return static_cast<Addr>(imm) <= pc;
+    }
+
+    /** True for loads/stores that move a 64-bit FP value. */
+    bool isFpMem() const { return op == Opcode::LDC1 || op == Opcode::SDC1; }
+
+    /** Byte width of the memory access (0 for non-memory ops). */
+    int
+    memBytes() const
+    {
+        switch (op) {
+          case Opcode::LB: case Opcode::LBU:
+          case Opcode::SB:
+            return 1;
+          case Opcode::LH: case Opcode::LHU:
+          case Opcode::SH:
+            return 2;
+          case Opcode::LW: case Opcode::SW:
+            return 4;
+          case Opcode::LDC1: case Opcode::SDC1:
+            return 8;
+          default:
+            return 0;
+        }
+    }
+
+    /**
+     * Destination integer register, or -1. Writes to r0 are reported
+     * as no destination (r0 is hard-wired).
+     */
+    int destIntReg() const;
+    /** Destination FP register, or -1. */
+    int destFpReg() const;
+    /** True if this instruction writes the FP condition code. */
+    bool writesFcc() const;
+    /** True if this instruction reads the FP condition code. */
+    bool readsFcc() const;
+
+    /** Source integer registers; -1 entries are unused slots. */
+    std::array<int, 2> srcIntRegs() const;
+    /** Source FP registers; -1 entries are unused slots. */
+    std::array<int, 2> srcFpRegs() const;
+
+    /**
+     * @return true if this instruction has a RAW dependence on a
+     * producer instruction @p prod (register or FCC carried).
+     */
+    bool dependsOn(const Instruction &prod) const;
+
+    bool operator==(const Instruction &o) const = default;
+};
+
+/** Render @p inst as assembly text; @p pc is used for branch targets. */
+std::string disassemble(const Instruction &inst, Addr pc);
+
+} // namespace visa
+
+#endif // VISA_ISA_INSTRUCTION_HH

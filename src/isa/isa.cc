@@ -1,0 +1,160 @@
+#include "isa/isa.hh"
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+InstrClass
+classOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB:
+      case Opcode::AND: case Opcode::OR: case Opcode::XOR: case Opcode::NOR:
+      case Opcode::SLT: case Opcode::SLTU:
+      case Opcode::SLLV: case Opcode::SRLV: case Opcode::SRAV:
+      case Opcode::SLL: case Opcode::SRL: case Opcode::SRA:
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SLTI: case Opcode::SLTIU:
+      case Opcode::LUI:
+        return InstrClass::IntAlu;
+      case Opcode::MUL:
+        return InstrClass::IntMult;
+      case Opcode::DIV: case Opcode::REM:
+        return InstrClass::IntDiv;
+      case Opcode::LB: case Opcode::LBU: case Opcode::LH: case Opcode::LHU:
+      case Opcode::LW: case Opcode::LDC1:
+        return InstrClass::Load;
+      case Opcode::SB: case Opcode::SH: case Opcode::SW: case Opcode::SDC1:
+        return InstrClass::Store;
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLEZ:
+      case Opcode::BGTZ: case Opcode::BLTZ: case Opcode::BGEZ:
+      case Opcode::BC1T: case Opcode::BC1F:
+        return InstrClass::CondBranch;
+      case Opcode::J: case Opcode::JAL:
+        return InstrClass::DirectJump;
+      case Opcode::JR: case Opcode::JALR:
+        return InstrClass::IndirectJump;
+      case Opcode::ADD_D: case Opcode::SUB_D:
+      case Opcode::NEG_D: case Opcode::ABS_D: case Opcode::MOV_D:
+      case Opcode::CVT_D_W: case Opcode::CVT_W_D:
+      case Opcode::C_EQ_D: case Opcode::C_LT_D: case Opcode::C_LE_D:
+        return InstrClass::FpAlu;
+      case Opcode::MUL_D:
+        return InstrClass::FpMult;
+      case Opcode::DIV_D:
+        return InstrClass::FpDiv;
+      case Opcode::NOP:
+        return InstrClass::Nop;
+      case Opcode::HALT:
+        return InstrClass::Halt;
+      default:
+        panic("classOf: bad opcode %d", static_cast<int>(op));
+    }
+}
+
+Cycles
+latencyOf(Opcode op)
+{
+    // MIPS R10K execution latencies (paper Table 1). Loads/stores listed
+    // as 1 here: address generation takes one execute cycle; the cache
+    // access happens in the memory stage.
+    switch (classOf(op)) {
+      case InstrClass::IntAlu:       return 1;
+      case InstrClass::IntMult:      return 6;
+      case InstrClass::IntDiv:       return 35;
+      case InstrClass::Load:         return 1;
+      case InstrClass::Store:        return 1;
+      case InstrClass::CondBranch:   return 1;
+      case InstrClass::DirectJump:   return 1;
+      case InstrClass::IndirectJump: return 1;
+      case InstrClass::FpAlu:        return 2;
+      case InstrClass::FpMult:       return 2;
+      case InstrClass::FpDiv:        return 19;
+      case InstrClass::Nop:          return 1;
+      case InstrClass::Halt:         return 1;
+    }
+    panic("latencyOf: bad opcode %d", static_cast<int>(op));
+}
+
+const char *
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD:     return "add";
+      case Opcode::SUB:     return "sub";
+      case Opcode::MUL:     return "mul";
+      case Opcode::DIV:     return "div";
+      case Opcode::REM:     return "rem";
+      case Opcode::AND:     return "and";
+      case Opcode::OR:      return "or";
+      case Opcode::XOR:     return "xor";
+      case Opcode::NOR:     return "nor";
+      case Opcode::SLT:     return "slt";
+      case Opcode::SLTU:    return "sltu";
+      case Opcode::SLLV:    return "sllv";
+      case Opcode::SRLV:    return "srlv";
+      case Opcode::SRAV:    return "srav";
+      case Opcode::SLL:     return "sll";
+      case Opcode::SRL:     return "srl";
+      case Opcode::SRA:     return "sra";
+      case Opcode::ADDI:    return "addi";
+      case Opcode::ANDI:    return "andi";
+      case Opcode::ORI:     return "ori";
+      case Opcode::XORI:    return "xori";
+      case Opcode::SLTI:    return "slti";
+      case Opcode::SLTIU:   return "sltiu";
+      case Opcode::LUI:     return "lui";
+      case Opcode::LB:      return "lb";
+      case Opcode::LBU:     return "lbu";
+      case Opcode::LH:      return "lh";
+      case Opcode::LHU:     return "lhu";
+      case Opcode::LW:      return "lw";
+      case Opcode::LDC1:    return "ldc1";
+      case Opcode::SB:      return "sb";
+      case Opcode::SH:      return "sh";
+      case Opcode::SW:      return "sw";
+      case Opcode::SDC1:    return "sdc1";
+      case Opcode::BEQ:     return "beq";
+      case Opcode::BNE:     return "bne";
+      case Opcode::BLEZ:    return "blez";
+      case Opcode::BGTZ:    return "bgtz";
+      case Opcode::BLTZ:    return "bltz";
+      case Opcode::BGEZ:    return "bgez";
+      case Opcode::BC1T:    return "bc1t";
+      case Opcode::BC1F:    return "bc1f";
+      case Opcode::J:       return "j";
+      case Opcode::JAL:     return "jal";
+      case Opcode::JR:      return "jr";
+      case Opcode::JALR:    return "jalr";
+      case Opcode::ADD_D:   return "add.d";
+      case Opcode::SUB_D:   return "sub.d";
+      case Opcode::MUL_D:   return "mul.d";
+      case Opcode::DIV_D:   return "div.d";
+      case Opcode::NEG_D:   return "neg.d";
+      case Opcode::ABS_D:   return "abs.d";
+      case Opcode::MOV_D:   return "mov.d";
+      case Opcode::CVT_D_W: return "cvt.d.w";
+      case Opcode::CVT_W_D: return "cvt.w.d";
+      case Opcode::C_EQ_D:  return "c.eq.d";
+      case Opcode::C_LT_D:  return "c.lt.d";
+      case Opcode::C_LE_D:  return "c.le.d";
+      case Opcode::NOP:     return "nop";
+      case Opcode::HALT:    return "halt";
+      default:              return "<bad>";
+    }
+}
+
+std::string
+intRegName(int reg)
+{
+    return "r" + std::to_string(reg);
+}
+
+std::string
+fpRegName(int reg)
+{
+    return "f" + std::to_string(reg);
+}
+
+} // namespace visa

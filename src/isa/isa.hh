@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The VPISA instruction set: a MIPS-like 32-bit RISC used as our
+ * substitute for SimpleScalar's PISA (see DESIGN.md, substitution 1).
+ *
+ * Properties the rest of the system relies on:
+ *  - fixed 4-byte instructions at linear addresses (drives I-cache
+ *    analysis in the WCET tool),
+ *  - MIPS R10K execution latencies (Table 1 of the paper),
+ *  - direct branches with statically known targets (merged BTB/I-cache),
+ *  - indirect jumps (JR/JALR) that stall fetch on the VISA pipeline.
+ */
+
+#ifndef VISA_ISA_ISA_HH
+#define VISA_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace visa
+{
+
+/** Number of architected integer registers (r0 is hard-wired zero). */
+inline constexpr int numIntRegs = 32;
+/** Number of architected floating-point registers (64-bit each). */
+inline constexpr int numFpRegs = 32;
+
+/** Every opcode in the VPISA instruction set. */
+enum class Opcode : std::uint8_t
+{
+    // Integer register-register ALU.
+    ADD, SUB, MUL, DIV, REM,
+    AND, OR, XOR, NOR,
+    SLT, SLTU,
+    SLLV, SRLV, SRAV,
+    // Shifts by immediate amount.
+    SLL, SRL, SRA,
+    // Integer register-immediate ALU.
+    ADDI, ANDI, ORI, XORI, SLTI, SLTIU, LUI,
+    // Loads.
+    LB, LBU, LH, LHU, LW, LDC1,
+    // Stores.
+    SB, SH, SW, SDC1,
+    // Conditional branches (PC-relative).
+    BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ,
+    // FP-condition-code branches.
+    BC1T, BC1F,
+    // Direct jumps.
+    J, JAL,
+    // Indirect jumps.
+    JR, JALR,
+    // Double-precision floating point.
+    ADD_D, SUB_D, MUL_D, DIV_D,
+    NEG_D, ABS_D, MOV_D,
+    CVT_D_W,    ///< fd <- (double) int-reg rs   (non-standard convenience)
+    CVT_W_D,    ///< rd <- (int) trunc fp-reg fs (non-standard convenience)
+    C_EQ_D, C_LT_D, C_LE_D,    ///< set the FP condition code (FCC)
+    // Miscellaneous.
+    NOP,
+    HALT,       ///< stop the simulated machine
+
+    NumOpcodes
+};
+
+/** Functional classes used for timing (one universal FU executes all). */
+enum class InstrClass : std::uint8_t
+{
+    IntAlu,
+    IntMult,
+    IntDiv,
+    Load,
+    Store,
+    CondBranch,
+    DirectJump,
+    IndirectJump,
+    FpAlu,      ///< add/sub/neg/abs/mov/cmp/cvt
+    FpMult,
+    FpDiv,
+    Nop,
+    Halt
+};
+
+/** @return the functional class of @p op. */
+InstrClass classOf(Opcode op);
+
+/**
+ * @return the execution (occupancy) latency in cycles of @p op on the
+ * universal function unit, per MIPS R10K (paper Table 1).
+ */
+Cycles latencyOf(Opcode op);
+
+/** @return the mnemonic of @p op, lower case ("add.d", "lw", ...). */
+const char *mnemonic(Opcode op);
+
+/** @return the integer register name ("r7"; aliases resolved on parse). */
+std::string intRegName(int reg);
+
+/** @return the FP register name ("f7"). */
+std::string fpRegName(int reg);
+
+/**
+ * Well-known register conventions used by the assembler and the
+ * workload generators.
+ */
+namespace reg
+{
+inline constexpr int zero = 0;   ///< hard-wired zero
+inline constexpr int at = 1;     ///< assembler temporary (pseudo-op use)
+inline constexpr int gp = 28;    ///< global pointer (parameter table base)
+inline constexpr int sp = 29;    ///< stack pointer
+inline constexpr int fp = 30;    ///< frame pointer
+inline constexpr int ra = 31;    ///< return address (JAL/JALR)
+} // namespace reg
+
+/**
+ * Memory-mapped device addresses (paper §2.2 and §4.3: watchdog counter,
+ * cycle counter, and frequency registers are memory mapped).
+ */
+namespace mmio
+{
+inline constexpr Addr base = 0xFFFF0000u;
+/** Store: add value to the watchdog counter. Load: current value. */
+inline constexpr Addr watchdog = 0xFFFF0000u;
+/** Load: cycles since last reset. Store: reset to zero. */
+inline constexpr Addr cycleCounter = 0xFFFF0004u;
+/** Load: current core frequency in MHz. */
+inline constexpr Addr currentFreq = 0xFFFF0008u;
+/** Load: recovery frequency in MHz. */
+inline constexpr Addr recoveryFreq = 0xFFFF000Cu;
+/** Store: announce the id of the sub-task now beginning. */
+inline constexpr Addr subtaskId = 0xFFFF0010u;
+/** Store: report the AET (cycles) of the sub-task that just ended. */
+inline constexpr Addr aetReport = 0xFFFF0014u;
+/** Store: report a functional checksum for golden-output validation. */
+inline constexpr Addr checksum = 0xFFFF0018u;
+/** Store: write a character to the debug console. */
+inline constexpr Addr putChar = 0xFFFF001Cu;
+inline constexpr Addr top = 0xFFFF0020u;
+
+/** @return true if @p a falls in the memory-mapped device window. */
+constexpr bool
+contains(Addr a)
+{
+    return a >= base && a < top;
+}
+} // namespace mmio
+
+} // namespace visa
+
+#endif // VISA_ISA_ISA_HH

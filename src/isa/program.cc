@@ -1,0 +1,25 @@
+#include "isa/program.hh"
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+const Instruction &
+Program::at(Addr pc) const
+{
+    if (!containsPc(pc))
+        panic("Program::at: pc 0x%x outside text", pc);
+    return text[(pc - textBase) / 4];
+}
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("unknown symbol '%s'", name.c_str());
+    return it->second;
+}
+
+} // namespace visa

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * An assembled program image: text, initialized data, symbols, and the
+ * annotations the WCET analyzer consumes (loop bounds, sub-task marks).
+ */
+
+#ifndef VISA_ISA_PROGRAM_HH
+#define VISA_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "sim/types.hh"
+
+namespace visa
+{
+
+/** Default base address of the text segment (SimpleScalar convention). */
+inline constexpr Addr defaultTextBase = 0x00400000u;
+/** Default base address of the data segment. */
+inline constexpr Addr defaultDataBase = 0x10000000u;
+/** Default initial stack pointer (grows down). */
+inline constexpr Addr defaultStackTop = 0x7FFF0000u;
+
+/** An assembled, loadable program. */
+struct Program
+{
+    Addr textBase = defaultTextBase;
+    Addr dataBase = defaultDataBase;
+    Addr entry = defaultTextBase;
+
+    /** Decoded instructions, in address order starting at textBase. */
+    std::vector<Instruction> text;
+    /** Encoded 32-bit words, parallel to @ref text. */
+    std::vector<Word> words;
+    /** Initialized data bytes starting at dataBase. */
+    std::vector<std::uint8_t> data;
+
+    /** Label name -> address (text and data labels). */
+    std::map<std::string, Addr> symbols;
+
+    /**
+     * Loop bound annotations: address of a *branch instruction* that
+     * forms a loop back edge -> maximum number of times that back edge
+     * is taken per loop entry (so the loop body executes at most
+     * bound+1 times... no: body executes at most bound times; the
+     * annotation counts body iterations, see Assembler docs).
+     */
+    std::map<Addr, std::uint64_t> loopBounds;
+
+    /** Sub-task start markers: address -> sub-task index (1-based). */
+    std::map<Addr, int> subtaskStarts;
+
+    /** @return the number of instructions in the text segment. */
+    std::size_t size() const { return text.size(); }
+
+    /** @return the address one past the last text instruction. */
+    Addr
+    textEnd() const
+    {
+        return textBase + static_cast<Addr>(text.size() * 4);
+    }
+
+    /** @return true if @p pc addresses an instruction in this program. */
+    bool
+    containsPc(Addr pc) const
+    {
+        return pc >= textBase && pc < textEnd() && (pc & 3) == 0;
+    }
+
+    /** @return the instruction at @p pc (must be contained). */
+    const Instruction &at(Addr pc) const;
+
+    /** @return the address of label @p name; fatal if unknown. */
+    Addr symbol(const std::string &name) const;
+};
+
+} // namespace visa
+
+#endif // VISA_ISA_PROGRAM_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Functional (untimed) semantics of VPISA instructions, shared by the
+ * in-order and out-of-order pipeline simulators. All helpers are pure.
+ */
+
+#ifndef VISA_ISA_SEMANTICS_HH
+#define VISA_ISA_SEMANTICS_HH
+
+#include "isa/instruction.hh"
+#include "sim/types.hh"
+
+namespace visa
+{
+
+/** Outcome of evaluating a control instruction. */
+struct ControlEval
+{
+    bool taken = false;     ///< jumps are always taken
+    Addr target = 0;        ///< destination when taken
+};
+
+/**
+ * Evaluate an integer ALU operation (including LUI and immediate
+ * shifts). Division by zero yields 0 (the ISA defines it so, keeping
+ * the simulator free of host UB).
+ */
+Word evalIntAlu(const Instruction &inst, Word rs_val, Word rt_val);
+
+/** Evaluate a two-source double-precision FP operation. */
+double evalFpAlu(const Instruction &inst, double a, double b);
+
+/** Evaluate an FP compare; @return the new FCC value. */
+bool evalFpCmp(const Instruction &inst, double a, double b);
+
+/**
+ * Evaluate a control instruction at @p pc.
+ * @param rs_val first source value (JR/JALR target, branch operand)
+ * @param rt_val second source value (BEQ/BNE)
+ * @param fcc    current FP condition code (BC1T/BC1F)
+ */
+ControlEval evalControl(const Instruction &inst, Addr pc,
+                        Word rs_val, Word rt_val, bool fcc);
+
+/** Effective address of a memory instruction. */
+inline Addr
+effectiveAddr(const Instruction &inst, Word base_val)
+{
+    return base_val + static_cast<Word>(inst.imm);
+}
+
+/** Sign/zero-extend a raw loaded value per the load opcode. */
+Word extendLoad(Opcode op, Word raw);
+
+} // namespace visa
+
+#endif // VISA_ISA_SEMANTICS_HH

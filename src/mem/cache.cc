@@ -1,0 +1,104 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // anonymous namespace
+
+Cache::Cache(const CacheParams &params)
+    : params_(params)
+{
+    if (!isPow2(params.sizeBytes) || !isPow2(params.assoc) ||
+        !isPow2(params.blockBytes)) {
+        fatal("cache '%s': all geometry parameters must be powers of two",
+              params.name.c_str());
+    }
+    if (params.sizeBytes % (params.assoc * params.blockBytes) != 0)
+        fatal("cache '%s': size not divisible by assoc*block",
+              params.name.c_str());
+    numSets_ = params.sizeBytes / (params.assoc * params.blockBytes);
+    lines_.resize(static_cast<std::size_t>(numSets_) * params.assoc);
+}
+
+Cache::Line *
+Cache::victimIn(Line *ways)
+{
+    // Invalid ways always win.
+    for (std::uint32_t w = 0; w < params_.assoc; ++w)
+        if (!ways[w].valid)
+            return &ways[w];
+    switch (params_.repl) {
+      case ReplPolicy::Lru:
+      case ReplPolicy::Fifo: {
+        // For FIFO the stamp is set at fill only, so oldest-stamp
+        // selection implements both policies.
+        Line *victim = &ways[0];
+        for (std::uint32_t w = 1; w < params_.assoc; ++w)
+            if (ways[w].lruStamp < victim->lruStamp)
+                victim = &ways[w];
+        return victim;
+      }
+      case ReplPolicy::Random: {
+        // 16-bit Fibonacci LFSR: deterministic, seed-fixed.
+        lfsr_ = (lfsr_ >> 1) ^
+                (static_cast<std::uint32_t>(-(lfsr_ & 1u)) & 0xB400u);
+        return &ways[lfsr_ % params_.assoc];
+      }
+    }
+    return &ways[0];
+}
+
+bool
+Cache::access(Addr addr, bool is_write)
+{
+    (void)is_write;    // allocate-on-write: same path as reads
+    ++accesses_;
+    const std::uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *ways = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        if (ways[w].valid && ways[w].tag == tag) {
+            if (params_.repl == ReplPolicy::Lru)
+                ways[w].lruStamp = ++stamp_;    // FIFO: no refresh
+            return true;
+        }
+    }
+    ++misses_;
+    Line *victim = victimIn(ways);
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lruStamp = ++stamp_;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const std::uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *ways = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w)
+        if (ways[w].valid && ways[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &l : lines_)
+        l.valid = false;
+}
+
+} // namespace visa

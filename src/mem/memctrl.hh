@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Main-memory timing: a fixed 100 ns access latency (Table 1) plus a
+ * channel-occupancy contention model. With a single outstanding request
+ * (the VISA, simple-fixed, and simple mode cases) the latency is exactly
+ * the worst-case memory stall time; with multiple outstanding requests
+ * (complex mode) later requests can be delayed by channel contention,
+ * which is exactly why the complex pipeline cannot be bounded by Table 1
+ * (paper §3.2).
+ */
+
+#ifndef VISA_MEM_MEMCTRL_HH
+#define VISA_MEM_MEMCTRL_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace visa
+{
+
+/** Timing parameters of the memory controller. */
+struct MemCtrlParams
+{
+    /** Worst-case (uncontended) access latency, ns (Table 1). */
+    double accessNs = 100.0;
+    /** Channel occupancy per request, ns (bandwidth limit). */
+    double occupancyNs = 30.0;
+    /** Maximum outstanding misses (MSHRs) in complex mode. */
+    int maxOutstanding = 8;
+};
+
+/** Converts the ns-specified memory timing into cycles at frequency f. */
+class MemController
+{
+  public:
+    explicit MemController(const MemCtrlParams &params = {})
+        : params_(params)
+    {}
+
+    /**
+     * Uncontended miss penalty in cycles at @p f MHz: the worst-case
+     * memory stall time the VISA is specified with.
+     */
+    Cycles
+    stallCycles(MHz f) const
+    {
+        // ceil(accessNs * f / 1000)
+        auto num = static_cast<Cycles>(params_.accessNs * f);
+        return (num + 999) / 1000;
+    }
+
+    /** Channel occupancy in cycles at @p f MHz. */
+    Cycles
+    occupancyCycles(MHz f) const
+    {
+        auto num = static_cast<Cycles>(params_.occupancyNs * f);
+        return (num + 999) / 1000;
+    }
+
+    /**
+     * Schedule a request issued at absolute cycle @p now with frequency
+     * @p f; @return the absolute cycle the fill completes. Applies the
+     * channel contention model.
+     */
+    Cycles
+    schedule(Cycles now, MHz f)
+    {
+        Cycles start = now > channelFree_ ? now : channelFree_;
+        channelFree_ = start + occupancyCycles(f);
+        return start + stallCycles(f);
+    }
+
+    /**
+     * Schedule a request with the guarantee that it is the only
+     * outstanding one (simple mode / simple-fixed): no contention.
+     */
+    Cycles
+    scheduleExclusive(Cycles now, MHz f) const
+    {
+        return now + stallCycles(f);
+    }
+
+    /** Forget channel state (e.g., across task boundaries). */
+    void reset() { channelFree_ = 0; }
+
+    int maxOutstanding() const { return params_.maxOutstanding; }
+    const MemCtrlParams &params() const { return params_; }
+
+  private:
+    MemCtrlParams params_;
+    Cycles channelFree_ = 0;
+};
+
+} // namespace visa
+
+#endif // VISA_MEM_MEMCTRL_HH

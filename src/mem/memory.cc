@@ -1,0 +1,72 @@
+#include "mem/memory.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+std::uint8_t
+MainMemory::readByte(Addr a) const
+{
+    auto it = pages_.find(a >> pageBits);
+    if (it == pages_.end())
+        return 0;
+    return (*it->second)[a & pageMask];
+}
+
+void
+MainMemory::writeByte(Addr a, std::uint8_t v)
+{
+    auto &page = pages_[a >> pageBits];
+    if (!page) {
+        page = std::make_unique<Page>();
+        page->fill(0);
+    }
+    (*page)[a & pageMask] = v;
+}
+
+std::uint64_t
+MainMemory::read(Addr addr, int bytes) const
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i)
+        v |= static_cast<std::uint64_t>(readByte(addr + i)) << (8 * i);
+    return v;
+}
+
+void
+MainMemory::write(Addr addr, std::uint64_t value, int bytes)
+{
+    for (int i = 0; i < bytes; ++i)
+        writeByte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+double
+MainMemory::readDouble(Addr addr) const
+{
+    std::uint64_t bits = read(addr, 8);
+    double d;
+    std::memcpy(&d, &bits, 8);
+    return d;
+}
+
+void
+MainMemory::writeDouble(Addr addr, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    write(addr, bits, 8);
+}
+
+void
+MainMemory::loadProgram(const Program &prog)
+{
+    for (std::size_t i = 0; i < prog.words.size(); ++i)
+        writeWord(prog.textBase + static_cast<Addr>(i * 4), prog.words[i]);
+    for (std::size_t i = 0; i < prog.data.size(); ++i)
+        writeByte(prog.dataBase + static_cast<Addr>(i), prog.data[i]);
+}
+
+} // namespace visa

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sparse byte-addressable main memory (functional storage only; timing
+ * lives in MemController and the caches).
+ */
+
+#ifndef VISA_MEM_MEMORY_HH
+#define VISA_MEM_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "isa/program.hh"
+#include "sim/types.hh"
+
+namespace visa
+{
+
+/** Little-endian sparse memory backed by 4 KB pages. */
+class MainMemory
+{
+  public:
+    /** Read @p bytes (1, 2, 4, or 8) starting at @p addr. */
+    std::uint64_t read(Addr addr, int bytes) const;
+
+    /** Write the low @p bytes of @p value starting at @p addr. */
+    void write(Addr addr, std::uint64_t value, int bytes);
+
+    Word readWord(Addr addr) const
+    {
+        return static_cast<Word>(read(addr, 4));
+    }
+    void writeWord(Addr addr, Word v) { write(addr, v, 4); }
+
+    double readDouble(Addr addr) const;
+    void writeDouble(Addr addr, double v);
+
+    /** Copy a program's text and initialized data into memory. */
+    void loadProgram(const Program &prog);
+
+    /** Drop all contents. */
+    void clear() { pages_.clear(); }
+
+  private:
+    static constexpr Addr pageBits = 12;
+    static constexpr Addr pageSize = 1u << pageBits;
+    static constexpr Addr pageMask = pageSize - 1;
+
+    using Page = std::array<std::uint8_t, pageSize>;
+
+    std::uint8_t readByte(Addr a) const;
+    void writeByte(Addr a, std::uint8_t v);
+
+    mutable std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace visa
+
+#endif // VISA_MEM_MEMORY_HH

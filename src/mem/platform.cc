@@ -1,0 +1,83 @@
+#include "mem/platform.hh"
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+Word
+Platform::load(Addr addr) const
+{
+    switch (addr) {
+      case mmio::watchdog:
+        return static_cast<Word>(watchdogArmed_ ? watchdog_ : 0);
+      case mmio::cycleCounter:
+        return static_cast<Word>(cycleCounter_);
+      case mmio::currentFreq:
+        return curFreq_;
+      case mmio::recoveryFreq:
+        return recFreq_;
+      case mmio::subtaskId:
+        return static_cast<Word>(curSubtask_);
+      default:
+        warn("MMIO load from unmapped 0x%x", addr);
+        return 0;
+    }
+}
+
+void
+Platform::store(Addr addr, Word value)
+{
+    switch (addr) {
+      case mmio::watchdog:
+        // Stores *add* to the watchdog: the first sub-task's snippet
+        // initializes it (add to zero) and later snippets advance the
+        // interim deadline to the next checkpoint (paper §2.2).
+        watchdog_ += static_cast<std::int32_t>(value);
+        watchdogArmed_ = watchdog_ > 0;
+        break;
+      case mmio::cycleCounter:
+        cycleCounter_ = 0;
+        break;
+      case mmio::subtaskId:
+        curSubtask_ = static_cast<int>(value);
+        if (onSubtaskBegin)
+            onSubtaskBegin(curSubtask_);
+        break;
+      case mmio::aetReport:
+        if (onAetReport)
+            onAetReport(curSubtask_, value);
+        break;
+      case mmio::checksum:
+        lastChecksum_ = value;
+        checksumReported_ = true;
+        break;
+      case mmio::putChar:
+        console_ += static_cast<char>(value & 0xFF);
+        break;
+      case mmio::currentFreq:
+      case mmio::recoveryFreq:
+        // Frequency switching is privileged: only the run-time system
+        // (host side) changes frequencies in this model.
+        warn("guest store to frequency register ignored");
+        break;
+      default:
+        warn("MMIO store to unmapped 0x%x", addr);
+    }
+}
+
+void
+Platform::reset()
+{
+    watchdog_ = 0;
+    watchdogArmed_ = false;
+    masked_ = true;
+    cycleCounter_ = 0;
+    curSubtask_ = 0;
+    lastChecksum_ = 0;
+    checksumReported_ = false;
+    console_.clear();
+    expiredWhileMasked_ = 0;
+}
+
+} // namespace visa

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Memory-mapped platform devices (paper §2.2 and §4.3): the watchdog
+ * counter that enforces sub-task checkpoints, the cycle counter used to
+ * measure sub-task AETs, the frequency registers, and reporting ports
+ * used by the run-time system and the test harness.
+ */
+
+#ifndef VISA_MEM_PLATFORM_HH
+#define VISA_MEM_PLATFORM_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "isa/isa.hh"
+#include "sim/types.hh"
+
+namespace visa
+{
+
+/**
+ * The device block at @ref mmio. One instance is shared by a CPU and
+ * the run-time system; the CPU calls tick() once per core cycle.
+ */
+class Platform
+{
+  public:
+    /** Handle a load from the MMIO window. */
+    Word load(Addr addr) const;
+
+    /** Handle a store to the MMIO window. */
+    void store(Addr addr, Word value);
+
+    /**
+     * Advance one core cycle: the cycle counter increments and an armed
+     * watchdog decrements (paper: "hardware autonomously decrements the
+     * watchdog counter by one every cycle").
+     *
+     * @return true if the watchdog reached zero this cycle and
+     *         missed-checkpoint exceptions are not masked.
+     */
+    bool
+    tick()
+    {
+        ++cycleCounter_;
+        if (!watchdogArmed_)
+            return false;
+        if (--watchdog_ > 0)
+            return false;
+        watchdogArmed_ = false;
+        if (masked_) {
+            ++expiredWhileMasked_;
+            return false;
+        }
+        return true;
+    }
+
+    /** Result of advancing several cycles at once. */
+    struct TickResult
+    {
+        bool expired = false;    ///< unmasked watchdog expiry occurred
+        Cycles offset = 0;       ///< cycles into the span it happened
+    };
+
+    /**
+     * Advance @p n cycles at once (used by the in-order pipeline, which
+     * retires instructions in multi-cycle steps). Equivalent to n
+     * individual tick() calls.
+     */
+    TickResult
+    tickN(Cycles n)
+    {
+        TickResult res;
+        cycleCounter_ += n;
+        if (!watchdogArmed_ || static_cast<std::uint64_t>(watchdog_) > n) {
+            if (watchdogArmed_)
+                watchdog_ -= static_cast<std::int64_t>(n);
+            return res;
+        }
+        res.offset = static_cast<Cycles>(watchdog_);
+        watchdog_ = 0;
+        watchdogArmed_ = false;
+        if (masked_) {
+            ++expiredWhileMasked_;
+        } else {
+            res.expired = true;
+        }
+        return res;
+    }
+
+    /** Mask/unmask missed-checkpoint exceptions (paper §2.2). */
+    void maskWatchdog(bool masked) { masked_ = masked; }
+    bool watchdogMasked() const { return masked_; }
+
+    /** Disarm and clear the watchdog (between tasks). */
+    void
+    clearWatchdog()
+    {
+        watchdog_ = 0;
+        watchdogArmed_ = false;
+    }
+
+    std::int64_t watchdogValue() const { return watchdogArmed_ ? watchdog_ : 0; }
+    bool watchdogArmed() const { return watchdogArmed_; }
+
+    std::uint64_t cycleCounter() const { return cycleCounter_; }
+    void resetCycleCounter() { cycleCounter_ = 0; }
+
+    void setCurrentFreq(MHz f) { curFreq_ = f; }
+    MHz currentFreq() const { return curFreq_; }
+    void setRecoveryFreq(MHz f) { recFreq_ = f; }
+    MHz recoveryFreq() const { return recFreq_; }
+
+    int currentSubtask() const { return curSubtask_; }
+    Word lastChecksum() const { return lastChecksum_; }
+    bool checksumReported() const { return checksumReported_; }
+    const std::string &consoleOutput() const { return console_; }
+
+    /** How many times the watchdog expired while masked (diagnostic). */
+    std::uint64_t expiredWhileMasked() const { return expiredWhileMasked_; }
+
+    /** Reset everything except the host hooks. */
+    void reset();
+
+    /** Host hook: a sub-task began (argument: sub-task id). */
+    std::function<void(int)> onSubtaskBegin;
+    /** Host hook: an AET was reported (sub-task id, cycles). */
+    std::function<void(int, std::uint64_t)> onAetReport;
+
+  private:
+    std::int64_t watchdog_ = 0;
+    bool watchdogArmed_ = false;
+    bool masked_ = true;
+    std::uint64_t cycleCounter_ = 0;
+    MHz curFreq_ = 1000;
+    MHz recFreq_ = 1000;
+    int curSubtask_ = 0;
+    Word lastChecksum_ = 0;
+    bool checksumReported_ = false;
+    std::string console_;
+    std::uint64_t expiredWhileMasked_ = 0;
+};
+
+} // namespace visa
+
+#endif // VISA_MEM_PLATFORM_HH

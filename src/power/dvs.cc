@@ -1,0 +1,51 @@
+#include "power/dvs.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+DvsTable::DvsTable(double freq_multiplier)
+{
+    // 37 points: 100 MHz / 0.70 V ... 1000 MHz / 1.80 V in 25 MHz
+    // increments (paper: ~0.03 V per step; we use the exact linear
+    // interpolation 1.10 V / 36 steps so the endpoints match XScale).
+    for (int i = 0; i < 37; ++i) {
+        DvsSetting s;
+        s.freq = static_cast<MHz>(
+            std::lround((100.0 + 25.0 * i) * freq_multiplier));
+        s.volts = 0.70 + (1.10 / 36.0) * i;
+        settings_.push_back(s);
+    }
+}
+
+double
+DvsTable::voltsAt(MHz f) const
+{
+    for (const auto &s : settings_)
+        if (s.freq == f)
+            return s.volts;
+    fatal("dvs: %u MHz is not an operating point", f);
+}
+
+DvsSetting
+DvsTable::ceilSetting(MHz f) const
+{
+    for (const auto &s : settings_)
+        if (s.freq >= f)
+            return s;
+    fatal("dvs: no operating point reaches %u MHz", f);
+}
+
+bool
+DvsTable::isSetting(MHz f) const
+{
+    for (const auto &s : settings_)
+        if (s.freq == f)
+            return true;
+    return false;
+}
+
+} // namespace visa

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Dynamic voltage/frequency scaling table (paper §5.2): 37 settings
+ * from 100 MHz / 0.70 V to 1 GHz / 1.80 V in 25 MHz steps,
+ * extrapolated from the Intel XScale's five published points.
+ */
+
+#ifndef VISA_POWER_DVS_HH
+#define VISA_POWER_DVS_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace visa
+{
+
+/** One DVS operating point. */
+struct DvsSetting
+{
+    MHz freq = 0;
+    double volts = 0.0;
+};
+
+/** The 37-point XScale-extrapolated DVS table. */
+class DvsTable
+{
+  public:
+    /**
+     * @param freq_multiplier frequency achievable at a given voltage,
+     *        relative to the baseline table (Fig. 3 gives simple-fixed
+     *        a 1.5x advantage: it reaches 1.5x the frequency at the
+     *        same voltage).
+     */
+    explicit DvsTable(double freq_multiplier = 1.0);
+
+    const std::vector<DvsSetting> &settings() const { return settings_; }
+
+    MHz minFreq() const { return settings_.front().freq; }
+    MHz maxFreq() const { return settings_.back().freq; }
+
+    /** Voltage of the operating point with frequency @p f (exact). */
+    double voltsAt(MHz f) const;
+
+    /** The lowest setting with frequency >= @p f; fatal if none. */
+    DvsSetting ceilSetting(MHz f) const;
+
+    /** @return true if @p f is one of the table's operating points. */
+    bool isSetting(MHz f) const;
+
+  private:
+    std::vector<DvsSetting> settings_;
+};
+
+/**
+ * Time (and energy) cost of one frequency/voltage switch, ns. Charged
+ * as the `ovhd` term of EQ 1-4; dominated by the voltage regulator
+ * slew. Also budgets the pipeline drain and the detection slack of the
+ * in-order simulator (it stops at the first instruction boundary after
+ * the watchdog fires).
+ */
+inline constexpr double dvsSwitchOverheadNs = 20000.0;    // 20 us
+
+} // namespace visa
+
+#endif // VISA_POWER_DVS_HH

@@ -1,0 +1,160 @@
+#include "power/energy_model.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+namespace
+{
+
+// Effective-capacitance coefficients (farads). Absolute values are
+// calibrated to Wattch-era magnitudes (hundreds of pJ per large-array
+// access at 1.8 V); the experiments only use relative comparisons.
+constexpr double cArray = 120e-15;    ///< per sqrt(total bits)
+constexpr double cWidth = 12e-15;     ///< per payload bit
+constexpr double cDecode = 25e-15;    ///< per address bit
+constexpr double cMatch = 8e-15;      ///< CAM broadcast, per entry-bit
+constexpr double cClock = 600e-12;    ///< full-die clock tree per cycle
+
+double
+structCeff(const StructGeom &g)
+{
+    // Energy of ONE port access. Multi-porting lengthens word/bit
+    // lines roughly linearly in the port count, so a single access to
+    // a heavily ported array costs more than to a single-ported one;
+    // it does not cost the whole structure's peak (that is
+    // peakCycleEnergy's job).
+    if (g.entries == 0 || g.bits == 0)
+        return 0.0;
+    const double total_bits =
+        static_cast<double>(g.entries) * static_cast<double>(g.bits);
+    const double port_factor = 0.6 + 0.4 * g.ports;
+    double c = (cArray * std::sqrt(total_bits) +
+                cWidth * static_cast<double>(g.bits)) *
+                   port_factor +
+               cDecode * std::log2(static_cast<double>(g.entries) + 1.0);
+    if (g.cam)
+        c += cMatch * static_cast<double>(g.entries) *
+             static_cast<double>(g.bits);
+    return c;
+}
+
+} // anonymous namespace
+
+EnergyModel::EnergyModel(const std::array<StructGeom, numUnits> &geoms,
+                         double die_scale)
+    : geoms_(geoms), clockCeff_(cClock * die_scale)
+{
+    for (int i = 0; i < numUnits; ++i)
+        ceff_[static_cast<std::size_t>(i)] =
+            structCeff(geoms_[static_cast<std::size_t>(i)]);
+}
+
+double
+EnergyModel::accessEnergy(Unit u, double volts) const
+{
+    return ceff_[static_cast<std::size_t>(static_cast<int>(u))] * volts *
+           volts;
+}
+
+double
+EnergyModel::clockEnergyPerCycle(double volts) const
+{
+    return clockCeff_ * volts * volts;
+}
+
+double
+EnergyModel::peakCycleEnergy(Unit u, double volts) const
+{
+    const auto &g = geoms_[static_cast<std::size_t>(static_cast<int>(u))];
+    return accessEnergy(u, volts) * g.peakPerCycle;
+}
+
+double
+EnergyModel::unitEpochEnergy(Unit u, const PowerActivity &act,
+                             double volts, ClockGating gating) const
+{
+    const double accesses = static_cast<double>(act.count(u));
+    double e = accessEnergy(u, volts) * accesses;
+    if (gating == ClockGating::Standby10) {
+        const auto &g =
+            geoms_[static_cast<std::size_t>(static_cast<int>(u))];
+        if (g.entries != 0) {
+            // Cycles the unit sat idle, approximated by charging full
+            // activity against its peak throughput.
+            double busy = accesses / g.peakPerCycle;
+            double idle =
+                std::max(0.0, static_cast<double>(act.cycles) - busy);
+            e += 0.10 * peakCycleEnergy(u, volts) * idle;
+        }
+    }
+    return e;
+}
+
+double
+EnergyModel::epochEnergy(const PowerActivity &act, double volts,
+                         ClockGating gating) const
+{
+    double e = clockEnergyPerCycle(volts) *
+               static_cast<double>(act.cycles);
+    for (int i = 0; i < numUnits; ++i)
+        e += unitEpochEnergy(static_cast<Unit>(i), act, volts, gating);
+    return e;
+}
+
+EnergyModel
+complexEnergyModel()
+{
+    std::array<StructGeom, numUnits> g{};
+    auto set = [&](Unit u, StructGeom geom) {
+        g[static_cast<std::size_t>(static_cast<int>(u))] = geom;
+    };
+    // 64 KB caches: 1024 blocks of 512 data bits + ~18 tag bits.
+    set(Unit::ICache, {1024, 530, 1, false, 1});
+    set(Unit::DCache, {1024, 530, 2, false, 2});
+    // 2^16-entry gshare (2 b) + 2^16-entry indirect table (32 b).
+    set(Unit::Bpred, {65536, 34, 1, false, 2});
+    set(Unit::FetchQueue, {16, 64, 2, false, 8});
+    set(Unit::RenameMap, {32, 8, 12, false, 4});
+    set(Unit::IssueQueue, {64, 32, 4, true, 8});
+    set(Unit::Lsq, {64, 48, 2, true, 4});
+    // 128-entry physical register file, 8R/4W.
+    set(Unit::RegfileRead, {128, 64, 8, false, 8});
+    set(Unit::RegfileWrite, {128, 64, 4, false, 4});
+    set(Unit::Fu, {4096, 64, 1, false, 4});
+    set(Unit::ActiveList, {128, 40, 8, false, 8});
+    set(Unit::ResultBus, {1024, 64, 1, false, 4});
+    return EnergyModel(g, 1.0);
+}
+
+EnergyModel
+simpleFixedEnergyModel()
+{
+    std::array<StructGeom, numUnits> g{};
+    auto set = [&](Unit u, StructGeom geom) {
+        g[static_cast<std::size_t>(static_cast<int>(u))] = geom;
+    };
+    // Same VISA caches (Table 1), single-ported.
+    set(Unit::ICache, {1024, 530, 1, false, 1});
+    set(Unit::DCache, {1024, 530, 1, false, 1});
+    // No predictor, no fetch queue, no rename/IQ/LSQ/active list:
+    // zero-sized structures burn nothing.
+    set(Unit::Bpred, {0, 0, 0, false, 1});
+    set(Unit::FetchQueue, {0, 0, 0, false, 1});
+    set(Unit::RenameMap, {0, 0, 0, false, 1});
+    set(Unit::IssueQueue, {0, 0, 0, false, 1});
+    set(Unit::Lsq, {0, 0, 0, false, 1});
+    // Architectural register file only: 32 x 64 b, 2R/1W.
+    set(Unit::RegfileRead, {32, 64, 2, false, 2});
+    set(Unit::RegfileWrite, {32, 64, 1, false, 1});
+    set(Unit::Fu, {4096, 64, 1, false, 1});
+    set(Unit::ActiveList, {0, 0, 0, false, 1});
+    set(Unit::ResultBus, {256, 64, 1, false, 1});
+    // Halved die dimensions (paper §5.2).
+    return EnergyModel(g, 0.5);
+}
+
+} // namespace visa

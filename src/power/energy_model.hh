@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Wattch-style activity-based energy model (paper §5.2, substitution 2
+ * in DESIGN.md). Each microarchitectural structure gets an effective
+ * switched capacitance derived from its geometry (entries, width,
+ * ports, RAM vs CAM); energy per access is C_eff * V^2. The clock tree
+ * scales with die dimensions (halved for simple-fixed). Two
+ * conditional-clocking styles are modeled, mirroring Wattch's
+ * "perfect" gating with and without 10% standby power.
+ */
+
+#ifndef VISA_POWER_ENERGY_MODEL_HH
+#define VISA_POWER_ENERGY_MODEL_HH
+
+#include <array>
+
+#include "cpu/activity.hh"
+
+namespace visa
+{
+
+/** Conditional clocking styles (Wattch cc modes used by the paper). */
+enum class ClockGating
+{
+    Perfect,      ///< proportional gating; idle structures burn nothing
+    Standby10,    ///< idle structures still draw 10% of peak power
+};
+
+/** Geometry of one structure, from which capacitance is derived. */
+struct StructGeom
+{
+    std::uint64_t entries = 0;
+    std::uint32_t bits = 0;        ///< payload width per entry
+    std::uint32_t ports = 1;       ///< read+write port count
+    bool cam = false;              ///< fully-associative match (IQ/LSQ)
+    /** Peak accesses per cycle (for standby-power normalization). */
+    std::uint32_t peakPerCycle = 1;
+};
+
+/** Per-processor energy model. */
+class EnergyModel
+{
+  public:
+    /**
+     * @param geoms      geometry of every Unit
+     * @param die_scale  relative die length (1.0 complex, 0.5 for
+     *                   simple-fixed: both dimensions halved, §5.2)
+     */
+    EnergyModel(const std::array<StructGeom, numUnits> &geoms,
+                double die_scale);
+
+    /** Energy of one access to @p u at supply @p volts, in joules. */
+    double accessEnergy(Unit u, double volts) const;
+
+    /** Clock-tree energy per cycle at @p volts, in joules. */
+    double clockEnergyPerCycle(double volts) const;
+
+    /** Peak per-cycle energy of @p u (standby normalization). */
+    double peakCycleEnergy(Unit u, double volts) const;
+
+    /**
+     * Total energy of an execution epoch: @p act activity counters
+     * accumulated over act.cycles cycles at a fixed voltage.
+     */
+    double epochEnergy(const PowerActivity &act, double volts,
+                       ClockGating gating) const;
+
+    /**
+     * Energy one structure contributed to an epoch (dynamic accesses
+     * plus its standby share under the given gating style). The sum
+     * over all units plus clockEnergyPerCycle * cycles equals
+     * epochEnergy().
+     */
+    double unitEpochEnergy(Unit u, const PowerActivity &act,
+                           double volts, ClockGating gating) const;
+
+    const StructGeom &geom(Unit u) const
+    {
+        return geoms_[static_cast<std::size_t>(static_cast<int>(u))];
+    }
+
+  private:
+    std::array<StructGeom, numUnits> geoms_;
+    std::array<double, numUnits> ceff_;    ///< farads per access
+    double clockCeff_;                      ///< farads per cycle
+};
+
+/** Energy model of the complex 4-way out-of-order processor (§3.2). */
+EnergyModel complexEnergyModel();
+
+/**
+ * Energy model of the literal-VISA simple-fixed processor: structures
+ * sized exactly to the VISA (32-entry architectural register file, no
+ * rename/IQ/LSQ/active-list), die dimensions halved (§5.2).
+ */
+EnergyModel simpleFixedEnergyModel();
+
+} // namespace visa
+
+#endif // VISA_POWER_ENERGY_MODEL_HH

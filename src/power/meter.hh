@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Epoch-based power metering. Voltage and frequency are constant
+ * within an epoch; the meter snapshots a CPU's activity counters at
+ * each frequency change and integrates energy and wall-clock time,
+ * yielding average power — the metric of Figures 2-4.
+ */
+
+#ifndef VISA_POWER_METER_HH
+#define VISA_POWER_METER_HH
+
+#include "cpu/cpu.hh"
+#include "power/dvs.hh"
+#include "power/energy_model.hh"
+
+namespace visa
+{
+
+/** Integrates a CPU's energy across DVS epochs. */
+class PowerMeter
+{
+  public:
+    PowerMeter(const Cpu &cpu, EnergyModel model, const DvsTable &dvs,
+               ClockGating gating)
+        : cpu_(&cpu), model_(std::move(model)), dvs_(&dvs),
+          gating_(gating)
+    {
+    }
+
+    /**
+     * Close the epoch that ran at @p f MHz: accounts everything the
+     * CPU did since the previous snapshot. Call just before each
+     * frequency change and at the end of the experiment.
+     */
+    void
+    closeEpoch(MHz f)
+    {
+        PowerActivity delta = cpu_->activity().since(snapshot_);
+        snapshot_ = cpu_->activity();
+        if (delta.cycles == 0)
+            return;    // empty epoch (e.g. the pre-run default clock)
+        double volts = dvs_->voltsAt(f);
+        accumulate(delta, volts);
+        timeS_ += static_cast<double>(delta.cycles) / (f * 1e6);
+    }
+
+    /**
+     * Account an idle stretch (e.g., waiting for the next period at
+     * the 100 MHz floor): clock and standby power only.
+     */
+    void
+    accountIdle(double seconds, MHz f)
+    {
+        if (seconds <= 0)
+            return;
+        double volts = dvs_->voltsAt(f);
+        PowerActivity idle;
+        idle.cycles = static_cast<std::uint64_t>(seconds * f * 1e6);
+        accumulate(idle, volts);
+        timeS_ += seconds;
+    }
+
+    /** Account the energy of one frequency/voltage switch. */
+    void
+    accountSwitch(MHz f)
+    {
+        // The switch interval burns clock power at the higher of the
+        // two voltages; we charge the current setting for its length.
+        accountIdle(dvsSwitchOverheadNs * 1e-9, f);
+    }
+
+    double totalEnergyJoules() const { return energyJ_; }
+    double totalTimeSeconds() const { return timeS_; }
+
+    /** Energy attributed to one structure across all epochs. */
+    double
+    unitEnergyJoules(Unit u) const
+    {
+        return unitJ_[static_cast<std::size_t>(static_cast<int>(u))];
+    }
+
+    /** Energy attributed to the clock tree across all epochs. */
+    double clockEnergyJoules() const { return clockJ_; }
+
+    double
+    averagePowerWatts() const
+    {
+        return timeS_ > 0 ? energyJ_ / timeS_ : 0.0;
+    }
+
+    void
+    reset()
+    {
+        snapshot_ = cpu_->activity();
+        energyJ_ = 0.0;
+        timeS_ = 0.0;
+        clockJ_ = 0.0;
+        unitJ_.fill(0.0);
+    }
+
+  private:
+    void
+    accumulate(const PowerActivity &delta, double volts)
+    {
+        double clock = model_.clockEnergyPerCycle(volts) *
+                       static_cast<double>(delta.cycles);
+        clockJ_ += clock;
+        energyJ_ += clock;
+        for (int i = 0; i < numUnits; ++i) {
+            double e = model_.unitEpochEnergy(static_cast<Unit>(i),
+                                              delta, volts, gating_);
+            unitJ_[static_cast<std::size_t>(i)] += e;
+            energyJ_ += e;
+        }
+    }
+
+    const Cpu *cpu_;
+    EnergyModel model_;
+    const DvsTable *dvs_;
+    ClockGating gating_;
+    PowerActivity snapshot_;
+    double energyJ_ = 0.0;
+    double timeS_ = 0.0;
+    double clockJ_ = 0.0;
+    std::array<double, numUnits> unitJ_{};
+};
+
+} // namespace visa
+
+#endif // VISA_POWER_METER_HH

@@ -1,0 +1,93 @@
+#include "sim/logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace visa
+{
+
+namespace
+{
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+} // anonymous namespace
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    throw PanicError(msg);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw FatalError(msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+std::set<std::string> &
+Debug::flags()
+{
+    static std::set<std::string> theFlags;
+    return theFlags;
+}
+
+void
+Debug::enable(const std::string &flag)
+{
+    flags().insert(flag);
+}
+
+void
+Debug::disable(const std::string &flag)
+{
+    flags().erase(flag);
+}
+
+bool
+Debug::enabled(const std::string &flag)
+{
+    return flags().count(flag) > 0;
+}
+
+} // namespace visa

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal gem5-style logging: panic/fatal for bugs vs user errors,
+ * warn/inform for status, and compile-time-cheap debug tracing gated on
+ * named flags.
+ */
+
+#ifndef VISA_SIM_LOGGING_HH
+#define VISA_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace visa
+{
+
+/** Thrown by fatal(): the simulation cannot continue due to user error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/** Thrown by panic(): an internal simulator bug was detected. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+/**
+ * Abort on an internal simulator bug. Use for conditions that should
+ * never happen regardless of user input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Abort on a user-caused error (bad configuration, malformed assembly).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning; does not stop the simulation. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Runtime-selectable debug-trace flags ("Fetch", "Cache", "WCET", ...). */
+class Debug
+{
+  public:
+    /** Enable a named trace flag. */
+    static void enable(const std::string &flag);
+    /** Disable a named trace flag. */
+    static void disable(const std::string &flag);
+    /** @return true if the named flag is enabled. */
+    static bool enabled(const std::string &flag);
+
+  private:
+    static std::set<std::string> &flags();
+};
+
+/** Emit a trace line if the named debug flag is enabled. */
+#define DPRINTF(flag, ...)                                                  \
+    do {                                                                    \
+        if (::visa::Debug::enabled(flag)) {                                 \
+            std::fprintf(stderr, "%s: ", flag);                             \
+            std::fprintf(stderr, __VA_ARGS__);                              \
+        }                                                                   \
+    } while (0)
+
+} // namespace visa
+
+#endif // VISA_SIM_LOGGING_HH

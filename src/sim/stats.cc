@@ -1,0 +1,109 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+void
+StatGroup::Distribution::sample(std::uint64_t v)
+{
+    ++_samples;
+    _sum += v;
+    if (v < _minSeen)
+        _minSeen = v;
+    if (v > _maxSeen)
+        _maxSeen = v;
+    if (_buckets.empty())
+        return;
+    std::uint64_t idx;
+    if (v < _min) {
+        idx = 0;
+    } else {
+        idx = (v - _min) / _bucketSize;
+        if (idx >= _buckets.size())
+            idx = _buckets.size() - 1;
+    }
+    ++_buckets[idx];
+}
+
+double
+StatGroup::Distribution::mean() const
+{
+    return _samples ? static_cast<double>(_sum) / _samples : 0.0;
+}
+
+void
+StatGroup::Distribution::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _samples = 0;
+    _sum = 0;
+    _minSeen = UINT64_MAX;
+    _maxSeen = 0;
+}
+
+StatGroup::Scalar &
+StatGroup::scalar(const std::string &stat_name, std::string desc)
+{
+    auto [it, fresh] = _scalars.try_emplace(stat_name);
+    if (fresh && !desc.empty())
+        _descs[stat_name] = std::move(desc);
+    return it->second;
+}
+
+StatGroup::Distribution &
+StatGroup::distribution(const std::string &stat_name, std::string desc)
+{
+    auto [it, fresh] = _distributions.try_emplace(stat_name);
+    if (fresh && !desc.empty())
+        _descs[stat_name] = std::move(desc);
+    return it->second;
+}
+
+void
+StatGroup::formula(const std::string &stat_name,
+                   std::function<double()> fn, std::string desc)
+{
+    _formulas[stat_name] = Formula{std::move(fn), std::move(desc)};
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[k, v] : _scalars) {
+        os << _name << '.' << k << ' ' << v.value();
+        auto d = _descs.find(k);
+        if (d != _descs.end())
+            os << " # " << d->second;
+        os << '\n';
+    }
+    for (const auto &[k, f] : _formulas) {
+        os << _name << '.' << k << ' ' << std::setprecision(6)
+           << f.fn() << std::setprecision(6);
+        if (!f.desc.empty())
+            os << " # " << f.desc;
+        os << '\n';
+    }
+    for (const auto &[k, d] : _distributions) {
+        os << _name << '.' << k << ".samples " << d.samples() << '\n';
+        os << _name << '.' << k << ".mean " << d.mean() << '\n';
+        if (d.samples()) {
+            os << _name << '.' << k << ".min " << d.minSeen() << '\n';
+            os << _name << '.' << k << ".max " << d.maxSeen() << '\n';
+        }
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[k, v] : _scalars)
+        v.reset();
+    for (auto &[k, d] : _distributions)
+        d.reset();
+}
+
+} // namespace visa

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * A small statistics package: named scalar counters, formulas, and
+ * distributions grouped by owner, with a text dump. Modeled after the
+ * spirit of gem5's stats package but deliberately compact.
+ */
+
+#ifndef VISA_SIM_STATS_HH
+#define VISA_SIM_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace visa
+{
+
+/** A named group of statistics belonging to one simulated object. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    /** A monotonically increasing scalar counter. */
+    class Scalar
+    {
+      public:
+        Scalar() = default;
+        Scalar &operator++() { ++_value; return *this; }
+        Scalar &operator+=(std::uint64_t v) { _value += v; return *this; }
+        void set(std::uint64_t v) { _value = v; }
+        std::uint64_t value() const { return _value; }
+        void reset() { _value = 0; }
+
+      private:
+        std::uint64_t _value = 0;
+    };
+
+    /** A bucketed distribution with fixed bucket width. */
+    class Distribution
+    {
+      public:
+        Distribution() = default;
+
+        /** Configure the histogram range [min, max) and bucket size. */
+        void
+        init(std::uint64_t min, std::uint64_t max, std::uint64_t bucket_size)
+        {
+            _min = min;
+            _max = max;
+            _bucketSize = bucket_size ? bucket_size : 1;
+            _buckets.assign((max - min) / _bucketSize + 1, 0);
+            _samples = 0;
+            _sum = 0;
+        }
+
+        void sample(std::uint64_t v);
+        std::uint64_t samples() const { return _samples; }
+        double mean() const;
+        std::uint64_t minSeen() const { return _minSeen; }
+        std::uint64_t maxSeen() const { return _maxSeen; }
+        const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+        void reset();
+
+      private:
+        std::uint64_t _min = 0;
+        std::uint64_t _max = 0;
+        std::uint64_t _bucketSize = 1;
+        std::vector<std::uint64_t> _buckets;
+        std::uint64_t _samples = 0;
+        std::uint64_t _sum = 0;
+        std::uint64_t _minSeen = UINT64_MAX;
+        std::uint64_t _maxSeen = 0;
+    };
+
+    /** Register a scalar under @p stat_name; returns a stable reference. */
+    Scalar &scalar(const std::string &stat_name, std::string desc = "");
+
+    /** Register a distribution under @p stat_name. */
+    Distribution &distribution(const std::string &stat_name,
+                               std::string desc = "");
+
+    /**
+     * Register a derived value computed on demand at dump time
+     * (e.g., IPC = instructions / cycles).
+     */
+    void formula(const std::string &stat_name,
+                 std::function<double()> fn, std::string desc = "");
+
+    /** Dump all registered stats as "group.stat value # desc" lines. */
+    void dump(std::ostream &os) const;
+
+    /** Reset all scalars and distributions to zero. */
+    void resetAll();
+
+    const std::string &name() const { return _name; }
+
+  private:
+    struct Formula
+    {
+        std::function<double()> fn;
+        std::string desc;
+    };
+
+    std::string _name;
+    std::map<std::string, Scalar> _scalars;
+    std::map<std::string, Distribution> _distributions;
+    std::map<std::string, Formula> _formulas;
+    std::map<std::string, std::string> _descs;
+};
+
+} // namespace visa
+
+#endif // VISA_SIM_STATS_HH

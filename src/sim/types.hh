@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the VISA simulator.
+ */
+
+#ifndef VISA_SIM_TYPES_HH
+#define VISA_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace visa
+{
+
+/** A simulated clock cycle count. */
+using Cycles = std::uint64_t;
+
+/** Simulated wall-clock time in picoseconds (integral to avoid FP drift). */
+using Picos = std::uint64_t;
+
+/** A guest virtual/physical address (flat 32-bit space, widened). */
+using Addr = std::uint32_t;
+
+/** A guest machine word. */
+using Word = std::uint32_t;
+
+/** Clock frequency in MHz (DVS settings are whole MHz). */
+using MHz = std::uint32_t;
+
+/** Picoseconds per second, for frequency/time conversions. */
+inline constexpr double picosPerSecond = 1e12;
+
+/** Convert a cycle count at frequency @p f (MHz) to picoseconds. */
+constexpr Picos
+cyclesToPicos(Cycles c, MHz f)
+{
+    // One cycle at f MHz lasts 1e6/f ps.
+    return static_cast<Picos>((c * 1000000ULL) / f);
+}
+
+/** Convert seconds to picoseconds. */
+constexpr Picos
+secondsToPicos(double s)
+{
+    return static_cast<Picos>(s * picosPerSecond);
+}
+
+/** Convert picoseconds to (fractional) milliseconds. */
+constexpr double
+picosToMillis(Picos p)
+{
+    return static_cast<double>(p) / 1e9;
+}
+
+} // namespace visa
+
+#endif // VISA_SIM_TYPES_HH

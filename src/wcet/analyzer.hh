@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The static worst-case timing analyzer (paper §3.3, Figure 1).
+ *
+ * Pipeline:
+ *   1. CFG + call graph construction (wcet/cfg).
+ *   2. Static I-cache analysis -> caching categorizations (Table 2).
+ *   3. Path-level pipeline evaluation on the VISA timing model: every
+ *      path through a loop body / function region is timed on the
+ *      exact VisaTimer recurrence with worst-case cache outcomes and
+ *      static-branch-prediction penalties on the non-predicted edge.
+ *   4. Fix-point loop composition: the first iteration is timed from a
+ *      drained pipeline; steady-state iterations use measured
+ *      inter-iteration increments over concatenated worst paths
+ *      (Healy-style pipeline overlap instead of a drain per
+ *      iteration), plus a configurable per-iteration slack.
+ *   5. A bottom-up timing tree over loops and functions, and per
+ *      sub-task WCETs aligned with the .subtask markers.
+ *
+ * The D-cache module follows the paper's interim method verbatim:
+ * WCET is padded with worst-case data-miss counts obtained from a
+ * dynamic trace (§3.3: "data cache misses are modeled by manually
+ * padding WCET based on data cache miss information from the dynamic
+ * trace"); see profileDataMisses().
+ *
+ * Output is parameterized by clock frequency: memory stalls are
+ * specified in nanoseconds (Table 1), so cycle-level WCET depends on f.
+ */
+
+#ifndef VISA_WCET_ANALYZER_HH
+#define VISA_WCET_ANALYZER_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "wcet/cache_analysis.hh"
+#include "wcet/cfg.hh"
+
+namespace visa
+{
+
+/** Tunables of the analyzer. */
+struct AnalyzerParams
+{
+    CacheParams icache{"icache", 64 * 1024, 4, 64};
+    /** Worst-case memory stall time in ns (Table 1). */
+    double memStallNs = 100.0;
+    /** Path-enumeration cap per scope before the drain fallback. */
+    std::size_t maxPaths = 4096;
+    /** Cap on paths for pairwise overlap composition. */
+    std::size_t maxOverlapPaths = 64;
+    /** Extra cycles charged per loop iteration (composition slack). */
+    Cycles iterSlack = 0;
+};
+
+/** Result of one analyze() call at a given frequency. */
+struct WcetReport
+{
+    MHz frequency = 0;
+    /** Per-sub-task WCET in cycles at @ref frequency (index 0 = #1). */
+    std::vector<Cycles> subtaskCycles;
+    /** Whole-task WCET: the sum of sub-task WCETs (see DESIGN.md). */
+    Cycles taskCycles = 0;
+
+    /** Task WCET in microseconds. */
+    double
+    taskMicros() const
+    {
+        return static_cast<double>(taskCycles) / frequency;
+    }
+};
+
+/** Per-sub-task worst-case data-miss counts from a dynamic trace. */
+struct DMissProfile
+{
+    std::vector<std::uint64_t> missesPerSubtask;
+    /** Multiplier applied to the padded misses (>= 1 for margin). */
+    double safetyFactor = 1.0;
+};
+
+/** The timing analyzer for one program. */
+class WcetAnalyzer
+{
+  public:
+    explicit WcetAnalyzer(const Program &prog, AnalyzerParams params = {});
+    ~WcetAnalyzer();
+
+    WcetAnalyzer(const WcetAnalyzer &) = delete;
+    WcetAnalyzer &operator=(const WcetAnalyzer &) = delete;
+
+    /**
+     * Compute WCETs at core frequency @p f.
+     * @param dmiss optional trace-derived data-miss padding
+     */
+    WcetReport analyze(MHz f, const DMissProfile *dmiss = nullptr) const;
+
+    /** Number of sub-tasks (1 when the program has no markers). */
+    int numSubtasks() const;
+
+    /** The entry function's CFG (diagnostics, tests, examples). */
+    const Cfg &mainCfg() const;
+
+    /** The entry function's I-cache categorizations. */
+    const ICacheAnalysis &mainCache() const;
+
+    /** Worst-case memory stall cycles at @p f. */
+    Cycles missPenalty(MHz f) const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Run the program once on the simple-fixed processor with cold caches
+ * and record per-sub-task data-cache miss counts — the dynamic trace
+ * the paper's interim D-cache padding uses.
+ */
+DMissProfile profileDataMisses(const Program &prog,
+                               double safety_factor = 1.0);
+
+} // namespace visa
+
+#endif // VISA_WCET_ANALYZER_HH

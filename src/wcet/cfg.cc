@@ -1,0 +1,351 @@
+#include "wcet/cfg.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+Cfg::Cfg(const Program &prog, Addr entry)
+    : prog_(&prog), entry_(entry)
+{
+    if (!prog.containsPc(entry))
+        fatal("cfg: entry 0x%x outside program text", entry);
+    buildBlocks();
+    computeDominators();
+    findLoops();
+    computeTopoOrder();
+}
+
+void
+Cfg::buildBlocks()
+{
+    const Program &prog = *prog_;
+    std::set<Addr> reachable;
+    std::set<Addr> leaders{entry_};
+    std::deque<Addr> work{entry_};
+
+    auto enqueue = [&](Addr a) {
+        if (!prog.containsPc(a))
+            fatal("cfg: control flow leaves text at 0x%x", a);
+        if (!reachable.count(a))
+            work.push_back(a);
+    };
+
+    while (!work.empty()) {
+        Addr pc = work.front();
+        work.pop_front();
+        if (reachable.count(pc))
+            continue;
+        reachable.insert(pc);
+        const Instruction &inst = prog.at(pc);
+        switch (inst.cls()) {
+          case InstrClass::CondBranch:
+            leaders.insert(static_cast<Addr>(inst.imm));
+            leaders.insert(pc + 4);
+            enqueue(static_cast<Addr>(inst.imm));
+            enqueue(pc + 4);
+            break;
+          case InstrClass::DirectJump:
+            if (inst.op == Opcode::JAL) {
+                // Call: record the target, continue at the return site.
+                callTargets_.insert(static_cast<Addr>(inst.imm));
+                leaders.insert(pc + 4);
+                enqueue(pc + 4);
+            } else {
+                leaders.insert(static_cast<Addr>(inst.imm));
+                enqueue(static_cast<Addr>(inst.imm));
+            }
+            break;
+          case InstrClass::IndirectJump:
+            if (inst.op == Opcode::JALR)
+                fatal("cfg: jalr at 0x%x unsupported by timing analysis",
+                      pc);
+            // JR is treated as the function return.
+            break;
+          case InstrClass::Halt:
+            break;
+          default:
+            enqueue(pc + 4);
+        }
+    }
+
+    // Carve reachable instructions into blocks.
+    std::vector<Addr> addrs(reachable.begin(), reachable.end());
+    std::sort(addrs.begin(), addrs.end());
+    for (std::size_t i = 0; i < addrs.size();) {
+        Addr start = addrs[i];
+        if (!leaders.count(start)) {
+            // unreachable-by-fallthrough stray; must not happen
+            panic("cfg: non-leader block start at 0x%x", start);
+        }
+        std::size_t j = i;
+        for (;;) {
+            Addr pc = addrs[j];
+            const Instruction &inst = prog.at(pc);
+            bool ends = inst.isControl() || inst.isHalt();
+            bool next_is_leader = j + 1 < addrs.size() &&
+                                  addrs[j + 1] == pc + 4 &&
+                                  leaders.count(pc + 4);
+            bool discontiguous =
+                j + 1 >= addrs.size() || addrs[j + 1] != pc + 4;
+            if (ends || next_is_leader || discontiguous) {
+                BasicBlock bb;
+                bb.id = static_cast<int>(blocks_.size());
+                bb.startPc = start;
+                bb.endPc = pc + 4;
+                if (inst.op == Opcode::JAL)
+                    bb.callTarget = static_cast<Addr>(inst.imm);
+                if (inst.isIndirectJump())
+                    bb.isReturn = true;
+                blockAt_[start] = bb.id;
+                blocks_.push_back(bb);
+                i = j + 1;
+                break;
+            }
+            ++j;
+        }
+    }
+
+    // Wire successor/predecessor edges.
+    for (auto &bb : blocks_) {
+        const Instruction &last = prog.at(bb.endPc - 4);
+        auto link = [&](Addr target) {
+            auto it = blockAt_.find(target);
+            if (it == blockAt_.end())
+                panic("cfg: edge to unknown block 0x%x", target);
+            bb.succs.push_back(it->second);
+            blocks_[static_cast<std::size_t>(it->second)].preds.push_back(
+                bb.id);
+        };
+        switch (last.cls()) {
+          case InstrClass::CondBranch:
+            link(static_cast<Addr>(last.imm));    // taken first
+            link(bb.endPc);
+            break;
+          case InstrClass::DirectJump:
+            if (last.op == Opcode::JAL)
+                link(bb.endPc);    // resume after the call
+            else
+                link(static_cast<Addr>(last.imm));
+            break;
+          case InstrClass::IndirectJump:
+          case InstrClass::Halt:
+            break;
+          default:
+            link(bb.endPc);
+        }
+    }
+
+    entryBlock_ = blockAt_.at(entry_);
+    loopOf_.assign(blocks_.size(), -1);
+}
+
+void
+Cfg::computeDominators()
+{
+    const std::size_t n = blocks_.size();
+    std::set<int> all;
+    for (std::size_t i = 0; i < n; ++i)
+        all.insert(static_cast<int>(i));
+    dom_.assign(n, all);
+    dom_[static_cast<std::size_t>(entryBlock_)] = {entryBlock_};
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            int b = static_cast<int>(i);
+            if (b == entryBlock_)
+                continue;
+            const auto &preds = blocks_[i].preds;
+            if (preds.empty())
+                continue;
+            std::set<int> meet;
+            bool first = true;
+            for (int p : preds) {
+                const auto &dp = dom_[static_cast<std::size_t>(p)];
+                if (first) {
+                    meet = dp;
+                    first = false;
+                } else {
+                    std::set<int> tmp;
+                    std::set_intersection(meet.begin(), meet.end(),
+                                          dp.begin(), dp.end(),
+                                          std::inserter(tmp, tmp.begin()));
+                    meet = std::move(tmp);
+                }
+            }
+            meet.insert(b);
+            if (meet != dom_[i]) {
+                dom_[i] = std::move(meet);
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+Cfg::dominates(int a, int b) const
+{
+    return dom_[static_cast<std::size_t>(b)].count(a) > 0;
+}
+
+void
+Cfg::findLoops()
+{
+    // Natural loops from back edges tail->header (header dominates
+    // tail). Any retreating edge whose target does not dominate the
+    // source makes the CFG irreducible -> reject.
+    std::map<int, int> headerToLoop;
+    for (const auto &bb : blocks_) {
+        for (int s : bb.succs) {
+            if (!dominates(s, bb.id)) {
+                // Forward or cross edge; retreating-but-not-dominated
+                // edges are detected below via DFS numbering.
+                continue;
+            }
+            // back edge bb -> s (self loops included)
+            if (headerToLoop.count(s)) {
+                fatal("cfg: loop header block %d has multiple back "
+                      "edges; timing analysis requires single-latch "
+                      "loops", s);
+            }
+            Loop loop;
+            loop.id = static_cast<int>(loops_.size());
+            loop.header = s;
+            loop.backedgeTail = bb.id;
+            // Collect members: header plus everything that reaches the
+            // tail without passing through the header.
+            loop.blocks.insert(s);
+            std::deque<int> work{bb.id};
+            while (!work.empty()) {
+                int b = work.front();
+                work.pop_front();
+                if (loop.blocks.count(b))
+                    continue;
+                loop.blocks.insert(b);
+                for (int p : blocks_[static_cast<std::size_t>(b)].preds)
+                    work.push_back(p);
+            }
+            // The bound annotation sits on the back-edge branch.
+            Addr branch_pc =
+                blocks_[static_cast<std::size_t>(bb.id)].endPc - 4;
+            auto it = prog_->loopBounds.find(branch_pc);
+            if (it == prog_->loopBounds.end()) {
+                fatal("cfg: loop with header 0x%x lacks a .loopbound "
+                      "annotation on its back edge at 0x%x",
+                      blocks_[static_cast<std::size_t>(s)].startPc,
+                      branch_pc);
+            }
+            if (it->second == 0)
+                fatal("cfg: loop bound at 0x%x must be >= 1", branch_pc);
+            loop.bound = it->second;
+            headerToLoop[s] = loop.id;
+            loops_.push_back(std::move(loop));
+        }
+    }
+
+    // Reject irreducible flow: a cycle whose "header" is not dominated.
+    // Detect: any edge to an already-DFS-active block that is not a
+    // recognized back edge.
+    {
+        std::vector<int> state(blocks_.size(), 0);    // 0 new 1 act 2 done
+        std::vector<std::pair<int, std::size_t>> stack;
+        stack.push_back({entryBlock_, 0});
+        state[static_cast<std::size_t>(entryBlock_)] = 1;
+        while (!stack.empty()) {
+            auto &[b, idx] = stack.back();
+            const auto &succs = blocks_[static_cast<std::size_t>(b)].succs;
+            if (idx >= succs.size()) {
+                state[static_cast<std::size_t>(b)] = 2;
+                stack.pop_back();
+                continue;
+            }
+            int s = succs[idx++];
+            if (state[static_cast<std::size_t>(s)] == 1 &&
+                !dominates(s, b)) {
+                fatal("cfg: irreducible control flow (retreating edge "
+                      "%d->%d without domination)", b, s);
+            }
+            if (state[static_cast<std::size_t>(s)] == 0) {
+                state[static_cast<std::size_t>(s)] = 1;
+                stack.push_back({s, 0});
+            }
+        }
+    }
+
+    // Nesting: parent = smallest strictly-containing loop.
+    for (auto &inner : loops_) {
+        int best = -1;
+        std::size_t best_size = SIZE_MAX;
+        for (const auto &outer : loops_) {
+            if (outer.id == inner.id)
+                continue;
+            if (outer.blocks.size() <= inner.blocks.size())
+                continue;
+            bool contains = std::includes(
+                outer.blocks.begin(), outer.blocks.end(),
+                inner.blocks.begin(), inner.blocks.end());
+            if (contains && outer.blocks.size() < best_size) {
+                best = outer.id;
+                best_size = outer.blocks.size();
+            }
+        }
+        inner.parent = best;
+        if (best >= 0)
+            loops_[static_cast<std::size_t>(best)].children.push_back(
+                inner.id);
+    }
+
+    // loopOf: innermost loop per block.
+    for (const auto &loop : loops_) {
+        for (int b : loop.blocks) {
+            int cur = loopOf_[static_cast<std::size_t>(b)];
+            if (cur < 0 ||
+                loops_[static_cast<std::size_t>(cur)].blocks.size() >
+                    loop.blocks.size()) {
+                loopOf_[static_cast<std::size_t>(b)] = loop.id;
+            }
+        }
+    }
+}
+
+void
+Cfg::computeTopoOrder()
+{
+    // Kahn's algorithm over forward edges (back edges removed).
+    std::vector<int> indeg(blocks_.size(), 0);
+    auto isBackEdge = [&](int from, int to) {
+        for (const auto &l : loops_)
+            if (l.header == to && l.backedgeTail == from)
+                return true;
+        return false;
+    };
+    for (const auto &bb : blocks_)
+        for (int s : bb.succs)
+            if (!isBackEdge(bb.id, s))
+                ++indeg[static_cast<std::size_t>(s)];
+    std::deque<int> ready;
+    for (std::size_t i = 0; i < blocks_.size(); ++i)
+        if (indeg[i] == 0)
+            ready.push_back(static_cast<int>(i));
+    while (!ready.empty()) {
+        int b = ready.front();
+        ready.pop_front();
+        topo_.push_back(b);
+        for (int s : blocks_[static_cast<std::size_t>(b)].succs) {
+            if (isBackEdge(b, s))
+                continue;
+            if (--indeg[static_cast<std::size_t>(s)] == 0)
+                ready.push_back(s);
+        }
+    }
+    if (topo_.size() != blocks_.size())
+        fatal("cfg: cyclic flow remains after removing back edges "
+              "(irreducible CFG)");
+}
+
+} // namespace visa

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Control-flow graph construction for the static timing analyzer
+ * (paper §3.3): basic blocks, call graph, dominators, and natural-loop
+ * nesting with loop bounds taken from assembler annotations.
+ */
+
+#ifndef VISA_WCET_CFG_HH
+#define VISA_WCET_CFG_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace visa
+{
+
+/** A basic block: a maximal straight-line instruction sequence. */
+struct BasicBlock
+{
+    int id = -1;
+    Addr startPc = 0;
+    Addr endPc = 0;          ///< exclusive
+    /**
+     * Successor block ids *within the function*; for a conditional
+     * branch, index 0 is the taken edge and index 1 the fall-through.
+     */
+    std::vector<int> succs;
+    std::vector<int> preds;
+    /** Callee entry address if this block ends in JAL, else 0. */
+    Addr callTarget = 0;
+    /** True if the block ends in JR (function return). */
+    bool isReturn = false;
+
+    int
+    numInsts() const
+    {
+        return static_cast<int>((endPc - startPc) / 4);
+    }
+};
+
+/** A natural loop discovered from a back edge. */
+struct Loop
+{
+    int id = -1;
+    int header = -1;              ///< header block id
+    int backedgeTail = -1;        ///< block whose edge to header closes it
+    std::set<int> blocks;         ///< member block ids (incl. header)
+    std::uint64_t bound = 0;      ///< max body executions per entry
+    int parent = -1;              ///< immediately enclosing loop, -1 = none
+    std::vector<int> children;    ///< directly nested loops
+};
+
+/** The CFG of one function. */
+class Cfg
+{
+  public:
+    /**
+     * Build the CFG of the function entered at @p entry. The function
+     * extends over all blocks reachable from the entry without
+     * following call edges; JAL records a call target, JR ends the
+     * function.
+     *
+     * Fails (FatalError) on: indirect jumps other than `jr ra`-style
+     * returns, branches leaving the program, loops without a bound
+     * annotation, loops with multiple back edges, or irreducible
+     * control flow — the same irregular features hard real-time code
+     * avoids (paper §5.3).
+     */
+    Cfg(const Program &prog, Addr entry);
+
+    const Program &program() const { return *prog_; }
+    Addr entry() const { return entry_; }
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+    const BasicBlock &block(int id) const
+    {
+        return blocks_[static_cast<std::size_t>(id)];
+    }
+    int entryBlock() const { return entryBlock_; }
+
+    const std::vector<Loop> &loops() const { return loops_; }
+    const Loop &loop(int id) const
+    {
+        return loops_[static_cast<std::size_t>(id)];
+    }
+
+    /** Innermost loop containing block @p bid, or -1. */
+    int loopOf(int bid) const
+    {
+        return loopOf_[static_cast<std::size_t>(bid)];
+    }
+
+    /** All call targets appearing in this function. */
+    const std::set<Addr> &callTargets() const { return callTargets_; }
+
+    /** @return true if block @p a dominates block @p b. */
+    bool dominates(int a, int b) const;
+
+    /** Topological order of blocks ignoring back edges. */
+    const std::vector<int> &topoOrder() const { return topo_; }
+
+  private:
+    void buildBlocks();
+    void computeDominators();
+    void findLoops();
+    void computeTopoOrder();
+
+    const Program *prog_;
+    Addr entry_;
+    int entryBlock_ = 0;
+    std::vector<BasicBlock> blocks_;
+    std::map<Addr, int> blockAt_;    ///< startPc -> id
+    std::vector<Loop> loops_;
+    std::vector<int> loopOf_;
+    std::set<Addr> callTargets_;
+    std::vector<std::set<int>> dom_;
+    std::vector<int> topo_;
+};
+
+} // namespace visa
+
+#endif // VISA_WCET_CFG_HH

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Assembly-source builder shared by the C-lab workload generators:
+ * emits the sub-task instrumentation snippets of paper §2.2/§4.3
+ * (watchdog advance, cycle-counter reset, AET reporting) and data
+ * helpers. Snippets clobber r1 (at) and r25 only; workload code must
+ * keep its state out of those two registers.
+ */
+
+#ifndef VISA_WORKLOADS_ASM_BUILDER_HH
+#define VISA_WORKLOADS_ASM_BUILDER_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace visa
+{
+
+/** Incremental assembly text builder. */
+class AsmBuilder
+{
+  public:
+    /** Append one instruction/directive line (printf-style). */
+    void
+    ins(const char *fmt, ...) __attribute__((format(printf, 2, 3)))
+    {
+        va_list ap;
+        va_start(ap, fmt);
+        char buf[256];
+        std::vsnprintf(buf, sizeof(buf), fmt, ap);
+        va_end(ap);
+        src_ += "        ";
+        src_ += buf;
+        src_ += '\n';
+    }
+
+    /** Append a label line. */
+    void
+    label(const std::string &name)
+    {
+        src_ += name;
+        src_ += ":\n";
+    }
+
+    /** Append raw text. */
+    void raw(const std::string &text) { src_ += text; }
+
+    /**
+     * Emit the sub-task begin snippet: report the previous sub-task's
+     * AET (not for the first), announce the new sub-task, reset the
+     * cycle counter, and advance the watchdog from the wdinc parameter
+     * table the run-time system maintains in guest memory.
+     */
+    void
+    subtaskBegin(int i)
+    {
+        ins(".subtask %d", i);
+        if (i > 1) {
+            ins("li r25, 0x%X", mmio::cycleCounter);
+            ins("lw r1, 0(r25)");
+            ins("li r25, 0x%X", mmio::aetReport);
+            ins("sw r1, 0(r25)");    // attributed to sub-task i-1
+        }
+        ins("li r25, 0x%X", mmio::subtaskId);
+        ins("li r1, %d", i);
+        ins("sw r1, 0(r25)");
+        ins("li r25, 0x%X", mmio::cycleCounter);
+        ins("sw r0, 0(r25)");
+        ins("la r25, wdinc");
+        ins("lw r1, %d(r25)", 4 * (i - 1));
+        ins("li r25, 0x%X", mmio::watchdog);
+        ins("sw r1, 0(r25)");
+        if (i > numSubtasks_)
+            numSubtasks_ = i;
+    }
+
+    /**
+     * Emit the task epilogue: report the last sub-task's AET, publish
+     * the functional checksum from @p ck_reg, and halt.
+     */
+    void
+    taskEnd(const char *ck_reg)
+    {
+        ins("li r25, 0x%X", mmio::cycleCounter);
+        ins("lw r1, 0(r25)");
+        ins("li r25, 0x%X", mmio::aetReport);
+        ins("sw r1, 0(r25)");
+        ins("li r25, 0x%X", mmio::checksum);
+        ins("sw %s, 0(r25)", ck_reg);
+        ins("halt");
+    }
+
+    /** Switch to the data segment. */
+    void beginData() { src_ += "        .data\n"; }
+
+    /** Emit labelled .word data, 8 values per line. */
+    void
+    words(const std::string &name, const std::vector<std::int32_t> &vals)
+    {
+        label(name);
+        for (std::size_t i = 0; i < vals.size(); i += 8) {
+            std::string line = "        .word ";
+            for (std::size_t j = i; j < std::min(i + 8, vals.size());
+                 ++j) {
+                if (j > i)
+                    line += ", ";
+                line += std::to_string(vals[j]);
+            }
+            src_ += line + "\n";
+        }
+    }
+
+    /** Emit labelled .double data, 4 values per line. */
+    void
+    doubles(const std::string &name, const std::vector<double> &vals)
+    {
+        label(name);
+        for (std::size_t i = 0; i < vals.size(); i += 4) {
+            std::string line = "        .double ";
+            for (std::size_t j = i; j < std::min(i + 4, vals.size());
+                 ++j) {
+                if (j > i)
+                    line += ", ";
+                char buf[48];
+                std::snprintf(buf, sizeof(buf), "%.17g", vals[j]);
+                line += buf;
+            }
+            src_ += line + "\n";
+        }
+    }
+
+    /** Emit labelled zeroed space. */
+    void
+    space(const std::string &name, std::size_t bytes)
+    {
+        label(name);
+        ins(".space %zu", bytes);
+    }
+
+    /**
+     * Finalize: appends the wdinc parameter table sized to the number
+     * of sub-tasks emitted, and returns the full source.
+     */
+    std::string
+    finish()
+    {
+        src_ += "wdinc:\n";
+        ins(".space %d", 4 * std::max(numSubtasks_, 1));
+        return src_;
+    }
+
+    int numSubtasks() const { return numSubtasks_; }
+
+  private:
+    std::string src_;
+    int numSubtasks_ = 0;
+};
+
+/** Deterministic LCG for reproducible workload inputs. */
+class Lcg
+{
+  public:
+    explicit Lcg(std::uint32_t seed) : state_(seed) {}
+
+    std::uint32_t
+    next()
+    {
+        state_ = state_ * 1664525u + 1013904223u;
+        return state_;
+    }
+
+    /** Uniform in [lo, hi]. */
+    std::int32_t
+    range(std::int32_t lo, std::int32_t hi)
+    {
+        return lo + static_cast<std::int32_t>(
+                        next() % static_cast<std::uint32_t>(hi - lo + 1));
+    }
+
+    /** Uniform double in [-1, 1) with 20-bit resolution. */
+    double
+    unit()
+    {
+        return (static_cast<double>(next() >> 12) /
+                static_cast<double>(1u << 20)) *
+                   2.0 -
+               1.0;
+    }
+
+  private:
+    std::uint32_t state_;
+};
+
+} // namespace visa
+
+#endif // VISA_WORKLOADS_ASM_BUILDER_HH

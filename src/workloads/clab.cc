@@ -1,0 +1,60 @@
+#include "workloads/clab.hh"
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+const std::vector<std::string> &
+clabNames()
+{
+    static const std::vector<std::string> names = {
+        "adpcm", "cnt", "fft", "lms", "mm", "srt"};
+    return names;
+}
+
+const std::vector<std::string> &
+extendedNames()
+{
+    static const std::vector<std::string> names = {"crc", "fir",
+                                                   "jfdctint"};
+    return names;
+}
+
+const std::vector<std::string> &
+allWorkloadNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v = clabNames();
+        const auto &e = extendedNames();
+        v.insert(v.end(), e.begin(), e.end());
+        return v;
+    }();
+    return names;
+}
+
+Workload
+makeWorkload(const std::string &name)
+{
+    if (name == "adpcm")
+        return makeAdpcm();
+    if (name == "cnt")
+        return makeCnt();
+    if (name == "fft")
+        return makeFft();
+    if (name == "lms")
+        return makeLms();
+    if (name == "mm")
+        return makeMm();
+    if (name == "srt")
+        return makeSrt();
+    if (name == "crc")
+        return makeCrc();
+    if (name == "fir")
+        return makeFir();
+    if (name == "jfdctint")
+        return makeJfdctint();
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace visa

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The six C-lab hard real-time benchmarks (paper §5.3, Table 3),
+ * re-implemented as VPISA assembly generators: adpcm, cnt, fft, lms,
+ * mm, srt. Each task
+ *  - re-initializes its working buffers from a pristine master copy
+ *    (a periodic task consumes fresh input every period),
+ *  - is manually divided into sub-tasks by peeling chunks of
+ *    iterations from the outermost loop (§5.3), with instrumentation
+ *    snippets at every boundary,
+ *  - carries .loopbound annotations for the timing analyzer,
+ *  - publishes a functional checksum whose golden value is computed
+ *    host-side with identical arithmetic.
+ */
+
+#ifndef VISA_WORKLOADS_CLAB_HH
+#define VISA_WORKLOADS_CLAB_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace visa
+{
+
+/** An assembled benchmark plus its golden result. */
+struct Workload
+{
+    std::string name;
+    std::string source;        ///< assembly text (diagnostics)
+    Program program;
+    Word expectedChecksum = 0;
+    int numSubtasks = 0;
+};
+
+Workload makeAdpcm();    ///< IMA ADPCM speech encoder
+Workload makeCnt();      ///< count/sum positive matrix elements
+Workload makeFft();      ///< 256-point radix-2 complex FFT
+Workload makeLms();      ///< LMS adaptive FIR filter
+Workload makeMm();       ///< integer matrix multiply
+Workload makeSrt();      ///< bubblesort with early exit
+
+Workload makeCrc();      ///< bitwise CRC-32 (extended suite)
+Workload makeFir();      ///< integer FIR filter (extended suite)
+Workload makeJfdctint(); ///< JPEG 8x8 integer DCT (extended suite)
+
+/** The six Table 3 benchmark names, in the paper's order. */
+const std::vector<std::string> &clabNames();
+
+/**
+ * Additional C-lab-family kernels beyond the paper's six (crc, fir,
+ * jfdctint); they carry the same instrumentation and annotations and
+ * run under all harnesses.
+ */
+const std::vector<std::string> &extendedNames();
+
+/** Table 3 names plus the extended suite. */
+const std::vector<std::string> &allWorkloadNames();
+
+/** Construct a benchmark by name; fatal on unknown names. */
+Workload makeWorkload(const std::string &name);
+
+} // namespace visa
+
+#endif // VISA_WORKLOADS_CLAB_HH

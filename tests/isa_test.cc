@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit tests for the VPISA layer: opcode classification and latencies,
+ * operand/hazard queries, encode/decode round trips, and semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/encoding.hh"
+#include "isa/instruction.hh"
+#include "isa/semantics.hh"
+
+namespace visa
+{
+namespace
+{
+
+TEST(IsaClassify, R10kLatencies)
+{
+    EXPECT_EQ(latencyOf(Opcode::ADD), 1u);
+    EXPECT_EQ(latencyOf(Opcode::MUL), 6u);
+    EXPECT_EQ(latencyOf(Opcode::DIV), 35u);
+    EXPECT_EQ(latencyOf(Opcode::REM), 35u);
+    EXPECT_EQ(latencyOf(Opcode::ADD_D), 2u);
+    EXPECT_EQ(latencyOf(Opcode::MUL_D), 2u);
+    EXPECT_EQ(latencyOf(Opcode::DIV_D), 19u);
+    EXPECT_EQ(latencyOf(Opcode::LW), 1u);
+}
+
+TEST(IsaClassify, Classes)
+{
+    EXPECT_EQ(classOf(Opcode::BEQ), InstrClass::CondBranch);
+    EXPECT_EQ(classOf(Opcode::BC1T), InstrClass::CondBranch);
+    EXPECT_EQ(classOf(Opcode::J), InstrClass::DirectJump);
+    EXPECT_EQ(classOf(Opcode::JR), InstrClass::IndirectJump);
+    EXPECT_EQ(classOf(Opcode::JALR), InstrClass::IndirectJump);
+    EXPECT_EQ(classOf(Opcode::LDC1), InstrClass::Load);
+    EXPECT_EQ(classOf(Opcode::SDC1), InstrClass::Store);
+    EXPECT_EQ(classOf(Opcode::CVT_D_W), InstrClass::FpAlu);
+}
+
+TEST(InstructionOperands, IntAluDest)
+{
+    Instruction add;
+    add.op = Opcode::ADD;
+    add.rd = 5;
+    add.rs = 1;
+    add.rt = 2;
+    EXPECT_EQ(add.destIntReg(), 5);
+    EXPECT_EQ(add.destFpReg(), -1);
+    auto srcs = add.srcIntRegs();
+    EXPECT_EQ(srcs[0], 1);
+    EXPECT_EQ(srcs[1], 2);
+}
+
+TEST(InstructionOperands, WriteToR0Discarded)
+{
+    Instruction add;
+    add.op = Opcode::ADD;
+    add.rd = 0;
+    EXPECT_EQ(add.destIntReg(), -1);
+}
+
+TEST(InstructionOperands, JalWritesRa)
+{
+    Instruction jal;
+    jal.op = Opcode::JAL;
+    EXPECT_EQ(jal.destIntReg(), reg::ra);
+}
+
+TEST(InstructionOperands, StoreSources)
+{
+    Instruction sw;
+    sw.op = Opcode::SW;
+    sw.rs = 4;    // base
+    sw.rt = 7;    // data
+    auto srcs = sw.srcIntRegs();
+    EXPECT_EQ(srcs[0], 4);
+    EXPECT_EQ(srcs[1], 7);
+
+    Instruction sdc1;
+    sdc1.op = Opcode::SDC1;
+    sdc1.rs = 4;
+    sdc1.rt = 9;
+    EXPECT_EQ(sdc1.srcIntRegs()[0], 4);
+    EXPECT_EQ(sdc1.srcIntRegs()[1], -1);
+    EXPECT_EQ(sdc1.srcFpRegs()[0], 9);
+}
+
+TEST(InstructionOperands, FccDependence)
+{
+    Instruction cmp;
+    cmp.op = Opcode::C_LT_D;
+    Instruction br;
+    br.op = Opcode::BC1T;
+    EXPECT_TRUE(cmp.writesFcc());
+    EXPECT_TRUE(br.readsFcc());
+    EXPECT_TRUE(br.dependsOn(cmp));
+    EXPECT_FALSE(cmp.dependsOn(br));
+}
+
+TEST(InstructionOperands, LoadUseDependence)
+{
+    Instruction lw;
+    lw.op = Opcode::LW;
+    lw.rd = 8;
+    lw.rs = 4;
+    Instruction add;
+    add.op = Opcode::ADD;
+    add.rd = 9;
+    add.rs = 8;
+    add.rt = 3;
+    EXPECT_TRUE(add.dependsOn(lw));
+    Instruction other;
+    other.op = Opcode::ADD;
+    other.rd = 9;
+    other.rs = 3;
+    other.rt = 3;
+    EXPECT_FALSE(other.dependsOn(lw));
+}
+
+// ---- Encoding round trips ----
+
+class EncodingRoundTrip : public ::testing::TestWithParam<Instruction>
+{
+};
+
+TEST_P(EncodingRoundTrip, Roundtrips)
+{
+    const Addr pc = 0x00400100;
+    Instruction inst = GetParam();
+    Word w = encode(inst, pc);
+    Instruction back = decode(w, pc);
+    EXPECT_EQ(back, inst) << disassemble(inst, pc) << " vs "
+                          << disassemble(back, pc);
+}
+
+std::vector<Instruction>
+roundTripCases()
+{
+    std::vector<Instruction> v;
+    auto mk = [&](Opcode op, int rd, int rs, int rt, std::int32_t imm) {
+        Instruction i;
+        i.op = op;
+        i.rd = static_cast<std::uint8_t>(rd);
+        i.rs = static_cast<std::uint8_t>(rs);
+        i.rt = static_cast<std::uint8_t>(rt);
+        i.imm = imm;
+        v.push_back(i);
+    };
+    mk(Opcode::ADD, 1, 2, 3, 0);
+    mk(Opcode::SUB, 31, 30, 29, 0);
+    mk(Opcode::MUL, 4, 5, 6, 0);
+    mk(Opcode::DIV, 7, 8, 9, 0);
+    mk(Opcode::REM, 10, 11, 12, 0);
+    mk(Opcode::NOR, 13, 14, 15, 0);
+    mk(Opcode::SLT, 16, 17, 18, 0);
+    mk(Opcode::SLTU, 19, 20, 21, 0);
+    mk(Opcode::SLLV, 22, 23, 24, 0);
+    mk(Opcode::SLL, 25, 26, 0, 31);
+    mk(Opcode::SRA, 27, 28, 0, 1);
+    mk(Opcode::ADDI, 1, 2, 0, -32768);
+    mk(Opcode::ADDI, 1, 2, 0, 32767);
+    mk(Opcode::ORI, 3, 4, 0, 0xFFFF);
+    mk(Opcode::LUI, 5, 0, 0, 0x1234);
+    mk(Opcode::LW, 6, 7, 0, -4);
+    mk(Opcode::LB, 8, 9, 0, 127);
+    mk(Opcode::LDC1, 10, 11, 0, 8);
+    mk(Opcode::SW, 0, 12, 13, 100);
+    mk(Opcode::SDC1, 0, 14, 15, -8);
+    mk(Opcode::BEQ, 0, 1, 2, 0x00400000);
+    mk(Opcode::BNE, 0, 3, 4, 0x00400200);
+    mk(Opcode::BLEZ, 0, 5, 0, 0x00400080);
+    mk(Opcode::BGEZ, 0, 6, 0, 0x00400104);
+    mk(Opcode::BC1T, 0, 0, 0, 0x00400000);
+    mk(Opcode::J, 0, 0, 0, 0x00400000);
+    mk(Opcode::JAL, 0, 0, 0, 0x00401000);
+    mk(Opcode::JR, 0, 31, 0, 0);
+    mk(Opcode::JALR, 31, 2, 0, 0);
+    mk(Opcode::ADD_D, 1, 2, 3, 0);
+    mk(Opcode::DIV_D, 4, 5, 6, 0);
+    mk(Opcode::NEG_D, 7, 8, 0, 0);
+    mk(Opcode::CVT_D_W, 9, 10, 0, 0);
+    mk(Opcode::CVT_W_D, 11, 12, 0, 0);
+    mk(Opcode::C_LT_D, 0, 13, 14, 0);
+    mk(Opcode::NOP, 0, 0, 0, 0);
+    mk(Opcode::HALT, 0, 0, 0, 0);
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, EncodingRoundTrip,
+                         ::testing::ValuesIn(roundTripCases()));
+
+// ---- Semantics ----
+
+TEST(Semantics, IntAluBasics)
+{
+    Instruction i;
+    i.op = Opcode::ADD;
+    EXPECT_EQ(evalIntAlu(i, 2, 3), 5u);
+    i.op = Opcode::SUB;
+    EXPECT_EQ(evalIntAlu(i, 2, 3), static_cast<Word>(-1));
+    i.op = Opcode::SLT;
+    EXPECT_EQ(evalIntAlu(i, static_cast<Word>(-1), 0), 1u);
+    i.op = Opcode::SLTU;
+    EXPECT_EQ(evalIntAlu(i, static_cast<Word>(-1), 0), 0u);
+    i.op = Opcode::SRA;
+    i.imm = 4;
+    EXPECT_EQ(evalIntAlu(i, static_cast<Word>(-64), 0),
+              static_cast<Word>(-4));
+    i.op = Opcode::SRL;
+    EXPECT_EQ(evalIntAlu(i, 0x80000000u, 0), 0x08000000u);
+}
+
+TEST(Semantics, DivisionEdgeCases)
+{
+    Instruction i;
+    i.op = Opcode::DIV;
+    EXPECT_EQ(evalIntAlu(i, 7, 0), 0u);    // div by zero defined as 0
+    EXPECT_EQ(evalIntAlu(i, static_cast<Word>(INT32_MIN),
+                         static_cast<Word>(-1)),
+              static_cast<Word>(INT32_MIN));
+    i.op = Opcode::REM;
+    EXPECT_EQ(evalIntAlu(i, 7, 0), 0u);
+    EXPECT_EQ(evalIntAlu(i, 7, 3), 1u);
+    EXPECT_EQ(evalIntAlu(i, static_cast<Word>(-7), 3),
+              static_cast<Word>(-1));
+}
+
+TEST(Semantics, ControlEval)
+{
+    Instruction b;
+    b.op = Opcode::BNE;
+    b.imm = 0x00400010;
+    auto ev = evalControl(b, 0x00400100, 1, 2, false);
+    EXPECT_TRUE(ev.taken);
+    EXPECT_EQ(ev.target, 0x00400010u);
+    ev = evalControl(b, 0x00400100, 2, 2, false);
+    EXPECT_FALSE(ev.taken);
+    EXPECT_EQ(ev.target, 0x00400104u);
+
+    Instruction jr;
+    jr.op = Opcode::JR;
+    ev = evalControl(jr, 0x00400100, 0x00400ABC, 0, false);
+    EXPECT_TRUE(ev.taken);
+    EXPECT_EQ(ev.target, 0x00400ABCu);
+}
+
+TEST(Semantics, ExtendLoad)
+{
+    EXPECT_EQ(extendLoad(Opcode::LB, 0x80), 0xFFFFFF80u);
+    EXPECT_EQ(extendLoad(Opcode::LBU, 0x80), 0x80u);
+    EXPECT_EQ(extendLoad(Opcode::LH, 0x8000), 0xFFFF8000u);
+    EXPECT_EQ(extendLoad(Opcode::LHU, 0x8000), 0x8000u);
+    EXPECT_EQ(extendLoad(Opcode::LW, 0xDEADBEEF), 0xDEADBEEFu);
+}
+
+TEST(Semantics, BackwardBranchDetection)
+{
+    Instruction b;
+    b.op = Opcode::BNE;
+    b.imm = 0x00400000;
+    EXPECT_TRUE(b.isBackward(0x00400100));
+    b.imm = 0x00400200;
+    EXPECT_FALSE(b.isBackward(0x00400100));
+}
+
+} // anonymous namespace
+} // namespace visa

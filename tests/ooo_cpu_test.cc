@@ -1,0 +1,283 @@
+/**
+ * @file
+ * OooCpu tests: functional equivalence with the simple pipeline, ILP
+ * speedup, branch prediction effects, simple-mode VISA conformance
+ * (identical cycle counts to SimpleCpu), mode switching, and the
+ * watchdog on the complex pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.hh"
+
+namespace visa
+{
+namespace
+{
+
+using test::OooMachine;
+using test::SimpleMachine;
+
+const char *sumLoop = R"(
+        addi r4, r0, 100
+        addi r5, r0, 0
+loop:   add  r5, r5, r4
+        subi r4, r4, 1
+        bgtz r4, loop
+        halt
+)";
+
+TEST(OooCpuFunctional, MatchesSimpleCpuResults)
+{
+    SimpleMachine s(sumLoop);
+    OooMachine o(sumLoop);
+    s.run();
+    o.run();
+    EXPECT_EQ(o.intReg(5), s.intReg(5));
+    EXPECT_EQ(o.intReg(5), 5050u);
+    EXPECT_EQ(o.cpu->retired(), s.cpu->retired());
+}
+
+TEST(OooCpuFunctional, MemoryAndFp)
+{
+    OooMachine m(R"(
+        la   r4, vals
+        ldc1 f2, 0(r4)
+        ldc1 f4, 8(r4)
+        mul.d f6, f2, f4
+        sdc1 f6, 16(r4)
+        lw   r5, 16(r4)
+        halt
+        .data
+vals:   .double 3.0, 7.0
+        .space 8
+    )");
+    auto res = m.run();
+    EXPECT_EQ(res.reason, StopReason::Halted);
+    EXPECT_DOUBLE_EQ(m.mem.readDouble(m.prog.symbol("vals") + 16), 21.0);
+}
+
+TEST(OooCpuFunctional, StoreToLoadForwarding)
+{
+    OooMachine m(R"(
+        la  r4, buf
+        addi r5, r0, 77
+        sw  r5, 0(r4)
+        lw  r6, 0(r4)      # must see the in-flight store's value
+        add r7, r6, r6
+        halt
+        .data
+buf:    .word 0
+    )");
+    m.run();
+    EXPECT_EQ(m.intReg(6), 77u);
+    EXPECT_EQ(m.intReg(7), 154u);
+}
+
+TEST(OooCpuPerformance, FasterThanSimpleOnIlp)
+{
+    // Independent work the 4-wide OOO core can overlap.
+    std::string src = "        addi r4, r0, 50\n";
+    src += "loop:\n";
+    for (int i = 5; i < 25; ++i) {
+        src += "        add r" + std::to_string(i) + ", r" +
+               std::to_string(i) + ", r4\n";
+    }
+    src += R"(
+        subi r4, r4, 1
+        bgtz r4, loop
+        halt
+    )";
+    SimpleMachine s(src);
+    OooMachine o(src);
+    s.run();
+    o.run();
+    EXPECT_EQ(o.cpu->retired(), s.cpu->retired());
+    // Expect a healthy speedup (paper Table 3 reports 3.1x - 5.8x).
+    EXPECT_GT(s.cpu->cycles(), o.cpu->cycles() * 2);
+}
+
+TEST(OooCpuPerformance, GshareLearnsLoopBranch)
+{
+    OooMachine m(sumLoop);
+    m.run();
+    // 100 loop branches; after warmup nearly all predicted.
+    EXPECT_LT(m.cpu->branchMispredicts(), 12u);
+}
+
+TEST(OooCpuPerformance, MemoryLevelParallelism)
+{
+    // Independent loads from distinct cold lines overlap in the OOO
+    // core (contention-limited) but serialize on the simple pipeline.
+    const char *src = R"(
+        la r4, buf
+        lw r5, 0(r4)
+        lw r6, 256(r4)
+        lw r7, 512(r4)
+        lw r8, 768(r4)
+        halt
+        .data
+buf:    .space 1024
+    )";
+    SimpleMachine s(src);
+    OooMachine o(src);
+    s.run();
+    o.run();
+    // Simple: 4 serialized 100-cycle misses ~400+. OOO: overlapped.
+    EXPECT_GT(s.cpu->cycles(), o.cpu->cycles() + 150);
+}
+
+TEST(OooCpuSimpleMode, CycleCountsMatchSimpleFixed)
+{
+    // T2 invariant: the complex pipeline in simple mode is cycle-exact
+    // with the simple-fixed processor (same VISA timing recurrence,
+    // same cache geometry, cold start).
+    const char *programs[] = {
+        sumLoop,
+        R"(
+        la r4, buf
+        addi r5, r0, 16
+loop:   lw r6, 0(r4)
+        add r7, r7, r6
+        sw r7, 64(r4)
+        addi r4, r4, 4
+        subi r5, r5, 1
+        bgtz r5, loop
+        halt
+        .data
+buf:    .space 256
+        )",
+        R"(
+        la r4, v
+        ldc1 f2, 0(r4)
+        ldc1 f4, 8(r4)
+        div.d f6, f4, f2
+        mul.d f8, f6, f6
+        sdc1 f8, 16(r4)
+        halt
+        .data
+v:      .double 2.0, 10.0
+        .space 8
+        )",
+    };
+    for (const char *src : programs) {
+        SimpleMachine s(src);
+        OooMachine o(src);
+        o.cpu->switchToSimple();
+        s.run();
+        o.run();
+        EXPECT_EQ(o.cpu->cycles(), s.cpu->cycles());
+        EXPECT_EQ(o.cpu->retired(), s.cpu->retired());
+    }
+}
+
+TEST(OooCpuSimpleMode, SlowerThanComplexMode)
+{
+    OooMachine complex_m(sumLoop);
+    OooMachine simple_m(sumLoop);
+    simple_m.cpu->switchToSimple();
+    complex_m.run();
+    simple_m.run();
+    EXPECT_LT(complex_m.cpu->cycles(), simple_m.cpu->cycles());
+}
+
+TEST(OooCpuModeSwitch, MidTaskSwitchPreservesFunction)
+{
+    OooMachine m(sumLoop);
+    // Run a little in complex mode, then fall back to simple mode.
+    m.run(40);
+    m.cpu->switchToSimple();
+    EXPECT_EQ(m.cpu->mode(), OooCpu::Mode::Simple);
+    auto res = m.run();
+    EXPECT_EQ(res.reason, StopReason::Halted);
+    EXPECT_EQ(m.intReg(5), 5050u);
+}
+
+TEST(OooCpuModeSwitch, DrainCompletesInflightWork)
+{
+    OooMachine m(R"(
+        div r5, r6, r7
+        div r8, r9, r10
+        addi r11, r0, 3
+        halt
+    )");
+    m.run(110);    // past the cold I-miss; divides in flight
+    Cycles before = m.cpu->cycles();
+    m.cpu->switchToSimple();
+    EXPECT_GT(m.cpu->cycles(), before);    // the drain took time
+    m.run();
+    EXPECT_EQ(m.intReg(11), 3u);
+}
+
+TEST(OooCpuWatchdog, ExpiresInComplexMode)
+{
+    OooMachine m(R"(
+        li r4, 0xFFFF0000
+        li r5, 300
+        sw r5, 0(r4)
+loop:   j loop
+    )");
+    m.platform.maskWatchdog(false);
+    auto res = m.run(1000000);
+    EXPECT_EQ(res.reason, StopReason::WatchdogExpired);
+    EXPECT_LT(m.cpu->cycles(), 2000u);
+}
+
+TEST(OooCpuWatchdog, RecoverySequenceMeetsFunctionalGoal)
+{
+    // The canonical missed-checkpoint response: mask, drain+switch,
+    // charge overhead, continue in simple mode.
+    OooMachine m(R"(
+        li r4, 0xFFFF0000
+        li r5, 50
+        sw r5, 0(r4)
+        addi r6, r0, 400
+loop:   subi r6, r6, 1
+        bgtz r6, loop
+        halt
+    )");
+    m.platform.maskWatchdog(false);
+    auto res = m.run(1000000);
+    ASSERT_EQ(res.reason, StopReason::WatchdogExpired);
+    m.platform.maskWatchdog(true);
+    m.cpu->switchToSimple();
+    m.cpu->advanceIdle(100);    // reconfiguration overhead
+    res = m.run();
+    EXPECT_EQ(res.reason, StopReason::Halted);
+    EXPECT_EQ(m.intReg(6), 0u);
+}
+
+TEST(OooCpuChecks, FlushingPredictorsSlowsNextRun)
+{
+    OooMachine warm(sumLoop);
+    warm.run();
+    warm.cpu->resetForTask();
+    warm.run();
+    Cycles warm_cycles = warm.cpu->cycles();
+
+    OooMachine flushed(sumLoop);
+    flushed.run();
+    flushed.cpu->resetForTask();
+    flushed.cpu->flushCachesAndPredictors();
+    flushed.run();
+    Cycles flushed_cycles = flushed.cpu->cycles();
+
+    EXPECT_GT(flushed_cycles, warm_cycles);
+}
+
+TEST(OooCpuChecks, RobNeverExceedsCapacity)
+{
+    // Long dependent chain of divs keeps the ROB full; the program
+    // still completes and retires everything.
+    std::string src;
+    for (int i = 0; i < 300; ++i)
+        src += "        add r5, r5, r6\n";
+    src += "        halt\n";
+    OooMachine m(src);
+    auto res = m.run();
+    EXPECT_EQ(res.reason, StopReason::Halted);
+    EXPECT_EQ(m.cpu->retired(), 301u);
+}
+
+} // anonymous namespace
+} // namespace visa

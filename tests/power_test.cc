@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Power-model tests: V^2 scaling, structure geometry effects, clock
+ * gating styles (perfect vs 10% standby), die scaling, and the
+ * epoch-based power meter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hh"
+#include "power/meter.hh"
+#include "tests/test_util.hh"
+
+namespace visa
+{
+namespace
+{
+
+TEST(EnergyModelTest, AccessEnergyScalesWithVoltageSquared)
+{
+    EnergyModel m = complexEnergyModel();
+    double e_lo = m.accessEnergy(Unit::ICache, 0.9);
+    double e_hi = m.accessEnergy(Unit::ICache, 1.8);
+    EXPECT_NEAR(e_hi / e_lo, 4.0, 1e-9);
+}
+
+TEST(EnergyModelTest, ZeroSizedStructuresAreFree)
+{
+    EnergyModel m = simpleFixedEnergyModel();
+    EXPECT_DOUBLE_EQ(m.accessEnergy(Unit::IssueQueue, 1.8), 0.0);
+    EXPECT_DOUBLE_EQ(m.accessEnergy(Unit::Bpred, 1.8), 0.0);
+    EXPECT_DOUBLE_EQ(m.accessEnergy(Unit::RenameMap, 1.8), 0.0);
+    EXPECT_GT(m.accessEnergy(Unit::ICache, 1.8), 0.0);
+}
+
+TEST(EnergyModelTest, ComplexStructuresCostMore)
+{
+    EnergyModel c = complexEnergyModel();
+    EnergyModel s = simpleFixedEnergyModel();
+    // The 128-entry multi-ported physical register file beats the
+    // 32-entry architectural one.
+    EXPECT_GT(c.accessEnergy(Unit::RegfileRead, 1.8),
+              s.accessEnergy(Unit::RegfileRead, 1.8));
+    // Halved die -> half the clock-tree energy.
+    EXPECT_NEAR(c.clockEnergyPerCycle(1.8) /
+                    s.clockEnergyPerCycle(1.8),
+                2.0, 1e-9);
+}
+
+TEST(EnergyModelTest, CamStructuresCostMoreThanRam)
+{
+    // IQ (CAM, 64x32) vs an equal-geometry RAM.
+    std::array<StructGeom, numUnits> g{};
+    g[static_cast<int>(Unit::IssueQueue)] = {64, 32, 1, true, 1};
+    g[static_cast<int>(Unit::FetchQueue)] = {64, 32, 1, false, 1};
+    EnergyModel m(g, 1.0);
+    EXPECT_GT(m.accessEnergy(Unit::IssueQueue, 1.8),
+              m.accessEnergy(Unit::FetchQueue, 1.8));
+}
+
+TEST(EnergyModelTest, EpochEnergyAccumulatesAccessesAndClock)
+{
+    EnergyModel m = complexEnergyModel();
+    PowerActivity idle;
+    idle.cycles = 1000;
+    double clock_only = m.epochEnergy(idle, 1.0, ClockGating::Perfect);
+    EXPECT_NEAR(clock_only, m.clockEnergyPerCycle(1.0) * 1000, 1e-15);
+
+    PowerActivity busy = idle;
+    busy.add(Unit::ICache, 500);
+    double with_fetch = m.epochEnergy(busy, 1.0, ClockGating::Perfect);
+    EXPECT_NEAR(with_fetch - clock_only,
+                500 * m.accessEnergy(Unit::ICache, 1.0), 1e-15);
+}
+
+TEST(EnergyModelTest, StandbyChargesIdleStructures)
+{
+    EnergyModel m = complexEnergyModel();
+    PowerActivity idle;
+    idle.cycles = 1000;
+    double perfect = m.epochEnergy(idle, 1.0, ClockGating::Perfect);
+    double standby = m.epochEnergy(idle, 1.0, ClockGating::Standby10);
+    EXPECT_GT(standby, perfect);
+    // A fully idle complex chip burns more standby than a simple one.
+    EnergyModel s = simpleFixedEnergyModel();
+    EXPECT_GT(standby - perfect,
+              s.epochEnergy(idle, 1.0, ClockGating::Standby10) -
+                  s.epochEnergy(idle, 1.0, ClockGating::Perfect));
+}
+
+TEST(PowerMeterTest, IntegratesEpochsAcrossFrequencies)
+{
+    test::SimpleMachine m(R"(
+        addi r4, r0, 200
+loop:   subi r4, r4, 1
+        bgtz r4, loop
+        halt
+    )");
+    DvsTable dvs;
+    PowerMeter meter(*m.cpu, simpleFixedEnergyModel(), dvs,
+                     ClockGating::Perfect);
+    m.cpu->setFrequency(500);
+    m.run(300);
+    meter.closeEpoch(500);
+    double e1 = meter.totalEnergyJoules();
+    double t1 = meter.totalTimeSeconds();
+    EXPECT_GT(e1, 0.0);
+    EXPECT_NEAR(t1, static_cast<double>(m.cpu->cycles()) / 500e6,
+                1e-12);
+    m.cpu->setFrequency(1000);
+    m.run();
+    meter.closeEpoch(1000);
+    EXPECT_GT(meter.totalEnergyJoules(), e1);
+    EXPECT_GT(meter.averagePowerWatts(), 0.0);
+}
+
+TEST(PowerMeterTest, IdleAccountingUsesClockOnly)
+{
+    test::SimpleMachine m("halt");
+    DvsTable dvs;
+    PowerMeter meter(*m.cpu, simpleFixedEnergyModel(), dvs,
+                     ClockGating::Perfect);
+    meter.accountIdle(1e-3, 100);    // 1 ms parked at 100 MHz
+    EnergyModel em = simpleFixedEnergyModel();
+    double expected =
+        em.clockEnergyPerCycle(dvs.voltsAt(100)) * 100e6 * 1e-3;
+    EXPECT_NEAR(meter.totalEnergyJoules(), expected, expected * 1e-3);
+    EXPECT_NEAR(meter.totalTimeSeconds(), 1e-3, 1e-9);
+}
+
+TEST(PowerMeterTest, EmptyEpochsAreIgnored)
+{
+    test::SimpleMachine m("halt");
+    DvsTable dvs15(1.5);
+    PowerMeter meter(*m.cpu, simpleFixedEnergyModel(), dvs15,
+                     ClockGating::Perfect);
+    // 1000 MHz is not in the 1.5x table, but nothing ran yet, so the
+    // close must be a no-op rather than a lookup failure.
+    meter.closeEpoch(1000);
+    EXPECT_DOUBLE_EQ(meter.totalEnergyJoules(), 0.0);
+}
+
+TEST(PowerMeterTest, BreakdownSumsToTheTotal)
+{
+    test::SimpleMachine m(R"(
+        la r4, buf
+        addi r5, r0, 100
+loop:   lw r6, 0(r4)
+        add r7, r7, r6
+        subi r5, r5, 1
+        bgtz r5, loop
+        halt
+        .data
+buf:    .word 5
+    )");
+    DvsTable dvs;
+    PowerMeter meter(*m.cpu, simpleFixedEnergyModel(), dvs,
+                     ClockGating::Standby10);
+    m.cpu->setFrequency(500);
+    m.run();
+    meter.closeEpoch(500);
+    double sum = meter.clockEnergyJoules();
+    for (int u = 0; u < numUnits; ++u)
+        sum += meter.unitEnergyJoules(static_cast<Unit>(u));
+    EXPECT_NEAR(sum, meter.totalEnergyJoules(),
+                meter.totalEnergyJoules() * 1e-9);
+    // The caches did real work; zero-sized structures charged nothing.
+    EXPECT_GT(meter.unitEnergyJoules(Unit::ICache), 0.0);
+    EXPECT_DOUBLE_EQ(meter.unitEnergyJoules(Unit::IssueQueue), 0.0);
+}
+
+TEST(PowerMeterTest, SaneAcrossTaskResets)
+{
+    // Regression: activity cycle counts must stay monotonic across
+    // resetForTask() so epoch deltas never underflow (a meter attached
+    // across task instances once produced astronomically wrong energy
+    // for every task after the first).
+    test::OooMachine m(R"(
+        addi r4, r0, 50
+loop:   subi r4, r4, 1
+        bgtz r4, loop
+        halt
+    )");
+    DvsTable dvs;
+    PowerMeter meter(*m.cpu, complexEnergyModel(), dvs,
+                     ClockGating::Perfect);
+    m.cpu->setFrequency(500);
+    double prev = 0.0;
+    for (int t = 0; t < 4; ++t) {
+        m.cpu->resetForTask();
+        m.cpu->setFrequency(500);
+        m.run();
+        meter.closeEpoch(500);
+        double e = meter.totalEnergyJoules();
+        EXPECT_GT(e, prev) << t;
+        // Each task adds a comparable sliver of energy; anything above
+        // a microjoule here means an underflowed epoch.
+        EXPECT_LT(e - prev, 1e-6) << t;
+        prev = e;
+    }
+    EXPECT_NEAR(meter.totalTimeSeconds(),
+                static_cast<double>(m.cpu->activity().cycles) / 500e6,
+                1e-9);
+}
+
+TEST(PowerMeterTest, LowerVoltageFrequencyBurnsLessForSameWork)
+{
+    auto run_at = [](MHz f) {
+        test::SimpleMachine m(R"(
+            addi r4, r0, 300
+loop:       subi r4, r4, 1
+            bgtz r4, loop
+            halt
+        )");
+        DvsTable dvs;
+        PowerMeter meter(*m.cpu, simpleFixedEnergyModel(), dvs,
+                         ClockGating::Perfect);
+        m.cpu->setFrequency(f);
+        m.run();
+        meter.closeEpoch(f);
+        return meter.totalEnergyJoules();
+    };
+    // Same instruction count; the 100 MHz / 0.70 V run must use far
+    // less energy than 1 GHz / 1.8 V (the DVS premise).
+    EXPECT_LT(run_at(100), run_at(1000) * 0.5);
+}
+
+} // anonymous namespace
+} // namespace visa

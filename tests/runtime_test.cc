@@ -1,0 +1,249 @@
+/**
+ * @file
+ * End-to-end run-time system tests: the hard safety invariants T3
+ * (no deadline misses, ever — including induced mispredictions) and
+ * T4 (missed checkpoints recover within budget), plus PET adaptation,
+ * frequency-speculation behavior over many task instances, and the
+ * EQ 4-infeasible fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hh"
+#include "power/meter.hh"
+#include "sim/logging.hh"
+#include "wcet/analyzer.hh"
+#include "workloads/clab.hh"
+
+namespace visa
+{
+namespace
+{
+
+/** Full experiment stack around one workload. */
+struct Stack
+{
+    explicit Stack(const std::string &name)
+        : wl(makeWorkload(name)), analyzer(wl.program),
+          dmiss(profileDataMisses(wl.program)),
+          wcet(analyzer, dvs, &dmiss)
+    {
+        mem.loadProgram(wl.program);
+    }
+
+    RuntimeConfig
+    config(double deadline) const
+    {
+        RuntimeConfig cfg;
+        cfg.deadlineSeconds = deadline;
+        cfg.ovhdSeconds = 2e-6;
+        cfg.dvsSoftwareCycles = 500;
+        cfg.drainBudgetCycles = 512;
+        return cfg;
+    }
+
+    Workload wl;
+    WcetAnalyzer analyzer;
+    DMissProfile dmiss;
+    DvsTable dvs;
+    WcetTable wcet;
+    MainMemory mem;
+    Platform platform;
+    MemController memctrl;
+};
+
+TEST(RuntimeComplex, AllTasksMeetDeadlineAndChecksum)
+{
+    Stack s("cnt");
+    OooCpu cpu(s.wl.program, s.mem, s.platform, s.memctrl);
+    double d = s.wcet.taskSeconds(600);
+    VisaComplexRuntime rt(cpu, s.wl.program, s.mem, s.wcet, s.dvs,
+                          s.config(d));
+    for (int t = 0; t < 24; ++t) {
+        TaskStats ts = rt.runTask();
+        EXPECT_TRUE(ts.deadlineMet) << "task " << t;
+        EXPECT_TRUE(ts.checksumReported);
+        EXPECT_EQ(ts.checksum, s.wl.expectedChecksum) << "task " << t;
+        EXPECT_LE(ts.fSpec, ts.fRec);
+    }
+    EXPECT_EQ(rt.stats().deadlineMisses, 0);
+    EXPECT_EQ(rt.stats().tasks, 24);
+}
+
+TEST(RuntimeComplex, PetAdaptationLowersFrequency)
+{
+    Stack s("mm");
+    OooCpu cpu(s.wl.program, s.mem, s.platform, s.memctrl);
+    double d = s.wcet.taskSeconds(700);
+    VisaComplexRuntime rt(cpu, s.wl.program, s.mem, s.wcet, s.dvs,
+                          s.config(d));
+    MHz first = rt.runTask().fSpec;
+    MHz last = first;
+    for (int t = 1; t < 22; ++t)
+        last = rt.runTask().fSpec;
+    // Histories replace the conservative WCET seeds: f_spec drops.
+    EXPECT_LT(last, first);
+    EXPECT_EQ(rt.stats().deadlineMisses, 0);
+}
+
+TEST(RuntimeComplex, InducedMissesRecoverSafely)
+{
+    // T3/T4 under stress: a near-minimum deadline plus cache flushes.
+    Stack s("cnt");
+    OooCpu cpu(s.wl.program, s.mem, s.platform, s.memctrl);
+
+    // Bisect the tightest feasible deadline with profiled PETs.
+    RuntimeConfig probe_cfg = s.config(1.0);
+    PetEstimator pets(s.wl.numSubtasks, probe_cfg.petPolicy);
+    pets.seed(profileComplexAets(s.wl.program, s.wl.numSubtasks));
+    double lo = s.wcet.taskSeconds(1000);
+    double hi = s.wcet.taskSeconds(100);
+    for (int i = 0; i < 40; ++i) {
+        double mid = 0.5 * (lo + hi);
+        bool ok = solveVisaSpeculation(
+                      s.wcet, pets, s.dvs, mid, probe_cfg.ovhdSeconds,
+                      probe_cfg.dvsSoftwareCycles +
+                          probe_cfg.drainBudgetCycles)
+                      .feasible;
+        (ok ? hi : lo) = mid;
+    }
+
+    VisaComplexRuntime rt(cpu, s.wl.program, s.mem, s.wcet, s.dvs,
+                          s.config(hi * 1.01));
+    rt.pets().seed(profileComplexAets(s.wl.program, s.wl.numSubtasks,
+                                      1.02));
+    int misses = 0;
+    for (int t = 0; t < 18; ++t) {
+        bool induce = (t % 6) == 3;
+        TaskStats ts = rt.runTask(induce);
+        EXPECT_TRUE(ts.deadlineMet) << "task " << t;
+        EXPECT_EQ(ts.checksum, s.wl.expectedChecksum);
+        if (ts.missedCheckpoint) {
+            ++misses;
+            EXPECT_GE(ts.missedSubtask, 1);
+            EXPECT_LE(ts.missedSubtask, s.wl.numSubtasks);
+        }
+    }
+    EXPECT_EQ(rt.stats().deadlineMisses, 0);
+    EXPECT_EQ(rt.stats().checkpointMisses, misses);
+}
+
+TEST(RuntimeComplex, InfeasibleSpeculationFallsBackToSafeMode)
+{
+    Stack s("cnt");
+    OooCpu cpu(s.wl.program, s.mem, s.platform, s.memctrl);
+    // A deadline only the static schedule satisfies: PETs seeded at
+    // the WCETs make EQ 4 infeasible (ovhd eats the slack).
+    double d = s.wcet.taskSeconds(1000) * 1.002;
+    VisaComplexRuntime rt(cpu, s.wl.program, s.mem, s.wcet, s.dvs,
+                          s.config(d));
+    TaskStats ts = rt.runTask();
+    EXPECT_FALSE(ts.speculating);
+    EXPECT_TRUE(ts.deadlineMet);
+    EXPECT_EQ(ts.checksum, s.wl.expectedChecksum);
+    EXPECT_EQ(cpu.mode(), OooCpu::Mode::Simple);
+}
+
+TEST(RuntimeComplex, InfeasibleDeadlineIsFatal)
+{
+    Stack s("cnt");
+    OooCpu cpu(s.wl.program, s.mem, s.platform, s.memctrl);
+    VisaComplexRuntime rt(cpu, s.wl.program, s.mem, s.wcet, s.dvs,
+                          s.config(s.wcet.taskSeconds(1000) * 0.5));
+    EXPECT_THROW(rt.runTask(), FatalError);
+}
+
+TEST(RuntimeSimpleFixed, StaticScheduleWhenWcetIsTight)
+{
+    Stack s("mm");
+    SimpleCpu cpu(s.wl.program, s.mem, s.platform, s.memctrl);
+    double d = s.wcet.taskSeconds(700);
+    SimpleFixedRuntime rt(cpu, s.wl.program, s.mem, s.wcet, s.dvs,
+                          s.config(d));
+    TaskStats ts = rt.runTask();
+    // With WCET-seeded PETs, EQ 2 cannot beat the static frequency on
+    // the first task.
+    EXPECT_FALSE(ts.speculating);
+    EXPECT_EQ(ts.fSpec, 700u);
+    EXPECT_TRUE(ts.deadlineMet);
+    EXPECT_EQ(ts.checksum, s.wl.expectedChecksum);
+}
+
+TEST(RuntimeSimpleFixed, SpeculationEngagesWhenItLowersFrequency)
+{
+    Stack s("srt");    // srt's WCET is ~2x its typical time
+    SimpleCpu cpu(s.wl.program, s.mem, s.platform, s.memctrl);
+    double d = s.wcet.taskSeconds(700);
+    SimpleFixedRuntime rt(cpu, s.wl.program, s.mem, s.wcet, s.dvs,
+                          s.config(d));
+    MHz static_f = 0;
+    bool speculated = false;
+    for (int t = 0; t < 24; ++t) {
+        TaskStats ts = rt.runTask();
+        ASSERT_TRUE(ts.deadlineMet) << "task " << t;
+        EXPECT_EQ(ts.checksum, s.wl.expectedChecksum);
+        if (t == 0)
+            static_f = ts.fSpec;
+        if (ts.speculating) {
+            speculated = true;
+            EXPECT_LT(ts.fSpec, static_f);
+        }
+    }
+    EXPECT_TRUE(speculated);
+    EXPECT_EQ(rt.stats().deadlineMisses, 0);
+}
+
+TEST(RuntimeMetering, ComplexBeatsSimpleFixedPowerAtEqualDeadline)
+{
+    // The headline claim of the paper, as a regression test: at a
+    // comfortable deadline the VISA-compliant complex processor
+    // consumes measurably less power than simple-fixed.
+    auto run_power = [](bool use_complex) {
+        Stack s("mm");
+        double d = s.wcet.taskSeconds(700);
+        if (use_complex) {
+            OooCpu cpu(s.wl.program, s.mem, s.platform, s.memctrl);
+            VisaComplexRuntime rt(cpu, s.wl.program, s.mem, s.wcet,
+                                  s.dvs, s.config(d));
+            rt.pets().seed(
+                profileComplexAets(s.wl.program, s.wl.numSubtasks));
+            PowerMeter meter(cpu, complexEnergyModel(), s.dvs,
+                             ClockGating::Perfect);
+            rt.attachMeter(&meter);
+            for (int t = 0; t < 12; ++t)
+                rt.runTask();
+            EXPECT_EQ(rt.stats().deadlineMisses, 0);
+            return meter.averagePowerWatts();
+        }
+        SimpleCpu cpu(s.wl.program, s.mem, s.platform, s.memctrl);
+        SimpleFixedRuntime rt(cpu, s.wl.program, s.mem, s.wcet, s.dvs,
+                              s.config(d));
+        PowerMeter meter(cpu, simpleFixedEnergyModel(), s.dvs,
+                         ClockGating::Perfect);
+        rt.attachMeter(&meter);
+        for (int t = 0; t < 12; ++t)
+            rt.runTask();
+        EXPECT_EQ(rt.stats().deadlineMisses, 0);
+        return meter.averagePowerWatts();
+    };
+    double p_complex = run_power(true);
+    double p_simple = run_power(false);
+    EXPECT_GT(p_simple, 0.0);
+    EXPECT_LT(p_complex, p_simple);
+}
+
+TEST(RuntimeProfiling, ComplexAetProfileCoversSubtasks)
+{
+    Workload wl = makeWorkload("fft");
+    auto aets = profileComplexAets(wl.program, wl.numSubtasks, 1.1);
+    ASSERT_EQ(static_cast<int>(aets.size()), wl.numSubtasks);
+    for (auto a : aets)
+        EXPECT_GT(a, 0u);
+    // The margin scales the values.
+    auto tight = profileComplexAets(wl.program, wl.numSubtasks, 1.0);
+    for (std::size_t i = 0; i < aets.size(); ++i)
+        EXPECT_GE(aets[i], tight[i]);
+}
+
+} // anonymous namespace
+} // namespace visa

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * SimpleCpu tests: functional correctness, VISA pipeline timing rules
+ * (load-use interlock, static-prediction penalties, cache miss stalls),
+ * MMIO devices, and the watchdog.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.hh"
+
+namespace visa
+{
+namespace
+{
+
+using test::SimpleMachine;
+
+TEST(SimpleCpuFunctional, ArithmeticLoop)
+{
+    SimpleMachine m(R"(
+        addi r4, r0, 10
+        addi r5, r0, 0
+loop:   add  r5, r5, r4
+        subi r4, r4, 1
+        bgtz r4, loop
+        halt
+    )");
+    auto res = m.run();
+    EXPECT_EQ(res.reason, StopReason::Halted);
+    EXPECT_EQ(m.intReg(5), 55u);    // 10+9+...+1
+}
+
+TEST(SimpleCpuFunctional, MemoryRoundTrip)
+{
+    SimpleMachine m(R"(
+        la  r4, buf
+        addi r5, r0, -123
+        sw  r5, 0(r4)
+        lw  r6, 0(r4)
+        sb  r5, 8(r4)
+        lbu r7, 8(r4)
+        lb  r8, 8(r4)
+        halt
+        .data
+buf:    .space 16
+    )");
+    m.run();
+    EXPECT_EQ(static_cast<std::int32_t>(m.intReg(6)), -123);
+    EXPECT_EQ(m.intReg(7), 0x85u);    // -123 & 0xff
+    EXPECT_EQ(static_cast<std::int32_t>(m.intReg(8)), -123);
+}
+
+TEST(SimpleCpuFunctional, FloatingPoint)
+{
+    SimpleMachine m(R"(
+        la   r4, vals
+        ldc1 f2, 0(r4)
+        ldc1 f4, 8(r4)
+        add.d f6, f2, f4
+        mul.d f8, f2, f4
+        div.d f10, f4, f2
+        c.lt.d f2, f4
+        bc1t was_less
+        addi r5, r0, 0
+        j done
+was_less:
+        addi r5, r0, 1
+done:   cvt.w.d r6, f8
+        sdc1 f6, 16(r4)
+        halt
+        .data
+vals:   .double 2.5, 4.0
+        .space 8
+    )");
+    m.run();
+    EXPECT_EQ(m.intReg(5), 1u);
+    EXPECT_EQ(m.intReg(6), 10u);    // trunc(2.5*4.0)
+    EXPECT_DOUBLE_EQ(m.mem.readDouble(m.prog.symbol("vals") + 16), 6.5);
+}
+
+TEST(SimpleCpuFunctional, JalAndJr)
+{
+    SimpleMachine m(R"(
+        .entry main
+func:   addi r5, r0, 7
+        jr ra
+main:   jal func
+        addi r5, r5, 1
+        halt
+    )");
+    m.run();
+    EXPECT_EQ(m.intReg(5), 8u);
+}
+
+TEST(SimpleCpuTiming, ColdStartSingleInstruction)
+{
+    // One cold I-cache miss (100 cycles at 1 GHz) + six pipe stages.
+    SimpleMachine m(R"(
+        addi r4, r0, 1
+        halt
+    )");
+    m.run();
+    // addi: IF 0..100 (1+100 miss), ID 101, RR 102, EX 103, MEM 104,
+    // WB 105 -> halt one cycle behind at every stage -> total 107.
+    EXPECT_EQ(m.cpu->cycles(), 107u);
+}
+
+TEST(SimpleCpuTiming, PipelinedThroughputOneInstrPerCycle)
+{
+    SimpleMachine a(R"(
+        add r5, r5, r5
+        halt
+    )");
+    SimpleMachine b(R"(
+        add r5, r5, r5
+        add r6, r6, r6
+        add r7, r7, r7
+        add r8, r8, r8
+        halt
+    )");
+    a.run();
+    b.run();
+    // Three extra independent ALU instructions cost exactly 3 cycles.
+    EXPECT_EQ(b.cpu->cycles() - a.cpu->cycles(), 3u);
+}
+
+TEST(SimpleCpuTiming, LoadUseInterlockCostsOneCycle)
+{
+    SimpleMachine dep(R"(
+        la r4, buf
+        lw r5, 0(r4)
+        add r6, r5, r5     # depends on the load directly ahead
+        halt
+        .data
+buf:    .word 3
+    )");
+    SimpleMachine indep(R"(
+        la r4, buf
+        lw r5, 0(r4)
+        add r6, r7, r7     # independent
+        halt
+        .data
+buf:    .word 3
+    )");
+    dep.run();
+    indep.run();
+    EXPECT_EQ(dep.cpu->cycles(), indep.cpu->cycles() + 1);
+}
+
+TEST(SimpleCpuTiming, MispredictedForwardBranchCostsFour)
+{
+    // A forward branch to the fall-through address commits the same
+    // instruction stream taken or not; only the prediction differs.
+    const char *src = R"(
+        beq r4, r0, next
+next:   addi r5, r0, 1
+        halt
+    )";
+    SimpleMachine taken(src);       // r4 == 0: taken, predicted NT
+    SimpleMachine nottaken(src);
+    nottaken.cpu->arch().writeInt(4, 99);    // not taken: correct
+    taken.run();
+    nottaken.run();
+    EXPECT_EQ(taken.cpu->mispredicts(), 1u);
+    EXPECT_EQ(nottaken.cpu->mispredicts(), 0u);
+    EXPECT_EQ(taken.cpu->cycles(), nottaken.cpu->cycles() + 4);
+}
+
+TEST(SimpleCpuTiming, BackwardLoopBranchPredictedCorrectly)
+{
+    // Steady-state loop iterations cost exactly 2 cycles (2 instrs,
+    // backward branch predicted taken, no bubbles). The final exit
+    // iteration mispredicts; both versions share that cost.
+    const char *tpl = R"(
+        addi r4, r0, %d
+loop:   subi r4, r4, 1
+        bgtz r4, loop
+        halt
+    )";
+    char src10[256], src30[256];
+    std::snprintf(src10, sizeof(src10), tpl, 10);
+    std::snprintf(src30, sizeof(src30), tpl, 30);
+    SimpleMachine a(src10), b(src30);
+    a.run();
+    b.run();
+    EXPECT_EQ(b.cpu->cycles() - a.cpu->cycles(), 40u);    // 20 iters * 2
+}
+
+TEST(SimpleCpuTiming, UnpipelinedFuSerializesMultiCycleOps)
+{
+    // Two independent div operations cannot overlap on the single
+    // unpipelined universal FU: the second waits all 35 cycles.
+    SimpleMachine two(R"(
+        div r5, r6, r7
+        div r8, r9, r10
+        halt
+    )");
+    SimpleMachine one(R"(
+        div r5, r6, r7
+        add r8, r9, r10
+        halt
+    )");
+    two.run();
+    one.run();
+    EXPECT_EQ(two.cpu->cycles() - one.cpu->cycles(), 34u);
+}
+
+TEST(SimpleCpuTiming, IndirectJumpStallsFetch)
+{
+    SimpleMachine indirect(R"(
+        .entry main
+main:   la r4, tgt
+        jr r4
+tgt:    halt
+    )");
+    SimpleMachine direct(R"(
+        .entry main
+main:   la r4, tgt     # keep identical instruction count
+        j tgt
+tgt:    halt
+    )");
+    indirect.run();
+    direct.run();
+    EXPECT_EQ(indirect.cpu->cycles(), direct.cpu->cycles() + 4);
+}
+
+TEST(SimpleCpuTiming, DCacheMissStallsMemoryStage)
+{
+    // Two loads from the same cold line: first misses (100 cycles at
+    // 1 GHz), second hits.
+    SimpleMachine m(R"(
+        la r4, buf
+        lw r5, 0(r4)
+        lw r6, 4(r4)
+        halt
+        .data
+buf:    .word 1, 2
+    )");
+    SimpleMachine warm(R"(
+        la r4, buf
+        lw r5, 0(r4)
+        lw r6, 4(r4)
+        lw r7, 8(r4)
+        halt
+        .data
+buf:    .word 1, 2, 3
+    )");
+    m.run();
+    warm.run();
+    // The third load hits: costs exactly 1 extra cycle.
+    EXPECT_EQ(warm.cpu->cycles() - m.cpu->cycles(), 1u);
+    EXPECT_EQ(m.cpu->dcache().misses(), 1u);
+    EXPECT_EQ(warm.cpu->dcache().misses(), 1u);
+}
+
+TEST(SimpleCpuTiming, FrequencyScalesMissPenalty)
+{
+    // At 100 MHz the 100 ns memory stall is 10 cycles; at 1 GHz, 100.
+    auto run_at = [](MHz f) {
+        SimpleMachine m(R"(
+            addi r4, r0, 1
+            halt
+        )");
+        m.cpu->setFrequency(f);
+        m.run();
+        return m.cpu->cycles();
+    };
+    Cycles at1000 = run_at(1000);
+    Cycles at100 = run_at(100);
+    EXPECT_EQ(at1000 - at100, 90u);    // one cold I-miss difference
+}
+
+TEST(SimpleCpuMmio, CycleCounterAndChecksum)
+{
+    SimpleMachine m(R"(
+        li r4, 0xFFFF0004      # cycle counter
+        sw r0, 0(r4)           # reset
+        lw r5, 0(r4)           # read
+        li r6, 0xFFFF0018      # checksum port
+        li r7, 0xBEEF
+        sw r7, 0(r6)
+        halt
+    )");
+    m.run();
+    EXPECT_TRUE(m.platform.checksumReported());
+    EXPECT_EQ(m.platform.lastChecksum(), 0xBEEFu);
+    // The counter read happens one memory-stage cycle after the reset.
+    EXPECT_EQ(m.intReg(5), 1u);
+}
+
+TEST(SimpleCpuMmio, SubtaskAndAetReporting)
+{
+    SimpleMachine m(R"(
+        li r4, 0xFFFF0010      # subtask id port
+        li r5, 3
+        sw r5, 0(r4)
+        li r6, 0xFFFF0014      # AET report port
+        li r7, 1234
+        sw r7, 0(r6)
+        halt
+    )");
+    int begun = -1;
+    std::uint64_t aet = 0;
+    int aet_sub = -1;
+    m.platform.onSubtaskBegin = [&](int s) { begun = s; };
+    m.platform.onAetReport = [&](int s, std::uint64_t v) {
+        aet_sub = s;
+        aet = v;
+    };
+    m.run();
+    EXPECT_EQ(begun, 3);
+    EXPECT_EQ(aet_sub, 3);
+    EXPECT_EQ(aet, 1234u);
+}
+
+TEST(SimpleCpuWatchdog, ExpiresWhenUnmasked)
+{
+    SimpleMachine m(R"(
+        li r4, 0xFFFF0000      # watchdog
+        li r5, 200
+        sw r5, 0(r4)           # arm with 200 cycles
+loop:   j loop                 # never halts
+    )");
+    m.platform.maskWatchdog(false);
+    auto res = m.run(1000000);
+    EXPECT_EQ(res.reason, StopReason::WatchdogExpired);
+    EXPECT_FALSE(m.platform.watchdogArmed());
+    EXPECT_LT(m.cpu->cycles(), 1000u);
+}
+
+TEST(SimpleCpuWatchdog, MaskedExpiryIsSilent)
+{
+    SimpleMachine m(R"(
+        li r4, 0xFFFF0000
+        li r5, 50
+        sw r5, 0(r4)
+        li r6, 2000
+loop:   subi r6, r6, 1
+        bgtz r6, loop
+        halt
+    )");
+    // masked by default
+    auto res = m.run();
+    EXPECT_EQ(res.reason, StopReason::Halted);
+    EXPECT_EQ(m.platform.expiredWhileMasked(), 1u);
+}
+
+TEST(SimpleCpuWatchdog, AdvancingPreventsExpiry)
+{
+    SimpleMachine m(R"(
+        li r4, 0xFFFF0000
+        li r5, 5000
+        sw r5, 0(r4)           # arm generously
+        li r6, 10
+loop:   sw r5, 0(r4)           # keep advancing the interim deadline
+        subi r6, r6, 1
+        bgtz r6, loop
+        halt
+    )");
+    m.platform.maskWatchdog(false);
+    auto res = m.run();
+    EXPECT_EQ(res.reason, StopReason::Halted);
+}
+
+TEST(SimpleCpuRun, CycleBudgetStopsAndResumes)
+{
+    SimpleMachine m(R"(
+        addi r4, r0, 1000
+loop:   subi r4, r4, 1
+        bgtz r4, loop
+        halt
+    )");
+    auto res = m.run(50);
+    EXPECT_EQ(res.reason, StopReason::CycleBudget);
+    res = m.run();
+    EXPECT_EQ(res.reason, StopReason::Halted);
+    EXPECT_EQ(m.intReg(4), 0u);
+}
+
+TEST(SimpleCpuRun, AdvanceIdleAddsCyclesWithoutWork)
+{
+    SimpleMachine m(R"(
+        addi r4, r0, 1
+        halt
+    )");
+    m.cpu->advanceIdle(500);
+    m.run();
+    EXPECT_EQ(m.cpu->cycles(), 607u);    // 500 idle + 107 from cold start
+    EXPECT_EQ(m.cpu->retired(), 2u);
+}
+
+TEST(SimpleCpuRun, ResetForTaskKeepsCachesWarm)
+{
+    SimpleMachine m(R"(
+        addi r4, r0, 1
+        halt
+    )");
+    m.run();
+    Cycles cold = m.cpu->cycles();
+    m.cpu->resetForTask();
+    m.run();
+    Cycles warm = m.cpu->cycles();
+    EXPECT_EQ(cold - warm, 100u);    // second task avoids the I-miss
+}
+
+} // anonymous namespace
+} // namespace visa

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared helpers for the test suite: assemble-and-run harnesses for
+ * both pipelines.
+ */
+
+#ifndef VISA_TESTS_TEST_UTIL_HH
+#define VISA_TESTS_TEST_UTIL_HH
+
+#include <memory>
+#include <string>
+
+#include "cpu/ooo_cpu.hh"
+#include "cpu/simple_cpu.hh"
+#include "isa/assembler.hh"
+#include "mem/memctrl.hh"
+#include "mem/memory.hh"
+#include "mem/platform.hh"
+
+namespace visa::test
+{
+
+/** A fully wired machine around one program. */
+template <typename CpuT>
+struct Machine
+{
+    explicit Machine(const std::string &source)
+        : prog(assemble(source))
+    {
+        mem.loadProgram(prog);
+        cpu = std::make_unique<CpuT>(prog, mem, platform, memctrl);
+        cpu->resetForTask();
+    }
+
+    RunResult
+    run(Cycles budget = noCycleLimit)
+    {
+        return cpu->run(budget);
+    }
+
+    Word
+    intReg(int r) const
+    {
+        return cpu->arch().readInt(r);
+    }
+
+    double
+    fpReg(int r) const
+    {
+        return cpu->arch().fpRegs[static_cast<std::size_t>(r)];
+    }
+
+    Program prog;
+    MainMemory mem;
+    Platform platform;
+    MemController memctrl;
+    std::unique_ptr<CpuT> cpu;
+};
+
+using SimpleMachine = Machine<SimpleCpu>;
+using OooMachine = Machine<OooCpu>;
+
+} // namespace visa::test
+
+#endif // VISA_TESTS_TEST_UTIL_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * visa-sim: the command-line driver. Assembles a VPISA source file and
+ * runs it on either pipeline, disassembles it, and/or bounds it with
+ * the static WCET analyzer.
+ *
+ *   visa-sim program.s                      run on simple-fixed
+ *   visa-sim --cpu complex program.s        run on the OOO pipeline
+ *   visa-sim --cpu simple-mode program.s    OOO pipeline, simple mode
+ *   visa-sim --freq 250 program.s           clock in MHz (default 1000)
+ *   visa-sim --wcet program.s               static analysis across DVS
+ *   visa-sim --disasm program.s             annotated disassembly
+ *   visa-sim --stats program.s              dump simulation statistics
+ *   visa-sim --debug Fetch,Watchdog ...     enable trace flags
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cpu/ooo_cpu.hh"
+#include "cpu/simple_cpu.hh"
+#include "isa/assembler.hh"
+#include "isa/disassembler.hh"
+#include "sim/logging.hh"
+#include "wcet/analyzer.hh"
+
+using namespace visa;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: visa-sim [--cpu simple|complex|simple-mode] "
+                 "[--freq MHz]\n"
+                 "                [--wcet] [--disasm] [--stats] "
+                 "[--encodings]\n"
+                 "                [--debug flag,flag] program.s\n");
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string cpu_kind = "simple";
+    MHz freq = 1000;
+    bool do_wcet = false;
+    bool do_disasm = false;
+    bool do_stats = false;
+    bool show_encodings = false;
+    std::string path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--cpu") {
+            cpu_kind = next();
+        } else if (arg == "--freq") {
+            freq = static_cast<MHz>(std::stoul(next()));
+        } else if (arg == "--wcet") {
+            do_wcet = true;
+        } else if (arg == "--disasm") {
+            do_disasm = true;
+        } else if (arg == "--stats") {
+            do_stats = true;
+        } else if (arg == "--encodings") {
+            show_encodings = true;
+        } else if (arg == "--debug") {
+            std::istringstream flags(next());
+            std::string flag;
+            while (std::getline(flags, flag, ','))
+                Debug::enable(flag);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty()) {
+        usage();
+        return 2;
+    }
+
+    try {
+        Program prog = assemble(readFile(path));
+        std::printf("assembled %zu instructions (%zu sub-task markers, "
+                    "%zu loop bounds)\n",
+                    prog.size(), prog.subtaskStarts.size(),
+                    prog.loopBounds.size());
+
+        if (do_disasm) {
+            DisasmOptions opts;
+            opts.showEncodings = show_encodings;
+            std::fputs(disassembleProgram(prog, opts).c_str(), stdout);
+        }
+
+        if (do_wcet) {
+            WcetAnalyzer analyzer(prog);
+            DMissProfile dmiss = profileDataMisses(prog);
+            std::printf("\nstatic WCET (trace-padded D-cache):\n");
+            for (MHz f : {100u, 250u, 500u, 750u, 1000u}) {
+                WcetReport rep = analyzer.analyze(f, &dmiss);
+                std::printf("  %4u MHz: %10llu cycles  (%.2f us)\n", f,
+                            static_cast<unsigned long long>(
+                                rep.taskCycles),
+                            rep.taskMicros());
+            }
+        }
+
+        MainMemory mem;
+        Platform platform;
+        MemController memctrl;
+        mem.loadProgram(prog);
+        std::unique_ptr<Cpu> cpu;
+        if (cpu_kind == "simple") {
+            cpu = std::make_unique<SimpleCpu>(prog, mem, platform,
+                                              memctrl);
+        } else if (cpu_kind == "complex" || cpu_kind == "simple-mode") {
+            auto ooo = std::make_unique<OooCpu>(prog, mem, platform,
+                                                memctrl);
+            if (cpu_kind == "simple-mode")
+                ooo->switchToSimple();
+            cpu = std::move(ooo);
+        } else {
+            fatal("unknown --cpu '%s'", cpu_kind.c_str());
+        }
+        cpu->resetForTask();
+        cpu->setFrequency(freq);
+        RunResult res = cpu->run(20'000'000'000ULL);
+        if (res.reason != StopReason::Halted)
+            fatal("program did not halt (budget/watchdog)");
+
+        std::printf("\nran on %s @ %u MHz: %llu cycles, %llu "
+                    "instructions (IPC %.2f, %.2f us)\n",
+                    cpu_kind.c_str(), freq,
+                    static_cast<unsigned long long>(cpu->cycles()),
+                    static_cast<unsigned long long>(cpu->retired()),
+                    static_cast<double>(cpu->retired()) /
+                        static_cast<double>(cpu->cycles()),
+                    static_cast<double>(cpu->cycles()) / freq);
+        if (platform.checksumReported())
+            std::printf("checksum: 0x%x\n", platform.lastChecksum());
+        if (!platform.consoleOutput().empty())
+            std::printf("console: %s\n",
+                        platform.consoleOutput().c_str());
+        if (do_stats) {
+            std::printf("\n");
+            std::ostringstream os;
+            cpu->dumpStats(os);
+            std::fputs(os.str().c_str(), stdout);
+        }
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
