@@ -10,7 +10,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/runtime.hh"
@@ -18,6 +20,7 @@
 #include "power/dvs.hh"
 #include "power/energy_model.hh"
 #include "power/meter.hh"
+#include "sim/parallel.hh"
 #include "wcet/analyzer.hh"
 #include "workloads/clab.hh"
 
@@ -118,10 +121,14 @@ minGuaranteeableDeadline(const WcetTable &wcet, const DvsTable &dvs,
     return hi;
 }
 
-inline ExperimentSetup
-makeSetup(const std::string &name)
+/**
+ * Analyze benchmark @p name into @p s, which must outlive every use:
+ * the analyzer (and through it the WCET machinery) keeps a reference
+ * to s.wl.program, so s must not be moved afterwards.
+ */
+inline void
+initSetup(ExperimentSetup &s, const std::string &name)
 {
-    ExperimentSetup s;
     s.wl = makeWorkload(name);
     s.analyzer = std::make_unique<WcetAnalyzer>(s.wl.program);
     s.dmiss = profileDataMisses(s.wl.program);
@@ -129,13 +136,25 @@ makeSetup(const std::string &name)
     // Tight: the tightest guaranteeable with speculation (see above,
     // with a 5% margin), but no tighter than the simple-fixed WCET at
     // the 850 MHz point. Loose: the ~600 MHz basis (paper §5.3).
+    //
+    // The two calibration rigs are independent machines sharing only
+    // the immutable Program, so they run as concurrent arms.
     {
-        Rig<SimpleCpu> simple(s.wl.program);
-        simple.cpu->run(20'000'000'000ULL);
-        Rig<OooCpu> complex_rig(s.wl.program);
-        complex_rig.cpu->run(20'000'000'000ULL);
-        s.modeRatio = static_cast<double>(complex_rig.cpu->cycles()) /
-                      static_cast<double>(simple.cpu->cycles());
+        Cycles simple_cycles = 0;
+        Cycles complex_cycles = 0;
+        parallelFor(2, [&](std::size_t arm) {
+            if (arm == 0) {
+                Rig<SimpleCpu> simple(s.wl.program);
+                simple.cpu->run(20'000'000'000ULL);
+                simple_cycles = simple.cpu->cycles();
+            } else {
+                Rig<OooCpu> complex_rig(s.wl.program);
+                complex_rig.cpu->run(20'000'000'000ULL);
+                complex_cycles = complex_rig.cpu->cycles();
+            }
+        });
+        s.modeRatio = static_cast<double>(complex_cycles) /
+                      static_cast<double>(simple_cycles);
     }
     RuntimeConfig cfg = s.runtimeConfig(1.0);
     double min_d = minGuaranteeableDeadline(
@@ -147,7 +166,48 @@ makeSetup(const std::string &name)
     s.looseDeadline =
         std::max(s.wcet->taskSeconds(looseDeadlineFreq),
                  1.25 * s.tightDeadline);
+}
+
+inline ExperimentSetup
+makeSetup(const std::string &name)
+{
+    // NRVO keeps the analyzer's internal reference to s.wl.program
+    // valid; callers that need a heap-stable setup use cachedSetup.
+    ExperimentSetup s;
+    initSetup(s, name);
     return s;
+}
+
+/**
+ * Process-wide cache of analyzed benchmarks, so the campaign binaries
+ * build each ExperimentSetup once no matter how many experiments reuse
+ * it. Thread-safe: arms running on the pool may request setups
+ * concurrently; distinct benchmarks build in parallel, a shared one
+ * builds exactly once (call_once) while the others wait.
+ */
+inline const ExperimentSetup &
+cachedSetup(const std::string &name)
+{
+    struct Entry
+    {
+        std::once_flag once;
+        std::unique_ptr<ExperimentSetup> setup;
+    };
+    static std::mutex map_mutex;
+    static std::map<std::string, Entry> entries;
+
+    Entry *e;
+    {
+        std::lock_guard<std::mutex> lock(map_mutex);
+        e = &entries[name];    // node-based: stable across inserts
+    }
+    std::call_once(e->once, [&] {
+        // Construct in place, then analyze: moving a finished setup
+        // would invalidate the analyzer's reference to wl.program.
+        e->setup = std::make_unique<ExperimentSetup>();
+        initSetup(*e->setup, name);
+    });
+    return *e->setup;
 }
 
 } // namespace visa::bench

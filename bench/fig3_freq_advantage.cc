@@ -10,8 +10,11 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/power_arm.hh"
+#include "sim/parallel.hh"
 
 using namespace visa;
 using namespace visa::bench;
@@ -26,9 +29,12 @@ main()
                 "bench", "Psimp(W)", "Pcplx(W)", "save%", "Psimp10",
                 "Pcplx10", "save10%", "fsimp", "fcplx");
 
-    int safety_violations = 0;
-    for (const auto &name : clabNames()) {
-        ExperimentSetup setup = makeSetup(name);
+    const std::vector<std::string> names = clabNames();
+    std::vector<std::string> rows(names.size());
+    std::vector<int> violations(names.size(), 0);
+    parallelFor(names.size(), [&](std::size_t i) {
+        const std::string &name = names[i];
+        const ExperimentSetup &setup = cachedSetup(name);
         // Simple-fixed gets its own 1.5x DVS table and WCETs at those
         // operating points.
         DvsTable dvs15(1.5);
@@ -44,16 +50,25 @@ main()
                                          dvs15, wcet15);
         ArmResult cs =
             runComplexArm(setup, d, ClockGating::Standby10, tasks);
-        safety_violations += sp.deadlineMisses + cp.deadlineMisses +
-                             ss.deadlineMisses + cs.deadlineMisses +
-                             sp.badChecksums + cp.badChecksums;
-        std::printf("%-7s %9.3f %9.3f %7.1f%% %9.3f %9.3f %7.1f%% "
-                    "%7u %7u\n",
-                    name.c_str(), sp.avgPowerW, cp.avgPowerW,
-                    savingsPercent(cp.avgPowerW, sp.avgPowerW),
-                    ss.avgPowerW, cs.avgPowerW,
-                    savingsPercent(cs.avgPowerW, ss.avgPowerW),
-                    sp.lastFSpec, cp.lastFSpec);
+        violations[i] = sp.deadlineMisses + cp.deadlineMisses +
+                        ss.deadlineMisses + cs.deadlineMisses +
+                        sp.badChecksums + cp.badChecksums;
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "%-7s %9.3f %9.3f %7.1f%% %9.3f %9.3f %7.1f%% "
+                      "%7u %7u\n",
+                      name.c_str(), sp.avgPowerW, cp.avgPowerW,
+                      savingsPercent(cp.avgPowerW, sp.avgPowerW),
+                      ss.avgPowerW, cs.avgPowerW,
+                      savingsPercent(cs.avgPowerW, ss.avgPowerW),
+                      sp.lastFSpec, cp.lastFSpec);
+        rows[i] = line;
+    });
+
+    int safety_violations = 0;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        std::fputs(rows[i].c_str(), stdout);
+        safety_violations += violations[i];
     }
     std::printf("\ndeadline misses + checksum failures across all arms:"
                 " %d (must be 0)\n", safety_violations);

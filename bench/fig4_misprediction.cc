@@ -12,8 +12,11 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/power_arm.hh"
+#include "sim/parallel.hh"
 
 using namespace visa;
 using namespace visa::bench;
@@ -31,15 +34,18 @@ main()
     std::printf("%-7s %8s %8s %8s %8s %10s\n", "bench", "0%", "10%",
                 "20%", "33%", "ckpt-miss");
 
-    int safety_violations = 0;
-    for (const auto &name : clabNames()) {
-        ExperimentSetup setup = makeSetup(name);
+    const std::vector<std::string> names = clabNames();
+    std::vector<std::string> rows(names.size());
+    std::vector<int> violations(names.size(), 0);
+    parallelFor(names.size(), [&](std::size_t bi) {
+        const std::string &name = names[bi];
+        const ExperimentSetup &setup = cachedSetup(name);
         const double d = 1.02 * setup.minDeadline;
         ArmResult simple = runSimpleFixedArm(setup, d,
                                              ClockGating::Perfect,
                                              tasks, setup.dvs,
                                              *setup.wcet);
-        safety_violations += simple.deadlineMisses + simple.badChecksums;
+        violations[bi] += simple.deadlineMisses + simple.badChecksums;
 
         double saves[4];
         int misses[4];
@@ -49,11 +55,20 @@ main()
                                         tasks, induce[i]);
             saves[i] = savingsPercent(c.avgPowerW, simple.avgPowerW);
             misses[i] = c.checkpointMisses;
-            safety_violations += c.deadlineMisses + c.badChecksums;
+            violations[bi] += c.deadlineMisses + c.badChecksums;
         }
-        std::printf("%-7s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %4d/%d/%d\n",
-                    name.c_str(), saves[0], saves[1], saves[2],
-                    saves[3], misses[1], misses[2], misses[3]);
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "%-7s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %4d/%d/%d\n",
+                      name.c_str(), saves[0], saves[1], saves[2],
+                      saves[3], misses[1], misses[2], misses[3]);
+        rows[bi] = line;
+    });
+
+    int safety_violations = 0;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        std::fputs(rows[i].c_str(), stdout);
+        safety_violations += violations[i];
     }
     std::printf("\ndeadline misses + checksum failures across all arms:"
                 " %d (must be 0: mispredictions are safe by design)\n",

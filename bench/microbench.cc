@@ -1,9 +1,9 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the infrastructure itself:
- * assembler throughput, simulator speed of both pipelines (per
- * simulated instruction/cycle), the VisaTimer recurrence, the WCET
- * analyzer, and the frequency-speculation solver.
+ * assembler throughput, raw MainMemory access, simulator speed of both
+ * pipelines (per simulated instruction/cycle), the VisaTimer
+ * recurrence, the WCET analyzer, and the frequency-speculation solver.
  */
 
 #include <benchmark/benchmark.h>
@@ -21,7 +21,12 @@ namespace
 const Workload &
 cachedWorkload(const std::string &name)
 {
+    // Guarded: benchmark bodies may run while campaign code elsewhere
+    // in the process uses the pool, and future benchmarks may be
+    // multi-threaded themselves.
+    static std::mutex m;
     static std::map<std::string, Workload> cache;
+    std::lock_guard<std::mutex> lock(m);
     auto it = cache.find(name);
     if (it == cache.end())
         it = cache.emplace(name, makeWorkload(name)).first;
@@ -38,6 +43,107 @@ BM_AssembleMm(benchmark::State &state)
     }
 }
 BENCHMARK(BM_AssembleMm);
+
+// ---- raw MainMemory throughput (the tentpole fast path) ----
+
+void
+BM_MemoryRead(benchmark::State &state)
+{
+    MainMemory mem;
+    for (Addr a = 0; a < 64 * 1024; a += 4)
+        mem.writeWord(a, a);
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        for (Addr a = 0; a < 64 * 1024; a += 4)
+            sum += mem.read(a, 4);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * (64 * 1024 / 4));
+}
+BENCHMARK(BM_MemoryRead);
+
+void
+BM_MemoryWrite(benchmark::State &state)
+{
+    MainMemory mem;
+    for (auto _ : state) {
+        for (Addr a = 0; a < 64 * 1024; a += 4)
+            mem.write(a, a, 4);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * (64 * 1024 / 4));
+}
+BENCHMARK(BM_MemoryWrite);
+
+void
+BM_MemoryReadCrossPage(benchmark::State &state)
+{
+    // Every access straddles a 4 KB page boundary: the slow path.
+    MainMemory mem;
+    for (Addr a = 0; a < 64 * 1024; a += 4)
+        mem.writeWord(a, a);
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        for (Addr a = 4094; a < 60 * 1024; a += 4096)
+            sum += mem.read(a, 4);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * 14);
+}
+BENCHMARK(BM_MemoryReadCrossPage);
+
+void
+BM_MemoryBulkCopy(benchmark::State &state)
+{
+    // Page-split memcpy path (readBytes/writeBytes), 16 KB per pass.
+    MainMemory mem;
+    std::vector<std::uint8_t> buf(16 * 1024, 0xA5);
+    for (auto _ : state) {
+        mem.writeBytes(100, buf.data(), buf.size());
+        mem.readBytes(100, buf.data(), buf.size());
+        benchmark::DoNotOptimize(buf.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 2 * 16 * 1024);
+}
+BENCHMARK(BM_MemoryBulkCopy);
+
+void
+BM_LoadProgram(benchmark::State &state)
+{
+    const Workload &wl = cachedWorkload("mm");
+    MainMemory mem;
+    for (auto _ : state) {
+        mem.clear();
+        mem.loadProgram(wl.program);
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_LoadProgram);
+
+// ---- raw functional-execution throughput (fetch/decode fast path) ----
+
+void
+BM_ExecCoreStep(benchmark::State &state)
+{
+    const Workload &wl = cachedWorkload("mm");
+    MainMemory mem;
+    mem.loadProgram(wl.program);
+    Platform platform;
+    ExecCore core(wl.program, mem, platform);
+    std::int64_t insts = 0;
+    for (auto _ : state) {
+        core.reset();
+        ExecInfo info;
+        do {
+            info = core.step(false);
+            ++insts;
+        } while (!info.halted);
+        benchmark::DoNotOptimize(core.state().pc);
+    }
+    state.SetItemsProcessed(insts);
+}
+BENCHMARK(BM_ExecCoreStep)->Unit(benchmark::kMillisecond);
 
 void
 BM_VisaTimerRecurrence(benchmark::State &state)

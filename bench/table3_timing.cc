@@ -12,11 +12,62 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hh"
+#include "sim/parallel.hh"
 
 using namespace visa;
 using namespace visa::bench;
+
+namespace
+{
+
+/** Compute one benchmark's row; returns the formatted line. */
+std::string
+row(const std::string &name)
+{
+    const ExperimentSetup &setup = cachedSetup(name);
+    const Program &prog = setup.wl.program;
+
+    Rig<SimpleCpu> simple(prog);
+    simple.cpu->run(20'000'000'000ULL);
+    Rig<OooCpu> complex_rig(prog);
+    complex_rig.cpu->run(20'000'000'000ULL);
+
+    const double wcet_us =
+        static_cast<double>(setup.wcet->taskCycles(1000)) / 1000.0;
+    const double simple_us =
+        static_cast<double>(simple.cpu->cycles()) / 1000.0;
+    const double complex_us =
+        static_cast<double>(complex_rig.cpu->cycles()) / 1000.0;
+
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "%-7s %10llu %5d %11.1f %11.1f %10.1f %10.1f "
+                  "%10.1f %8.2f %8.2f\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(simple.cpu->retired()),
+                  setup.wl.numSubtasks, setup.tightDeadline * 1e6,
+                  setup.looseDeadline * 1e6, wcet_us, simple_us,
+                  complex_us, wcet_us / simple_us,
+                  simple_us / complex_us);
+    return line;
+}
+
+/** Run all @p names as concurrent arms; print rows in input order. */
+void
+printRows(const std::vector<std::string> &names)
+{
+    std::vector<std::string> rows(names.size());
+    parallelFor(names.size(),
+                [&](std::size_t i) { rows[i] = row(names[i]); });
+    for (const auto &r : rows)
+        std::fputs(r.c_str(), stdout);
+}
+
+} // anonymous namespace
 
 int
 main()
@@ -27,38 +78,10 @@ main()
                 "WCET(us)", "simple(us)", "complex(us)", "W/simp",
                 "simp/cplx");
 
-    auto row = [&](const std::string &name) {
-        ExperimentSetup setup = makeSetup(name);
-        const Program &prog = setup.wl.program;
-
-        Rig<SimpleCpu> simple(prog);
-        simple.cpu->run(20'000'000'000ULL);
-        Rig<OooCpu> complex_rig(prog);
-        complex_rig.cpu->run(20'000'000'000ULL);
-
-        const double wcet_us =
-            static_cast<double>(setup.wcet->taskCycles(1000)) / 1000.0;
-        const double simple_us =
-            static_cast<double>(simple.cpu->cycles()) / 1000.0;
-        const double complex_us =
-            static_cast<double>(complex_rig.cpu->cycles()) / 1000.0;
-
-        std::printf("%-7s %10llu %5d %11.1f %11.1f %10.1f %10.1f "
-                    "%10.1f %8.2f %8.2f\n",
-                    name.c_str(),
-                    static_cast<unsigned long long>(
-                        simple.cpu->retired()),
-                    setup.wl.numSubtasks, setup.tightDeadline * 1e6,
-                    setup.looseDeadline * 1e6, wcet_us, simple_us,
-                    complex_us, wcet_us / simple_us,
-                    simple_us / complex_us);
-    };
-    for (const auto &name : clabNames())
-        row(name);
+    printRows(clabNames());
     std::printf("\npaper shape: WCET/simple in [1.0, 1.4] except srt "
                 "~2.0; simple/complex in [3.1, 5.8]\n");
     std::printf("\nextended suite (not in the paper's Table 3):\n");
-    for (const auto &name : extendedNames())
-        row(name);
+    printRows(extendedNames());
     return 0;
 }

@@ -14,113 +14,10 @@ ExecCore::reset()
     state_.writeInt(reg::sp, defaultStackTop);
 }
 
-ExecInfo
-ExecCore::step(bool defer_mmio)
+void
+ExecCore::badMmioAccess(Addr pc)
 {
-    ExecInfo info;
-    info.pc = state_.pc;
-    const Instruction &inst = prog_.at(state_.pc);
-    info.inst = inst;
-    info.nextPc = state_.pc + 4;
-
-    switch (inst.cls()) {
-      case InstrClass::IntAlu:
-      case InstrClass::IntMult:
-      case InstrClass::IntDiv:
-        state_.writeInt(inst.rd,
-                        evalIntAlu(inst, state_.readInt(inst.rs),
-                                   state_.readInt(inst.rt)));
-        break;
-
-      case InstrClass::FpAlu:
-      case InstrClass::FpMult:
-      case InstrClass::FpDiv:
-        switch (inst.op) {
-          case Opcode::CVT_D_W:
-            state_.fpRegs[inst.rd] = static_cast<double>(
-                static_cast<std::int32_t>(state_.readInt(inst.rs)));
-            break;
-          case Opcode::CVT_W_D:
-            state_.writeInt(inst.rd,
-                            static_cast<Word>(static_cast<std::int32_t>(
-                                state_.fpRegs[inst.rs])));
-            break;
-          case Opcode::C_EQ_D: case Opcode::C_LT_D: case Opcode::C_LE_D:
-            state_.fcc = evalFpCmp(inst, state_.fpRegs[inst.rs],
-                                   state_.fpRegs[inst.rt]);
-            break;
-          default:
-            state_.fpRegs[inst.rd] = evalFpAlu(inst, state_.fpRegs[inst.rs],
-                                               state_.fpRegs[inst.rt]);
-        }
-        break;
-
-      case InstrClass::Load: {
-        info.isMem = true;
-        info.isLoad = true;
-        info.effAddr = effectiveAddr(inst, state_.readInt(inst.rs));
-        info.isMmio = mmio::contains(info.effAddr);
-        if (info.isMmio) {
-            if (inst.op != Opcode::LW)
-                fatal("MMIO access must use lw/sw (pc 0x%x)", info.pc);
-            if (defer_mmio)
-                info.mmioDest = inst.rd;
-            else
-                state_.writeInt(inst.rd, platform_.load(info.effAddr));
-        } else if (inst.op == Opcode::LDC1) {
-            state_.fpRegs[inst.rd] = mem_.readDouble(info.effAddr);
-        } else {
-            Word raw = static_cast<Word>(
-                mem_.read(info.effAddr, inst.memBytes()));
-            state_.writeInt(inst.rd, extendLoad(inst.op, raw));
-        }
-        break;
-      }
-
-      case InstrClass::Store: {
-        info.isMem = true;
-        info.effAddr = effectiveAddr(inst, state_.readInt(inst.rs));
-        info.isMmio = mmio::contains(info.effAddr);
-        if (info.isMmio) {
-            if (inst.op != Opcode::SW)
-                fatal("MMIO access must use lw/sw (pc 0x%x)", info.pc);
-            if (!defer_mmio)
-                platform_.store(info.effAddr, state_.readInt(inst.rt));
-            // deferred stores are performed by performMmio()
-        } else if (inst.op == Opcode::SDC1) {
-            mem_.writeDouble(info.effAddr, state_.fpRegs[inst.rt]);
-        } else {
-            mem_.write(info.effAddr, state_.readInt(inst.rt),
-                       inst.memBytes());
-        }
-        break;
-      }
-
-      case InstrClass::CondBranch:
-      case InstrClass::DirectJump:
-      case InstrClass::IndirectJump: {
-        ControlEval ev = evalControl(inst, info.pc, state_.readInt(inst.rs),
-                                     state_.readInt(inst.rt), state_.fcc);
-        info.taken = ev.taken;
-        info.nextPc = ev.taken ? ev.target : info.pc + 4;
-        if (inst.op == Opcode::JAL)
-            state_.writeInt(reg::ra, info.pc + 4);
-        else if (inst.op == Opcode::JALR)
-            state_.writeInt(inst.rd, info.pc + 4);
-        break;
-      }
-
-      case InstrClass::Nop:
-        break;
-
-      case InstrClass::Halt:
-        info.halted = true;
-        info.nextPc = info.pc;
-        break;
-    }
-
-    state_.pc = info.nextPc;
-    return info;
+    fatal("MMIO access must use lw/sw (pc 0x%x)", pc);
 }
 
 void

@@ -72,7 +72,10 @@ class ExecCore
 {
   public:
     ExecCore(const Program &prog, MainMemory &mem, Platform &platform)
-        : prog_(prog), mem_(mem), platform_(platform)
+        : prog_(prog), mem_(mem), platform_(platform),
+          text_(prog.text.data()),
+          textBase_(prog.textBase),
+          textBytes_(static_cast<Addr>(prog.text.size() * 4))
     {
     }
 
@@ -81,6 +84,9 @@ class ExecCore
 
     /**
      * Execute the instruction at the current PC and advance it.
+     * Defined inline below: this is the single hottest function of both
+     * pipeline simulators, and out-of-line it could never fold into
+     * their per-instruction loops.
      *
      * @param defer_mmio when true, loads/stores to the MMIO window are
      *        *not* performed; the caller must invoke performMmio() once
@@ -90,6 +96,9 @@ class ExecCore
      */
     ExecInfo step(bool defer_mmio);
 
+    /** Report a non-word MMIO access at @p pc (panics). */
+    [[noreturn]] static void badMmioAccess(Addr pc);
+
     /** Perform the deferred MMIO access of @p info. */
     void performMmio(const ExecInfo &info);
 
@@ -98,11 +107,139 @@ class ExecCore
     const Program &program() const { return prog_; }
 
   private:
+    /**
+     * Branch-free instruction fetch: the common case is one bounds
+     * check plus an indexed load off the cached text base. Off-text or
+     * misaligned PCs take the cold path through Program::at, which
+     * preserves the existing panic diagnostics.
+     */
+    const Instruction &
+    fetch(Addr pc) const
+    {
+        const Addr off = pc - textBase_;    // wraps huge when pc < base
+        if (off < textBytes_ && (off & 3u) == 0) [[likely]]
+            return text_[off >> 2];
+        return prog_.at(pc);
+    }
+
     const Program &prog_;
     MainMemory &mem_;
     Platform &platform_;
+    /** Cached view of prog_.text for the fetch fast path. */
+    const Instruction *text_;
+    Addr textBase_;
+    Addr textBytes_;
     ArchState state_;
 };
+
+inline ExecInfo
+ExecCore::step(bool defer_mmio)
+{
+    ExecInfo info;
+    info.pc = state_.pc;
+    const Instruction &inst = fetch(state_.pc);
+    info.inst = inst;
+    info.nextPc = state_.pc + 4;
+
+    switch (inst.cls()) {
+      case InstrClass::IntAlu:
+      case InstrClass::IntMult:
+      case InstrClass::IntDiv:
+        state_.writeInt(inst.rd,
+                        evalIntAlu(inst, state_.readInt(inst.rs),
+                                   state_.readInt(inst.rt)));
+        break;
+
+      case InstrClass::FpAlu:
+      case InstrClass::FpMult:
+      case InstrClass::FpDiv:
+        switch (inst.op) {
+          case Opcode::CVT_D_W:
+            state_.fpRegs[inst.rd] = static_cast<double>(
+                static_cast<std::int32_t>(state_.readInt(inst.rs)));
+            break;
+          case Opcode::CVT_W_D:
+            state_.writeInt(inst.rd,
+                            static_cast<Word>(static_cast<std::int32_t>(
+                                state_.fpRegs[inst.rs])));
+            break;
+          case Opcode::C_EQ_D: case Opcode::C_LT_D: case Opcode::C_LE_D:
+            state_.fcc = evalFpCmp(inst, state_.fpRegs[inst.rs],
+                                   state_.fpRegs[inst.rt]);
+            break;
+          default:
+            state_.fpRegs[inst.rd] = evalFpAlu(inst, state_.fpRegs[inst.rs],
+                                               state_.fpRegs[inst.rt]);
+        }
+        break;
+
+      case InstrClass::Load: {
+        info.isMem = true;
+        info.isLoad = true;
+        info.effAddr = effectiveAddr(inst, state_.readInt(inst.rs));
+        info.isMmio = mmio::contains(info.effAddr);
+        if (info.isMmio) [[unlikely]] {
+            if (inst.op != Opcode::LW)
+                badMmioAccess(info.pc);
+            if (defer_mmio)
+                info.mmioDest = inst.rd;
+            else
+                state_.writeInt(inst.rd, platform_.load(info.effAddr));
+        } else if (inst.op == Opcode::LDC1) {
+            state_.fpRegs[inst.rd] = mem_.readDouble(info.effAddr);
+        } else {
+            Word raw = static_cast<Word>(
+                mem_.read(info.effAddr, inst.memBytes()));
+            state_.writeInt(inst.rd, extendLoad(inst.op, raw));
+        }
+        break;
+      }
+
+      case InstrClass::Store: {
+        info.isMem = true;
+        info.effAddr = effectiveAddr(inst, state_.readInt(inst.rs));
+        info.isMmio = mmio::contains(info.effAddr);
+        if (info.isMmio) [[unlikely]] {
+            if (inst.op != Opcode::SW)
+                badMmioAccess(info.pc);
+            if (!defer_mmio)
+                platform_.store(info.effAddr, state_.readInt(inst.rt));
+            // deferred stores are performed by performMmio()
+        } else if (inst.op == Opcode::SDC1) {
+            mem_.writeDouble(info.effAddr, state_.fpRegs[inst.rt]);
+        } else {
+            mem_.write(info.effAddr, state_.readInt(inst.rt),
+                       inst.memBytes());
+        }
+        break;
+      }
+
+      case InstrClass::CondBranch:
+      case InstrClass::DirectJump:
+      case InstrClass::IndirectJump: {
+        ControlEval ev = evalControl(inst, info.pc, state_.readInt(inst.rs),
+                                     state_.readInt(inst.rt), state_.fcc);
+        info.taken = ev.taken;
+        info.nextPc = ev.taken ? ev.target : info.pc + 4;
+        if (inst.op == Opcode::JAL)
+            state_.writeInt(reg::ra, info.pc + 4);
+        else if (inst.op == Opcode::JALR)
+            state_.writeInt(inst.rd, info.pc + 4);
+        break;
+      }
+
+      case InstrClass::Nop:
+        break;
+
+      case InstrClass::Halt:
+        info.halted = true;
+        info.nextPc = info.pc;
+        break;
+    }
+
+    state_.pc = info.nextPc;
+    return info;
+}
 
 /** Why a run() call returned. */
 enum class StopReason

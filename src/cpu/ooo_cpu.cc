@@ -43,6 +43,10 @@ OooCpu::resetForTask()
     prevWasLoad_ = false;
     simpleFetchGroup_ = 0;
     memctrl_.reset();
+    unissuedSeqs_.clear();
+    unissuedStoreSeqs_.clear();
+    inflightStores_.clear();
+    missFillTimes_.clear();
 }
 
 void
@@ -78,49 +82,14 @@ OooCpu::advanceIdle(Cycles n)
     syncActivityCycles();
 }
 
-const OooCpu::RobEntry *
-OooCpu::findBySeq(std::uint64_t seq) const
-{
-    if (rob_.empty() || seq < rob_.front().seq)
-        return nullptr;
-    std::size_t idx = static_cast<std::size_t>(seq - rob_.front().seq);
-    if (idx >= rob_.size())
-        return nullptr;
-    return &rob_[idx];
-}
-
-OooCpu::RobEntry *
-OooCpu::findBySeq(std::uint64_t seq)
-{
-    return const_cast<RobEntry *>(
-        static_cast<const OooCpu *>(this)->findBySeq(seq));
-}
-
-bool
-OooCpu::sourcesReady(const RobEntry &e) const
-{
-    for (std::int64_t p : e.srcProducers) {
-        if (p < 0)
-            continue;
-        const RobEntry *prod = findBySeq(static_cast<std::uint64_t>(p));
-        if (!prod)
-            continue;    // producer already retired
-        if (!prod->issued || prod->completeCycle > cycle_)
-            return false;
-    }
-    return true;
-}
-
 bool
 OooCpu::olderStoresIssued(const RobEntry &load) const
 {
-    for (const auto &e : rob_) {
-        if (e.seq >= load.seq)
-            break;
-        if (e.info.isMem && !e.info.isLoad && !e.info.isMmio && !e.issued)
-            return false;
-    }
-    return true;
+    // Equivalent to walking the ROB for an unissued older store: the
+    // set holds exactly the unissued non-MMIO stores, so only its
+    // minimum matters.
+    return unissuedStoreSeqs_.empty() ||
+           *unissuedStoreSeqs_.begin() >= load.seq;
 }
 
 bool
@@ -128,27 +97,24 @@ OooCpu::overlapsOlderStore(const RobEntry &load) const
 {
     const Addr lo = load.info.effAddr;
     const Addr hi = lo + static_cast<Addr>(load.info.inst.memBytes());
-    for (const auto &e : rob_) {
-        if (e.seq >= load.seq)
+    for (const auto &s : inflightStores_) {
+        if (s.seq >= load.seq)
             break;
-        if (!e.info.isMem || e.info.isLoad || e.info.isMmio)
-            continue;
-        const Addr slo = e.info.effAddr;
-        const Addr shi = slo + static_cast<Addr>(e.info.inst.memBytes());
-        if (slo < hi && lo < shi)
+        if (s.lo < hi && lo < s.hi)
             return true;
     }
     return false;
 }
 
 int
-OooCpu::outstandingLoadMisses() const
+OooCpu::outstandingLoadMisses()
 {
-    int n = 0;
-    for (const auto &e : rob_)
-        if (e.issued && e.wasMiss && e.completeCycle > cycle_)
-            ++n;
-    return n;
+    // Prune fills that have completed; retired miss loads always have
+    // completeCycle < cycle_ (retirement waits for completion), so the
+    // survivors are exactly the ROB's issued, still-outstanding misses.
+    std::erase_if(missFillTimes_,
+                  [this](Cycles c) { return c <= cycle_; });
+    return static_cast<int>(missFillTimes_.size());
 }
 
 void
@@ -277,6 +243,14 @@ OooCpu::dispatchStage()
             activity_.add(Unit::Lsq);
 
         rob_.push_back(e);
+        unissuedSeqs_.push_back(e.seq);
+        if (e.info.isMem && !e.info.isLoad && !e.info.isMmio) {
+            unissuedStoreSeqs_.insert(e.seq);
+            const Addr lo = e.info.effAddr;
+            inflightStores_.push_back(
+                {e.seq, lo,
+                 lo + static_cast<Addr>(e.info.inst.memBytes())});
+        }
         ++iqCount_;
         if (e.info.isMem && !e.info.isMmio)
             ++lsqCount_;
@@ -288,55 +262,73 @@ OooCpu::dispatchStage()
 void
 OooCpu::issueStage()
 {
+    // Walk only the dispatched-but-unissued entries (program order),
+    // compacting the survivors in place. Issue order, width accounting,
+    // and all structural gating are identical to the historical
+    // full-ROB walk — this only skips entries that walk would have
+    // skipped via their issued flag.
     int issued = 0;
     int misses_outstanding = outstandingLoadMisses();
-    for (auto &e : rob_) {
-        if (issued >= params_.issueWidth)
-            break;
-        if (e.issued || e.dispatchCycle >= cycle_)
-            continue;
-        if (!sourcesReady(e))
-            continue;
+    std::size_t keep = 0;
+    const std::size_t n = unissuedSeqs_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t seq = unissuedSeqs_[i];
+        RobEntry &e = *findBySeq(seq);
+        bool do_issue = false;
 
-        const Instruction &inst = e.info.inst;
-        if (e.info.isMem && !e.info.isMmio) {
-            if (e.info.isLoad) {
-                if (!olderStoresIssued(e))
-                    continue;
-                if (overlapsOlderStore(e)) {
-                    // Store-to-load forwarding inside the LSQ.
-                    e.completeCycle = cycle_ + 2;
-                    activity_.add(Unit::Lsq);
-                } else {
-                    if (memPortsUsed_ >= params_.dcachePorts)
-                        continue;
-                    bool hit = dcache_.probe(e.info.effAddr);
-                    if (!hit &&
-                        misses_outstanding >= memctrl_.maxOutstanding())
-                        continue;
-                    ++memPortsUsed_;
-                    dcache_.access(e.info.effAddr, false);
-                    activity_.add(Unit::DCache);
-                    activity_.add(Unit::Lsq);
-                    if (hit) {
-                        e.completeCycle = cycle_ + 2;
-                    } else {
-                        e.completeCycle = memctrl_.schedule(cycle_ + 2,
-                                                            freq_);
-                        e.wasMiss = true;
-                        ++misses_outstanding;
+        if (issued < params_.issueWidth && e.dispatchCycle < cycle_ &&
+            sourcesReady(e)) {
+            if (e.info.isMem && !e.info.isMmio) {
+                if (e.info.isLoad) {
+                    if (olderStoresIssued(e)) {
+                        if (overlapsOlderStore(e)) {
+                            // Store-to-load forwarding inside the LSQ.
+                            e.completeCycle = cycle_ + 2;
+                            activity_.add(Unit::Lsq);
+                            do_issue = true;
+                        } else if (memPortsUsed_ < params_.dcachePorts) {
+                            bool hit = dcache_.probe(e.info.effAddr);
+                            if (hit || misses_outstanding <
+                                           memctrl_.maxOutstanding()) {
+                                ++memPortsUsed_;
+                                dcache_.access(e.info.effAddr, false);
+                                activity_.add(Unit::DCache);
+                                activity_.add(Unit::Lsq);
+                                if (hit) {
+                                    e.completeCycle = cycle_ + 2;
+                                } else {
+                                    e.completeCycle =
+                                        memctrl_.schedule(cycle_ + 2,
+                                                          freq_);
+                                    e.wasMiss = true;
+                                    ++misses_outstanding;
+                                    missFillTimes_.push_back(
+                                        e.completeCycle);
+                                }
+                                do_issue = true;
+                            }
+                        }
                     }
+                } else {
+                    // Stores compute their address and sit in the LSQ;
+                    // the data cache is written at retire.
+                    e.completeCycle = cycle_ + 1;
+                    activity_.add(Unit::Lsq);
+                    unissuedStoreSeqs_.erase(seq);
+                    do_issue = true;
                 }
             } else {
-                // Stores compute their address and sit in the LSQ; the
-                // data cache is written at retire.
-                e.completeCycle = cycle_ + 1;
-                activity_.add(Unit::Lsq);
+                e.completeCycle = cycle_ + e.info.inst.latency();
+                do_issue = true;
             }
-        } else {
-            e.completeCycle = cycle_ + inst.latency();
         }
 
+        if (!do_issue) {
+            unissuedSeqs_[keep++] = seq;
+            continue;
+        }
+
+        const Instruction &inst = e.info.inst;
         e.issued = true;
         --iqCount_;
         ++issued;
@@ -352,11 +344,12 @@ OooCpu::issueStage()
         if (inst.destIntReg() >= 0 || inst.destFpReg() >= 0)
             activity_.add(Unit::RegfileWrite);
 
-        if (static_cast<std::int64_t>(e.seq) == fetchBlockedSeq_) {
+        if (static_cast<std::int64_t>(seq) == fetchBlockedSeq_) {
             fetchReadyCycle_ = e.completeCycle + 1;
             fetchBlockedSeq_ = -1;
         }
     }
+    unissuedSeqs_.resize(keep);
 }
 
 void
@@ -378,6 +371,9 @@ OooCpu::retireStage()
                 // memory bandwidth but does not stall retirement.
                 memctrl_.schedule(cycle_, freq_);
             }
+            // Stores retire in program order, so this store is the
+            // deque's front.
+            inflightStores_.pop_front();
         }
         if (e.info.isMem && !e.info.isMmio)
             --lsqCount_;
@@ -460,7 +456,9 @@ RunResult
 OooCpu::runSimple(Cycles budget_end)
 {
     // The §3.2 simple mode: VISA timing via the shared recurrence,
-    // complex-datapath power accounting.
+    // complex-datapath power accounting. The miss penalty only changes
+    // with the frequency, i.e. between run() calls — hoist it.
+    const Cycles penalty = missPenalty();
     while (true) {
         if (halted_)
             return {StopReason::Halted};
@@ -468,7 +466,6 @@ OooCpu::runSimple(Cycles budget_end)
             return {StopReason::CycleBudget};
 
         const Addr pc = core_.state().pc;
-        const Cycles penalty = missPenalty();
 
         bool ihit = icache_.access(pc, false);
         // The fetch unit retrieves a full fetch block and buffers it;

@@ -28,6 +28,8 @@
 #define VISA_CPU_OOO_CPU_HH
 
 #include <deque>
+#include <set>
+#include <vector>
 
 #include "cpu/bpred.hh"
 #include "cpu/cpu.hh"
@@ -55,7 +57,7 @@ struct OooParams
 };
 
 /** The complex 4-way out-of-order processor with a VISA simple mode. */
-class OooCpu : public Cpu
+class OooCpu final : public Cpu
 {
   public:
     enum class Mode { Complex, Simple };
@@ -120,13 +122,46 @@ class OooCpu : public Cpu
     void issueStage();
     void retireStage();
 
-    bool sourcesReady(const RobEntry &e) const;
     bool olderStoresIssued(const RobEntry &load) const;
     bool overlapsOlderStore(const RobEntry &load) const;
-    int outstandingLoadMisses() const;
+    int outstandingLoadMisses();
 
-    const RobEntry *findBySeq(std::uint64_t seq) const;
-    RobEntry *findBySeq(std::uint64_t seq);
+    // ROB sequence numbers are contiguous (dispatch appends, retire pops
+    // the front), so seq lookup is an O(1) index off the oldest entry.
+    // Inline: called up to three times per entry per issue scan.
+    const RobEntry *
+    findBySeq(std::uint64_t seq) const
+    {
+        if (rob_.empty() || seq < rob_.front().seq)
+            return nullptr;
+        std::size_t idx =
+            static_cast<std::size_t>(seq - rob_.front().seq);
+        if (idx >= rob_.size())
+            return nullptr;
+        return &rob_[idx];
+    }
+    RobEntry *
+    findBySeq(std::uint64_t seq)
+    {
+        return const_cast<RobEntry *>(
+            static_cast<const OooCpu *>(this)->findBySeq(seq));
+    }
+
+    bool
+    sourcesReady(const RobEntry &e) const
+    {
+        for (std::int64_t p : e.srcProducers) {
+            if (p < 0)
+                continue;
+            const RobEntry *prod =
+                findBySeq(static_cast<std::uint64_t>(p));
+            if (!prod)
+                continue;    // producer already retired
+            if (!prod->issued || prod->completeCycle > cycle_)
+                return false;
+        }
+        return true;
+    }
 
     Platform::TickResult tickTo(Cycles to);
 
@@ -161,6 +196,25 @@ class OooCpu : public Cpu
     int memPortsUsed_ = 0;
     int iqCount_ = 0;
     int lsqCount_ = 0;
+
+    // Incremental views of the ROB, so the per-cycle issue stage does
+    // not rescan all 128 entries. Each mirrors a predicate the old
+    // full-ROB walks computed; they are updated at dispatch, issue, and
+    // retire, and must stay exactly consistent with rob_.
+
+    /** Dispatched-but-unissued entries, in program (seq) order. */
+    std::vector<std::uint64_t> unissuedSeqs_;
+    /** Unissued non-MMIO stores (min element gates load issue). */
+    std::set<std::uint64_t> unissuedStoreSeqs_;
+    /** In-flight (dispatched, unretired) non-MMIO stores, seq order. */
+    struct StoreRef
+    {
+        std::uint64_t seq;
+        Addr lo, hi;
+    };
+    std::deque<StoreRef> inflightStores_;
+    /** Fill-completion cycles of issued, still-outstanding load misses. */
+    std::vector<Cycles> missFillTimes_;
 
     std::uint64_t mispredicts_ = 0;
 

@@ -37,18 +37,6 @@ SimpleCpu::resetForTask()
     mispredicts_ = 0;
 }
 
-Platform::TickResult
-SimpleCpu::tickTo(Cycles to)
-{
-    if (to <= ticked_)
-        return {};
-    auto res = platform_.tickN(to - ticked_);
-    if (res.expired)
-        res.offset += ticked_;    // make the offset absolute
-    ticked_ = to;
-    return res;
-}
-
 void
 SimpleCpu::advanceIdle(Cycles n)
 {
@@ -68,6 +56,12 @@ SimpleCpu::run(Cycles max_cycles)
         ? noCycleLimit
         : cycles() + max_cycles;
 
+    // Loop-invariant per-instruction work, hoisted: the frequency (and
+    // with it the miss penalty) only changes between run() calls, and
+    // trace flags are set before a run starts.
+    const Cycles penalty = missPenalty();
+    const bool trace_exec = Debug::enabled("Exec");
+
     while (true) {
         if (halted_)
             return {StopReason::Halted};
@@ -75,7 +69,6 @@ SimpleCpu::run(Cycles max_cycles)
             return {StopReason::CycleBudget};
 
         const Addr pc = core_.state().pc;
-        const Cycles penalty = missPenalty();
 
         // Fetch: blocking I-cache, one access per instruction (scalar).
         bool ihit = icache_.access(pc, false);
@@ -85,7 +78,7 @@ SimpleCpu::run(Cycles max_cycles)
         // simulated time reaches this instruction's memory stage.
         ExecInfo info = core_.step(true);
         const Instruction &inst = info.inst;
-        if (Debug::enabled("Exec")) {
+        if (trace_exec) [[unlikely]] {
             DPRINTF("Exec", "%8llu  %08x  %s\n",
                     static_cast<unsigned long long>(cycles()), pc,
                     disassemble(inst, pc).c_str());
@@ -119,13 +112,16 @@ SimpleCpu::run(Cycles max_cycles)
         rec.redirect = redirect;
         timer_.consume(rec);
 
-        // Activity: register file and FU usage.
-        for (int s : inst.srcIntRegs())
-            if (s >= 0)
-                activity_.add(Unit::RegfileRead);
-        for (int s : inst.srcFpRegs())
-            if (s >= 0)
-                activity_.add(Unit::RegfileRead);
+        // Activity: register file and FU usage. Source-read counts fall
+        // straight out of the operand-role flags (the four source flags
+        // occupy bits 0-3, so a branchless shift-add counts them; r0
+        // sources still count as reads, exactly as the slot loops did).
+        static_assert((detail::opSrcRsInt | detail::opSrcRtInt |
+                       detail::opSrcRsFp | detail::opSrcRtFp) == 0xF);
+        const unsigned src = detail::operandFlags(inst.op) & 0xFu;
+        activity_.add(Unit::RegfileRead,
+                      (src & 1) + ((src >> 1) & 1) + ((src >> 2) & 1) +
+                          (src >> 3));
         if (inst.destIntReg() >= 0 || inst.destFpReg() >= 0)
             activity_.add(Unit::RegfileWrite);
         activity_.add(Unit::Fu);

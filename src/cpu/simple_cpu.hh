@@ -26,7 +26,7 @@ CacheParams visaICacheParams();
 CacheParams visaDCacheParams();
 
 /** The simple-fixed in-order pipeline. */
-class SimpleCpu : public Cpu
+class SimpleCpu final : public Cpu
 {
   public:
     SimpleCpu(const Program &prog, MainMemory &mem, Platform &platform,
@@ -46,8 +46,19 @@ class SimpleCpu : public Cpu
     const char *statsName() const override { return "simple"; }
 
   private:
-    /** Bring the platform devices up to absolute cycle @p to. */
-    Platform::TickResult tickTo(Cycles to);
+    /** Bring the platform devices up to absolute cycle @p to. Inline:
+     *  called once per committed instruction. */
+    Platform::TickResult
+    tickTo(Cycles to)
+    {
+        if (to <= ticked_)
+            return {};
+        auto res = platform_.tickN(to - ticked_);
+        if (res.expired)
+            res.offset += ticked_;    // make the offset absolute
+        ticked_ = to;
+        return res;
+    }
 
     VisaTimer timer_;
     Cycles cycleBase_ = 0;      ///< cycles accumulated before timer reset

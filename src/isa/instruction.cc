@@ -7,135 +7,6 @@
 namespace visa
 {
 
-int
-Instruction::destIntReg() const
-{
-    int d = -1;
-    switch (op) {
-      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
-      case Opcode::DIV: case Opcode::REM:
-      case Opcode::AND: case Opcode::OR: case Opcode::XOR: case Opcode::NOR:
-      case Opcode::SLT: case Opcode::SLTU:
-      case Opcode::SLLV: case Opcode::SRLV: case Opcode::SRAV:
-      case Opcode::SLL: case Opcode::SRL: case Opcode::SRA:
-      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
-      case Opcode::XORI: case Opcode::SLTI: case Opcode::SLTIU:
-      case Opcode::LUI:
-      case Opcode::LB: case Opcode::LBU: case Opcode::LH: case Opcode::LHU:
-      case Opcode::LW:
-      case Opcode::CVT_W_D:
-      case Opcode::JALR:
-        d = rd;
-        break;
-      case Opcode::JAL:
-        d = reg::ra;
-        break;
-      default:
-        break;
-    }
-    return d == 0 ? -1 : d;    // writes to r0 are discarded
-}
-
-int
-Instruction::destFpReg() const
-{
-    switch (op) {
-      case Opcode::LDC1:
-      case Opcode::ADD_D: case Opcode::SUB_D:
-      case Opcode::MUL_D: case Opcode::DIV_D:
-      case Opcode::NEG_D: case Opcode::ABS_D: case Opcode::MOV_D:
-      case Opcode::CVT_D_W:
-        return rd;
-      default:
-        return -1;
-    }
-}
-
-bool
-Instruction::writesFcc() const
-{
-    return op == Opcode::C_EQ_D || op == Opcode::C_LT_D ||
-           op == Opcode::C_LE_D;
-}
-
-bool
-Instruction::readsFcc() const
-{
-    return op == Opcode::BC1T || op == Opcode::BC1F;
-}
-
-std::array<int, 2>
-Instruction::srcIntRegs() const
-{
-    switch (op) {
-      // rd = rs OP rt
-      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
-      case Opcode::DIV: case Opcode::REM:
-      case Opcode::AND: case Opcode::OR: case Opcode::XOR: case Opcode::NOR:
-      case Opcode::SLT: case Opcode::SLTU:
-      case Opcode::SLLV: case Opcode::SRLV: case Opcode::SRAV:
-      case Opcode::BEQ: case Opcode::BNE:
-        return {rs, rt};
-      // single int source in rs
-      case Opcode::SLL: case Opcode::SRL: case Opcode::SRA:
-      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
-      case Opcode::XORI: case Opcode::SLTI: case Opcode::SLTIU:
-      case Opcode::LB: case Opcode::LBU: case Opcode::LH: case Opcode::LHU:
-      case Opcode::LW: case Opcode::LDC1:
-      case Opcode::BLEZ: case Opcode::BGTZ:
-      case Opcode::BLTZ: case Opcode::BGEZ:
-      case Opcode::JR: case Opcode::JALR:
-      case Opcode::CVT_D_W:
-        return {rs, -1};
-      // stores: base rs + integer data rt
-      case Opcode::SB: case Opcode::SH: case Opcode::SW:
-        return {rs, rt};
-      // FP store: base rs only (data is FP)
-      case Opcode::SDC1:
-        return {rs, -1};
-      default:
-        return {-1, -1};
-    }
-}
-
-std::array<int, 2>
-Instruction::srcFpRegs() const
-{
-    switch (op) {
-      case Opcode::ADD_D: case Opcode::SUB_D:
-      case Opcode::MUL_D: case Opcode::DIV_D:
-      case Opcode::C_EQ_D: case Opcode::C_LT_D: case Opcode::C_LE_D:
-        return {rs, rt};
-      case Opcode::NEG_D: case Opcode::ABS_D: case Opcode::MOV_D:
-      case Opcode::CVT_W_D:
-        return {rs, -1};
-      case Opcode::SDC1:
-        return {rt, -1};
-      default:
-        return {-1, -1};
-    }
-}
-
-bool
-Instruction::dependsOn(const Instruction &prod) const
-{
-    int pd = prod.destIntReg();
-    if (pd >= 0) {
-        for (int s : srcIntRegs())
-            if (s == pd)
-                return true;
-    }
-    int pf = prod.destFpReg();
-    if (pf >= 0) {
-        for (int s : srcFpRegs())
-            if (s == pf)
-                return true;
-    }
-    if (prod.writesFcc() && readsFcc())
-        return true;
-    return false;
-}
-
 std::string
 disassemble(const Instruction &inst, Addr pc)
 {

@@ -68,25 +68,18 @@ struct Instruction
     int
     memBytes() const
     {
-        switch (op) {
-          case Opcode::LB: case Opcode::LBU:
-          case Opcode::SB:
-            return 1;
-          case Opcode::LH: case Opcode::LHU:
-          case Opcode::SH:
-            return 2;
-          case Opcode::LW: case Opcode::SW:
-            return 4;
-          case Opcode::LDC1: case Opcode::SDC1:
-            return 8;
-          default:
-            return 0;
-        }
+        const auto i = static_cast<std::size_t>(op);
+        return i < detail::numOpcodeSlots ? detail::memBytesTable[i] : 0;
     }
 
     /**
      * Destination integer register, or -1. Writes to r0 are reported
      * as no destination (r0 is hard-wired).
+     *
+     * These operand/hazard queries are defined inline below: both
+     * pipeline simulators call several of them per simulated
+     * instruction (dispatch renaming, activity accounting, the
+     * load-use interlock), so they must not cost a function call.
      */
     int destIntReg() const;
     /** Destination FP register, or -1. */
@@ -109,6 +102,78 @@ struct Instruction
 
     bool operator==(const Instruction &o) const = default;
 };
+
+// Each query reduces to one load from detail::operandTable plus flag
+// tests; the roles themselves are encoded next to the class/latency
+// tables in isa.hh.
+
+inline int
+Instruction::destIntReg() const
+{
+    const auto f = detail::operandFlags(op);
+    int d = -1;
+    if (f & detail::opDestRdInt)
+        d = rd;
+    else if (f & detail::opDestRaInt)
+        d = reg::ra;
+    return d == 0 ? -1 : d;    // writes to r0 are discarded
+}
+
+inline int
+Instruction::destFpReg() const
+{
+    return (detail::operandFlags(op) & detail::opDestRdFp) ? rd : -1;
+}
+
+inline bool
+Instruction::writesFcc() const
+{
+    return detail::operandFlags(op) & detail::opWritesFcc;
+}
+
+inline bool
+Instruction::readsFcc() const
+{
+    return detail::operandFlags(op) & detail::opReadsFcc;
+}
+
+inline std::array<int, 2>
+Instruction::srcIntRegs() const
+{
+    const auto f = detail::operandFlags(op);
+    return {(f & detail::opSrcRsInt) ? rs : -1,
+            (f & detail::opSrcRtInt) ? rt : -1};
+}
+
+inline std::array<int, 2>
+Instruction::srcFpRegs() const
+{
+    // An FP source can sit in either field (rs for FP ALU ops, rt for
+    // SDC1's data operand); consumers treat the slots symmetrically.
+    const auto f = detail::operandFlags(op);
+    return {(f & detail::opSrcRsFp) ? rs : -1,
+            (f & detail::opSrcRtFp) ? rt : -1};
+}
+
+inline bool
+Instruction::dependsOn(const Instruction &prod) const
+{
+    int pd = prod.destIntReg();
+    if (pd >= 0) {
+        for (int s : srcIntRegs())
+            if (s == pd)
+                return true;
+    }
+    int pf = prod.destFpReg();
+    if (pf >= 0) {
+        for (int s : srcFpRegs())
+            if (s == pf)
+                return true;
+    }
+    if (prod.writesFcc() && readsFcc())
+        return true;
+    return false;
+}
 
 /** Render @p inst as assembly text; @p pc is used for branch targets. */
 std::string disassemble(const Instruction &inst, Addr pc);

@@ -5,77 +5,16 @@
 namespace visa
 {
 
-InstrClass
-classOf(Opcode op)
+namespace detail
 {
-    switch (op) {
-      case Opcode::ADD: case Opcode::SUB:
-      case Opcode::AND: case Opcode::OR: case Opcode::XOR: case Opcode::NOR:
-      case Opcode::SLT: case Opcode::SLTU:
-      case Opcode::SLLV: case Opcode::SRLV: case Opcode::SRAV:
-      case Opcode::SLL: case Opcode::SRL: case Opcode::SRA:
-      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
-      case Opcode::XORI: case Opcode::SLTI: case Opcode::SLTIU:
-      case Opcode::LUI:
-        return InstrClass::IntAlu;
-      case Opcode::MUL:
-        return InstrClass::IntMult;
-      case Opcode::DIV: case Opcode::REM:
-        return InstrClass::IntDiv;
-      case Opcode::LB: case Opcode::LBU: case Opcode::LH: case Opcode::LHU:
-      case Opcode::LW: case Opcode::LDC1:
-        return InstrClass::Load;
-      case Opcode::SB: case Opcode::SH: case Opcode::SW: case Opcode::SDC1:
-        return InstrClass::Store;
-      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLEZ:
-      case Opcode::BGTZ: case Opcode::BLTZ: case Opcode::BGEZ:
-      case Opcode::BC1T: case Opcode::BC1F:
-        return InstrClass::CondBranch;
-      case Opcode::J: case Opcode::JAL:
-        return InstrClass::DirectJump;
-      case Opcode::JR: case Opcode::JALR:
-        return InstrClass::IndirectJump;
-      case Opcode::ADD_D: case Opcode::SUB_D:
-      case Opcode::NEG_D: case Opcode::ABS_D: case Opcode::MOV_D:
-      case Opcode::CVT_D_W: case Opcode::CVT_W_D:
-      case Opcode::C_EQ_D: case Opcode::C_LT_D: case Opcode::C_LE_D:
-        return InstrClass::FpAlu;
-      case Opcode::MUL_D:
-        return InstrClass::FpMult;
-      case Opcode::DIV_D:
-        return InstrClass::FpDiv;
-      case Opcode::NOP:
-        return InstrClass::Nop;
-      case Opcode::HALT:
-        return InstrClass::Halt;
-      default:
-        panic("classOf: bad opcode %d", static_cast<int>(op));
-    }
+
+void
+badOpcode(const char *who, Opcode op)
+{
+    panic("%s: bad opcode %d", who, static_cast<int>(op));
 }
 
-Cycles
-latencyOf(Opcode op)
-{
-    // MIPS R10K execution latencies (paper Table 1). Loads/stores listed
-    // as 1 here: address generation takes one execute cycle; the cache
-    // access happens in the memory stage.
-    switch (classOf(op)) {
-      case InstrClass::IntAlu:       return 1;
-      case InstrClass::IntMult:      return 6;
-      case InstrClass::IntDiv:       return 35;
-      case InstrClass::Load:         return 1;
-      case InstrClass::Store:        return 1;
-      case InstrClass::CondBranch:   return 1;
-      case InstrClass::DirectJump:   return 1;
-      case InstrClass::IndirectJump: return 1;
-      case InstrClass::FpAlu:        return 2;
-      case InstrClass::FpMult:       return 2;
-      case InstrClass::FpDiv:        return 19;
-      case InstrClass::Nop:          return 1;
-      case InstrClass::Halt:         return 1;
-    }
-    panic("latencyOf: bad opcode %d", static_cast<int>(op));
-}
+} // namespace detail
 
 const char *
 mnemonic(Opcode op)

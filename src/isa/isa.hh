@@ -14,6 +14,7 @@
 #ifndef VISA_ISA_ISA_HH
 #define VISA_ISA_ISA_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -82,14 +83,245 @@ enum class InstrClass : std::uint8_t
     Halt
 };
 
-/** @return the functional class of @p op. */
-InstrClass classOf(Opcode op);
+namespace detail
+{
+
+/** classOf without the bad-opcode diagnostic (constexpr-evaluable). */
+constexpr InstrClass
+classOfImpl(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB:
+      case Opcode::AND: case Opcode::OR: case Opcode::XOR: case Opcode::NOR:
+      case Opcode::SLT: case Opcode::SLTU:
+      case Opcode::SLLV: case Opcode::SRLV: case Opcode::SRAV:
+      case Opcode::SLL: case Opcode::SRL: case Opcode::SRA:
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SLTI: case Opcode::SLTIU:
+      case Opcode::LUI:
+        return InstrClass::IntAlu;
+      case Opcode::MUL:
+        return InstrClass::IntMult;
+      case Opcode::DIV: case Opcode::REM:
+        return InstrClass::IntDiv;
+      case Opcode::LB: case Opcode::LBU: case Opcode::LH: case Opcode::LHU:
+      case Opcode::LW: case Opcode::LDC1:
+        return InstrClass::Load;
+      case Opcode::SB: case Opcode::SH: case Opcode::SW: case Opcode::SDC1:
+        return InstrClass::Store;
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLEZ:
+      case Opcode::BGTZ: case Opcode::BLTZ: case Opcode::BGEZ:
+      case Opcode::BC1T: case Opcode::BC1F:
+        return InstrClass::CondBranch;
+      case Opcode::J: case Opcode::JAL:
+        return InstrClass::DirectJump;
+      case Opcode::JR: case Opcode::JALR:
+        return InstrClass::IndirectJump;
+      case Opcode::ADD_D: case Opcode::SUB_D:
+      case Opcode::NEG_D: case Opcode::ABS_D: case Opcode::MOV_D:
+      case Opcode::CVT_D_W: case Opcode::CVT_W_D:
+      case Opcode::C_EQ_D: case Opcode::C_LT_D: case Opcode::C_LE_D:
+        return InstrClass::FpAlu;
+      case Opcode::MUL_D:
+        return InstrClass::FpMult;
+      case Opcode::DIV_D:
+        return InstrClass::FpDiv;
+      case Opcode::NOP:
+        return InstrClass::Nop;
+      case Opcode::HALT:
+      default:
+        return InstrClass::Halt;
+    }
+}
+
+/**
+ * MIPS R10K execution latencies (paper Table 1). Loads/stores listed
+ * as 1 here: address generation takes one execute cycle; the cache
+ * access happens in the memory stage.
+ */
+constexpr Cycles
+latencyOfImpl(Opcode op)
+{
+    switch (classOfImpl(op)) {
+      case InstrClass::IntMult:      return 6;
+      case InstrClass::IntDiv:       return 35;
+      case InstrClass::FpAlu:        return 2;
+      case InstrClass::FpMult:       return 2;
+      case InstrClass::FpDiv:        return 19;
+      default:                       return 1;
+    }
+}
+
+inline constexpr std::size_t numOpcodeSlots =
+    static_cast<std::size_t>(Opcode::NumOpcodes);
+
+inline constexpr auto classTable = [] {
+    std::array<InstrClass, numOpcodeSlots> t{};
+    for (std::size_t i = 0; i < numOpcodeSlots; ++i)
+        t[i] = classOfImpl(static_cast<Opcode>(i));
+    return t;
+}();
+
+inline constexpr auto latencyTable = [] {
+    std::array<Cycles, numOpcodeSlots> t{};
+    for (std::size_t i = 0; i < numOpcodeSlots; ++i)
+        t[i] = latencyOfImpl(static_cast<Opcode>(i));
+    return t;
+}();
+
+/**
+ * Operand-role flags: which register fields an opcode reads/writes and
+ * in which file. The operand/hazard queries in instruction.hh are flag
+ * tests against this table instead of opcode switches — they run
+ * several times per simulated instruction.
+ */
+enum OperandFlags : std::uint16_t
+{
+    opSrcRsInt  = 1u << 0,    ///< reads rs from the integer file
+    opSrcRtInt  = 1u << 1,    ///< reads rt from the integer file
+    opSrcRsFp   = 1u << 2,    ///< reads rs from the FP file
+    opSrcRtFp   = 1u << 3,    ///< reads rt from the FP file
+    opDestRdInt = 1u << 4,    ///< writes rd in the integer file
+    opDestRaInt = 1u << 5,    ///< writes the link register (JAL)
+    opDestRdFp  = 1u << 6,    ///< writes rd in the FP file
+    opWritesFcc = 1u << 7,
+    opReadsFcc  = 1u << 8,
+};
+
+constexpr std::uint16_t
+operandFlagsImpl(Opcode op)
+{
+    switch (op) {
+      // rd = rs OP rt
+      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+      case Opcode::DIV: case Opcode::REM:
+      case Opcode::AND: case Opcode::OR: case Opcode::XOR: case Opcode::NOR:
+      case Opcode::SLT: case Opcode::SLTU:
+      case Opcode::SLLV: case Opcode::SRLV: case Opcode::SRAV:
+        return opSrcRsInt | opSrcRtInt | opDestRdInt;
+      // rd = rs OP imm
+      case Opcode::SLL: case Opcode::SRL: case Opcode::SRA:
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SLTI: case Opcode::SLTIU:
+        return opSrcRsInt | opDestRdInt;
+      case Opcode::LUI:
+        return opDestRdInt;
+      // integer loads: base rs -> rd
+      case Opcode::LB: case Opcode::LBU: case Opcode::LH: case Opcode::LHU:
+      case Opcode::LW:
+        return opSrcRsInt | opDestRdInt;
+      // FP load: base rs -> fp rd
+      case Opcode::LDC1:
+        return opSrcRsInt | opDestRdFp;
+      // integer stores: base rs + integer data rt
+      case Opcode::SB: case Opcode::SH: case Opcode::SW:
+        return opSrcRsInt | opSrcRtInt;
+      // FP store: base rs + FP data rt
+      case Opcode::SDC1:
+        return opSrcRsInt | opSrcRtFp;
+      case Opcode::BEQ: case Opcode::BNE:
+        return opSrcRsInt | opSrcRtInt;
+      case Opcode::BLEZ: case Opcode::BGTZ:
+      case Opcode::BLTZ: case Opcode::BGEZ:
+        return opSrcRsInt;
+      case Opcode::BC1T: case Opcode::BC1F:
+        return opReadsFcc;
+      case Opcode::J:
+        return 0;
+      case Opcode::JAL:
+        return opDestRaInt;
+      case Opcode::JR:
+        return opSrcRsInt;
+      case Opcode::JALR:
+        return opSrcRsInt | opDestRdInt;
+      case Opcode::ADD_D: case Opcode::SUB_D:
+      case Opcode::MUL_D: case Opcode::DIV_D:
+        return opSrcRsFp | opSrcRtFp | opDestRdFp;
+      case Opcode::NEG_D: case Opcode::ABS_D: case Opcode::MOV_D:
+        return opSrcRsFp | opDestRdFp;
+      case Opcode::CVT_D_W:
+        return opSrcRsInt | opDestRdFp;
+      case Opcode::CVT_W_D:
+        return opSrcRsFp | opDestRdInt;
+      case Opcode::C_EQ_D: case Opcode::C_LT_D: case Opcode::C_LE_D:
+        return opSrcRsFp | opSrcRtFp | opWritesFcc;
+      default:
+        return 0;
+    }
+}
+
+inline constexpr auto operandTable = [] {
+    std::array<std::uint16_t, numOpcodeSlots> t{};
+    for (std::size_t i = 0; i < numOpcodeSlots; ++i)
+        t[i] = operandFlagsImpl(static_cast<Opcode>(i));
+    return t;
+}();
+
+/** Byte width of a memory opcode's access (0 for non-memory ops). */
+constexpr std::uint8_t
+memBytesImpl(Opcode op)
+{
+    switch (op) {
+      case Opcode::LB: case Opcode::LBU: case Opcode::SB:
+        return 1;
+      case Opcode::LH: case Opcode::LHU: case Opcode::SH:
+        return 2;
+      case Opcode::LW: case Opcode::SW:
+        return 4;
+      case Opcode::LDC1: case Opcode::SDC1:
+        return 8;
+      default:
+        return 0;
+    }
+}
+
+inline constexpr auto memBytesTable = [] {
+    std::array<std::uint8_t, numOpcodeSlots> t{};
+    for (std::size_t i = 0; i < numOpcodeSlots; ++i)
+        t[i] = memBytesImpl(static_cast<Opcode>(i));
+    return t;
+}();
+
+[[noreturn]] void badOpcode(const char *who, Opcode op);
+
+/** Operand-role flags of @p op (0 for out-of-range opcodes). */
+inline std::uint16_t
+operandFlags(Opcode op)
+{
+    const auto i = static_cast<std::size_t>(op);
+    return i < numOpcodeSlots ? operandTable[i] : 0;
+}
+
+} // namespace detail
+
+/**
+ * @return the functional class of @p op.
+ *
+ * Table lookup: this sits on the per-instruction path of both pipeline
+ * simulators (several calls per simulated instruction through cls()),
+ * so it must stay inline and branch-light.
+ */
+inline InstrClass
+classOf(Opcode op)
+{
+    const auto i = static_cast<std::size_t>(op);
+    if (i >= detail::numOpcodeSlots) [[unlikely]]
+        detail::badOpcode("classOf", op);
+    return detail::classTable[i];
+}
 
 /**
  * @return the execution (occupancy) latency in cycles of @p op on the
  * universal function unit, per MIPS R10K (paper Table 1).
  */
-Cycles latencyOf(Opcode op);
+inline Cycles
+latencyOf(Opcode op)
+{
+    const auto i = static_cast<std::size_t>(op);
+    if (i >= detail::numOpcodeSlots) [[unlikely]]
+        detail::badOpcode("latencyOf", op);
+    return detail::latencyTable[i];
+}
 
 /** @return the mnemonic of @p op, lower case ("add.d", "lw", ...). */
 const char *mnemonic(Opcode op);

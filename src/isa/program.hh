@@ -43,11 +43,11 @@ struct Program
     std::map<std::string, Addr> symbols;
 
     /**
-     * Loop bound annotations: address of a *branch instruction* that
-     * forms a loop back edge -> maximum number of times that back edge
-     * is taken per loop entry (so the loop body executes at most
-     * bound+1 times... no: body executes at most bound times; the
-     * annotation counts body iterations, see Assembler docs).
+     * Loop bound annotations: address of the *branch instruction* that
+     * forms a loop back edge -> maximum number of body iterations per
+     * loop entry (`.loopbound N` in the assembler). The back edge is
+     * therefore taken at most N-1 times per entry — which is why the
+     * WCET analyzer charges N-1 repeat iterations on top of the first.
      */
     std::map<Addr, std::uint64_t> loopBounds;
 

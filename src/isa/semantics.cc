@@ -1,140 +1,14 @@
 #include "isa/semantics.hh"
 
-#include <cmath>
-
 #include "sim/logging.hh"
 
-namespace visa
+namespace visa::detail
 {
 
-Word
-evalIntAlu(const Instruction &inst, Word rs_val, Word rt_val)
+void
+badSemantics(const char *who, Opcode op)
 {
-    const auto s = static_cast<std::int32_t>(rs_val);
-    const auto t = static_cast<std::int32_t>(rt_val);
-    const auto imm = inst.imm;
-    switch (inst.op) {
-      case Opcode::ADD:   return rs_val + rt_val;
-      case Opcode::SUB:   return rs_val - rt_val;
-      case Opcode::MUL:
-        return static_cast<Word>(static_cast<std::int64_t>(s) * t);
-      case Opcode::DIV:
-        if (t == 0)
-            return 0;
-        if (s == INT32_MIN && t == -1)
-            return static_cast<Word>(INT32_MIN);
-        return static_cast<Word>(s / t);
-      case Opcode::REM:
-        if (t == 0)
-            return 0;
-        if (s == INT32_MIN && t == -1)
-            return 0;
-        return static_cast<Word>(s % t);
-      case Opcode::AND:   return rs_val & rt_val;
-      case Opcode::OR:    return rs_val | rt_val;
-      case Opcode::XOR:   return rs_val ^ rt_val;
-      case Opcode::NOR:   return ~(rs_val | rt_val);
-      case Opcode::SLT:   return s < t ? 1 : 0;
-      case Opcode::SLTU:  return rs_val < rt_val ? 1 : 0;
-      case Opcode::SLLV:  return rs_val << (rt_val & 31);
-      case Opcode::SRLV:  return rs_val >> (rt_val & 31);
-      case Opcode::SRAV:
-        return static_cast<Word>(s >> (rt_val & 31));
-      case Opcode::SLL:   return rs_val << (imm & 31);
-      case Opcode::SRL:   return rs_val >> (imm & 31);
-      case Opcode::SRA:   return static_cast<Word>(s >> (imm & 31));
-      case Opcode::ADDI:  return rs_val + static_cast<Word>(imm);
-      case Opcode::ANDI:  return rs_val & (static_cast<Word>(imm) & 0xFFFF);
-      case Opcode::ORI:   return rs_val | (static_cast<Word>(imm) & 0xFFFF);
-      case Opcode::XORI:  return rs_val ^ (static_cast<Word>(imm) & 0xFFFF);
-      case Opcode::SLTI:  return s < imm ? 1 : 0;
-      case Opcode::SLTIU:
-        return rs_val < static_cast<Word>(imm) ? 1 : 0;
-      case Opcode::LUI:
-        return static_cast<Word>(imm) << 16;
-      default:
-        panic("evalIntAlu: not an int ALU op: %s", mnemonic(inst.op));
-    }
+    panic("%s: unexpected opcode: %s", who, mnemonic(op));
 }
 
-double
-evalFpAlu(const Instruction &inst, double a, double b)
-{
-    switch (inst.op) {
-      case Opcode::ADD_D: return a + b;
-      case Opcode::SUB_D: return a - b;
-      case Opcode::MUL_D: return a * b;
-      case Opcode::DIV_D: return a / b;
-      case Opcode::NEG_D: return -a;
-      case Opcode::ABS_D: return std::fabs(a);
-      case Opcode::MOV_D: return a;
-      default:
-        panic("evalFpAlu: not an FP ALU op: %s", mnemonic(inst.op));
-    }
-}
-
-bool
-evalFpCmp(const Instruction &inst, double a, double b)
-{
-    switch (inst.op) {
-      case Opcode::C_EQ_D: return a == b;
-      case Opcode::C_LT_D: return a < b;
-      case Opcode::C_LE_D: return a <= b;
-      default:
-        panic("evalFpCmp: not an FP compare: %s", mnemonic(inst.op));
-    }
-}
-
-ControlEval
-evalControl(const Instruction &inst, Addr pc,
-            Word rs_val, Word rt_val, bool fcc)
-{
-    const auto s = static_cast<std::int32_t>(rs_val);
-    ControlEval ev;
-    ev.target = static_cast<Addr>(inst.imm);
-    switch (inst.op) {
-      case Opcode::BEQ:  ev.taken = rs_val == rt_val; break;
-      case Opcode::BNE:  ev.taken = rs_val != rt_val; break;
-      case Opcode::BLEZ: ev.taken = s <= 0; break;
-      case Opcode::BGTZ: ev.taken = s > 0; break;
-      case Opcode::BLTZ: ev.taken = s < 0; break;
-      case Opcode::BGEZ: ev.taken = s >= 0; break;
-      case Opcode::BC1T: ev.taken = fcc; break;
-      case Opcode::BC1F: ev.taken = !fcc; break;
-      case Opcode::J: case Opcode::JAL:
-        ev.taken = true;
-        break;
-      case Opcode::JR: case Opcode::JALR:
-        ev.taken = true;
-        ev.target = rs_val;
-        break;
-      default:
-        panic("evalControl: not a control op: %s", mnemonic(inst.op));
-    }
-    if (!ev.taken)
-        ev.target = pc + 4;
-    return ev;
-}
-
-Word
-extendLoad(Opcode op, Word raw)
-{
-    switch (op) {
-      case Opcode::LB:
-        return static_cast<Word>(
-            static_cast<std::int32_t>(static_cast<std::int8_t>(raw & 0xFF)));
-      case Opcode::LBU:
-        return raw & 0xFF;
-      case Opcode::LH:
-        return static_cast<Word>(static_cast<std::int32_t>(
-            static_cast<std::int16_t>(raw & 0xFFFF)));
-      case Opcode::LHU:
-        return raw & 0xFFFF;
-      case Opcode::LW:
-        return raw;
-      default:
-        panic("extendLoad: not an int load: %s", mnemonic(op));
-    }
-}
-
-} // namespace visa
+} // namespace visa::detail

@@ -1,11 +1,18 @@
 /**
  * @file
  * Functional (untimed) semantics of VPISA instructions, shared by the
- * in-order and out-of-order pipeline simulators. All helpers are pure.
+ * in-order and out-of-order pipeline simulators. All helpers are pure,
+ * and all are inline: they sit directly on the per-instruction path of
+ * ExecCore::step, where the call overhead of an out-of-line switch is
+ * measurable. The unreachable default branches funnel into an
+ * out-of-line [[noreturn]] helper so the fast path stays small.
  */
 
 #ifndef VISA_ISA_SEMANTICS_HH
 #define VISA_ISA_SEMANTICS_HH
+
+#include <cmath>
+#include <cstdint>
 
 #include "isa/instruction.hh"
 #include "sim/types.hh"
@@ -20,18 +27,96 @@ struct ControlEval
     Addr target = 0;        ///< destination when taken
 };
 
+namespace detail
+{
+/** Report an opcode outside @p who's class (panics). */
+[[noreturn]] void badSemantics(const char *who, Opcode op);
+} // namespace detail
+
 /**
  * Evaluate an integer ALU operation (including LUI and immediate
  * shifts). Division by zero yields 0 (the ISA defines it so, keeping
  * the simulator free of host UB).
  */
-Word evalIntAlu(const Instruction &inst, Word rs_val, Word rt_val);
+inline Word
+evalIntAlu(const Instruction &inst, Word rs_val, Word rt_val)
+{
+    const auto s = static_cast<std::int32_t>(rs_val);
+    const auto t = static_cast<std::int32_t>(rt_val);
+    const auto imm = inst.imm;
+    switch (inst.op) {
+      case Opcode::ADD:   return rs_val + rt_val;
+      case Opcode::SUB:   return rs_val - rt_val;
+      case Opcode::MUL:
+        return static_cast<Word>(static_cast<std::int64_t>(s) * t);
+      case Opcode::DIV:
+        if (t == 0)
+            return 0;
+        if (s == INT32_MIN && t == -1)
+            return static_cast<Word>(INT32_MIN);
+        return static_cast<Word>(s / t);
+      case Opcode::REM:
+        if (t == 0)
+            return 0;
+        if (s == INT32_MIN && t == -1)
+            return 0;
+        return static_cast<Word>(s % t);
+      case Opcode::AND:   return rs_val & rt_val;
+      case Opcode::OR:    return rs_val | rt_val;
+      case Opcode::XOR:   return rs_val ^ rt_val;
+      case Opcode::NOR:   return ~(rs_val | rt_val);
+      case Opcode::SLT:   return s < t ? 1 : 0;
+      case Opcode::SLTU:  return rs_val < rt_val ? 1 : 0;
+      case Opcode::SLLV:  return rs_val << (rt_val & 31);
+      case Opcode::SRLV:  return rs_val >> (rt_val & 31);
+      case Opcode::SRAV:
+        return static_cast<Word>(s >> (rt_val & 31));
+      case Opcode::SLL:   return rs_val << (imm & 31);
+      case Opcode::SRL:   return rs_val >> (imm & 31);
+      case Opcode::SRA:   return static_cast<Word>(s >> (imm & 31));
+      case Opcode::ADDI:  return rs_val + static_cast<Word>(imm);
+      case Opcode::ANDI:  return rs_val & (static_cast<Word>(imm) & 0xFFFF);
+      case Opcode::ORI:   return rs_val | (static_cast<Word>(imm) & 0xFFFF);
+      case Opcode::XORI:  return rs_val ^ (static_cast<Word>(imm) & 0xFFFF);
+      case Opcode::SLTI:  return s < imm ? 1 : 0;
+      case Opcode::SLTIU:
+        return rs_val < static_cast<Word>(imm) ? 1 : 0;
+      case Opcode::LUI:
+        return static_cast<Word>(imm) << 16;
+      default:
+        detail::badSemantics("evalIntAlu", inst.op);
+    }
+}
 
 /** Evaluate a two-source double-precision FP operation. */
-double evalFpAlu(const Instruction &inst, double a, double b);
+inline double
+evalFpAlu(const Instruction &inst, double a, double b)
+{
+    switch (inst.op) {
+      case Opcode::ADD_D: return a + b;
+      case Opcode::SUB_D: return a - b;
+      case Opcode::MUL_D: return a * b;
+      case Opcode::DIV_D: return a / b;
+      case Opcode::NEG_D: return -a;
+      case Opcode::ABS_D: return std::fabs(a);
+      case Opcode::MOV_D: return a;
+      default:
+        detail::badSemantics("evalFpAlu", inst.op);
+    }
+}
 
 /** Evaluate an FP compare; @return the new FCC value. */
-bool evalFpCmp(const Instruction &inst, double a, double b);
+inline bool
+evalFpCmp(const Instruction &inst, double a, double b)
+{
+    switch (inst.op) {
+      case Opcode::C_EQ_D: return a == b;
+      case Opcode::C_LT_D: return a < b;
+      case Opcode::C_LE_D: return a <= b;
+      default:
+        detail::badSemantics("evalFpCmp", inst.op);
+    }
+}
 
 /**
  * Evaluate a control instruction at @p pc.
@@ -39,8 +124,36 @@ bool evalFpCmp(const Instruction &inst, double a, double b);
  * @param rt_val second source value (BEQ/BNE)
  * @param fcc    current FP condition code (BC1T/BC1F)
  */
-ControlEval evalControl(const Instruction &inst, Addr pc,
-                        Word rs_val, Word rt_val, bool fcc);
+inline ControlEval
+evalControl(const Instruction &inst, Addr pc,
+            Word rs_val, Word rt_val, bool fcc)
+{
+    const auto s = static_cast<std::int32_t>(rs_val);
+    ControlEval ev;
+    ev.target = static_cast<Addr>(inst.imm);
+    switch (inst.op) {
+      case Opcode::BEQ:  ev.taken = rs_val == rt_val; break;
+      case Opcode::BNE:  ev.taken = rs_val != rt_val; break;
+      case Opcode::BLEZ: ev.taken = s <= 0; break;
+      case Opcode::BGTZ: ev.taken = s > 0; break;
+      case Opcode::BLTZ: ev.taken = s < 0; break;
+      case Opcode::BGEZ: ev.taken = s >= 0; break;
+      case Opcode::BC1T: ev.taken = fcc; break;
+      case Opcode::BC1F: ev.taken = !fcc; break;
+      case Opcode::J: case Opcode::JAL:
+        ev.taken = true;
+        break;
+      case Opcode::JR: case Opcode::JALR:
+        ev.taken = true;
+        ev.target = rs_val;
+        break;
+      default:
+        detail::badSemantics("evalControl", inst.op);
+    }
+    if (!ev.taken)
+        ev.target = pc + 4;
+    return ev;
+}
 
 /** Effective address of a memory instruction. */
 inline Addr
@@ -50,7 +163,26 @@ effectiveAddr(const Instruction &inst, Word base_val)
 }
 
 /** Sign/zero-extend a raw loaded value per the load opcode. */
-Word extendLoad(Opcode op, Word raw);
+inline Word
+extendLoad(Opcode op, Word raw)
+{
+    switch (op) {
+      case Opcode::LB:
+        return static_cast<Word>(
+            static_cast<std::int32_t>(static_cast<std::int8_t>(raw & 0xFF)));
+      case Opcode::LBU:
+        return raw & 0xFF;
+      case Opcode::LH:
+        return static_cast<Word>(static_cast<std::int32_t>(
+            static_cast<std::int16_t>(raw & 0xFFFF)));
+      case Opcode::LHU:
+        return raw & 0xFFFF;
+      case Opcode::LW:
+        return raw;
+      default:
+        detail::badSemantics("extendLoad", op);
+    }
+}
 
 } // namespace visa
 

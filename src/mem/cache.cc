@@ -29,6 +29,10 @@ Cache::Cache(const CacheParams &params)
               params.name.c_str());
     numSets_ = params.sizeBytes / (params.assoc * params.blockBytes);
     lines_.resize(static_cast<std::size_t>(numSets_) * params.assoc);
+    blockShift_ =
+        static_cast<std::uint32_t>(std::countr_zero(params.blockBytes));
+    tagShift_ =
+        blockShift_ + static_cast<std::uint32_t>(std::countr_zero(numSets_));
 }
 
 Cache::Line *
@@ -59,39 +63,19 @@ Cache::victimIn(Line *ways)
     return &ways[0];
 }
 
-bool
-Cache::access(Addr addr, bool is_write)
+void
+Cache::fill(Line *ways, Addr tag)
 {
-    (void)is_write;    // allocate-on-write: same path as reads
-    ++accesses_;
-    const std::uint32_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
-    Line *ways = &lines_[static_cast<std::size_t>(set) * params_.assoc];
-    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        if (ways[w].valid && ways[w].tag == tag) {
-            if (params_.repl == ReplPolicy::Lru)
-                ways[w].lruStamp = ++stamp_;    // FIFO: no refresh
-            return true;
-        }
-    }
     ++misses_;
     Line *victim = victimIn(ways);
     victim->valid = true;
     victim->tag = tag;
     victim->lruStamp = ++stamp_;
-    return false;
-}
-
-bool
-Cache::probe(Addr addr) const
-{
-    const std::uint32_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
-    const Line *ways = &lines_[static_cast<std::size_t>(set) * params_.assoc];
-    for (std::uint32_t w = 0; w < params_.assoc; ++w)
-        if (ways[w].valid && ways[w].tag == tag)
-            return true;
-    return false;
+    // The victim may have been the MRU-filter line; re-point the filter
+    // at the block just filled (trivially the most recent access).
+    mruWays_ = ways;
+    mruTag_ = tag;
+    mruLine_ = victim;
 }
 
 void
@@ -99,6 +83,8 @@ Cache::flush()
 {
     for (auto &l : lines_)
         l.valid = false;
+    mruWays_ = nullptr;
+    mruLine_ = nullptr;
 }
 
 } // namespace visa

@@ -8,6 +8,7 @@
 #ifndef VISA_MEM_CACHE_HH
 #define VISA_MEM_CACHE_HH
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -46,13 +47,57 @@ class Cache
 
     /**
      * Look up @p addr; on a miss the block is filled (allocate on both
-     * reads and writes).
+     * reads and writes). Inline: this sits on the per-instruction path
+     * of both pipelines, and the geometry is power-of-two by
+     * construction so the index/tag math is all shifts.
      * @return true on hit.
      */
-    bool access(Addr addr, bool is_write);
+    bool
+    access(Addr addr, bool is_write)
+    {
+        (void)is_write;    // allocate-on-write: same path as reads
+        ++accesses_;
+        const std::uint32_t set = setIndex(addr);
+        const Addr tag = tagOf(addr);
+        Line *ways =
+            &lines_[static_cast<std::size_t>(set) * params_.assoc];
+        // One-entry MRU filter: sequential fetch and streaming data hit
+        // the same block many times in a row, so the common case skips
+        // the way scan. Exact: anything that changes a line's tag or
+        // valid bit (fill, flush) invalidates the filter, and the hit
+        // bookkeeping below is identical to the scan's.
+        if (ways == mruWays_ && tag == mruTag_) [[likely]] {
+            if (params_.repl == ReplPolicy::Lru)
+                mruLine_->lruStamp = ++stamp_;    // FIFO: no refresh
+            return true;
+        }
+        for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+            if (ways[w].valid && ways[w].tag == tag) {
+                if (params_.repl == ReplPolicy::Lru)
+                    ways[w].lruStamp = ++stamp_;
+                mruWays_ = ways;
+                mruTag_ = tag;
+                mruLine_ = &ways[w];
+                return true;
+            }
+        }
+        fill(ways, tag);
+        return false;
+    }
 
     /** Look up @p addr without changing any state. @return true on hit. */
-    bool probe(Addr addr) const;
+    bool
+    probe(Addr addr) const
+    {
+        const std::uint32_t set = setIndex(addr);
+        const Addr tag = tagOf(addr);
+        const Line *ways =
+            &lines_[static_cast<std::size_t>(set) * params_.assoc];
+        for (std::uint32_t w = 0; w < params_.assoc; ++w)
+            if (ways[w].valid && ways[w].tag == tag)
+                return true;
+        return false;
+    }
 
     /** Invalidate every block (used to induce Fig. 4 mispredictions). */
     void flush();
@@ -64,11 +109,12 @@ class Cache
     /** Block-aligned address -> (set, tag). */
     std::uint32_t setIndex(Addr addr) const
     {
-        return (addr / params_.blockBytes) & (numSets_ - 1);
+        return static_cast<std::uint32_t>(addr >> blockShift_) &
+               (numSets_ - 1);
     }
     Addr tagOf(Addr addr) const
     {
-        return addr / params_.blockBytes / numSets_;
+        return addr >> tagShift_;
     }
 
     std::uint64_t accesses() const { return accesses_; }
@@ -91,9 +137,18 @@ class Cache
     /** Pick the victim way in @p ways per the configured policy. */
     Line *victimIn(Line *ways);
 
+    /** Miss path of access(): count the miss and fill the block. */
+    void fill(Line *ways, Addr tag);
+
     CacheParams params_;
     std::uint32_t numSets_;
+    std::uint32_t blockShift_ = 0;    ///< log2(blockBytes)
+    std::uint32_t tagShift_ = 0;      ///< log2(blockBytes * numSets)
     std::vector<Line> lines_;    ///< numSets_ * assoc, set-major
+    /** MRU filter (see access()); cleared by fill() and flush(). */
+    Line *mruWays_ = nullptr;    ///< set base of the last hit
+    Addr mruTag_ = 0;
+    Line *mruLine_ = nullptr;    ///< the hit line within that set
     std::uint64_t stamp_ = 0;
     std::uint32_t lfsr_ = 0xACE1u;
     std::uint64_t accesses_ = 0;

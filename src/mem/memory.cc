@@ -1,5 +1,6 @@
 #include "mem/memory.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "sim/logging.hh"
@@ -7,66 +8,131 @@
 namespace visa
 {
 
+MainMemory::Page *
+MainMemory::findPage(Addr a) const
+{
+    const Addr idx = a >> pageBits;
+    if (idx == cachedIdx_)
+        return cachedPage_;
+    auto it = pages_.find(idx);
+    if (it == pages_.end())
+        return nullptr;
+    cachedIdx_ = idx;
+    cachedPage_ = it->second.get();
+    return cachedPage_;
+}
+
+MainMemory::Page *
+MainMemory::touchPage(Addr a)
+{
+    const Addr idx = a >> pageBits;
+    if (idx == cachedIdx_)
+        return cachedPage_;
+    auto &page = pages_[idx];
+    if (!page) {
+        page = std::make_unique<Page>();
+        page->fill(0);
+    }
+    cachedIdx_ = idx;
+    cachedPage_ = page.get();
+    return cachedPage_;
+}
+
 std::uint8_t
 MainMemory::readByte(Addr a) const
 {
-    auto it = pages_.find(a >> pageBits);
-    if (it == pages_.end())
-        return 0;
-    return (*it->second)[a & pageMask];
+    const Page *page = findPage(a);
+    return page ? (*page)[a & pageMask] : 0;
 }
 
 void
 MainMemory::writeByte(Addr a, std::uint8_t v)
 {
-    auto &page = pages_[a >> pageBits];
-    if (!page) {
-        page = std::make_unique<Page>();
-        page->fill(0);
-    }
-    (*page)[a & pageMask] = v;
+    (*touchPage(a))[a & pageMask] = v;
 }
 
 std::uint64_t
-MainMemory::read(Addr addr, int bytes) const
+MainMemory::readSlow(Addr addr, int bytes) const
 {
+    const Addr off = addr & pageMask;
+    if (off + static_cast<Addr>(bytes) <= pageSize) {
+        // Same page, just not the cached one (or absent).
+        const Page *page = findPage(addr);
+        return page ? loadLe(page->data() + off, bytes) : 0;
+    }
+    // Page-straddling access: compose the two halves.
     std::uint64_t v = 0;
     for (int i = 0; i < bytes; ++i)
-        v |= static_cast<std::uint64_t>(readByte(addr + i)) << (8 * i);
+        v |= static_cast<std::uint64_t>(readByte(addr + static_cast<Addr>(i)))
+             << (8 * i);
     return v;
 }
 
 void
-MainMemory::write(Addr addr, std::uint64_t value, int bytes)
+MainMemory::writeSlow(Addr addr, std::uint64_t value, int bytes)
 {
+    const Addr off = addr & pageMask;
+    if (off + static_cast<Addr>(bytes) <= pageSize) {
+        storeLe(touchPage(addr)->data() + off, value, bytes);
+        return;
+    }
     for (int i = 0; i < bytes; ++i)
-        writeByte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
-}
-
-double
-MainMemory::readDouble(Addr addr) const
-{
-    std::uint64_t bits = read(addr, 8);
-    double d;
-    std::memcpy(&d, &bits, 8);
-    return d;
+        writeByte(addr + static_cast<Addr>(i),
+                  static_cast<std::uint8_t>(value >> (8 * i)));
 }
 
 void
-MainMemory::writeDouble(Addr addr, double v)
+MainMemory::readBytes(Addr addr, void *dst, std::size_t n) const
 {
-    std::uint64_t bits;
-    std::memcpy(&bits, &v, 8);
-    write(addr, bits, 8);
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (n > 0) {
+        const Addr off = addr & pageMask;
+        const std::size_t chunk =
+            std::min<std::size_t>(n, pageSize - off);
+        const Page *page = findPage(addr);
+        if (page)
+            std::memcpy(out, page->data() + off, chunk);
+        else
+            std::memset(out, 0, chunk);
+        out += chunk;
+        addr += static_cast<Addr>(chunk);
+        n -= chunk;
+    }
+}
+
+void
+MainMemory::writeBytes(Addr addr, const void *src, std::size_t n)
+{
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    while (n > 0) {
+        const Addr off = addr & pageMask;
+        const std::size_t chunk =
+            std::min<std::size_t>(n, pageSize - off);
+        std::memcpy(touchPage(addr)->data() + off, in, chunk);
+        in += chunk;
+        addr += static_cast<Addr>(chunk);
+        n -= chunk;
+    }
 }
 
 void
 MainMemory::loadProgram(const Program &prog)
 {
+    // Pre-touch every text and data page so the first simulated
+    // accesses never pay the map-insert cost mid-run.
+    const Addr text_bytes = static_cast<Addr>(prog.words.size() * 4);
+    for (Addr a = prog.textBase & ~pageMask; a < prog.textBase + text_bytes;
+         a += pageSize)
+        touchPage(a);
+    for (Addr a = prog.dataBase & ~pageMask;
+         a < prog.dataBase + static_cast<Addr>(prog.data.size());
+         a += pageSize)
+        touchPage(a);
+
     for (std::size_t i = 0; i < prog.words.size(); ++i)
         writeWord(prog.textBase + static_cast<Addr>(i * 4), prog.words[i]);
-    for (std::size_t i = 0; i < prog.data.size(); ++i)
-        writeByte(prog.dataBase + static_cast<Addr>(i), prog.data[i]);
+    if (!prog.data.empty())
+        writeBytes(prog.dataBase, prog.data.data(), prog.data.size());
 }
 
 } // namespace visa

@@ -2,13 +2,22 @@
  * @file
  * Sparse byte-addressable main memory (functional storage only; timing
  * lives in MemController and the caches).
+ *
+ * This is the hottest data structure in the simulator: both pipelines
+ * funnel every simulated load/store through it. The design is therefore
+ * two-level: an inline fast path that serves accesses out of the
+ * last-touched page with a single memcpy (no hash probe at all when the
+ * page repeats, one probe when it changes), and an out-of-line slow
+ * path for page-straddling accesses and absent pages.
  */
 
 #ifndef VISA_MEM_MEMORY_HH
 #define VISA_MEM_MEMORY_HH
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 
@@ -23,10 +32,28 @@ class MainMemory
 {
   public:
     /** Read @p bytes (1, 2, 4, or 8) starting at @p addr. */
-    std::uint64_t read(Addr addr, int bytes) const;
+    std::uint64_t
+    read(Addr addr, int bytes) const
+    {
+        const Addr off = addr & pageMask;
+        if ((addr >> pageBits) == cachedIdx_ &&
+            off + static_cast<Addr>(bytes) <= pageSize) [[likely]]
+            return loadLe(cachedPage_->data() + off, bytes);
+        return readSlow(addr, bytes);
+    }
 
     /** Write the low @p bytes of @p value starting at @p addr. */
-    void write(Addr addr, std::uint64_t value, int bytes);
+    void
+    write(Addr addr, std::uint64_t value, int bytes)
+    {
+        const Addr off = addr & pageMask;
+        if ((addr >> pageBits) == cachedIdx_ &&
+            off + static_cast<Addr>(bytes) <= pageSize) [[likely]] {
+            storeLe(cachedPage_->data() + off, value, bytes);
+            return;
+        }
+        writeSlow(addr, value, bytes);
+    }
 
     Word readWord(Addr addr) const
     {
@@ -34,26 +61,103 @@ class MainMemory
     }
     void writeWord(Addr addr, Word v) { write(addr, v, 4); }
 
-    double readDouble(Addr addr) const;
-    void writeDouble(Addr addr, double v);
+    double
+    readDouble(Addr addr) const
+    {
+        std::uint64_t bits = read(addr, 8);
+        double d;
+        std::memcpy(&d, &bits, 8);
+        return d;
+    }
 
-    /** Copy a program's text and initialized data into memory. */
+    void
+    writeDouble(Addr addr, double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, 8);
+        write(addr, bits, 8);
+    }
+
+    /**
+     * Copy @p n raw bytes starting at @p addr into @p dst, splitting
+     * only at page boundaries; absent pages read as zero.
+     */
+    void readBytes(Addr addr, void *dst, std::size_t n) const;
+
+    /**
+     * Copy @p n raw bytes from @p src into memory starting at @p addr,
+     * splitting only at page boundaries (pages are created as needed).
+     */
+    void writeBytes(Addr addr, const void *src, std::size_t n);
+
+    /**
+     * Copy a program's text and initialized data into memory. All
+     * touched pages are materialized up front so the simulation's
+     * first accesses already hit the page cache.
+     */
     void loadProgram(const Program &prog);
 
     /** Drop all contents. */
-    void clear() { pages_.clear(); }
+    void
+    clear()
+    {
+        pages_.clear();
+        cachedIdx_ = noPage;
+        cachedPage_ = nullptr;
+    }
 
   private:
     static constexpr Addr pageBits = 12;
     static constexpr Addr pageSize = 1u << pageBits;
     static constexpr Addr pageMask = pageSize - 1;
+    /** Page-index value that can never match a real address. */
+    static constexpr Addr noPage = ~static_cast<Addr>(0);
 
     using Page = std::array<std::uint8_t, pageSize>;
+
+    /** Assemble up to 8 little-endian bytes into a value. */
+    static std::uint64_t
+    loadLe(const std::uint8_t *p, int bytes)
+    {
+        if constexpr (std::endian::native == std::endian::little) {
+            std::uint64_t v = 0;
+            std::memcpy(&v, p, static_cast<std::size_t>(bytes));
+            return v;
+        } else {
+            std::uint64_t v = 0;
+            for (int i = 0; i < bytes; ++i)
+                v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+            return v;
+        }
+    }
+
+    /** Scatter the low bytes of @p v little-endian first. */
+    static void
+    storeLe(std::uint8_t *p, std::uint64_t v, int bytes)
+    {
+        if constexpr (std::endian::native == std::endian::little) {
+            std::memcpy(p, &v, static_cast<std::size_t>(bytes));
+        } else {
+            for (int i = 0; i < bytes; ++i)
+                p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        }
+    }
+
+    /** @return the page holding @p a, or nullptr; caches a hit. */
+    Page *findPage(Addr a) const;
+    /** @return the page holding @p a, creating it if absent; caches. */
+    Page *touchPage(Addr a);
+
+    std::uint64_t readSlow(Addr addr, int bytes) const;
+    void writeSlow(Addr addr, std::uint64_t value, int bytes);
 
     std::uint8_t readByte(Addr a) const;
     void writeByte(Addr a, std::uint8_t v);
 
     mutable std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    /** One-entry page cache: index and pointer of the last-hit page. */
+    mutable Addr cachedIdx_ = noPage;
+    mutable Page *cachedPage_ = nullptr;
 };
 
 } // namespace visa

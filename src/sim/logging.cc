@@ -65,10 +65,12 @@ inform(const char *fmt, ...)
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
-std::set<std::string> &
+bool Debug::anyEnabled_ = false;
+
+std::set<std::string, std::less<>> &
 Debug::flags()
 {
-    static std::set<std::string> theFlags;
+    static std::set<std::string, std::less<>> theFlags;
     return theFlags;
 }
 
@@ -76,16 +78,18 @@ void
 Debug::enable(const std::string &flag)
 {
     flags().insert(flag);
+    anyEnabled_ = true;
 }
 
 void
 Debug::disable(const std::string &flag)
 {
     flags().erase(flag);
+    anyEnabled_ = !flags().empty();
 }
 
 bool
-Debug::enabled(const std::string &flag)
+Debug::lookup(std::string_view flag)
 {
     return flags().count(flag) > 0;
 }

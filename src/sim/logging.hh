@@ -13,6 +13,7 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace visa
 {
@@ -60,11 +61,26 @@ class Debug
     static void enable(const std::string &flag);
     /** Disable a named trace flag. */
     static void disable(const std::string &flag);
-    /** @return true if the named flag is enabled. */
-    static bool enabled(const std::string &flag);
+
+    /**
+     * @return true if the named flag is enabled.
+     *
+     * enabled() sits on the per-instruction path of the simulators, so
+     * the common no-tracing case must stay a single flag test: the set
+     * lookup (and any std::string construction at the call site) only
+     * happens once at least one flag has ever been enabled.
+     */
+    static bool
+    enabled(std::string_view flag)
+    {
+        return anyEnabled_ && lookup(flag);
+    }
 
   private:
-    static std::set<std::string> &flags();
+    static bool lookup(std::string_view flag);
+    static std::set<std::string, std::less<>> &flags();
+    /** False until the first enable(); cleared when the set empties. */
+    static bool anyEnabled_;
 };
 
 /** Emit a trace line if the named debug flag is enabled. */

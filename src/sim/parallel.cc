@@ -1,0 +1,133 @@
+#include "sim/parallel.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+
+namespace visa
+{
+
+unsigned
+simThreads()
+{
+    if (const char *env = std::getenv("VISA_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && v >= 1)
+            return static_cast<unsigned>(v);
+        return 1;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : nThreads_(threads)
+{
+    if (nThreads_ <= 1)
+        return;
+    workers_.reserve(nThreads_);
+    for (unsigned i = 0; i < nThreads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    haveWork_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+        ++pending_;
+    }
+    haveWork_.notify_one();
+}
+
+bool
+ThreadPool::runOne(std::unique_lock<std::mutex> &lock)
+{
+    if (queue_.empty())
+        return false;
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    job();
+    lock.lock();
+    if (--pending_ == 0)
+        allDone_.notify_all();
+    return true;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        if (runOne(lock))
+            continue;
+        if (stopping_)
+            return;
+        haveWork_.wait(lock,
+                       [this] { return !queue_.empty() || stopping_; });
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Help drain the queue instead of just blocking; this is also the
+    // only execution path when the pool has no worker threads.
+    while (runOne(lock)) {
+    }
+    allDone_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+
+    const unsigned threads = simThreads();
+    if (n == 1 || threads <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // One exception slot per index so a failure in arm i is rethrown
+    // exactly as a serial loop would have surfaced it (lowest index
+    // first), independent of thread interleaving.
+    std::vector<std::exception_ptr> errors(n);
+    {
+        ThreadPool pool(
+            static_cast<unsigned>(std::min<std::size_t>(threads, n)));
+        for (std::size_t i = 0; i < n; ++i) {
+            pool.submit([i, &fn, &errors] {
+                try {
+                    fn(i);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        }
+        pool.wait();
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+}
+
+} // namespace visa

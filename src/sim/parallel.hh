@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A small work-queue thread pool for running independent simulation
+ * arms concurrently. Experiment campaigns (bench/) are embarrassingly
+ * parallel: each arm owns a private MainMemory/Platform/MemController/
+ * Cpu rig and only shares immutable inputs (Program, WcetTable,
+ * DvsTable), so the only requirement on the runner is that results are
+ * collected in deterministic input order — which parallelFor
+ * guarantees regardless of execution interleaving.
+ */
+
+#ifndef VISA_SIM_PARALLEL_HH
+#define VISA_SIM_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace visa
+{
+
+/**
+ * Worker-thread count for parallel campaigns: the VISA_THREADS
+ * environment variable when set (clamped to >= 1), otherwise
+ * std::thread::hardware_concurrency(). VISA_THREADS=1 forces serial
+ * execution; tests also use it to exercise the pool on single-core
+ * machines.
+ */
+unsigned simThreads();
+
+/** A fixed-size work-queue thread pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers. A count of 0 or 1 starts no worker
+     * threads; submitted jobs then run inline in wait().
+     */
+    explicit ThreadPool(unsigned threads = simThreads());
+
+    /** Drains the queue (runs remaining jobs) before joining. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a job. Jobs must not throw (wrap and capture instead). */
+    void submit(std::function<void()> job);
+
+    /**
+     * Run queued jobs on the calling thread too, then block until every
+     * submitted job has finished.
+     */
+    void wait();
+
+    unsigned threads() const { return nThreads_; }
+
+  private:
+    void workerLoop();
+    /** Pop-and-run one job. @return false if the queue was empty. */
+    bool runOne(std::unique_lock<std::mutex> &lock);
+
+    unsigned nThreads_;
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable haveWork_;
+    std::condition_variable allDone_;
+    std::size_t pending_ = 0;    ///< queued + currently running
+    bool stopping_ = false;
+};
+
+/**
+ * Run fn(0) .. fn(n-1), distributing the indices over a transient pool
+ * of simThreads() workers (the caller participates as well). Blocks
+ * until all calls finish.
+ *
+ * Deterministic by construction: which thread runs which index is
+ * unspecified, but each index runs exactly once and any exceptions are
+ * rethrown as if execution had been serial — the one thrown by the
+ * lowest index wins; the other arms still run to completion.
+ *
+ * Nesting is safe (each call owns its workers) but multiplies the
+ * thread count, so parallelize at the outermost loop.
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace visa
+
+#endif // VISA_SIM_PARALLEL_HH

@@ -9,9 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "core/concurrency.hh"
 #include "core/runtime.hh"
+#include "sim/parallel.hh"
 #include "tests/test_util.hh"
 #include "wcet/analyzer.hh"
 #include "wcet/cfg.hh"
@@ -139,6 +143,77 @@ TEST(SlackEdgeCases, NoBackgroundWorkWithoutSlack)
     // sliver of the deadline.
     EXPECT_LT(sched.background().slackSeconds,
               cfg.deadlineSeconds * 0.8);
+}
+
+/** One campaign arm: both pipelines on one benchmark. */
+struct ArmResult
+{
+    Cycles simpleCycles = 0;
+    Cycles complexCycles = 0;
+    Word simpleChecksum = 0;
+    Word complexChecksum = 0;
+
+    bool operator==(const ArmResult &) const = default;
+};
+
+ArmResult
+runArm(const Workload &wl)
+{
+    ArmResult r;
+    {
+        MainMemory mem;
+        Platform plat;
+        MemController mc;
+        mem.loadProgram(wl.program);
+        SimpleCpu cpu(wl.program, mem, plat, mc);
+        cpu.resetForTask();
+        cpu.run(20'000'000'000ULL);
+        r.simpleCycles = cpu.cycles();
+        r.simpleChecksum = plat.lastChecksum();
+    }
+    {
+        MainMemory mem;
+        Platform plat;
+        MemController mc;
+        mem.loadProgram(wl.program);
+        OooCpu cpu(wl.program, mem, plat, mc);
+        cpu.resetForTask();
+        cpu.run(20'000'000'000ULL);
+        r.complexCycles = cpu.cycles();
+        r.complexChecksum = plat.lastChecksum();
+    }
+    return r;
+}
+
+TEST(Determinism, PooledCampaignMatchesSerialBitExactly)
+{
+    // The campaign binaries run their per-benchmark arms on the thread
+    // pool; the results they collect must be bit-identical to a serial
+    // run of the same arms, in the same (input) order.
+    const std::vector<std::string> names = {"cnt", "srt", "fir"};
+    std::vector<Workload> wls;
+    for (const auto &n : names)
+        wls.push_back(makeWorkload(n));
+
+    std::vector<ArmResult> serial(wls.size());
+    for (std::size_t i = 0; i < wls.size(); ++i)
+        serial[i] = runArm(wls[i]);
+
+    const char *old = std::getenv("VISA_THREADS");
+    const std::string saved = old ? old : "";
+    setenv("VISA_THREADS", "4", 1);
+    std::vector<ArmResult> pooled(wls.size());
+    parallelFor(wls.size(),
+                [&](std::size_t i) { pooled[i] = runArm(wls[i]); });
+    if (old)
+        setenv("VISA_THREADS", saved.c_str(), 1);
+    else
+        unsetenv("VISA_THREADS");
+
+    for (std::size_t i = 0; i < wls.size(); ++i) {
+        EXPECT_EQ(pooled[i], serial[i]) << names[i];
+        EXPECT_EQ(pooled[i].simpleChecksum, wls[i].expectedChecksum);
+    }
 }
 
 } // anonymous namespace

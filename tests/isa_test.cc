@@ -84,7 +84,10 @@ TEST(InstructionOperands, StoreSources)
     sdc1.rt = 9;
     EXPECT_EQ(sdc1.srcIntRegs()[0], 4);
     EXPECT_EQ(sdc1.srcIntRegs()[1], -1);
-    EXPECT_EQ(sdc1.srcFpRegs()[0], 9);
+    // Slots map to instruction fields (rs -> [0], rt -> [1]); SDC1's
+    // FP data operand lives in rt. Consumers treat slots symmetrically.
+    EXPECT_EQ(sdc1.srcFpRegs()[0], -1);
+    EXPECT_EQ(sdc1.srcFpRegs()[1], 9);
 }
 
 TEST(InstructionOperands, FccDependence)

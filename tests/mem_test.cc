@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "isa/assembler.hh"
 #include "mem/cache.hh"
 #include "mem/memctrl.hh"
@@ -48,6 +51,85 @@ TEST(MainMemoryTest, DoubleRoundTrip)
     MainMemory m;
     m.writeDouble(0x4000, -123.456);
     EXPECT_DOUBLE_EQ(m.readDouble(0x4000), -123.456);
+}
+
+// ---- safety net for the page-split memcpy fast path ----
+
+TEST(MainMemoryTest, EveryWidthStraddlesPageBoundary)
+{
+    // Writes and reads of every width, placed so the access straddles
+    // the 4 KB page boundary at every possible split point.
+    for (int bytes : {2, 4, 8}) {
+        for (int split = 1; split < bytes; ++split) {
+            MainMemory m;
+            const Addr base = 0x3000 - static_cast<Addr>(split);
+            const std::uint64_t val = 0x1122334455667788ULL >>
+                                      (8 * (8 - bytes));
+            m.write(base, val, bytes);
+            EXPECT_EQ(m.read(base, bytes), val)
+                << bytes << " bytes split at " << split;
+            // Byte-wise readback proves little-endian placement across
+            // the boundary.
+            for (int i = 0; i < bytes; ++i)
+                EXPECT_EQ(m.read(base + static_cast<Addr>(i), 1),
+                          (val >> (8 * i)) & 0xFF);
+        }
+    }
+}
+
+TEST(MainMemoryTest, DoubleStraddlesPageBoundary)
+{
+    MainMemory m;
+    m.writeDouble(0x1FFC, 3.14159265358979);    // 4 bytes on each page
+    EXPECT_DOUBLE_EQ(m.readDouble(0x1FFC), 3.14159265358979);
+}
+
+TEST(MainMemoryTest, UnmappedDoubleAndPartialPageReadZero)
+{
+    MainMemory m;
+    EXPECT_DOUBLE_EQ(m.readDouble(0x9000), 0.0);
+    // One mapped page next to an unmapped one: the straddling read
+    // must see zeros for the unmapped half.
+    m.write(0x5FFC, 0xAABBCCDD, 4);
+    EXPECT_EQ(m.read(0x5FFC, 8), 0xAABBCCDDull);
+}
+
+TEST(MainMemoryTest, LittleEndianByteOrder)
+{
+    MainMemory m;
+    m.write(0x100, 0x0102030405060708ULL, 8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(m.read(0x100 + static_cast<Addr>(i), 1),
+                  static_cast<std::uint64_t>(8 - i));
+    m.write(0x200, 0xBEEF, 2);
+    EXPECT_EQ(m.read(0x200, 1), 0xEFu);
+    EXPECT_EQ(m.read(0x201, 1), 0xBEu);
+}
+
+TEST(MainMemoryTest, BulkCopyRoundTripAcrossPages)
+{
+    MainMemory m;
+    std::vector<std::uint8_t> src(10000);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<std::uint8_t>(i * 37 + 11);
+    m.writeBytes(0x0FF0, src.data(), src.size());    // spans 3+ pages
+    std::vector<std::uint8_t> dst(src.size(), 0);
+    m.readBytes(0x0FF0, dst.data(), dst.size());
+    EXPECT_EQ(src, dst);
+    // Spot-check against single-byte reads (same underlying pages).
+    EXPECT_EQ(m.read(0x0FF0, 1), src[0]);
+    EXPECT_EQ(m.read(0x0FF0 + 5000, 1), src[5000]);
+}
+
+TEST(MainMemoryTest, ClearDropsAllPages)
+{
+    MainMemory m;
+    m.write(0x1FFE, 0x12345678, 4);    // straddle: touches two pages
+    m.clear();
+    EXPECT_EQ(m.read(0x1FFE, 4), 0u);
+    // Memory is usable again after clear (page cache re-primed).
+    m.write(0x1FFE, 0x9ABCDEF0, 4);
+    EXPECT_EQ(m.read(0x1FFE, 4), 0x9ABCDEF0u);
 }
 
 TEST(MainMemoryTest, LoadProgramPlacesTextAndData)
@@ -107,6 +189,20 @@ TEST(CacheTest, ProbeDoesNotDisturbState)
     c.access(1024, false);
     EXPECT_FALSE(c.probe(0));
     EXPECT_TRUE(c.probe(512));
+}
+
+TEST(CacheTest, EvictedBlockMissesEvenWhenMostRecentlyHit)
+{
+    // Regression test for the one-entry MRU filter in access(): a
+    // block that was the most recent hit and is then evicted must miss
+    // on its next access (the filter must not report a phantom hit).
+    Cache c({"c", 1024, 2, 64});    // 8 sets, 2 ways
+    EXPECT_FALSE(c.access(0, false));
+    EXPECT_TRUE(c.access(0, false));        // block 0 is the MRU hit
+    EXPECT_FALSE(c.access(512, false));
+    EXPECT_FALSE(c.access(1024, false));    // evicts block 0 (LRU)
+    EXPECT_FALSE(c.access(0, false));       // must be a genuine miss
+    EXPECT_EQ(c.misses(), 4u);
 }
 
 TEST(CacheTest, FlushInvalidatesEverything)

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Machine-readable performance report: re-runs the headline
+ * microbenchmarks with plain std::chrono timing and emits JSON
+ * (benchmark -> ns/op, items/s), so each PR can record the simulator's
+ * throughput trajectory (BENCH_PR1.json and successors) without
+ * parsing google-benchmark's console output.
+ *
+ * Usage: bench-report [-o FILE] [--reps N]
+ *
+ * Each benchmark runs N times (default 5) and the report keeps the
+ * fastest repetition: on a shared machine the minimum is the best
+ * estimator of the code's true cost.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+using namespace visa;
+using namespace visa::bench;
+
+namespace
+{
+
+struct Result
+{
+    std::string name;
+    double nsPerOp = 0.0;
+    double itemsPerSecond = 0.0;
+};
+
+/**
+ * Run @p body @p reps times; it returns the number of items it
+ * processed. Records the fastest repetition under @p name.
+ */
+Result
+measure(const std::string &name, int reps,
+        const std::function<std::uint64_t()> &body)
+{
+    using clock = std::chrono::steady_clock;
+    double best_ns = 0.0;
+    std::uint64_t best_items = 1;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = clock::now();
+        const std::uint64_t items = body();
+        const auto t1 = clock::now();
+        const double ns = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count());
+        if (r == 0 || ns < best_ns) {
+            best_ns = ns;
+            best_items = items ? items : 1;
+        }
+    }
+    Result res;
+    res.name = name;
+    res.nsPerOp = best_ns / static_cast<double>(best_items);
+    res.itemsPerSecond = 1e9 * static_cast<double>(best_items) / best_ns;
+    fprintf(stderr, "%-24s %12.2f ns/op %14.0f items/s\n", name.c_str(),
+            res.nsPerOp, res.itemsPerSecond);
+    return res;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *out_path = nullptr;
+    int reps = 5;
+    for (int i = 1; i < argc; ++i) {
+        if (!strcmp(argv[i], "-o") && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (!strcmp(argv[i], "--reps") && i + 1 < argc) {
+            reps = atoi(argv[++i]);
+        } else {
+            fprintf(stderr, "usage: %s [-o FILE] [--reps N]\n", argv[0]);
+            return 2;
+        }
+    }
+    if (reps < 1)
+        reps = 1;
+
+    const Workload wl = makeWorkload("mm");
+
+    std::vector<Result> results;
+
+    results.push_back(measure("MemoryRead", reps, [] {
+        MainMemory mem;
+        for (Addr a = 0; a < 64 * 1024; a += 4)
+            mem.writeWord(a, a);
+        std::uint64_t sum = 0;
+        const int passes = 2000;
+        for (int p = 0; p < passes; ++p)
+            for (Addr a = 0; a < 64 * 1024; a += 4)
+                sum += mem.read(a, 4);
+        // The checksum keeps the reads observable.
+        if (sum == 1)
+            fprintf(stderr, "unreachable\n");
+        return static_cast<std::uint64_t>(passes) * (64 * 1024 / 4);
+    }));
+
+    results.push_back(measure("MemoryWrite", reps, [] {
+        MainMemory mem;
+        const int passes = 2000;
+        for (int p = 0; p < passes; ++p)
+            for (Addr a = 0; a < 64 * 1024; a += 4)
+                mem.write(a, a, 4);
+        return static_cast<std::uint64_t>(passes) * (64 * 1024 / 4);
+    }));
+
+    results.push_back(measure("MemoryBulkCopy", reps, [] {
+        MainMemory mem;
+        std::vector<std::uint8_t> buf(16 * 1024, 0xA5);
+        const int passes = 20000;
+        for (int p = 0; p < passes; ++p) {
+            mem.writeBytes(100, buf.data(), buf.size());
+            mem.readBytes(100, buf.data(), buf.size());
+        }
+        // items = bytes moved
+        return static_cast<std::uint64_t>(passes) * 2 * buf.size();
+    }));
+
+    results.push_back(measure("ExecCoreStep", reps, [&wl] {
+        MainMemory mem;
+        mem.loadProgram(wl.program);
+        Platform platform;
+        ExecCore core(wl.program, mem, platform);
+        std::uint64_t insts = 0;
+        for (int p = 0; p < 20; ++p) {
+            core.reset();
+            ExecInfo info;
+            do {
+                info = core.step(false);
+                ++insts;
+            } while (!info.halted);
+        }
+        return insts;
+    }));
+
+    results.push_back(measure("SimpleCpuRun", reps, [&wl] {
+        std::uint64_t insts = 0;
+        for (int p = 0; p < 10; ++p) {
+            Rig<SimpleCpu> rig(wl.program);
+            rig.cpu->run(20'000'000'000ULL);
+            insts += rig.cpu->retired();
+        }
+        return insts;
+    }));
+
+    results.push_back(measure("OooCpuRun", reps, [&wl] {
+        std::uint64_t insts = 0;
+        for (int p = 0; p < 3; ++p) {
+            Rig<OooCpu> rig(wl.program);
+            rig.cpu->run(20'000'000'000ULL);
+            insts += rig.cpu->retired();
+        }
+        return insts;
+    }));
+
+    results.push_back(measure("OooCpuSimpleMode", reps, [&wl] {
+        std::uint64_t insts = 0;
+        for (int p = 0; p < 10; ++p) {
+            Rig<OooCpu> rig(wl.program);
+            rig.cpu->switchToSimple();
+            rig.cpu->run(20'000'000'000ULL);
+            insts += rig.cpu->retired();
+        }
+        return insts;
+    }));
+
+    FILE *out = out_path ? fopen(out_path, "w") : stdout;
+    if (!out) {
+        fprintf(stderr, "cannot open %s\n", out_path);
+        return 1;
+    }
+    fprintf(out, "{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Result &r = results[i];
+        fprintf(out,
+                "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
+                "\"items_per_second\": %.0f}%s\n",
+                r.name.c_str(), r.nsPerOp, r.itemsPerSecond,
+                i + 1 < results.size() ? "," : "");
+    }
+    fprintf(out, "  ]\n}\n");
+    if (out != stdout)
+        fclose(out);
+    return 0;
+}
