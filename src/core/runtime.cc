@@ -29,6 +29,30 @@ DvsRuntime::DvsRuntime(Cpu &cpu, const Program &prog, MainMemory &mem,
     for (int k = 0; k < wcet.numSubtasks(); ++k)
         seed.push_back(wcet.subtaskCycles(k, dvs.maxFreq()));
     pets_.seed(seed);
+    slackDist_.init(0, 1u << 16, 1u << 12);
+}
+
+void
+DvsRuntime::buildStats(StatSet &set) const
+{
+    StatGroup &g = set.group("runtime");
+    g.scalar("tasks", "task instances executed").set(
+        static_cast<std::uint64_t>(stats_.tasks));
+    g.scalar("checkpoint_misses", "missed-checkpoint recoveries")
+        .set(static_cast<std::uint64_t>(stats_.checkpointMisses));
+    g.scalar("deadline_misses", "deadline violations (must stay 0)")
+        .set(static_cast<std::uint64_t>(stats_.deadlineMisses));
+    g.formula("checkpoint_miss_rate",
+              [this] {
+                  // Deliberately unguarded: 0/0 before any task ran is
+                  // the stats package's finite-guard's job to clean up.
+                  return static_cast<double>(stats_.checkpointMisses) /
+                         static_cast<double>(stats_.tasks);
+              },
+              "missed checkpoints per task");
+    g.distribution("checkpoint_slack_cycles",
+                   "PET - AET detection slack at met checkpoints") =
+        slackDist_;
 }
 
 void
@@ -41,6 +65,7 @@ DvsRuntime::switchFrequency(MHz f)
     epochStartCycles_ = now;
     if (meter_)
         meter_->closeEpoch(old);
+    VISA_TRACE(EventKind::FreqChange, now, old, f);
     cpu_.setFrequency(f);
 }
 
@@ -92,6 +117,24 @@ DvsRuntime::runTask(bool induce_miss)
     ts.speculating = speculating_;
 
     cpu_.resetForTask();
+
+    Tracer *const tr = currentTracer();
+    if (tr) {
+        // The per-task cycle counter just reset; bank the previous
+        // instances' cycles so the timeline stays monotonic.
+        tr->setCycleOffset(tracedCycles_);
+        tr->record(EventKind::TaskBegin, 0,
+                   static_cast<std::uint64_t>(tasksRun_), current_.fSpec,
+                   current_.fRec, cfg_.deadlineSeconds);
+        if (reeval) {
+            double pet_sum = 0.0;
+            for (int k = 0; k < wcet_.numSubtasks(); ++k)
+                pet_sum += pets_.petSeconds(k, current_.fSpec);
+            tr->record(EventKind::FreqDecision, 0, current_.fSpec,
+                       current_.fRec, speculating_ ? 1 : 0, pet_sum);
+        }
+    }
+
     prepare();
 
     Platform &platform = cpu_.platform();
@@ -113,14 +156,32 @@ DvsRuntime::runTask(bool induce_miss)
     if (reeval && tasksRun_ > 0)
         cpu_.advanceIdle(cfg_.dvsSoftwareCycles);
 
-    if (plan_ && speculating_)
+    if (plan_ && speculating_) {
         writeWatchdogParams(*plan_);
-    else
+        if (tr)
+            tr->record(EventKind::CheckpointArm, cpu_.cycles(),
+                       plan_->increments.size(),
+                       plan_->increments.empty()
+                           ? 0
+                           : static_cast<std::uint64_t>(
+                                 plan_->increments[0]));
+    } else {
         disableWatchdogParams();
+    }
 
+    const bool armed = plan_ && speculating_;
     std::vector<std::pair<int, std::uint64_t>> aets;
     platform.onAetReport = [&](int sub, std::uint64_t aet) {
         aets.emplace_back(sub, aet);
+        if (armed && sub >= 1 && sub <= pets_.numSubtasks()) {
+            const std::uint64_t pet = pets_.petCycles(sub - 1);
+            const std::uint64_t slack = pet > aet ? pet - aet : 0;
+            slackDist_.sample(slack);
+            if (tr)
+                tr->record(EventKind::CheckpointHit, cpu_.cycles(),
+                           static_cast<std::uint64_t>(sub), aet, pet,
+                           static_cast<double>(slack));
+        }
     };
 
     for (;;) {
@@ -136,6 +197,13 @@ DvsRuntime::runTask(bool induce_miss)
             missedSubtask_ = platform.currentSubtask();
             ts.missedSubtask = missedSubtask_;
             ++stats_.checkpointMisses;
+            if (tr) {
+                tr->record(EventKind::WatchdogFire, cpu_.cycles(),
+                           static_cast<std::uint64_t>(missedSubtask_));
+                tr->record(EventKind::CheckpointMiss, cpu_.cycles(),
+                           static_cast<std::uint64_t>(missedSubtask_),
+                           static_cast<std::uint64_t>(tasksRun_));
+            }
             platform.maskWatchdog(true);
             recover();
             continue;
@@ -175,6 +243,13 @@ DvsRuntime::runTask(bool induce_miss)
             pets_.record(sub - 1,
                          static_cast<std::uint64_t>(std::llround(v)));
     }
+
+    if (tr)
+        tr->record(EventKind::TaskEnd, cpu_.cycles(),
+                   static_cast<std::uint64_t>(tasksRun_),
+                   ts.deadlineMet ? 1 : 0, ts.missedCheckpoint ? 1 : 0,
+                   taskSeconds_);
+    tracedCycles_ += cpu_.cycles();
 
     ++tasksRun_;
     ++stats_.tasks;

@@ -22,6 +22,8 @@
 #include "cpu/ooo_cpu.hh"
 #include "cpu/simple_cpu.hh"
 #include "power/meter.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace visa
 {
@@ -118,6 +120,14 @@ class DvsRuntime
     int tasksRun() const { return tasksRun_; }
     double deadlineSeconds() const { return cfg_.deadlineSeconds; }
 
+    /**
+     * Contribute the "runtime" statistics group to @p set: task /
+     * recovery / deadline counters, the checkpoint miss rate, and the
+     * PET-AET detection-slack distribution. Formulas capture `this`;
+     * dump the set while the runtime is alive.
+     */
+    void buildStats(StatSet &set) const;
+
   protected:
     DvsRuntime(Cpu &cpu, const Program &prog, MainMemory &mem,
                const WcetTable &wcet, const DvsTable &dvs,
@@ -178,6 +188,20 @@ class DvsRuntime
     double taskSeconds_ = 0.0;
     Cycles epochStartCycles_ = 0;
     int missedSubtask_ = -1;
+
+    /**
+     * Detection slack (PET - AET, cycles) at every armed checkpoint
+     * that was met. The range is intentionally modest: large slacks
+     * clamp into the explicit overflow bucket.
+     */
+    StatGroup::Distribution slackDist_;
+
+    /**
+     * Cycles of finished task instances, banked into the tracer's
+     * cycle offset so exported timelines stay monotonic across tasks
+     * (per-task cycle counters reset to zero each instance).
+     */
+    Cycles tracedCycles_ = 0;
 };
 
 /**

@@ -66,7 +66,23 @@ Cpu::flushCachesAndPredictors()
 void
 Cpu::dumpStats(std::ostream &os) const
 {
-    StatGroup g(statsName());
+    StatSet set;
+    buildStats(set);
+    set.dump(os);
+}
+
+void
+Cpu::dumpStatsJson(std::ostream &os) const
+{
+    StatSet set;
+    buildStats(set);
+    set.dumpJson(os);
+}
+
+void
+Cpu::buildStats(StatSet &set) const
+{
+    StatGroup &g = set.group(statsName());
     g.scalar("cycles", "simulated cycles this task").set(cycles());
     g.scalar("instructions", "instructions retired").set(retired_);
     g.formula("ipc",
@@ -92,7 +108,6 @@ Cpu::dumpStats(std::ostream &os) const
                  unitName(static_cast<Unit>(u)))
             .set(activity_.count(static_cast<Unit>(u)));
     }
-    g.dump(os);
 }
 
 } // namespace visa

@@ -322,11 +322,22 @@ class Cpu
     Platform &platform() { return platform_; }
 
     /**
-     * Dump simulation statistics (gem5-style "name value # desc"
-     * lines): cycles, instructions, IPC, cache behavior, and
-     * per-structure activity counts.
+     * Contribute statistics groups to @p set: cycles, instructions,
+     * IPC, cache behavior, and per-structure activity counts under
+     * statsName(); subclasses add their own stats on top. The groups
+     * hold live formulas capturing `this`, so the set must be dumped
+     * while the CPU is alive.
      */
-    virtual void dumpStats(std::ostream &os) const;
+    virtual void buildStats(StatSet &set) const;
+
+    /**
+     * Dump simulation statistics (gem5-style "name value # desc"
+     * lines), via buildStats().
+     */
+    void dumpStats(std::ostream &os) const;
+
+    /** Dump the same statistics as a hierarchical JSON document. */
+    void dumpStatsJson(std::ostream &os) const;
 
   protected:
     /** Statistics group name ("simple", "complex"). */

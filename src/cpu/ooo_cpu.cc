@@ -136,6 +136,8 @@ OooCpu::fetchStage()
             charged_icache = true;
             lastFetchBlock_ = blk;
             if (!hit) {
+                if (tracer_) [[unlikely]]
+                    tracer_->record(EventKind::IcacheMiss, cycle_, pc);
                 // Blocking fill; fetch retries once the line arrives.
                 fetchReadyCycle_ = cycle_ + missPenalty();
                 break;
@@ -178,6 +180,13 @@ OooCpu::fetchStage()
             block_end = true;
         } else if (inst.isDirectJump()) {
             block_end = true;
+        }
+
+        if (tracer_) [[unlikely]] {
+            tracer_->record(EventKind::Fetch, cycle_, pc, fe.seq);
+            if (fe.mispredicted)
+                tracer_->record(EventKind::BranchMispredict, cycle_, pc,
+                                fe.seq, info.taken);
         }
 
         if (info.halted)
@@ -304,6 +313,16 @@ OooCpu::issueStage()
                                     ++misses_outstanding;
                                     missFillTimes_.push_back(
                                         e.completeCycle);
+                                    if (tracer_) [[unlikely]] {
+                                        tracer_->record(
+                                            EventKind::DcacheMiss, cycle_,
+                                            e.info.effAddr, e.info.pc);
+                                        tracer_->record(
+                                            EventKind::MshrOccupancy,
+                                            cycle_,
+                                            static_cast<std::uint64_t>(
+                                                misses_outstanding));
+                                    }
                                 }
                                 do_issue = true;
                             }
@@ -347,6 +366,9 @@ OooCpu::issueStage()
         if (static_cast<std::int64_t>(seq) == fetchBlockedSeq_) {
             fetchReadyCycle_ = e.completeCycle + 1;
             fetchBlockedSeq_ = -1;
+            if (tracer_) [[unlikely]]
+                tracer_->record(EventKind::Squash, e.completeCycle,
+                                e.info.pc, seq);
         }
     }
     unissuedSeqs_.resize(keep);
@@ -379,6 +401,8 @@ OooCpu::retireStage()
             --lsqCount_;
         if (e.info.halted)
             halted_ = true;
+        if (tracer_) [[unlikely]]
+            tracer_->record(EventKind::Retire, cycle_, e.info.pc, e.seq);
         rob_.pop_front();
         ++retired_;
         ++n;
@@ -415,6 +439,10 @@ OooCpu::switchToSimple()
 {
     if (mode_ == Mode::Simple)
         return;
+    // Cold path; may be called between run() calls, so consult the
+    // installed tracer directly rather than the hoisted member.
+    Tracer *tr = currentTracer();
+    const Cycles drain_start = cycle_;
     // Drain: stop fetching and let everything in flight retire. The
     // run-time system masks the watchdog before reconfiguring, so
     // expiries during the drain are benign.
@@ -428,6 +456,11 @@ OooCpu::switchToSimple()
     }
     DPRINTF("Mode", "drained at cycle %llu; entering simple mode\n",
             static_cast<unsigned long long>(cycle_));
+    if (tr) {
+        tr->record(EventKind::ModeSwitchDrain, cycle_,
+                   cycle_ - drain_start);
+        tr->record(EventKind::SimpleModeEnter, cycle_);
+    }
     mode_ = Mode::Simple;
     timerBase_ = cycle_;
     timer_.reset();
@@ -447,6 +480,8 @@ OooCpu::switchToComplex()
         panic("switchToComplex with a non-idle pipeline");
     DPRINTF("Mode", "entering complex mode at cycle %llu\n",
             static_cast<unsigned long long>(cycle_));
+    if (Tracer *tr = currentTracer())
+        tr->record(EventKind::SimpleModeExit, cycle_);
     mode_ = Mode::Complex;
     fetchReadyCycle_ = cycle_;
     lastFetchBlock_ = ~0u;
@@ -454,6 +489,16 @@ OooCpu::switchToComplex()
 
 RunResult
 OooCpu::runSimple(Cycles budget_end)
+{
+    // Dispatch once: the untraced loop instantiation carries no
+    // tracing code (see SimpleCpu::runLoop).
+    return tracer_ ? runSimpleLoop<true>(budget_end)
+                   : runSimpleLoop<false>(budget_end);
+}
+
+template <bool Traced>
+RunResult
+OooCpu::runSimpleLoop(Cycles budget_end)
 {
     // The §3.2 simple mode: VISA timing via the shared recurrence,
     // complex-datapath power accounting. The miss penalty only changes
@@ -500,6 +545,18 @@ OooCpu::runSimple(Cycles budget_end)
         timer_.consume(rec);
         cycle_ = timerBase_ + timer_.totalCycles();
 
+        if constexpr (Traced) {
+            if (!ihit)
+                tracer_->record(EventKind::IcacheMiss, cycle_, pc);
+            if (info.isMem && !info.isMmio && !dhit)
+                tracer_->record(EventKind::DcacheMiss, cycle_,
+                                info.effAddr, pc);
+            if (redirect)
+                tracer_->record(EventKind::BranchMispredict, cycle_, pc,
+                                retired_, info.taken);
+            tracer_->record(EventKind::Retire, cycle_, pc, retired_);
+        }
+
         // Renaming still locates operands in the physical register
         // file (one map read per source and destination); logical-to-
         // physical mappings never change (§3.2).
@@ -543,16 +600,15 @@ OooCpu::runSimple(Cycles budget_end)
 }
 
 void
-OooCpu::dumpStats(std::ostream &os) const
+OooCpu::buildStats(StatSet &set) const
 {
-    Cpu::dumpStats(os);
-    StatGroup g(statsName());
+    Cpu::buildStats(set);
+    StatGroup &g = set.group(statsName());
     g.scalar("branch_mispredicts",
              "conditional + indirect mispredictions")
         .set(mispredicts_);
     g.scalar("mode_simple", "1 when in the VISA simple mode")
         .set(mode_ == Mode::Simple ? 1 : 0);
-    g.dump(os);
 }
 
 RunResult
@@ -563,6 +619,7 @@ OooCpu::run(Cycles max_cycles)
         : cycle_ + max_cycles;
     if (halted_)
         return {StopReason::Halted};
+    tracer_ = currentTracer();
     return mode_ == Mode::Complex ? runComplex(budget_end)
                                   : runSimple(budget_end);
 }

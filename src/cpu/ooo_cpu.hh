@@ -34,6 +34,7 @@
 #include "cpu/bpred.hh"
 #include "cpu/cpu.hh"
 #include "cpu/visa_timing.hh"
+#include "sim/trace.hh"
 
 namespace visa
 {
@@ -87,7 +88,7 @@ class OooCpu final : public Cpu
     std::uint64_t branchMispredicts() const { return mispredicts_; }
     const OooParams &params() const { return params_; }
 
-    void dumpStats(std::ostream &os) const override;
+    void buildStats(StatSet &set) const override;
 
   protected:
     const char *statsName() const override { return "complex"; }
@@ -116,6 +117,14 @@ class OooCpu final : public Cpu
 
     RunResult runComplex(Cycles budget_end);
     RunResult runSimple(Cycles budget_end);
+
+    /**
+     * The simple-mode per-instruction loop, templated on whether a
+     * tracer is installed so the untraced instantiation carries no
+     * tracing code at all (see SimpleCpu::runLoop).
+     */
+    template <bool Traced>
+    RunResult runSimpleLoop(Cycles budget_end);
 
     void fetchStage();
     void dispatchStage();
@@ -217,6 +226,13 @@ class OooCpu final : public Cpu
     std::vector<Cycles> missFillTimes_;
 
     std::uint64_t mispredicts_ = 0;
+
+    /**
+     * The thread's tracer, hoisted once per run() call so the per-cycle
+     * stages pay one member load and a predictable branch when tracing
+     * is off (see sim/trace.hh's cost model).
+     */
+    Tracer *tracer_ = nullptr;
 
     // ---- simple-mode engine (shared VISA timing recurrence) ----
     VisaTimer timer_;

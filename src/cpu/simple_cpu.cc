@@ -2,6 +2,7 @@
 
 #include "cpu/bpred.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace visa
 {
@@ -49,6 +50,15 @@ SimpleCpu::advanceIdle(Cycles n)
     syncActivityCycles();
 }
 
+void
+SimpleCpu::buildStats(StatSet &set) const
+{
+    Cpu::buildStats(set);
+    set.group(statsName())
+        .scalar("branch_mispredicts", "static BTFN mispredictions")
+        .set(mispredicts_);
+}
+
 RunResult
 SimpleCpu::run(Cycles max_cycles)
 {
@@ -56,6 +66,18 @@ SimpleCpu::run(Cycles max_cycles)
         ? noCycleLimit
         : cycles() + max_cycles;
 
+    // Dispatch once on the installed tracer: the untraced instantiation
+    // of the loop contains no tracing code, so recording costs nothing
+    // unless a tracer is actually installed.
+    Tracer *const tracer = currentTracer();
+    return tracer ? runLoop<true>(budget_end, tracer)
+                  : runLoop<false>(budget_end, nullptr);
+}
+
+template <bool Traced>
+RunResult
+SimpleCpu::runLoop(Cycles budget_end, [[maybe_unused]] Tracer *tracer)
+{
     // Loop-invariant per-instruction work, hoisted: the frequency (and
     // with it the miss penalty) only changes between run() calls, and
     // trace flags are set before a run starts.
@@ -111,6 +133,19 @@ SimpleCpu::run(Cycles max_cycles)
         rec.loadUseStall = prevWasLoad_ && inst.dependsOn(prevInst_);
         rec.redirect = redirect;
         timer_.consume(rec);
+
+        if constexpr (Traced) {
+            const Cycles now = cycleBase_ + timer_.totalCycles();
+            if (!ihit)
+                tracer->record(EventKind::IcacheMiss, now, pc);
+            if (info.isMem && !info.isMmio && !dhit)
+                tracer->record(EventKind::DcacheMiss, now,
+                               info.effAddr, pc);
+            if (redirect && inst.isCondBranch())
+                tracer->record(EventKind::BranchMispredict, now, pc,
+                               retired_, info.taken);
+            tracer->record(EventKind::Retire, now, pc, retired_);
+        }
 
         // Activity: register file and FU usage. Source-read counts fall
         // straight out of the operand-role flags (the four source flags

@@ -17,6 +17,7 @@
 
 #include "cpu/cpu.hh"
 #include "cpu/visa_timing.hh"
+#include "sim/trace.hh"
 
 namespace visa
 {
@@ -42,10 +43,20 @@ class SimpleCpu final : public Cpu
 
     std::uint64_t mispredicts() const { return mispredicts_; }
 
+    void buildStats(StatSet &set) const override;
+
   protected:
     const char *statsName() const override { return "simple"; }
 
   private:
+    /**
+     * The per-instruction loop, templated on whether a tracer is
+     * installed: the untraced instantiation carries no tracing code at
+     * all, so an idle tracer hook costs nothing on the hot path.
+     */
+    template <bool Traced>
+    RunResult runLoop(Cycles budget_end, Tracer *tracer);
+
     /** Bring the platform devices up to absolute cycle @p to. Inline:
      *  called once per committed instruction. */
     Platform::TickResult

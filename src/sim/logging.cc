@@ -67,6 +67,28 @@ inform(const char *fmt, ...)
 
 bool Debug::anyEnabled_ = false;
 
+const std::vector<Debug::FlagInfo> &
+Debug::knownFlags()
+{
+    static const std::vector<FlagInfo> known = {
+        {"Exec", "per-instruction execution trace (simple pipeline)"},
+        {"Fetch", "fetch-stage events (reserved; no sites yet)"},
+        {"Mode", "complex<->simple mode reconfigurations"},
+        {"Runtime", "run-time system decisions and recoveries"},
+        {"Watchdog", "watchdog expiries (missed checkpoints)"},
+    };
+    return known;
+}
+
+bool
+Debug::isKnown(std::string_view flag)
+{
+    for (const FlagInfo &f : knownFlags())
+        if (flag == f.name)
+            return true;
+    return false;
+}
+
 std::set<std::string, std::less<>> &
 Debug::flags()
 {

@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace visa
 {
@@ -53,10 +54,27 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Print an informational message. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Runtime-selectable debug-trace flags ("Fetch", "Cache", "WCET", ...). */
+/** Runtime-selectable debug-trace flags ("Exec", "Watchdog", ...). */
 class Debug
 {
   public:
+    /** A registered flag name with its one-line description. */
+    struct FlagInfo
+    {
+        const char *name;
+        const char *desc;
+    };
+
+    /**
+     * Every flag the simulator's DPRINTF sites use, for `--debug help`
+     * and typo rejection. Kept in logging.cc next to the definition of
+     * enable(); adding a DPRINTF with a new flag means adding it here.
+     */
+    static const std::vector<FlagInfo> &knownFlags();
+
+    /** @return true if @p flag is in knownFlags(). */
+    static bool isKnown(std::string_view flag);
+
     /** Enable a named trace flag. */
     static void enable(const std::string &flag);
     /** Disable a named trace flag. */

@@ -1,11 +1,43 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 
 #include "sim/logging.hh"
 
 namespace visa
 {
+
+namespace
+{
+
+/** Formula results must stay plottable: nan/inf (zero denominators
+ *  before any work happened) dump as 0. */
+double
+finiteOrZero(double v)
+{
+    return std::isfinite(v) ? v : 0.0;
+}
+
+/** Print a double as a JSON-safe number. */
+void
+printJsonNumber(std::ostream &os, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", finiteOrZero(v));
+    os << buf;
+}
+
+void
+indentBy(std::ostream &os, int depth)
+{
+    for (int i = 0; i < depth; ++i)
+        os << "  ";
+}
+
+} // anonymous namespace
 
 void
 StatGroup::Distribution::sample(std::uint64_t v)
@@ -20,7 +52,14 @@ StatGroup::Distribution::sample(std::uint64_t v)
         return;
     std::uint64_t idx;
     if (v < _min) {
+        // Below-range samples clamp into the first bucket.
+        ++_underflows;
         idx = 0;
+    } else if (v >= _max) {
+        // At-or-beyond-range samples clamp into the explicit overflow
+        // bucket (the last one).
+        ++_overflows;
+        idx = _buckets.size() - 1;
     } else {
         idx = (v - _min) / _bucketSize;
         if (idx >= _buckets.size())
@@ -43,6 +82,8 @@ StatGroup::Distribution::reset()
     _sum = 0;
     _minSeen = UINT64_MAX;
     _maxSeen = 0;
+    _underflows = 0;
+    _overflows = 0;
 }
 
 StatGroup::Scalar &
@@ -82,7 +123,7 @@ StatGroup::dump(std::ostream &os) const
     }
     for (const auto &[k, f] : _formulas) {
         os << _name << '.' << k << ' ' << std::setprecision(6)
-           << f.fn() << std::setprecision(6);
+           << finiteOrZero(f.fn()) << std::setprecision(6);
         if (!f.desc.empty())
             os << " # " << f.desc;
         os << '\n';
@@ -94,7 +135,58 @@ StatGroup::dump(std::ostream &os) const
             os << _name << '.' << k << ".min " << d.minSeen() << '\n';
             os << _name << '.' << k << ".max " << d.maxSeen() << '\n';
         }
+        if (d.underflows())
+            os << _name << '.' << k << ".underflows " << d.underflows()
+               << '\n';
+        if (d.overflows())
+            os << _name << '.' << k << ".overflows " << d.overflows()
+               << '\n';
     }
+}
+
+void
+StatGroup::dumpJson(std::ostream &os, int indent) const
+{
+    os << "{\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+    for (const auto &[k, v] : _scalars) {
+        sep();
+        indentBy(os, indent + 1);
+        os << '"' << k << "\": " << v.value();
+    }
+    for (const auto &[k, f] : _formulas) {
+        sep();
+        indentBy(os, indent + 1);
+        os << '"' << k << "\": ";
+        printJsonNumber(os, f.fn());
+    }
+    for (const auto &[k, d] : _distributions) {
+        sep();
+        indentBy(os, indent + 1);
+        os << '"' << k << "\": {\"samples\": " << d.samples()
+           << ", \"mean\": ";
+        printJsonNumber(os, d.mean());
+        if (d.samples())
+            os << ", \"min\": " << d.minSeen()
+               << ", \"max\": " << d.maxSeen();
+        os << ", \"underflows\": " << d.underflows()
+           << ", \"overflows\": " << d.overflows()
+           << ", \"range_min\": " << d.rangeMin()
+           << ", \"range_max\": " << d.rangeMax()
+           << ", \"bucket_size\": " << d.bucketSize() << ", \"buckets\": [";
+        const auto &buckets = d.buckets();
+        for (std::size_t i = 0; i < buckets.size(); ++i)
+            os << (i ? "," : "") << buckets[i];
+        os << "]}";
+    }
+    os << '\n';
+    indentBy(os, indent);
+    os << '}';
 }
 
 void
@@ -104,6 +196,95 @@ StatGroup::resetAll()
         v.reset();
     for (auto &[k, d] : _distributions)
         d.reset();
+}
+
+StatGroup &
+StatSet::group(const std::string &name)
+{
+    for (auto &g : _groups)
+        if (g.name() == name)
+            return g;
+    _groups.emplace_back(name);
+    return _groups.back();
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &g : _groups)
+        g.dump(os);
+}
+
+namespace
+{
+
+/** One node of the dotted-name hierarchy built by StatSet::dumpJson. */
+struct JsonNode
+{
+    std::map<std::string, JsonNode> children;
+    const StatGroup *group = nullptr;
+};
+
+void
+emitNode(std::ostream &os, const JsonNode &node, int depth)
+{
+    if (node.group && node.children.empty()) {
+        node.group->dumpJson(os, depth);
+        return;
+    }
+    os << "{\n";
+    bool first = true;
+    // A node holding both a group and children ("cpu" and "cpu.x")
+    // inlines the group's stats before the child objects.
+    if (node.group) {
+        // Render the group into the same object by re-emitting its
+        // body: simplest is a nested "self" key, which keeps keys
+        // collision-free and the schema predictable.
+        indentBy(os, depth + 1);
+        os << "\"self\": ";
+        node.group->dumpJson(os, depth + 1);
+        first = false;
+    }
+    for (const auto &[name, child] : node.children) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        indentBy(os, depth + 1);
+        os << '"' << name << "\": ";
+        emitNode(os, child, depth + 1);
+    }
+    os << '\n';
+    indentBy(os, depth);
+    os << '}';
+}
+
+} // anonymous namespace
+
+void
+StatSet::dumpJson(std::ostream &os) const
+{
+    JsonNode root;
+    for (const auto &g : _groups) {
+        JsonNode *node = &root;
+        const std::string &name = g.name();
+        std::size_t start = 0;
+        while (start <= name.size()) {
+            std::size_t dot = name.find('.', start);
+            std::string part = name.substr(
+                start, dot == std::string::npos ? std::string::npos
+                                                : dot - start);
+            node = &node->children[part];
+            if (dot == std::string::npos)
+                break;
+            start = dot + 1;
+        }
+        if (node->group)
+            warn("duplicate stats group '%s' in JSON export",
+                 name.c_str());
+        node->group = &g;
+    }
+    emitNode(os, root, 0);
+    os << '\n';
 }
 
 } // namespace visa

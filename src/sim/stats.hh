@@ -1,14 +1,16 @@
 /**
  * @file
  * A small statistics package: named scalar counters, formulas, and
- * distributions grouped by owner, with a text dump. Modeled after the
- * spirit of gem5's stats package but deliberately compact.
+ * distributions grouped by owner, with a text dump and a hierarchical
+ * JSON export (StatSet). Modeled after the spirit of gem5's stats
+ * package but deliberately compact.
  */
 
 #ifndef VISA_SIM_STATS_HH
 #define VISA_SIM_STATS_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <ostream>
@@ -39,7 +41,13 @@ class StatGroup
         std::uint64_t _value = 0;
     };
 
-    /** A bucketed distribution with fixed bucket width. */
+    /**
+     * A bucketed distribution with fixed bucket width. Out-of-range
+     * samples are guarded: values below the configured minimum clamp
+     * into the first bucket (counted by underflows()), values at or
+     * beyond the maximum clamp into the last bucket, which serves as
+     * an explicit overflow bucket (counted by overflows()).
+     */
     class Distribution
     {
       public:
@@ -55,6 +63,8 @@ class StatGroup
             _buckets.assign((max - min) / _bucketSize + 1, 0);
             _samples = 0;
             _sum = 0;
+            _underflows = 0;
+            _overflows = 0;
         }
 
         void sample(std::uint64_t v);
@@ -62,6 +72,14 @@ class StatGroup
         double mean() const;
         std::uint64_t minSeen() const { return _minSeen; }
         std::uint64_t maxSeen() const { return _maxSeen; }
+        /** Samples below the configured minimum (clamped to bucket 0). */
+        std::uint64_t underflows() const { return _underflows; }
+        /** Samples >= the configured maximum (clamped to the last,
+         *  overflow, bucket). */
+        std::uint64_t overflows() const { return _overflows; }
+        std::uint64_t bucketSize() const { return _bucketSize; }
+        std::uint64_t rangeMin() const { return _min; }
+        std::uint64_t rangeMax() const { return _max; }
         const std::vector<std::uint64_t> &buckets() const { return _buckets; }
         void reset();
 
@@ -74,6 +92,8 @@ class StatGroup
         std::uint64_t _sum = 0;
         std::uint64_t _minSeen = UINT64_MAX;
         std::uint64_t _maxSeen = 0;
+        std::uint64_t _underflows = 0;
+        std::uint64_t _overflows = 0;
     };
 
     /** Register a scalar under @p stat_name; returns a stable reference. */
@@ -93,6 +113,14 @@ class StatGroup
     /** Dump all registered stats as "group.stat value # desc" lines. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Dump this group's stats as one JSON object (scalars as integers,
+     * formulas as numbers — 0 when the result is nan/inf, e.g. a zero
+     * denominator — distributions as nested objects with buckets).
+     * @p indent is the base indentation depth in two-space steps.
+     */
+    void dumpJson(std::ostream &os, int indent = 0) const;
+
     /** Reset all scalars and distributions to zero. */
     void resetAll();
 
@@ -110,6 +138,34 @@ class StatGroup
     std::map<std::string, Distribution> _distributions;
     std::map<std::string, Formula> _formulas;
     std::map<std::string, std::string> _descs;
+};
+
+/**
+ * An ordered collection of StatGroups with a combined text dump and a
+ * hierarchical JSON export: group names are split on '.' and nested,
+ * so groups "visa.runtime" and "visa.cpu" export under one "visa"
+ * object. Simulated objects contribute groups via their buildStats()
+ * hooks; the drivers then dump one coherent document.
+ */
+class StatSet
+{
+  public:
+    /** Find or create the group named @p name (reference is stable). */
+    StatGroup &group(const std::string &name);
+
+    /** Append a copy of an externally owned group. */
+    void add(const StatGroup &g) { _groups.push_back(g); }
+
+    const std::deque<StatGroup> &groups() const { return _groups; }
+
+    /** Text dump of every group, in insertion order. */
+    void dump(std::ostream &os) const;
+
+    /** Hierarchical JSON document over all groups (sorted by name). */
+    void dumpJson(std::ostream &os) const;
+
+  private:
+    std::deque<StatGroup> _groups;    ///< node-stable across growth
 };
 
 } // namespace visa

@@ -1,0 +1,228 @@
+#include "sim/trace.hh"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+namespace
+{
+
+/**
+ * Indexed by EventKind. The names are a stable wire format: the golden
+ * JSONL tests, the visa-trace analyzer, and the schema validator all
+ * key off them — renaming is a breaking change.
+ */
+constexpr EventKindInfo kindTable[numEventKinds] = {
+    {"task_begin", "task", {"task", "fspec_mhz", "frec_mhz", "deadline_s"}},
+    {"task_end", "task",
+     {"task", "deadline_met", "missed_checkpoint", "completion_s"}},
+    {"checkpoint_arm", "checkpoint",
+     {"checkpoints", "first_increment", nullptr, nullptr}},
+    {"checkpoint_hit", "checkpoint",
+     {"subtask", "aet_cycles", "pet_cycles", "slack_cycles"}},
+    {"checkpoint_miss", "checkpoint", {"subtask", "task", nullptr, nullptr}},
+    {"watchdog_fire", "checkpoint", {"subtask", nullptr, nullptr, nullptr}},
+    {"simple_mode_enter", "mode", {nullptr, nullptr, nullptr, nullptr}},
+    {"simple_mode_exit", "mode", {nullptr, nullptr, nullptr, nullptr}},
+    {"mode_switch_drain", "mode",
+     {"drain_cycles", nullptr, nullptr, nullptr}},
+    {"freq_decision", "dvs",
+     {"fspec_mhz", "frec_mhz", "speculating", "pet_total_s"}},
+    {"freq_change", "dvs", {"from_mhz", "to_mhz", nullptr, nullptr}},
+    {"fetch", "cpu", {"pc", "seq", nullptr, nullptr}},
+    {"retire", "cpu", {"pc", "seq", nullptr, nullptr}},
+    {"squash", "cpu", {"seq", nullptr, nullptr, nullptr}},
+    {"branch_mispredict", "cpu", {"pc", "seq", "taken", nullptr}},
+    {"icache_miss", "mem", {"pc", nullptr, nullptr, nullptr}},
+    {"dcache_miss", "mem", {"addr", "pc", nullptr, nullptr}},
+    {"mshr_occupancy", "mem", {"outstanding", nullptr, nullptr, nullptr}},
+};
+
+/** Perfetto track (tid) per category, in kindTable category order. */
+int
+trackOf(const char *category)
+{
+    constexpr const char *tracks[] = {"task",  "checkpoint", "mode",
+                                      "dvs",   "cpu",        "mem"};
+    for (int i = 0; i < 6; ++i)
+        if (std::string_view(category) == tracks[i])
+            return i;
+    return 0;
+}
+
+/** Print a double as a JSON number (non-finite values become 0). */
+void
+printJsonDouble(std::ostream &os, double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    os << buf;
+}
+
+/** Print one named argument; integers stay integers, d is a double. */
+void
+printArg(std::ostream &os, const char *name, const TraceEvent &e, int slot)
+{
+    os << '"' << name << "\":";
+    if (slot == 3) {
+        printJsonDouble(os, e.d);
+        return;
+    }
+    const std::uint64_t v = slot == 0 ? e.a : slot == 1 ? e.b : e.c;
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    os << buf;
+}
+
+} // anonymous namespace
+
+const EventKindInfo &
+eventKindInfo(EventKind kind)
+{
+    return kindTable[static_cast<int>(kind)];
+}
+
+Tracer::Tracer(std::size_t capacity)
+    : ring_(capacity ? capacity : 1)
+{
+}
+
+std::uint32_t
+Tracer::maskFor(std::string_view category)
+{
+    if (category == "all")
+        return allKinds();
+    std::uint32_t mask = 0;
+    for (int k = 0; k < numEventKinds; ++k)
+        if (category == kindTable[k].category)
+            mask |= 1u << k;
+    return mask;
+}
+
+void
+Tracer::clear()
+{
+    wr_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+}
+
+void
+Tracer::writeJsonl(std::ostream &os) const
+{
+    for (std::size_t i = 0; i < count_; ++i) {
+        const TraceEvent &e = at(i);
+        const EventKindInfo &info = eventKindInfo(e.kind);
+        os << "{\"ev\":\"" << info.name << "\",\"cat\":\""
+           << info.category << "\",\"cycle\":" << e.cycle;
+        for (int slot = 0; slot < 4; ++slot) {
+            if (!info.args[slot])
+                continue;
+            os << ',';
+            printArg(os, info.args[slot], e, slot);
+        }
+        os << "}\n";
+    }
+}
+
+void
+Tracer::writeChromeTrace(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    // Name the per-category tracks.
+    constexpr const char *tracks[] = {"runtime/task", "runtime/checkpoint",
+                                      "mode",         "dvs",
+                                      "cpu",          "mem"};
+    for (int t = 0; t < 6; ++t) {
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+           << t << ",\"args\":{\"name\":\"" << tracks[t] << "\"}}";
+    }
+
+    for (std::size_t i = 0; i < count_; ++i) {
+        const TraceEvent &e = at(i);
+        const EventKindInfo &info = eventKindInfo(e.kind);
+        const int tid = trackOf(info.category);
+
+        // Counter tracks: MSHR occupancy and the DVS clock.
+        if (e.kind == EventKind::MshrOccupancy) {
+            sep();
+            os << "{\"name\":\"mshr_outstanding\",\"ph\":\"C\",\"ts\":"
+               << e.cycle << ",\"pid\":0,\"args\":{\"outstanding\":"
+               << e.a << "}}";
+            continue;
+        }
+        if (e.kind == EventKind::FreqChange) {
+            sep();
+            os << "{\"name\":\"frequency_mhz\",\"ph\":\"C\",\"ts\":"
+               << e.cycle << ",\"pid\":0,\"args\":{\"mhz\":" << e.b
+               << "}}";
+            // fall through to the instant event as well (keeps
+            // from/to visible when inspecting the dvs track)
+        }
+
+        // The simple mode renders as a duration slice.
+        const char *ph = "i";
+        if (e.kind == EventKind::SimpleModeEnter)
+            ph = "B";
+        else if (e.kind == EventKind::SimpleModeExit)
+            ph = "E";
+
+        sep();
+        os << "{\"name\":\"" << info.name << "\",\"cat\":\""
+           << info.category << "\",\"ph\":\"" << ph
+           << "\",\"ts\":" << e.cycle << ",\"pid\":0,\"tid\":" << tid;
+        if (ph[0] == 'i')
+            os << ",\"s\":\"t\"";
+        bool has_args = false;
+        for (int slot = 0; slot < 4; ++slot)
+            if (info.args[slot])
+                has_args = true;
+        if (has_args) {
+            os << ",\"args\":{";
+            bool first_arg = true;
+            for (int slot = 0; slot < 4; ++slot) {
+                if (!info.args[slot])
+                    continue;
+                if (!first_arg)
+                    os << ',';
+                first_arg = false;
+                printArg(os, info.args[slot], e, slot);
+            }
+            os << '}';
+        }
+        os << '}';
+    }
+    os << "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{"
+          "\"clock\":\"cycles\",\"dropped_events\":"
+       << dropped_ << "}}\n";
+}
+
+namespace detail
+{
+thread_local Tracer *tlsTracer = nullptr;
+} // namespace detail
+
+Tracer *
+installTracer(Tracer *tracer)
+{
+    Tracer *prev = detail::tlsTracer;
+    detail::tlsTracer = tracer;
+    return prev;
+}
+
+} // namespace visa

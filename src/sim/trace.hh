@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Structured event tracing: a fixed-capacity ring buffer of typed,
+ * cycle-stamped events, recorded by the pipelines, the memory system,
+ * and the VISA run-time system, with two export formats:
+ *
+ *  - JSONL: one flat JSON object per event, machine-parseable by
+ *    `visa-trace` and byte-stable across runs and VISA_THREADS
+ *    settings (golden-trace tests depend on this);
+ *  - Chrome trace-event JSON, loadable by chrome://tracing and
+ *    Perfetto (instant events per occurrence, counter tracks for MSHR
+ *    occupancy and the clock frequency, duration slices for the VISA
+ *    simple mode).
+ *
+ * Cost model: tracing must be zero-overhead when off. Two gates stack:
+ *
+ *  - compile time: building with -DVISA_TRACING=0 compiles every
+ *    VISA_TRACE site out entirely;
+ *  - run time: a thread-local "current tracer" pointer. No tracer
+ *    installed (the default) costs one TLS load and a predictable
+ *    branch per site; the hot per-instruction loops hoist even that
+ *    into a per-run() local.
+ *
+ * The tracer is installed per *thread*: parallel experiment arms
+ * (sim/parallel.hh) each install their own tracer and observe only
+ * their own rig's events, which is what makes traces deterministic
+ * regardless of how arms are interleaved across workers.
+ */
+
+#ifndef VISA_SIM_TRACE_HH
+#define VISA_SIM_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.hh"
+
+#ifndef VISA_TRACING
+#define VISA_TRACING 1
+#endif
+
+namespace visa
+{
+
+/** Every event type the simulator can emit. */
+enum class EventKind : std::uint8_t
+{
+    // run-time system (category "task")
+    TaskBegin,          ///< a=task, b=fspec MHz, c=frec MHz, d=deadline s
+    TaskEnd,            ///< a=task, b=deadline met, c=missed ckpt, d=secs
+    // run-time system (category "checkpoint")
+    CheckpointArm,      ///< a=#checkpoints, b=first increment (cycles)
+    CheckpointHit,      ///< a=sub-task, b=AET, c=PET, d=slack (cycles)
+    CheckpointMiss,     ///< a=sub-task, b=task index
+    WatchdogFire,       ///< a=sub-task
+    // mode reconfiguration (category "mode")
+    SimpleModeEnter,
+    SimpleModeExit,
+    ModeSwitchDrain,    ///< a=drain cycles
+    // DVS (category "dvs")
+    FreqDecision,       ///< a=fspec, b=frec, c=speculating, d=PET sum s
+    FreqChange,         ///< a=from MHz, b=to MHz
+    // pipelines (category "cpu")
+    Fetch,              ///< a=pc, b=seq
+    Retire,             ///< a=pc, b=seq
+    Squash,             ///< a=seq of the resolving mispredict
+    BranchMispredict,   ///< a=pc, b=seq, c=actually taken
+    // memory system (category "mem")
+    IcacheMiss,         ///< a=pc
+    DcacheMiss,         ///< a=addr, b=pc
+    MshrOccupancy,      ///< a=outstanding misses
+};
+
+inline constexpr int numEventKinds =
+    static_cast<int>(EventKind::MshrOccupancy) + 1;
+
+/** One recorded event. Fixed-size POD; meaning of a/b/c/d per kind. */
+struct TraceEvent
+{
+    EventKind kind{};
+    Cycles cycle = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint64_t c = 0;
+    double d = 0.0;
+};
+
+/** Stable metadata about one event kind (names drive the sinks). */
+struct EventKindInfo
+{
+    const char *name;        ///< snake_case event name
+    const char *category;    ///< "task", "checkpoint", "mode", ...
+    /** JSON field names for a, b, c, d; nullptr = field unused. */
+    const char *args[4];
+};
+
+/** Metadata of @p kind. */
+const EventKindInfo &eventKindInfo(EventKind kind);
+
+/** The ring-buffer event recorder. */
+class Tracer
+{
+  public:
+    /** @param capacity ring size in events; oldest events are dropped
+     *  once it fills (flight-recorder semantics). */
+    explicit Tracer(std::size_t capacity = 1 << 16);
+
+    /**
+     * Bitmask of enabled kinds (bit i = EventKind i). Defaults to
+     * everything. maskFor() builds masks from category names.
+     */
+    void setKindMask(std::uint32_t mask) { mask_ = mask; }
+    std::uint32_t kindMask() const { return mask_; }
+
+    /** Mask bit for one kind. */
+    static constexpr std::uint32_t
+    bit(EventKind k)
+    {
+        return 1u << static_cast<unsigned>(k);
+    }
+
+    /** All kinds enabled. */
+    static constexpr std::uint32_t
+    allKinds()
+    {
+        return (1u << numEventKinds) - 1;
+    }
+
+    /**
+     * Mask covering one category name ("task", "checkpoint", "mode",
+     * "dvs", "cpu", "mem") or "all". @return 0 for unknown names.
+     */
+    static std::uint32_t maskFor(std::string_view category);
+
+    bool wants(EventKind k) const { return (mask_ & bit(k)) != 0; }
+
+    /**
+     * Record one event. @p cycle is the emitter's local cycle count;
+     * the tracer adds its cycle offset so the exported timeline stays
+     * monotonic across task instances (see setCycleOffset).
+     */
+    void
+    record(EventKind k, Cycles cycle, std::uint64_t a = 0,
+           std::uint64_t b = 0, std::uint64_t c = 0, double d = 0.0)
+    {
+        if (!wants(k))
+            return;
+        TraceEvent &e = ring_[wr_];
+        e.kind = k;
+        e.cycle = cycle + cycleOffset_;
+        e.a = a;
+        e.b = b;
+        e.c = c;
+        e.d = d;
+        if (++wr_ == ring_.size())
+            wr_ = 0;
+        if (count_ < ring_.size())
+            ++count_;
+        else
+            ++dropped_;
+    }
+
+    /**
+     * Per-task cycle counters reset to zero each instance; the run-time
+     * system banks the finished instance's cycles here so events from
+     * consecutive tasks land on one monotonic timeline.
+     */
+    void setCycleOffset(Cycles offset) { cycleOffset_ = offset; }
+    Cycles cycleOffset() const { return cycleOffset_; }
+
+    std::size_t capacity() const { return ring_.size(); }
+    std::size_t size() const { return count_; }
+    /** Events lost to ring wraparound. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** The @p i-th retained event in chronological order. */
+    const TraceEvent &
+    at(std::size_t i) const
+    {
+        const std::size_t base = count_ < ring_.size() ? 0 : wr_;
+        std::size_t idx = base + i;
+        if (idx >= ring_.size())
+            idx -= ring_.size();
+        return ring_[idx];
+    }
+
+    /** Drop every recorded event (capacity and mask are kept). */
+    void clear();
+
+    /** One flat JSON object per line; see file comment. */
+    void writeJsonl(std::ostream &os) const;
+
+    /** Chrome trace-event JSON (chrome://tracing / Perfetto). */
+    void writeChromeTrace(std::ostream &os) const;
+
+  private:
+    std::vector<TraceEvent> ring_;
+    std::size_t wr_ = 0;        ///< next write slot
+    std::size_t count_ = 0;     ///< retained events (<= capacity)
+    std::uint64_t dropped_ = 0;
+    std::uint32_t mask_ = allKinds();
+    Cycles cycleOffset_ = 0;
+};
+
+namespace detail
+{
+extern thread_local Tracer *tlsTracer;
+} // namespace detail
+
+/** The calling thread's installed tracer, or nullptr. */
+inline Tracer *
+currentTracer()
+{
+#if VISA_TRACING
+    return detail::tlsTracer;
+#else
+    return nullptr;
+#endif
+}
+
+/**
+ * Install @p tracer as the calling thread's tracer (nullptr disables
+ * tracing). @return the previously installed tracer.
+ */
+Tracer *installTracer(Tracer *tracer);
+
+/** RAII tracer installation for harnesses and tests. */
+class ScopedTracer
+{
+  public:
+    explicit ScopedTracer(Tracer &tracer)
+        : prev_(installTracer(&tracer))
+    {
+    }
+    ~ScopedTracer() { installTracer(prev_); }
+    ScopedTracer(const ScopedTracer &) = delete;
+    ScopedTracer &operator=(const ScopedTracer &) = delete;
+
+  private:
+    Tracer *prev_;
+};
+
+/**
+ * Emit an event if a tracer is installed. Cold call sites use this
+ * directly; per-instruction loops hoist currentTracer() into a local
+ * and call record() themselves.
+ */
+#if VISA_TRACING
+#define VISA_TRACE(kind, cycle, ...)                                        \
+    do {                                                                    \
+        ::visa::Tracer *vt_ = ::visa::currentTracer();                      \
+        if (vt_) [[unlikely]]                                               \
+            vt_->record(kind, cycle, ##__VA_ARGS__);                        \
+    } while (0)
+#else
+#define VISA_TRACE(kind, cycle, ...)                                        \
+    do {                                                                    \
+    } while (0)
+#endif
+
+} // namespace visa
+
+#endif // VISA_SIM_TRACE_HH

@@ -10,12 +10,14 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/concurrency.hh"
 #include "core/runtime.hh"
 #include "sim/parallel.hh"
+#include "sim/trace.hh"
 #include "tests/test_util.hh"
 #include "wcet/analyzer.hh"
 #include "wcet/cfg.hh"
@@ -183,6 +185,58 @@ runArm(const Workload &wl)
         r.complexChecksum = plat.lastChecksum();
     }
     return r;
+}
+
+/** Run one benchmark on the complex pipeline under a tracer and
+ *  return the JSONL dump (the byte-stable trace wire format). */
+std::string
+runTracedArm(const Workload &wl)
+{
+    MainMemory mem;
+    Platform plat;
+    MemController mc;
+    mem.loadProgram(wl.program);
+    OooCpu cpu(wl.program, mem, plat, mc);
+    cpu.resetForTask();
+    Tracer tracer(1 << 22);
+    {
+        ScopedTracer scope(tracer);
+        cpu.run(20'000'000'000ULL);
+    }
+    std::ostringstream os;
+    tracer.writeJsonl(os);
+    return os.str();
+}
+
+TEST(Determinism, TracesAreByteIdenticalAcrossPools)
+{
+    // The tracer is installed per thread, so parallel arms observe only
+    // their own rig's events: a pooled campaign must produce the exact
+    // bytes a serial run produces, whatever VISA_THREADS says.
+    const std::vector<std::string> names = {"cnt", "fir"};
+    std::vector<Workload> wls;
+    for (const auto &n : names)
+        wls.push_back(makeWorkload(n));
+
+    std::vector<std::string> serial(wls.size());
+    for (std::size_t i = 0; i < wls.size(); ++i)
+        serial[i] = runTracedArm(wls[i]);
+
+    const char *old = std::getenv("VISA_THREADS");
+    const std::string saved = old ? old : "";
+    setenv("VISA_THREADS", "4", 1);
+    std::vector<std::string> pooled(wls.size());
+    parallelFor(wls.size(),
+                [&](std::size_t i) { pooled[i] = runTracedArm(wls[i]); });
+    if (old)
+        setenv("VISA_THREADS", saved.c_str(), 1);
+    else
+        unsetenv("VISA_THREADS");
+
+    for (std::size_t i = 0; i < wls.size(); ++i) {
+        EXPECT_FALSE(serial[i].empty()) << names[i];
+        EXPECT_EQ(pooled[i], serial[i]) << names[i];
+    }
 }
 
 TEST(Determinism, PooledCampaignMatchesSerialBitExactly)

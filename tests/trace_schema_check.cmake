@@ -1,0 +1,81 @@
+# End-to-end check of the tracing pipeline, run as a ctest entry (and
+# therefore also under the ASan/UBSan debug preset):
+#
+#   1. visa-sim runs a small VISA campaign with induced mispredictions
+#      at the fig4-style minimum deadline, recording a Chrome trace, a
+#      JSONL trace, and a hierarchical stats JSON;
+#   2. visa-trace --validate schema-checks both trace formats against
+#      the event-kind table;
+#   3. visa-trace summarizes the JSONL trace (slack, margins, residency)
+#      and must exit cleanly.
+#
+# Expects -DVISA_SIM=..., -DVISA_TRACE=..., -DWORK_DIR=...
+
+foreach(var VISA_SIM VISA_TRACE WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "trace_schema_check.cmake: ${var} not set")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(chrome "${WORK_DIR}/trace.json")
+set(jsonl "${WORK_DIR}/trace.jsonl")
+set(stats "${WORK_DIR}/stats.json")
+
+execute_process(
+    COMMAND "${VISA_SIM}" --runtime visa --workload cnt --tasks 60
+            --induce-every 7 --deadline min
+            --trace "${chrome}" --trace-jsonl "${jsonl}"
+            --trace-buffer 4194304 --stats-json "${stats}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "visa-sim failed (rc=${rc}):\n${out}\n${err}")
+endif()
+
+foreach(f "${chrome}" "${jsonl}" "${stats}")
+    if(NOT EXISTS "${f}")
+        message(FATAL_ERROR "visa-sim did not write ${f}")
+    endif()
+endforeach()
+
+# The fig3/fig4-style regime must actually exercise the VISA machinery:
+# checkpoints armed, at least one watchdog recovery, DVS decisions.
+file(READ "${jsonl}" trace_text)
+foreach(ev checkpoint_arm checkpoint_hit checkpoint_miss watchdog_fire
+        simple_mode_enter mode_switch_drain freq_decision freq_change
+        task_begin task_end)
+    if(NOT trace_text MATCHES "\"ev\":\"${ev}\"")
+        message(FATAL_ERROR "trace is missing expected event '${ev}'")
+    endif()
+endforeach()
+
+foreach(f "${chrome}" "${jsonl}")
+    execute_process(
+        COMMAND "${VISA_TRACE}" --validate "${f}"
+        RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "visa-trace --validate ${f} failed (rc=${rc}):\n${out}\n${err}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND "${VISA_TRACE}" "${jsonl}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "visa-trace summary failed (rc=${rc}):\n${err}")
+endif()
+foreach(section "event counts" "checkpoint slack" "frequency residency")
+    if(NOT out MATCHES "${section}")
+        message(FATAL_ERROR
+            "visa-trace summary is missing the '${section}' section:\n${out}")
+    endif()
+endforeach()
+
+# The stats export must be finite (the guards turn 0/0 into 0).
+file(READ "${stats}" stats_text)
+if(stats_text MATCHES "nan" OR stats_text MATCHES "inf")
+    message(FATAL_ERROR "stats JSON contains non-finite values")
+endif()
+
+message(STATUS "trace_schema: all checks passed")

@@ -11,6 +11,12 @@
  * Each benchmark runs N times (default 5) and the report keeps the
  * fastest repetition: on a shared machine the minimum is the best
  * estimator of the code's true cost.
+ *
+ * The report also self-profiles the experiment-campaign phases (WCET
+ * setup, the simple and VISA campaigns, and a traced VISA campaign):
+ * host wall-clock per phase and simulated MIPS, under
+ * "campaign_phases". The traced arm quantifies the cost of turning the
+ * tracer on; the untraced arms track the simulator's raw speed.
  */
 
 #include <chrono>
@@ -66,6 +72,81 @@ measure(const std::string &name, int reps,
     fprintf(stderr, "%-24s %12.2f ns/op %14.0f items/s\n", name.c_str(),
             res.nsPerOp, res.itemsPerSecond);
     return res;
+}
+
+struct Phase
+{
+    std::string name;
+    double wallSeconds = 0.0;
+    std::uint64_t instructions = 0;
+    double simMips = 0.0;    ///< simulated Minsts / host second (0 = n/a)
+};
+
+/** Time one campaign phase; @p body returns instructions simulated. */
+Phase
+profilePhase(const std::string &name,
+             const std::function<std::uint64_t()> &body)
+{
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    const std::uint64_t insts = body();
+    const auto t1 = clock::now();
+    Phase p;
+    p.name = name;
+    p.wallSeconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+            .count();
+    p.instructions = insts;
+    if (insts && p.wallSeconds > 0.0)
+        p.simMips = static_cast<double>(insts) / 1e6 / p.wallSeconds;
+    fprintf(stderr, "%-24s %10.3f s %14llu insts %10.2f MIPS\n",
+            name.c_str(), p.wallSeconds,
+            static_cast<unsigned long long>(p.instructions), p.simMips);
+    return p;
+}
+
+/** One runtime campaign: @p tasks instances, summed retired count. */
+template <typename CpuT, typename RuntimeT>
+std::uint64_t
+runCampaign(const ExperimentSetup &setup, int tasks)
+{
+    const RuntimeConfig cfg = setup.runtimeConfig(setup.tightDeadline);
+    Rig<CpuT> rig(setup.wl.program);
+    RuntimeT rt(*rig.cpu, setup.wl.program, rig.mem, *setup.wcet,
+                setup.dvs, cfg);
+    std::uint64_t insts = 0;
+    for (int t = 0; t < tasks; ++t)
+        insts += rt.runTask().retired;
+    return insts;
+}
+
+std::vector<Phase>
+profileCampaignPhases()
+{
+    constexpr int tasks = 30;
+    std::vector<Phase> phases;
+
+    // cachedSetup's first call pays the WCET analysis, the calibration
+    // runs, and the deadline bisection; later phases reuse the cache,
+    // isolating pure simulation speed.
+    phases.push_back(profilePhase("setup_wcet_analysis", [] {
+        (void)cachedSetup("cnt");
+        return std::uint64_t{0};
+    }));
+
+    const ExperimentSetup &setup = cachedSetup("cnt");
+    phases.push_back(profilePhase("simple_campaign", [&] {
+        return runCampaign<SimpleCpu, SimpleFixedRuntime>(setup, tasks);
+    }));
+    phases.push_back(profilePhase("visa_campaign", [&] {
+        return runCampaign<OooCpu, VisaComplexRuntime>(setup, tasks);
+    }));
+    phases.push_back(profilePhase("visa_campaign_traced", [&] {
+        Tracer tracer(1 << 20);
+        ScopedTracer scope(tracer);
+        return runCampaign<OooCpu, VisaComplexRuntime>(setup, tasks);
+    }));
+    return phases;
 }
 
 } // anonymous namespace
@@ -176,6 +257,8 @@ main(int argc, char **argv)
         return insts;
     }));
 
+    const std::vector<Phase> phases = profileCampaignPhases();
+
     FILE *out = out_path ? fopen(out_path, "w") : stdout;
     if (!out) {
         fprintf(stderr, "cannot open %s\n", out_path);
@@ -189,6 +272,16 @@ main(int argc, char **argv)
                 "\"items_per_second\": %.0f}%s\n",
                 r.name.c_str(), r.nsPerOp, r.itemsPerSecond,
                 i + 1 < results.size() ? "," : "");
+    }
+    fprintf(out, "  ],\n  \"campaign_phases\": [\n");
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        const Phase &p = phases[i];
+        fprintf(out,
+                "    {\"name\": \"%s\", \"wall_s\": %.4f, "
+                "\"instructions\": %llu, \"sim_mips\": %.2f}%s\n",
+                p.name.c_str(), p.wallSeconds,
+                static_cast<unsigned long long>(p.instructions),
+                p.simMips, i + 1 < phases.size() ? "," : "");
     }
     fprintf(out, "  ]\n}\n");
     if (out != stdout)

@@ -1,8 +1,9 @@
 /**
  * @file
- * visa-sim: the command-line driver. Assembles a VPISA source file and
- * runs it on either pipeline, disassembles it, and/or bounds it with
- * the static WCET analyzer.
+ * visa-sim: the command-line driver. Assembles a VPISA source file (or
+ * builds a named C-lab workload) and runs it on either pipeline, under
+ * the VISA run-time system if requested, with structured event tracing
+ * and JSON statistics export.
  *
  *   visa-sim program.s                      run on simple-fixed
  *   visa-sim --cpu complex program.s        run on the OOO pipeline
@@ -11,21 +12,35 @@
  *   visa-sim --wcet program.s               static analysis across DVS
  *   visa-sim --disasm program.s             annotated disassembly
  *   visa-sim --stats program.s              dump simulation statistics
- *   visa-sim --debug Fetch,Watchdog ...     enable trace flags
+ *   visa-sim --workload fft ...             built-in benchmark instead
+ *                                           of a source file
+ *   visa-sim --runtime visa --workload fft --tasks 20
+ *                                           periodic execution under the
+ *                                           VISA run-time system
+ *   visa-sim --trace out.json ...           Chrome/Perfetto event trace
+ *   visa-sim --trace-jsonl out.jsonl ...    flat JSONL event trace
+ *   visa-sim --stats-json stats.json ...    hierarchical JSON stats
+ *   visa-sim --debug help                   list debug/trace flags
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
+#include "bench/bench_util.hh"
+#include "core/runtime.hh"
 #include "cpu/ooo_cpu.hh"
 #include "cpu/simple_cpu.hh"
 #include "isa/assembler.hh"
 #include "isa/disassembler.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 #include "wcet/analyzer.hh"
+#include "workloads/clab.hh"
 
 using namespace visa;
 
@@ -35,12 +50,28 @@ namespace
 void
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: visa-sim [--cpu simple|complex|simple-mode] "
-                 "[--freq MHz]\n"
-                 "                [--wcet] [--disasm] [--stats] "
-                 "[--encodings]\n"
-                 "                [--debug flag,flag] program.s\n");
+    std::fprintf(
+        stderr,
+        "usage: visa-sim [--cpu simple|complex|simple-mode] [--freq MHz]\n"
+        "                [--wcet] [--disasm] [--stats] [--encodings]\n"
+        "                [--workload NAME] [--runtime visa|simple]\n"
+        "                [--tasks N] [--induce-every N]\n"
+        "                [--deadline tight|loose|min|SECONDS]\n"
+        "                [--trace FILE] [--trace-jsonl FILE]\n"
+        "                [--trace-events cat,cat] [--trace-buffer N]\n"
+        "                [--stats-json FILE]\n"
+        "                [--debug help|flag,flag] [program.s]\n");
+}
+
+void
+listDebugFlags(std::FILE *out)
+{
+    std::fprintf(out, "debug flags (--debug flag[,flag...]):\n");
+    for (const auto &f : Debug::knownFlags())
+        std::fprintf(out, "  %-10s %s\n", f.name, f.desc);
+    std::fprintf(out,
+                 "trace event categories (--trace-events cat[,cat...]):\n"
+                 "  all task checkpoint mode dvs cpu mem\n");
 }
 
 std::string
@@ -54,10 +85,22 @@ readFile(const std::string &path)
     return ss.str();
 }
 
-} // anonymous namespace
+/** Open @p path for writing ("-" = stdout) and pass the stream on. */
+template <typename Fn>
+void
+withOutput(const std::string &path, Fn &&fn)
+{
+    if (path == "-") {
+        fn(std::cout);
+        return;
+    }
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write '%s'", path.c_str());
+    fn(out);
+}
 
-int
-main(int argc, char **argv)
+struct Options
 {
     std::string cpu_kind = "simple";
     MHz freq = 1000;
@@ -65,8 +108,23 @@ main(int argc, char **argv)
     bool do_disasm = false;
     bool do_stats = false;
     bool show_encodings = false;
+    std::string workload;
+    std::string runtime;          ///< "", "visa", "simple"
+    int tasks = 20;
+    int induce_every = 0;         ///< flush caches every Nth task
+    std::string deadline = "tight";
+    std::string trace_path;       ///< Chrome trace-event JSON
+    std::string trace_jsonl_path;
+    std::string trace_events;     ///< category filter
+    std::size_t trace_buffer = 1u << 18;
+    std::string stats_json_path;
     std::string path;
+};
 
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -75,51 +133,292 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--cpu") {
-            cpu_kind = next();
+            o.cpu_kind = next();
         } else if (arg == "--freq") {
-            freq = static_cast<MHz>(std::stoul(next()));
+            o.freq = static_cast<MHz>(std::stoul(next()));
         } else if (arg == "--wcet") {
-            do_wcet = true;
+            o.do_wcet = true;
         } else if (arg == "--disasm") {
-            do_disasm = true;
+            o.do_disasm = true;
         } else if (arg == "--stats") {
-            do_stats = true;
+            o.do_stats = true;
         } else if (arg == "--encodings") {
-            show_encodings = true;
+            o.show_encodings = true;
+        } else if (arg == "--workload") {
+            o.workload = next();
+        } else if (arg == "--runtime") {
+            o.runtime = next();
+            if (o.runtime != "visa" && o.runtime != "simple")
+                fatal("--runtime must be 'visa' or 'simple', not '%s'",
+                      o.runtime.c_str());
+        } else if (arg == "--tasks") {
+            o.tasks = std::stoi(next());
+        } else if (arg == "--induce-every") {
+            o.induce_every = std::stoi(next());
+        } else if (arg == "--deadline") {
+            o.deadline = next();
+        } else if (arg == "--trace") {
+            o.trace_path = next();
+        } else if (arg == "--trace-jsonl") {
+            o.trace_jsonl_path = next();
+        } else if (arg == "--trace-events") {
+            o.trace_events = next();
+        } else if (arg == "--trace-buffer") {
+            o.trace_buffer = std::stoul(next());
+        } else if (arg == "--stats-json") {
+            o.stats_json_path = next();
         } else if (arg == "--debug") {
-            std::istringstream flags(next());
+            std::string value = next();
+            if (value == "help" || value == "list") {
+                listDebugFlags(stdout);
+                std::exit(0);
+            }
+            std::istringstream flags(value);
             std::string flag;
-            while (std::getline(flags, flag, ','))
+            while (std::getline(flags, flag, ',')) {
+                if (!Debug::isKnown(flag)) {
+                    listDebugFlags(stderr);
+                    fatal("unknown debug flag '%s' (see the list above)",
+                          flag.c_str());
+                }
                 Debug::enable(flag);
+            }
         } else if (arg == "--help" || arg == "-h") {
             usage();
-            return 0;
+            std::exit(0);
         } else if (!arg.empty() && arg[0] == '-') {
             usage();
             fatal("unknown option '%s'", arg.c_str());
         } else {
-            path = arg;
+            o.path = arg;
         }
     }
-    if (path.empty()) {
-        usage();
-        return 2;
+    return o;
+}
+
+/** Build the tracer requested on the command line, or nullptr. */
+std::unique_ptr<Tracer>
+makeTracer(const Options &o)
+{
+    if (o.trace_path.empty() && o.trace_jsonl_path.empty())
+        return nullptr;
+    auto tracer = std::make_unique<Tracer>(o.trace_buffer);
+    if (!o.trace_events.empty()) {
+        std::uint32_t mask = 0;
+        std::istringstream cats(o.trace_events);
+        std::string cat;
+        while (std::getline(cats, cat, ',')) {
+            std::uint32_t m = Tracer::maskFor(cat);
+            if (m == 0)
+                fatal("unknown trace event category '%s' (categories: "
+                      "all task checkpoint mode dvs cpu mem)",
+                      cat.c_str());
+            mask |= m;
+        }
+        tracer->setKindMask(mask);
+    }
+    return tracer;
+}
+
+void
+writeTraceOutputs(const Options &o, const Tracer &tracer)
+{
+    if (!o.trace_jsonl_path.empty())
+        withOutput(o.trace_jsonl_path,
+                   [&](std::ostream &os) { tracer.writeJsonl(os); });
+    if (!o.trace_path.empty())
+        withOutput(o.trace_path,
+                   [&](std::ostream &os) { tracer.writeChromeTrace(os); });
+    if (tracer.dropped())
+        warn("trace ring overflowed: %llu events dropped (raise "
+             "--trace-buffer)",
+             static_cast<unsigned long long>(tracer.dropped()));
+}
+
+/** Periodic execution under the VISA run-time system (fig3/fig4 style). */
+int
+runUnderRuntime(const Options &o)
+{
+    if (o.workload.empty())
+        fatal("--runtime requires --workload (the run-time system needs "
+              "the WCET analysis of a known benchmark)");
+
+    const bench::ExperimentSetup &setup = bench::cachedSetup(o.workload);
+    double deadline;
+    if (o.deadline == "tight")
+        deadline = setup.tightDeadline;
+    else if (o.deadline == "loose")
+        deadline = setup.looseDeadline;
+    else if (o.deadline == "min")
+        // Near-zero residual slack (the Fig. 4 regime): induced
+        // cache/predictor flushes actually miss checkpoints here.
+        deadline = 1.02 * setup.minDeadline;
+    else
+        deadline = std::stod(o.deadline);
+    RuntimeConfig cfg = setup.runtimeConfig(deadline);
+
+    std::unique_ptr<Tracer> tracer = makeTracer(o);
+    std::unique_ptr<ScopedTracer> scope;
+    if (tracer)
+        scope = std::make_unique<ScopedTracer>(*tracer);
+
+    int misses = 0, deadline_misses = 0, bad_checksums = 0;
+    std::string stats_text, stats_json;
+
+    // The stats formulas capture the rig and runtime, so the set must
+    // be rendered before they go out of scope.
+    auto campaign = [&](auto &rig, DvsRuntime &rt) {
+        for (int t = 0; t < o.tasks; ++t) {
+            bool induce =
+                o.induce_every > 0 && t > 0 && t % o.induce_every == 0;
+            TaskStats ts = rt.runTask(induce);
+            if (ts.missedCheckpoint)
+                ++misses;
+            if (!ts.deadlineMet)
+                ++deadline_misses;
+            if (ts.checksumReported &&
+                ts.checksum != setup.wl.expectedChecksum)
+                ++bad_checksums;
+        }
+        StatSet stats;
+        rig.cpu->buildStats(stats);
+        rt.buildStats(stats);
+        std::ostringstream text, json;
+        stats.dump(text);
+        stats.dumpJson(json);
+        stats_text = text.str();
+        stats_json = json.str();
+    };
+
+    if (o.runtime == "visa") {
+        bench::Rig<OooCpu> rig(setup.wl.program);
+        VisaComplexRuntime rt(*rig.cpu, setup.wl.program, rig.mem,
+                              *setup.wcet, setup.dvs, cfg);
+        campaign(rig, rt);
+    } else {
+        bench::Rig<SimpleCpu> rig(setup.wl.program);
+        SimpleFixedRuntime rt(*rig.cpu, setup.wl.program, rig.mem,
+                              *setup.wcet, setup.dvs, cfg);
+        campaign(rig, rt);
     }
 
-    try {
-        Program prog = assemble(readFile(path));
-        std::printf("assembled %zu instructions (%zu sub-task markers, "
-                    "%zu loop bounds)\n",
-                    prog.size(), prog.subtaskStarts.size(),
-                    prog.loopBounds.size());
+    std::printf("ran %d tasks of '%s' under the %s runtime "
+                "(deadline %.3g us): %d checkpoint misses, "
+                "%d deadline misses, %d bad checksums\n",
+                o.tasks, o.workload.c_str(), o.runtime.c_str(),
+                deadline * 1e6, misses, deadline_misses, bad_checksums);
 
-        if (do_disasm) {
+    if (o.do_stats)
+        std::fputs(stats_text.c_str(), stdout);
+    if (!o.stats_json_path.empty())
+        withOutput(o.stats_json_path,
+                   [&](std::ostream &os) { os << stats_json; });
+    if (tracer) {
+        scope.reset();    // uninstall before writing
+        writeTraceOutputs(o, *tracer);
+    }
+    return deadline_misses == 0 && bad_checksums == 0 ? 0 : 1;
+}
+
+/** Single free run of one program on one pipeline (the classic mode). */
+int
+runOnce(const Options &o, const Program &prog)
+{
+    MainMemory mem;
+    Platform platform;
+    MemController memctrl;
+    mem.loadProgram(prog);
+    std::unique_ptr<Cpu> cpu;
+    if (o.cpu_kind == "simple") {
+        cpu = std::make_unique<SimpleCpu>(prog, mem, platform, memctrl);
+    } else if (o.cpu_kind == "complex" || o.cpu_kind == "simple-mode") {
+        auto ooo = std::make_unique<OooCpu>(prog, mem, platform, memctrl);
+        if (o.cpu_kind == "simple-mode")
+            ooo->switchToSimple();
+        cpu = std::move(ooo);
+    } else {
+        fatal("unknown --cpu '%s'", o.cpu_kind.c_str());
+    }
+    cpu->resetForTask();
+    cpu->setFrequency(o.freq);
+
+    std::unique_ptr<Tracer> tracer = makeTracer(o);
+    RunResult res;
+    {
+        std::unique_ptr<ScopedTracer> scope;
+        if (tracer)
+            scope = std::make_unique<ScopedTracer>(*tracer);
+        res = cpu->run(20'000'000'000ULL);
+    }
+    if (res.reason != StopReason::Halted)
+        fatal("program did not halt (budget/watchdog)");
+
+    std::printf("\nran on %s @ %u MHz: %llu cycles, %llu "
+                "instructions (IPC %.2f, %.2f us)\n",
+                o.cpu_kind.c_str(), o.freq,
+                static_cast<unsigned long long>(cpu->cycles()),
+                static_cast<unsigned long long>(cpu->retired()),
+                static_cast<double>(cpu->retired()) /
+                    static_cast<double>(cpu->cycles()),
+                static_cast<double>(cpu->cycles()) / o.freq);
+    if (platform.checksumReported())
+        std::printf("checksum: 0x%x\n", platform.lastChecksum());
+    if (!platform.consoleOutput().empty())
+        std::printf("console: %s\n", platform.consoleOutput().c_str());
+    if (o.do_stats) {
+        std::printf("\n");
+        std::ostringstream os;
+        cpu->dumpStats(os);
+        std::fputs(os.str().c_str(), stdout);
+    }
+    if (!o.stats_json_path.empty())
+        withOutput(o.stats_json_path,
+                   [&](std::ostream &os) { cpu->dumpStatsJson(os); });
+    if (tracer)
+        writeTraceOutputs(o, *tracer);
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Options o = parseArgs(argc, argv);
+        if (o.path.empty() && o.workload.empty()) {
+            usage();
+            return 2;
+        }
+        if (!o.path.empty() && !o.workload.empty())
+            fatal("give either a source file or --workload, not both");
+
+        if (!o.runtime.empty())
+            return runUnderRuntime(o);
+
+        Program prog;
+        if (!o.workload.empty()) {
+            Workload wl = makeWorkload(o.workload);
+            prog = std::move(wl.program);
+            std::printf("workload '%s': %zu instructions "
+                        "(%zu sub-task markers)\n",
+                        o.workload.c_str(), prog.size(),
+                        prog.subtaskStarts.size());
+        } else {
+            prog = assemble(readFile(o.path));
+            std::printf("assembled %zu instructions (%zu sub-task "
+                        "markers, %zu loop bounds)\n",
+                        prog.size(), prog.subtaskStarts.size(),
+                        prog.loopBounds.size());
+        }
+
+        if (o.do_disasm) {
             DisasmOptions opts;
-            opts.showEncodings = show_encodings;
+            opts.showEncodings = o.show_encodings;
             std::fputs(disassembleProgram(prog, opts).c_str(), stdout);
         }
 
-        if (do_wcet) {
+        if (o.do_wcet) {
             WcetAnalyzer analyzer(prog);
             DMissProfile dmiss = profileDataMisses(prog);
             std::printf("\nstatic WCET (trace-padded D-cache):\n");
@@ -132,51 +431,9 @@ main(int argc, char **argv)
             }
         }
 
-        MainMemory mem;
-        Platform platform;
-        MemController memctrl;
-        mem.loadProgram(prog);
-        std::unique_ptr<Cpu> cpu;
-        if (cpu_kind == "simple") {
-            cpu = std::make_unique<SimpleCpu>(prog, mem, platform,
-                                              memctrl);
-        } else if (cpu_kind == "complex" || cpu_kind == "simple-mode") {
-            auto ooo = std::make_unique<OooCpu>(prog, mem, platform,
-                                                memctrl);
-            if (cpu_kind == "simple-mode")
-                ooo->switchToSimple();
-            cpu = std::move(ooo);
-        } else {
-            fatal("unknown --cpu '%s'", cpu_kind.c_str());
-        }
-        cpu->resetForTask();
-        cpu->setFrequency(freq);
-        RunResult res = cpu->run(20'000'000'000ULL);
-        if (res.reason != StopReason::Halted)
-            fatal("program did not halt (budget/watchdog)");
-
-        std::printf("\nran on %s @ %u MHz: %llu cycles, %llu "
-                    "instructions (IPC %.2f, %.2f us)\n",
-                    cpu_kind.c_str(), freq,
-                    static_cast<unsigned long long>(cpu->cycles()),
-                    static_cast<unsigned long long>(cpu->retired()),
-                    static_cast<double>(cpu->retired()) /
-                        static_cast<double>(cpu->cycles()),
-                    static_cast<double>(cpu->cycles()) / freq);
-        if (platform.checksumReported())
-            std::printf("checksum: 0x%x\n", platform.lastChecksum());
-        if (!platform.consoleOutput().empty())
-            std::printf("console: %s\n",
-                        platform.consoleOutput().c_str());
-        if (do_stats) {
-            std::printf("\n");
-            std::ostringstream os;
-            cpu->dumpStats(os);
-            std::fputs(os.str().c_str(), stdout);
-        }
+        return runOnce(o, prog);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
-    return 0;
 }

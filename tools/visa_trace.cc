@@ -1,0 +1,583 @@
+/**
+ * @file
+ * visa-trace: reads a trace produced by `visa-sim --trace-jsonl` (flat
+ * JSONL) or `visa-sim --trace` (Chrome trace-event JSON) and reports
+ *
+ *  - event counts per kind,
+ *  - per-sub-task checkpoint slack (PET - AET detection margin),
+ *  - a checkpoint-margin histogram (power-of-two buckets),
+ *  - frequency residency (cycles spent at each operating point),
+ *
+ * or, with --validate, checks the file against the trace schema (known
+ * event names, matching categories, required fields, numeric argument
+ * types) and exits non-zero on the first violation. The schema is the
+ * kind table in sim/trace.cc — the validator and the emitter cannot
+ * drift apart because both link the same table.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+using namespace visa;
+
+namespace
+{
+
+// ---- a minimal recursive-descent JSON parser ----
+//
+// The traces are machine-written by this repository, so the parser
+// favors smallness over diagnostics; it still rejects malformed input
+// (validate mode depends on that).
+
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : object)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    /** Parse one complete value; fatal on malformed input. */
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing garbage after JSON value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what) const
+    {
+        fatal("JSON parse error at offset %zu: %s", pos_, what);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't': case 'f': return parseBool();
+          case 'n': return parseNull();
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::Object;
+        expect('{');
+        if (consume('}'))
+            return v;
+        do {
+            JsonValue key = parseString();
+            expect(':');
+            v.object.emplace_back(std::move(key.string), parseValue());
+        } while (consume(','));
+        expect('}');
+        return v;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::Array;
+        expect('[');
+        if (consume(']'))
+            return v;
+        do {
+            v.array.push_back(parseValue());
+        } while (consume(','));
+        expect(']');
+        return v;
+    }
+
+    JsonValue
+    parseString()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::String;
+        expect('"');
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fail("unterminated escape");
+                char e = text_[pos_++];
+                switch (e) {
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  case 'r': c = '\r'; break;
+                  case '"': case '\\': case '/': c = e; break;
+                  default: fail("unsupported escape");
+                }
+            }
+            v.string.push_back(c);
+        }
+        expect('"');
+        return v;
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::Bool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            v.boolean = true;
+            pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+            v.boolean = false;
+            pos_ += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    JsonValue
+    parseNull()
+    {
+        if (text_.compare(pos_, 4, "null") != 0)
+            fail("bad literal");
+        pos_ += 4;
+        JsonValue v;
+        return v;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                std::strchr("+-.eE", text_[pos_])))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a number");
+        JsonValue v;
+        v.type = JsonValue::Type::Number;
+        v.number = std::stod(std::string(text_.substr(start,
+                                                      pos_ - start)));
+        return v;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+// ---- schema ----
+
+const EventKindInfo *
+lookupKind(const std::string &name, EventKind *kind_out)
+{
+    for (int k = 0; k < numEventKinds; ++k) {
+        const EventKindInfo &info =
+            eventKindInfo(static_cast<EventKind>(k));
+        if (name == info.name) {
+            if (kind_out)
+                *kind_out = static_cast<EventKind>(k);
+            return &info;
+        }
+    }
+    return nullptr;
+}
+
+int schemaErrors = 0;
+
+void
+schemaError(std::size_t where, const char *fmt, const std::string &arg)
+{
+    std::fprintf(stderr, "schema: event %zu: ", where);
+    std::fprintf(stderr, fmt, arg.c_str());
+    std::fputc('\n', stderr);
+    ++schemaErrors;
+}
+
+/** One decoded event, normalized across the two input formats. */
+struct DecodedEvent
+{
+    EventKind kind{};
+    double cycle = 0.0;
+    std::map<std::string, double> args;
+};
+
+/**
+ * Validate one flat event object (JSONL line or Chrome "args"-carrying
+ * instant event) against the kind table; append to @p out on success.
+ */
+void
+decodeEvent(std::size_t index, const std::string &name,
+            const std::string &cat, double cycle, const JsonValue *args,
+            std::vector<DecodedEvent> &out)
+{
+    EventKind kind;
+    const EventKindInfo *info = lookupKind(name, &kind);
+    if (!info) {
+        schemaError(index, "unknown event name '%s'", name);
+        return;
+    }
+    if (!cat.empty() && cat != info->category) {
+        schemaError(index, "category mismatch for '%s'",
+                    name + "' (got '" + cat);
+        return;
+    }
+    DecodedEvent ev;
+    ev.kind = kind;
+    ev.cycle = cycle;
+    for (int slot = 0; slot < 4; ++slot) {
+        if (!info->args[slot])
+            continue;
+        if (!args) {
+            schemaError(index, "missing args object for '%s'", name);
+            return;
+        }
+        const JsonValue *v = args->find(info->args[slot]);
+        if (!v || v->type != JsonValue::Type::Number) {
+            schemaError(index, "missing/non-numeric argument '%s'",
+                        std::string(info->args[slot]));
+            return;
+        }
+        ev.args[info->args[slot]] = v->number;
+    }
+    out.push_back(std::move(ev));
+}
+
+std::vector<DecodedEvent>
+loadJsonl(const std::string &text)
+{
+    std::vector<DecodedEvent> events;
+    std::istringstream in(text);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        JsonValue v = JsonParser(line).parse();
+        if (v.type != JsonValue::Type::Object) {
+            schemaError(lineno, "line is not a JSON object%s", "");
+            continue;
+        }
+        const JsonValue *ev = v.find("ev");
+        const JsonValue *cat = v.find("cat");
+        const JsonValue *cycle = v.find("cycle");
+        if (!ev || ev->type != JsonValue::Type::String || !cat ||
+            cat->type != JsonValue::Type::String || !cycle ||
+            cycle->type != JsonValue::Type::Number) {
+            schemaError(lineno, "missing ev/cat/cycle fields%s", "");
+            continue;
+        }
+        // JSONL carries the arguments inline; the decoder looks them
+        // up in the same object.
+        decodeEvent(lineno, ev->string, cat->string, cycle->number, &v,
+                    events);
+    }
+    return events;
+}
+
+std::vector<DecodedEvent>
+loadChrome(const std::string &text)
+{
+    std::vector<DecodedEvent> events;
+    JsonValue root = JsonParser(text).parse();
+    const JsonValue *list = root.find("traceEvents");
+    if (!list || list->type != JsonValue::Type::Array)
+        fatal("Chrome trace has no traceEvents array");
+    std::size_t index = 0;
+    for (const JsonValue &e : list->array) {
+        ++index;
+        if (e.type != JsonValue::Type::Object) {
+            schemaError(index, "traceEvents entry is not an object%s",
+                        "");
+            continue;
+        }
+        const JsonValue *ph = e.find("ph");
+        const JsonValue *name = e.find("name");
+        if (!ph || ph->type != JsonValue::Type::String || !name ||
+            name->type != JsonValue::Type::String) {
+            schemaError(index, "entry lacks ph/name%s", "");
+            continue;
+        }
+        // Metadata and counter tracks carry no schema'd payload.
+        if (ph->string == "M" || ph->string == "C")
+            continue;
+        if (ph->string != "i" && ph->string != "B" &&
+            ph->string != "E") {
+            schemaError(index, "unexpected phase '%s'", ph->string);
+            continue;
+        }
+        const JsonValue *ts = e.find("ts");
+        if (!ts || ts->type != JsonValue::Type::Number) {
+            schemaError(index, "entry lacks a numeric ts%s", "");
+            continue;
+        }
+        const JsonValue *cat = e.find("cat");
+        decodeEvent(index, name->string,
+                    cat && cat->type == JsonValue::Type::String
+                        ? cat->string
+                        : "",
+                    ts->number, e.find("args"), events);
+    }
+    return events;
+}
+
+// ---- reports ----
+
+void
+reportCounts(const std::vector<DecodedEvent> &events)
+{
+    std::map<std::string, std::size_t> counts;
+    for (const DecodedEvent &e : events)
+        ++counts[eventKindInfo(e.kind).name];
+    std::printf("event counts (%zu total):\n", events.size());
+    for (const auto &[name, n] : counts)
+        std::printf("  %-20s %zu\n", name.c_str(), n);
+}
+
+void
+reportSlack(const std::vector<DecodedEvent> &events)
+{
+    struct Agg
+    {
+        std::size_t n = 0;
+        double sum = 0.0, min = 0.0, max = 0.0;
+    };
+    std::map<int, Agg> per_subtask;
+    for (const DecodedEvent &e : events) {
+        if (e.kind != EventKind::CheckpointHit)
+            continue;
+        double slack = e.args.at("slack_cycles");
+        Agg &a = per_subtask[static_cast<int>(e.args.at("subtask"))];
+        if (a.n == 0) {
+            a.min = a.max = slack;
+        } else {
+            a.min = std::min(a.min, slack);
+            a.max = std::max(a.max, slack);
+        }
+        ++a.n;
+        a.sum += slack;
+    }
+    if (per_subtask.empty()) {
+        std::printf("\nno checkpoint_hit events (watchdog not armed, or "
+                    "the 'checkpoint' category was filtered out)\n");
+        return;
+    }
+    std::printf("\nper-sub-task checkpoint slack (PET - AET, cycles):\n");
+    std::printf("  %-8s %8s %12s %12s %12s\n", "subtask", "hits", "min",
+                "mean", "max");
+    for (const auto &[sub, a] : per_subtask)
+        std::printf("  %-8d %8zu %12.0f %12.1f %12.0f\n", sub, a.n,
+                    a.min, a.sum / static_cast<double>(a.n), a.max);
+}
+
+void
+reportMarginHistogram(const std::vector<DecodedEvent> &events)
+{
+    // Power-of-two buckets keep the histogram readable across the wide
+    // dynamic range slack can span.
+    std::map<int, std::size_t> hist;
+    std::size_t total = 0;
+    for (const DecodedEvent &e : events) {
+        if (e.kind != EventKind::CheckpointHit)
+            continue;
+        double slack = e.args.at("slack_cycles");
+        int bucket = 0;
+        while (slack >= (1u << bucket) && bucket < 31)
+            ++bucket;
+        ++hist[bucket];
+        ++total;
+    }
+    if (!total)
+        return;
+    std::printf("\ncheckpoint-margin histogram:\n");
+    for (const auto &[bucket, n] : hist) {
+        unsigned lo = bucket ? 1u << (bucket - 1) : 0;
+        std::printf("  [%10u, %10u) %8zu  %5.1f%%\n", lo, 1u << bucket,
+                    n, 100.0 * static_cast<double>(n) /
+                           static_cast<double>(total));
+    }
+}
+
+void
+reportFrequencyResidency(const std::vector<DecodedEvent> &events)
+{
+    // Integrate cycles between successive freq_change events; the tail
+    // (after the last change) runs to the last event in the trace.
+    std::map<unsigned, double> cycles_at;
+    double last_cycle = 0.0;
+    unsigned current = 0;
+    bool have_freq = false;
+    double end_cycle = 0.0;
+    for (const DecodedEvent &e : events)
+        end_cycle = std::max(end_cycle, e.cycle);
+    for (const DecodedEvent &e : events) {
+        if (e.kind != EventKind::FreqChange)
+            continue;
+        if (have_freq)
+            cycles_at[current] += e.cycle - last_cycle;
+        current = static_cast<unsigned>(e.args.at("to_mhz"));
+        last_cycle = e.cycle;
+        have_freq = true;
+    }
+    if (!have_freq) {
+        std::printf("\nno freq_change events (single-frequency run, or "
+                    "the 'dvs' category was filtered out)\n");
+        return;
+    }
+    cycles_at[current] += end_cycle - last_cycle;
+    double total = 0.0;
+    for (const auto &[f, c] : cycles_at)
+        total += c;
+    std::printf("\nfrequency residency (cycles on the trace timeline):\n");
+    for (const auto &[f, c] : cycles_at)
+        std::printf("  %4u MHz %14.0f  %5.1f%%\n", f, c,
+                    total > 0 ? 100.0 * c / total : 0.0);
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: visa-trace [--validate] trace.{json,jsonl}\n"
+                 "  reads a visa-sim event trace (JSONL or Chrome "
+                 "trace-event JSON)\n"
+                 "  --validate  schema-check only; exit non-zero on any "
+                 "violation\n");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bool validate_only = false;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--validate")
+            validate_only = true;
+        else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            return 2;
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty()) {
+        usage();
+        return 2;
+    }
+
+    try {
+        std::ifstream in(path);
+        if (!in)
+            fatal("cannot open '%s'", path.c_str());
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        std::string text = ss.str();
+
+        // Chrome traces are one big object; JSONL starts with a
+        // one-line object. Sniff for the traceEvents key.
+        bool chrome =
+            text.find("\"traceEvents\"") != std::string::npos &&
+            text.find("\"traceEvents\"") < 64;
+        std::vector<DecodedEvent> events =
+            chrome ? loadChrome(text) : loadJsonl(text);
+
+        if (schemaErrors) {
+            std::fprintf(stderr, "%d schema violation(s) in '%s'\n",
+                         schemaErrors, path.c_str());
+            return 1;
+        }
+        if (validate_only) {
+            std::printf("OK: %zu events, schema clean (%s format)\n",
+                        events.size(), chrome ? "chrome" : "jsonl");
+            return 0;
+        }
+
+        std::printf("%s: %s format\n", path.c_str(),
+                    chrome ? "chrome trace-event" : "jsonl");
+        reportCounts(events);
+        reportSlack(events);
+        reportMarginHistogram(events);
+        reportFrequencyResidency(events);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
