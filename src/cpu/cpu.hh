@@ -44,6 +44,25 @@ struct ArchState
     }
 };
 
+/**
+ * Observer of the architectural (program-order) execution stream.
+ *
+ * Both pipelines funnel every instruction through ExecCore::step in
+ * program order — the in-order pipeline at commit, the complex
+ * pipeline at dispatch — so an observer sees the exact retire-order
+ * architectural history of either machine. The differential
+ * verification harness (src/verify) records this stream on two rigs
+ * and diffs them instruction by instruction.
+ */
+class ExecObserver
+{
+  public:
+    virtual ~ExecObserver() = default;
+    /** One instruction executed; @p post is the state *after* it. */
+    virtual void onStep(const struct ExecInfo &info,
+                        const struct ArchState &post) = 0;
+};
+
 /** Everything a pipeline needs to know about one executed instruction. */
 struct ExecInfo
 {
@@ -102,6 +121,14 @@ class ExecCore
     /** Perform the deferred MMIO access of @p info. */
     void performMmio(const ExecInfo &info);
 
+    /**
+     * Install @p obs to watch every executed instruction (nullptr
+     * detaches). Costs one predictable branch per step() when absent;
+     * only the verification harness installs one.
+     */
+    void setObserver(ExecObserver *obs) { obs_ = obs; }
+    ExecObserver *observer() const { return obs_; }
+
     ArchState &state() { return state_; }
     const ArchState &state() const { return state_; }
     const Program &program() const { return prog_; }
@@ -130,6 +157,7 @@ class ExecCore
     Addr textBase_;
     Addr textBytes_;
     ArchState state_;
+    ExecObserver *obs_ = nullptr;
 };
 
 inline ExecInfo
@@ -238,6 +266,8 @@ ExecCore::step(bool defer_mmio)
     }
 
     state_.pc = info.nextPc;
+    if (obs_) [[unlikely]]
+        obs_->onStep(info, state_);
     return info;
 }
 
@@ -317,6 +347,7 @@ class Cpu
     const PowerActivity &activity() const { return activity_; }
 
     ArchState &arch() { return core_.state(); }
+    ExecCore &execCore() { return core_; }
     Cache &icache() { return icache_; }
     Cache &dcache() { return dcache_; }
     Platform &platform() { return platform_; }

@@ -82,6 +82,21 @@ OooCpu::advanceIdle(Cycles n)
     syncActivityCycles();
 }
 
+void
+OooCpu::applyLoadExtBug(const ExecInfo &info)
+{
+    const Instruction &inst = info.inst;
+    if (!info.isLoad || info.isMmio)
+        return;
+    if (inst.op != Opcode::LB && inst.op != Opcode::LH)
+        return;
+    // Re-write the destination with the zero-extended raw value,
+    // clobbering the correct sign extension ExecCore::step produced.
+    const Word raw =
+        static_cast<Word>(mem_.read(info.effAddr, inst.memBytes()));
+    core_.state().writeInt(inst.rd, raw);
+}
+
 bool
 OooCpu::olderStoresIssued(const RobEntry &load) const
 {
@@ -150,6 +165,8 @@ OooCpu::fetchStage()
         // Functional execution happens here (oracle); MMIO devices are
         // accessed immediately, in program order.
         ExecInfo info = core_.step(false);
+        if (injectLoadExtBug_) [[unlikely]]
+            applyLoadExtBug(info);
         FetchEntry fe;
         fe.info = info;
         fe.seq = seqCounter_++;

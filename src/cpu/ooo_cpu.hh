@@ -88,6 +88,16 @@ class OooCpu final : public Cpu
     std::uint64_t branchMispredicts() const { return mispredicts_; }
     const OooParams &params() const { return params_; }
 
+    /**
+     * Hidden verification hook (tests and `visa-fuzz --inject-bug`
+     * only): when enabled, the complex engine zero- instead of
+     * sign-extends LB/LH results — a classic sub-word datapath bug.
+     * The differential harness must detect it, which validates that
+     * the lockstep checker would catch a real divergence of this
+     * class. Never enabled in production paths.
+     */
+    void testInjectLoadExtBug(bool on) { injectLoadExtBug_ = on; }
+
     void buildStats(StatSet &set) const override;
 
   protected:
@@ -134,6 +144,9 @@ class OooCpu final : public Cpu
     bool olderStoresIssued(const RobEntry &load) const;
     bool overlapsOlderStore(const RobEntry &load) const;
     int outstandingLoadMisses();
+
+    /** Corrupt a sub-word load per the injected bug (cold path). */
+    void applyLoadExtBug(const ExecInfo &info);
 
     // ROB sequence numbers are contiguous (dispatch appends, retire pops
     // the front), so seq lookup is an O(1) index off the oldest entry.
@@ -226,6 +239,8 @@ class OooCpu final : public Cpu
     std::vector<Cycles> missFillTimes_;
 
     std::uint64_t mispredicts_ = 0;
+    /** See testInjectLoadExtBug. */
+    bool injectLoadExtBug_ = false;
 
     /**
      * The thread's tracer, hoisted once per run() call so the per-cycle

@@ -115,6 +115,24 @@ MainMemory::writeBytes(Addr addr, const void *src, std::size_t n)
     }
 }
 
+std::vector<Addr>
+MainMemory::pageBases() const
+{
+    std::vector<Addr> bases;
+    bases.reserve(pages_.size());
+    for (const auto &kv : pages_)
+        bases.push_back(kv.first << pageBits);
+    std::sort(bases.begin(), bases.end());
+    return bases;
+}
+
+const std::uint8_t *
+MainMemory::peekPage(Addr addr) const
+{
+    auto it = pages_.find(addr >> pageBits);
+    return it == pages_.end() ? nullptr : it->second->data();
+}
+
 void
 MainMemory::loadProgram(const Program &prog)
 {

@@ -20,6 +20,7 @@
 #include <cstring>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "isa/program.hh"
 #include "sim/types.hh"
@@ -96,6 +97,24 @@ class MainMemory
      * first accesses already hit the page cache.
      */
     void loadProgram(const Program &prog);
+
+    /** Page size of the flat-page table, bytes. */
+    static constexpr Addr pageBytes() { return pageSize; }
+
+    /**
+     * Base addresses of every materialized (dirty) page, ascending.
+     * Pages are created by writes and by loadProgram, so this is the
+     * set the differential checker must diff; untouched pages read as
+     * zero on both rigs by construction.
+     */
+    std::vector<Addr> pageBases() const;
+
+    /**
+     * @return the raw bytes of the materialized page containing
+     * @p addr (pageBytes() of them), or nullptr if the page is absent
+     * (i.e. reads as zeros). Does not materialize the page.
+     */
+    const std::uint8_t *peekPage(Addr addr) const;
 
     /** Drop all contents. */
     void

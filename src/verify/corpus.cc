@@ -1,0 +1,99 @@
+#include "verify/corpus.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace visa::verify
+{
+
+namespace
+{
+
+/** "key: value" from a "# key: value" header line, if it is one. */
+bool
+headerField(const std::string &line, std::string &key, std::string &value)
+{
+    if (line.rfind("# ", 0) != 0)
+        return false;
+    std::size_t colon = line.find(": ");
+    if (colon == std::string::npos)
+        return false;
+    key = line.substr(2, colon - 2);
+    value = line.substr(colon + 2);
+    return true;
+}
+
+} // namespace
+
+std::string
+formatRepro(const ReproCase &r)
+{
+    std::string out = "# visa-fuzz repro\n";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "# seed: %llu\n",
+                  static_cast<unsigned long long>(r.seed));
+    out += buf;
+    out += "# profile: " + r.profile + "\n";
+    if (!r.note.empty())
+        out += "# note: " + r.note + "\n";
+    out += r.source;
+    if (!r.source.empty() && r.source.back() != '\n')
+        out += '\n';
+    return out;
+}
+
+ReproCase
+parseRepro(const std::string &text)
+{
+    ReproCase r;
+    std::istringstream in(text);
+    std::string line;
+    std::string body;
+    bool inHeader = true;
+    while (std::getline(in, line)) {
+        if (inHeader && line.rfind("# visa-fuzz", 0) == 0)
+            continue;    // the format marker line
+        std::string key, value;
+        if (inHeader && headerField(line, key, value)) {
+            if (key == "seed")
+                r.seed = std::strtoull(value.c_str(), nullptr, 0);
+            else if (key == "profile")
+                r.profile = value;
+            else if (key == "note")
+                r.note = value;
+            // "visa-fuzz repro" (and unknown keys) are just skipped.
+            continue;
+        }
+        inHeader = false;
+        body += line;
+        body += '\n';
+    }
+    r.source = body;
+    return r;
+}
+
+bool
+saveRepro(const std::string &path, const ReproCase &r)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << formatRepro(r);
+    return static_cast<bool>(out);
+}
+
+ReproCase
+loadRepro(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("corpus: cannot read '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parseRepro(ss.str());
+}
+
+} // namespace visa::verify

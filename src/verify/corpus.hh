@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Repro-file format for fuzzer findings (the .s files under
+ * tests/corpus/). A repro
+ * file is a *directly assemblable* VPISA source whose header is a
+ * block of `#` comment lines carrying metadata:
+ *
+ *     # visa-fuzz repro
+ *     # seed: 12345
+ *     # profile: mixed
+ *     # note: final r5 mismatch (candidate zero-extended lb)
+ *     <assembly...>
+ *
+ * The assembler ignores comments, so the same file feeds both the
+ * regression-replay tests (assemble + runLockstep) and a human reading
+ * the divergence story.
+ */
+
+#ifndef VISA_VERIFY_CORPUS_HH
+#define VISA_VERIFY_CORPUS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace visa::verify
+{
+
+/** One reproducible failure case. */
+struct ReproCase
+{
+    std::uint64_t seed = 0;
+    std::string profile = "mixed";
+    /** One-line description of the failure. */
+    std::string note;
+    /** Assembly source (possibly minimized). */
+    std::string source;
+};
+
+/** Render @p r in the repro-file format above. */
+std::string formatRepro(const ReproCase &r);
+
+/** Parse a repro file's text (header comments + source). */
+ReproCase parseRepro(const std::string &text);
+
+/** Write @p r to @p path. @return false on I/O failure. */
+bool saveRepro(const std::string &path, const ReproCase &r);
+
+/** Load a repro file; raises FatalError if unreadable. */
+ReproCase loadRepro(const std::string &path);
+
+} // namespace visa::verify
+
+#endif // VISA_VERIFY_CORPUS_HH

@@ -1,0 +1,138 @@
+#include "verify/minimize.hh"
+
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "sim/logging.hh"
+
+namespace visa::verify
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitLines(const std::string &src)
+{
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos < src.size()) {
+        std::size_t nl = src.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = src.size();
+        lines.push_back(src.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    return lines;
+}
+
+std::string
+joinLines(const std::vector<std::string> &lines,
+          const std::vector<bool> &removed)
+{
+    std::string out;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (removed[i])
+            continue;
+        out += lines[i];
+        out += '\n';
+    }
+    return out;
+}
+
+/**
+ * Only plain instruction lines may be deleted: labels anchor branches,
+ * directives anchor segments/bounds/data, and comments carry repro
+ * metadata (corpus headers).
+ */
+bool
+isRemovable(const std::string &line)
+{
+    std::size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos)
+        return false;
+    char c = line[i];
+    if (c == '.' || c == '#' || c == ';')
+        return false;
+    if (line.find(':') != std::string::npos)
+        return false;
+    // Keep halts: removing one can leave a program that still diverges
+    // before falling into an endless loop — a repro that would never
+    // replay as "equivalent" once the bug under test is fixed.
+    if (line.compare(i, 4, "halt") == 0)
+        return false;
+    return true;
+}
+
+} // namespace
+
+MinimizeResult
+minimizeSource(const std::string &source, const FailurePredicate &stillFails)
+{
+    MinimizeResult res;
+    std::vector<std::string> lines = splitLines(source);
+    std::vector<bool> removed(lines.size(), false);
+    // Candidate budget: minimization must terminate even on inputs
+    // where almost every removal still fails (worst case is quadratic
+    // in line count for the final single-line passes).
+    constexpr int maxCandidates = 4000;
+
+    auto tryCandidate = [&](const std::vector<bool> &cand) -> bool {
+        if (res.candidates >= maxCandidates)
+            return false;
+        ++res.candidates;
+        Program prog;
+        try {
+            prog = assemble(joinLines(lines, cand));
+        } catch (const FatalError &) {
+            return false;    // stopped assembling: reject
+        }
+        return stillFails(prog);
+    };
+
+    bool shrunk = true;
+    while (shrunk && res.candidates < maxCandidates) {
+        shrunk = false;
+        std::vector<std::size_t> live;
+        for (std::size_t i = 0; i < lines.size(); ++i)
+            if (!removed[i] && isRemovable(lines[i]))
+                live.push_back(i);
+        if (live.empty())
+            break;
+
+        for (std::size_t chunk = live.size(); chunk >= 1; chunk /= 2) {
+            bool any = false;
+            for (std::size_t at = 0; at < live.size(); at += chunk) {
+                std::vector<bool> cand = removed;
+                const std::size_t end = std::min(at + chunk, live.size());
+                bool grew = false;
+                for (std::size_t j = at; j < end; ++j) {
+                    grew = grew || !cand[live[j]];
+                    cand[live[j]] = true;
+                }
+                if (!grew)
+                    continue;    // window already removed by this pass
+                if (tryCandidate(cand)) {
+                    removed = cand;
+                    any = true;
+                    shrunk = true;
+                }
+            }
+            if (any)
+                break;    // recompute the live set, restart halving
+            if (chunk == 1)
+                break;
+        }
+    }
+
+    res.source = joinLines(lines, removed);
+    try {
+        res.instructions = assemble(res.source).text.size();
+    } catch (const FatalError &) {
+        // Unreachable: every committed candidate assembled.
+        res.instructions = 0;
+    }
+    return res;
+}
+
+} // namespace visa::verify

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Greedy instruction-deletion minimization of failing generated
+ * programs (delta debugging over assembly source lines). A candidate
+ * must still assemble and still fail the caller's predicate to be
+ * accepted; candidates that stop assembling (dangling labels, missing
+ * operands) or stop terminating (removed loop decrements — the
+ * predicate sees a timeout, not a failure) are rejected, so the
+ * minimizer cannot turn a real divergence into an artifact.
+ */
+
+#ifndef VISA_VERIFY_MINIMIZE_HH
+#define VISA_VERIFY_MINIMIZE_HH
+
+#include <functional>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace visa::verify
+{
+
+/**
+ * Predicate: does the assembled candidate still exhibit the failure?
+ * Must return false for candidates that merely time out.
+ */
+using FailurePredicate = std::function<bool(const Program &)>;
+
+/** Minimization outcome. */
+struct MinimizeResult
+{
+    /** Minimized source (the original if nothing could be removed). */
+    std::string source;
+    /** Text-segment instructions in the minimized program. */
+    std::size_t instructions = 0;
+    /** Candidates tried (diagnostics). */
+    int candidates = 0;
+};
+
+/**
+ * Shrink @p source with ddmin-style chunk removal (halving chunk sizes
+ * down to single lines, restarting after any successful removal) until
+ * no single removable line can be dropped. Labels, directives, and
+ * data lines are preserved; only instruction lines are candidates.
+ */
+MinimizeResult minimizeSource(const std::string &source,
+                              const FailurePredicate &stillFails);
+
+} // namespace visa::verify
+
+#endif // VISA_VERIFY_MINIMIZE_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Seeded random VPISA program generator for the differential
+ * verification harness (src/verify). Generated programs are
+ * self-terminating by construction:
+ *
+ *  - every loop is a counted loop with an exact `.loopbound`, so the
+ *    WCET analyzer accepts instrumented variants unchanged;
+ *  - memory accesses are confined to a private scratch window in the
+ *    data segment (naturally aligned per access width), so no access
+ *    can alias the program image or the MMIO device window;
+ *  - a conservative dynamic-instruction bound is tracked during
+ *    generation and generation stops adding loop nests once the
+ *    budget is consumed.
+ *
+ * Two variants of the same seeded body can be produced: the plain
+ * variant halts without ever touching MMIO (the architectural streams
+ * of both pipelines are then directly comparable — MMIO cycle-counter
+ * reads are timing-dependent by design), and the instrumented variant
+ * carries the §2.2/§4.3 sub-task snippets (watchdog advance, AET
+ * reporting, checksum publication) for the timing oracle.
+ */
+
+#ifndef VISA_VERIFY_PROGEN_HH
+#define VISA_VERIFY_PROGEN_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "isa/program.hh"
+
+namespace visa::verify
+{
+
+/** Instruction-mix profile of a generated program. */
+enum class GenProfile
+{
+    Alu,       ///< integer ALU only (no memory, no loops)
+    Branch,    ///< branch-heavy: forward skips and counted loops
+    Memory,    ///< load/store-heavy over the scratch window
+    Mixed,     ///< everything, including FP and leaf calls
+};
+
+/** Lower-case profile name ("alu", "branch", "memory", "mixed"). */
+const char *profileName(GenProfile p);
+
+/** Parse a profile name; @return false (and leaves @p out) if unknown. */
+bool parseProfile(std::string_view name, GenProfile &out);
+
+/** Generation parameters. */
+struct GenParams
+{
+    GenProfile profile = GenProfile::Mixed;
+    /** Top-level body statements (a loop nest is one statement). */
+    int statements = 48;
+    /** Conservative cap on dynamically executed instructions. */
+    std::uint64_t maxDynamic = 20000;
+    /**
+     * Emit the sub-task instrumentation snippets (watchdog advance,
+     * cycle-counter reset, AET report, checksum publication) instead
+     * of a bare HALT. Instrumented programs touch MMIO and are meant
+     * for the timing oracle, not for lockstep comparison.
+     */
+    bool instrument = false;
+    /** Sub-task count when instrumenting (>= 1). */
+    int subtasks = 2;
+    /**
+     * Allow JAL/JR leaf helper functions. Kept off for instrumented
+     * programs by the oracle so the WCET call-graph stays trivial.
+     */
+    bool allowCalls = true;
+};
+
+/** A generated program: source text plus its assembled image. */
+struct GeneratedProgram
+{
+    std::uint64_t seed = 0;
+    GenProfile profile = GenProfile::Mixed;
+    std::string source;
+    Program program;
+    /** Conservative bound on dynamically executed instructions. */
+    std::uint64_t dynamicBound = 0;
+};
+
+/**
+ * Generate and assemble one program. Deterministic: the same
+ * {seed, params} pair always yields byte-identical source.
+ */
+GeneratedProgram generate(std::uint64_t seed, const GenParams &params = {});
+
+} // namespace visa::verify
+
+#endif // VISA_VERIFY_PROGEN_HH

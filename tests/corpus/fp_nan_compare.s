@@ -1,0 +1,26 @@
+# visa-fuzz repro
+# seed: 0
+# profile: mixed
+# note: FP NaN propagation and condition-code branches (0/0 NaN through compares, bc1t/bc1f both directions)
+        li r3, 0
+        cvt.d.w f2, r3
+        div.d f4, f2, f2
+        c.eq.d f4, f4
+        bc1t Ltaken
+        li r5, 111
+Ltaken:
+        c.lt.d f2, f4
+        bc1f Lnottaken
+        li r6, 222
+Lnottaken:
+        add.d f6, f4, f2
+        abs.d f8, f4
+        neg.d f10, f4
+        mov.d f12, f4
+        li r4, 3
+        cvt.d.w f14, r4
+        c.le.d f2, f14
+        bc1t Lend
+        li r7, 333
+Lend:
+        halt

@@ -1,0 +1,22 @@
+# visa-fuzz repro
+# seed: 0
+# profile: alu
+# note: integer edge semantics (INT_MIN/-1 div and rem, divide by zero, shift amounts masked to 31, unsigned compares)
+        li r3, -2147483648
+        li r4, -1
+        div r5, r3, r4
+        rem r6, r3, r4
+        li r7, 0
+        div r8, r3, r7
+        rem r10, r3, r7
+        sra r11, r3, 31
+        srl r12, r3, 31
+        sll r13, r4, 31
+        sllv r14, r4, r3
+        srav r15, r3, r4
+        sltu r16, r4, r3
+        slt r17, r4, r3
+        mul r18, r3, r4
+        sltiu r19, r4, -1
+        slti r20, r3, 0
+        halt

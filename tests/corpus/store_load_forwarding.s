@@ -1,0 +1,25 @@
+# visa-fuzz repro
+# seed: 0
+# profile: memory
+# note: store-to-load forwarding across widths (sb/sh under lw, sw under lb/lh) exercised back to back
+        la r9, scratch
+        li r3, -559038737
+        sw r3, 0(r9)
+        lb r4, 0(r9)
+        lbu r5, 1(r9)
+        lh r6, 2(r9)
+        sb r3, 4(r9)
+        sh r3, 6(r9)
+        lw r7, 4(r9)
+        lhu r8, 6(r9)
+        add r10, r4, r5
+        add r10, r10, r6
+        add r10, r10, r7
+        add r10, r10, r8
+        sw r10, 8(r9)
+        ldc1 f2, 0(r9)
+        sdc1 f2, 16(r9)
+        halt
+        .data
+scratch:
+        .space 24

@@ -1,0 +1,15 @@
+# visa-fuzz repro
+# seed: 1
+# profile: memory
+# note: subword sign-extension (lh/lb zero- instead of sign-extended in the candidate); minimized from the injected-bug hunt
+        la r9, scratch
+        lh r5, 0(r9)
+        lb r6, 3(r9)
+        lhu r7, 0(r9)
+        lbu r8, 2(r9)
+        sw r5, 8(r9)
+        sw r6, 12(r9)
+        halt
+        .data
+scratch:
+        .word -559038737, -1, 0, 0

@@ -1,16 +1,32 @@
 /**
  * @file
- * Robustness fuzzing of the input-facing layers: mutated assembly
- * sources and random instruction words must produce clean diagnostics
- * (FatalError) or valid results — never crashes, hangs, or undefined
- * behavior.
+ * Fuzzing suites, two layers:
+ *
+ *  - robustness fuzzing of the input-facing layers: mutated assembly
+ *    sources and random instruction words must produce clean
+ *    diagnostics (FatalError) or valid results — never crashes, hangs,
+ *    or undefined behavior;
+ *
+ *  - differential fuzzing of the two pipelines: thousands of seeded
+ *    random programs per instruction-mix profile, each run on the
+ *    in-order reference and the out-of-order candidate in lockstep
+ *    (src/verify) — any architectural divergence fails with the full
+ *    divergence report. FuzzLong is the 100k-program edition, excluded
+ *    from the default ctest run (`ctest -C slow -L slow`).
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <mutex>
+#include <string>
+
 #include "isa/assembler.hh"
 #include "isa/encoding.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
+#include "verify/lockstep.hh"
+#include "verify/progen.hh"
 #include "workloads/asm_builder.hh"
 #include "workloads/clab.hh"
 
@@ -68,6 +84,79 @@ TEST_P(MutationFuzz, RandomWordsDecodeOrRejectCleanly)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzz,
                          ::testing::Range(1u, 21u));
+
+/**
+ * Scan @p count seeded programs of @p profile starting at @p firstSeed
+ * through the lockstep checker, in parallel. Fails the test with the
+ * first (lowest-seed) divergence report.
+ */
+void
+differentialScan(verify::GenProfile profile, std::uint64_t firstSeed,
+                 std::uint64_t count)
+{
+    verify::GenParams gen;
+    gen.profile = profile;
+
+    std::mutex mu;
+    std::uint64_t worstSeed = 0;
+    std::string worstReport;
+    std::atomic<std::uint64_t> instructions{0};
+
+    parallelFor(static_cast<std::size_t>(count), [&](std::size_t i) {
+        const std::uint64_t seed = firstSeed + i;
+        const verify::GeneratedProgram g = verify::generate(seed, gen);
+        const verify::LockstepResult r = verify::runLockstep(g.program);
+        instructions += r.instructions;
+        if (!r.equivalent) {
+            std::lock_guard<std::mutex> lock(mu);
+            if (worstReport.empty() || seed < worstSeed) {
+                worstSeed = seed;
+                worstReport = r.report;
+            }
+        }
+    });
+
+    EXPECT_TRUE(worstReport.empty())
+        << "first divergence at seed " << worstSeed
+        << " (reproduce: visa-fuzz --seed " << worstSeed
+        << " --count 1 --profile " << profileName(profile) << ")\n"
+        << worstReport;
+    // The scan must have simulated something: an accidentally empty
+    // generator would otherwise pass vacuously.
+    EXPECT_GT(instructions.load(), count);
+}
+
+class DifferentialFuzz
+    : public ::testing::TestWithParam<verify::GenProfile>
+{
+};
+
+TEST_P(DifferentialFuzz, TenThousandProgramsMatchInLockstep)
+{
+    differentialScan(GetParam(), 1, 10000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, DifferentialFuzz,
+    ::testing::Values(verify::GenProfile::Alu,
+                      verify::GenProfile::Branch,
+                      verify::GenProfile::Memory,
+                      verify::GenProfile::Mixed),
+    [](const ::testing::TestParamInfo<verify::GenProfile> &info) {
+        return std::string(verify::profileName(info.param));
+    });
+
+/**
+ * 100k-program soak run. DISABLED_ keeps it out of gtest_discover_tests
+ * and the default ctest tier; tests/CMakeLists.txt registers it
+ * explicitly as `fuzz_long` under the "slow" ctest configuration/label
+ * (`ctest -C slow -L slow`, or run the binary with
+ * --gtest_also_run_disabled_tests --gtest_filter='*FuzzLong*').
+ */
+TEST(DifferentialFuzzSoak, DISABLED_FuzzLongHundredThousandPrograms)
+{
+    differentialScan(verify::GenProfile::Mixed, 1, 100000);
+}
 
 } // anonymous namespace
 } // namespace visa

@@ -1,0 +1,47 @@
+# Sanitizer tier (`ctest -C san -L san` from a configured build tree):
+# configures the repository's "debug" preset (-O0 -g, ASan + UBSan),
+# builds it, and runs the differential fuzzing suite plus the
+# end-to-end trace pipeline under the sanitizers. Any sanitizer report
+# aborts the inner ctest and fails this test.
+#
+# Expects -DSOURCE_DIR=... (the repository root).
+
+if(NOT DEFINED SOURCE_DIR)
+    message(FATAL_ERROR "san_check.cmake: SOURCE_DIR not set")
+endif()
+
+set(build_dir "${SOURCE_DIR}/build-debug")
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" --preset debug
+    WORKING_DIRECTORY "${SOURCE_DIR}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "configure --preset debug failed (rc=${rc}):\n"
+        "${out}\n${err}")
+endif()
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" --build "${build_dir}" --parallel
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "sanitizer build failed (rc=${rc}):\n${out}\n${err}")
+endif()
+
+# halt_on_error is the ASan default; UBSan needs the explicit ask so a
+# UB report fails the run instead of scrolling past.
+set(ENV{UBSAN_OPTIONS} "halt_on_error=1:print_stacktrace=1")
+set(ENV{ASAN_OPTIONS} "detect_leaks=0")
+
+execute_process(
+    COMMAND "${CMAKE_CTEST_COMMAND}"
+            -R "Differential|Lockstep|Progen|Oracle|Corpus|trace_schema"
+            --output-on-failure
+    WORKING_DIRECTORY "${build_dir}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "sanitized differential suite failed (rc=${rc}):\n${out}\n${err}")
+endif()
+
+message(STATUS "san_check: sanitized differential suite passed")

@@ -13,9 +13,9 @@
  * estimator of the code's true cost.
  *
  * The report also self-profiles the experiment-campaign phases (WCET
- * setup, the simple and VISA campaigns, and a traced VISA campaign):
- * host wall-clock per phase and simulated MIPS, under
- * "campaign_phases". The traced arm quantifies the cost of turning the
+ * setup, the simple and VISA campaigns, a traced VISA campaign, and
+ * the differential-verification harness): host wall-clock per phase
+ * and simulated MIPS, under "campaign_phases". The traced arm quantifies the cost of turning the
  * tracer on; the untraced arms track the simulator's raw speed.
  */
 
@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "verify/lockstep.hh"
+#include "verify/progen.hh"
 
 using namespace visa;
 using namespace visa::bench;
@@ -146,6 +148,18 @@ profileCampaignPhases()
         ScopedTracer scope(tracer);
         return runCampaign<OooCpu, VisaComplexRuntime>(setup, tasks);
     }));
+    // Differential-verification throughput: generate + lockstep-check
+    // random programs serially (src/verify); tracks how many programs
+    // a fuzzing campaign gets through per host second.
+    phases.push_back(profilePhase("verify_throughput", [] {
+        std::uint64_t insts = 0;
+        const verify::GenParams gen;
+        for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+            const verify::GeneratedProgram g = verify::generate(seed, gen);
+            insts += verify::runLockstep(g.program).instructions;
+        }
+        return insts;
+    }));
     return phases;
 }
 
@@ -255,6 +269,16 @@ main(int argc, char **argv)
             insts += rig.cpu->retired();
         }
         return insts;
+    }));
+
+    // items = generated programs, so items/s is the fuzzer's serial
+    // generate + lockstep-check rate.
+    results.push_back(measure("VerifyLockstepProgram", reps, [] {
+        const verify::GenParams gen;
+        const std::uint64_t programs = 100;
+        for (std::uint64_t s = 1; s <= programs; ++s)
+            (void)verify::runLockstep(verify::generate(s, gen).program);
+        return programs;
     }));
 
     const std::vector<Phase> phases = profileCampaignPhases();

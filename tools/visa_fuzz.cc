@@ -1,0 +1,335 @@
+/**
+ * @file
+ * visa-fuzz: differential fuzzing driver for the verification harness
+ * (src/verify). Generates seeded random VPISA programs, runs each one
+ * on the in-order reference pipeline and the out-of-order candidate in
+ * lockstep, and periodically cross-checks the paper's timing
+ * invariants with the oracle. Batches are scanned in parallel
+ * (sim/parallel.hh); results are deterministic for a given
+ * {seed, count, profile} triple regardless of thread count.
+ *
+ * On the first failure the driver prints the divergence report,
+ * optionally shrinks the program with the instruction-deletion
+ * minimizer (--minimize), and optionally writes a repro file in the
+ * tests/corpus format (--out DIR). --replay FILE re-runs a saved repro
+ * and exits non-zero if it still fails — the regression-replay tests
+ * are built on that mode.
+ *
+ * --inject-load-ext-bug enables a deliberate subword-load
+ * sign-extension bug in the candidate pipeline (a hidden test hook) to
+ * demonstrate end-to-end detection and minimization.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cpu/ooo_cpu.hh"
+#include "isa/assembler.hh"
+#include "sim/logging.hh"
+#include "sim/parallel.hh"
+#include "verify/corpus.hh"
+#include "verify/lockstep.hh"
+#include "verify/minimize.hh"
+#include "verify/oracle.hh"
+#include "verify/progen.hh"
+
+using namespace visa;
+using namespace visa::verify;
+
+namespace
+{
+
+struct Options
+{
+    std::uint64_t seed = 1;
+    std::uint64_t count = 1000;
+    int threads = 0;    ///< 0 = simThreads() default
+    GenProfile profile = GenProfile::Mixed;
+    int statements = 48;
+    std::uint64_t maxInstructions = 2'000'000;
+    /** Run the timing oracle on every Kth program (0 = never). */
+    std::uint64_t oracleEvery = 512;
+    bool minimize = false;
+    bool injectBug = false;
+    std::string outDir;
+    std::string replayPath;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+        "usage: %s [options]\n"
+        "  --seed N              first seed (default 1)\n"
+        "  --count N             programs to test (default 1000)\n"
+        "  --threads N           worker threads (default: all cores)\n"
+        "  --profile P           alu | branch | memory | mixed "
+        "(default mixed)\n"
+        "  --statements N        top-level statements per program "
+        "(default 48)\n"
+        "  --max-insts N         lockstep instruction cap "
+        "(default 2000000)\n"
+        "  --oracle-every K      timing oracle on every Kth program "
+        "(default 512, 0 = off)\n"
+        "  --minimize            shrink the first failing program\n"
+        "  --out DIR             write a repro file for the failure\n"
+        "  --replay FILE         re-run a saved repro, exit 1 if it "
+        "still fails\n"
+        "  --inject-load-ext-bug enable the candidate's deliberate "
+        "subword-load bug\n",
+        argv0);
+}
+
+/** One recorded failure, keyed by scan index for determinism. */
+struct Failure
+{
+    std::uint64_t index = 0;
+    std::uint64_t seed = 0;
+    std::string kind;    ///< "divergence", "timeout", or "oracle"
+    std::string report;
+    std::string source;
+};
+
+LockstepOptions
+lockstepOptions(const Options &opts)
+{
+    LockstepOptions lo;
+    lo.maxInstructions = opts.maxInstructions;
+    if (opts.injectBug)
+        lo.prepareComplex = [](OooCpu &cpu) {
+            cpu.testInjectLoadExtBug(true);
+        };
+    return lo;
+}
+
+int
+replay(const Options &opts)
+{
+    const ReproCase rc = loadRepro(opts.replayPath);
+    const Program prog = assemble(rc.source);
+    const LockstepResult r = runLockstep(prog, lockstepOptions(opts));
+    if (r.equivalent) {
+        std::printf("replay %s: equivalent (%llu instructions)\n",
+                    opts.replayPath.c_str(),
+                    static_cast<unsigned long long>(r.instructions));
+        return 0;
+    }
+    std::printf("replay %s: %s\n%s\n", opts.replayPath.c_str(),
+                r.diverged ? "DIVERGED" : "TIMED OUT",
+                r.report.c_str());
+    return 1;
+}
+
+/** Shrink a failing source; @return minimized source (or the input). */
+std::string
+minimizeFailure(const Options &opts, const std::string &source)
+{
+    LockstepOptions lo = lockstepOptions(opts);
+    // Candidates that loop forever after a deleted decrement must be
+    // rejected quickly, not after the full scan cap.
+    lo.maxInstructions =
+        std::min<std::uint64_t>(opts.maxInstructions, 200'000);
+    lo.traceTail = 0;
+    const MinimizeResult m =
+        minimizeSource(source, [&](const Program &p) {
+            // Deleting a jump or halt can send a candidate's PC off the
+            // end of the text segment (a PanicError) — reject it, the
+            // same way a timeout is rejected.
+            try {
+                return runLockstep(p, lo).diverged;
+            } catch (const std::exception &) {
+                return false;
+            }
+        });
+    std::fprintf(stderr,
+                 "minimized to %zu instructions (%d candidates)\n",
+                 m.instructions, m.candidates);
+    return m.source;
+}
+
+int
+fuzz(const Options &opts)
+{
+    GenParams gen;
+    gen.profile = opts.profile;
+    gen.statements = opts.statements;
+
+    std::atomic<std::uint64_t> instructions{0};
+    std::mutex failMutex;
+    std::vector<Failure> failures;
+    const auto record = [&](Failure f) {
+        std::lock_guard<std::mutex> lock(failMutex);
+        failures.push_back(std::move(f));
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    constexpr std::uint64_t batch = 256;
+    std::uint64_t done = 0;
+    for (std::uint64_t base = 0; base < opts.count; base += batch) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min(batch, opts.count - base));
+        parallelFor(n, [&](std::size_t i) {
+            const std::uint64_t index = base + i;
+            const std::uint64_t seed = opts.seed + index;
+            const GeneratedProgram g = generate(seed, gen);
+            const LockstepResult r =
+                runLockstep(g.program, lockstepOptions(opts));
+            instructions += r.instructions;
+            if (!r.equivalent) {
+                record({index, seed,
+                        r.diverged ? "divergence" : "timeout",
+                        r.report, g.source});
+                return;
+            }
+            if (opts.oracleEvery && index % opts.oracleEvery == 0) {
+                GenParams og = gen;
+                og.instrument = true;
+                og.allowCalls = false;
+                const GeneratedProgram inst = generate(seed, og);
+                const OracleResult o = runTimingOracle(inst);
+                if (!o.ok)
+                    record({index, seed, "oracle", o.report,
+                            inst.source});
+            }
+        });
+        done += n;
+        if (done % 2048 == 0 || done == opts.count || !failures.empty())
+            std::fprintf(stderr, "scanned %llu/%llu programs\r",
+                         static_cast<unsigned long long>(done),
+                         static_cast<unsigned long long>(opts.count));
+        if (!failures.empty())
+            break;    // finish the batch, then stop deterministically
+    }
+    std::fprintf(stderr, "\n");
+
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration_cast<std::chrono::duration<double>>(t1 -
+                                                                  t0)
+            .count();
+    std::printf("%llu programs, %llu instructions, %.2f s "
+                "(%.0f programs/s)\n",
+                static_cast<unsigned long long>(done),
+                static_cast<unsigned long long>(instructions.load()),
+                secs, secs > 0 ? static_cast<double>(done) / secs : 0);
+
+    if (failures.empty()) {
+        std::printf("no divergences\n");
+        return 0;
+    }
+
+    // Report the earliest failure in scan order: independent of thread
+    // count, the same {seed, count} always names the same culprit.
+    std::sort(failures.begin(), failures.end(),
+              [](const Failure &a, const Failure &b) {
+                  return a.index < b.index;
+              });
+    const Failure &f = failures.front();
+    std::printf("FAILURE (%s) at seed %llu (program %llu):\n%s\n",
+                f.kind.c_str(),
+                static_cast<unsigned long long>(f.seed),
+                static_cast<unsigned long long>(f.index),
+                f.report.c_str());
+
+    std::string source = f.source;
+    if (opts.minimize && f.kind == "divergence")
+        source = minimizeFailure(opts, source);
+    else if (opts.minimize)
+        std::fprintf(stderr,
+                     "not minimizing a %s failure (only concrete "
+                     "divergences shrink soundly)\n",
+                     f.kind.c_str());
+
+    if (!opts.outDir.empty()) {
+        ReproCase rc;
+        rc.seed = f.seed;
+        rc.profile = profileName(opts.profile);
+        rc.note = f.kind +
+                  (opts.injectBug ? " (with --inject-load-ext-bug)"
+                                  : "");
+        rc.source = source;
+        const std::string path = opts.outDir + "/seed_" +
+                                 std::to_string(f.seed) + ".s";
+        if (saveRepro(path, rc))
+            std::printf("repro written to %s\n", path.c_str());
+        else
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    } else if (opts.minimize) {
+        std::printf("minimized source:\n%s", source.c_str());
+    }
+    return 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seed") {
+            opts.seed = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--count") {
+            opts.count = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--threads") {
+            opts.threads = std::atoi(value());
+        } else if (arg == "--profile") {
+            const char *name = value();
+            if (!parseProfile(name, opts.profile)) {
+                std::fprintf(stderr, "unknown profile '%s'\n", name);
+                return 2;
+            }
+        } else if (arg == "--statements") {
+            opts.statements = std::atoi(value());
+        } else if (arg == "--max-insts") {
+            opts.maxInstructions = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--oracle-every") {
+            opts.oracleEvery = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--minimize") {
+            opts.minimize = true;
+        } else if (arg == "--out") {
+            opts.outDir = value();
+        } else if (arg == "--replay") {
+            opts.replayPath = value();
+        } else if (arg == "--inject-load-ext-bug") {
+            opts.injectBug = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (opts.threads > 0) {
+        // Must precede the first parallelFor: simThreads() reads it.
+        const std::string n = std::to_string(opts.threads);
+        setenv("VISA_THREADS", n.c_str(), 1);
+    }
+
+    try {
+        if (!opts.replayPath.empty())
+            return replay(opts);
+        return fuzz(opts);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 2;
+    }
+}
