@@ -16,13 +16,17 @@
 #include <string>
 
 #include "core/runtime.hh"
+#include "core/scheduler.hh"
+#include "sim/builder.hh"
 #include "core/wcet_table.hh"
 #include "power/dvs.hh"
 #include "power/energy_model.hh"
 #include "power/meter.hh"
+#include "sim/logging.hh"
 #include "sim/parallel.hh"
 #include "wcet/analyzer.hh"
 #include "workloads/clab.hh"
+#include "workloads/tasksets.hh"
 
 namespace visa::bench
 {
@@ -79,21 +83,32 @@ struct ExperimentSetup
     }
 };
 
-/** One wired machine per experiment arm. */
+/**
+ * One wired machine per experiment arm — a typed view over a
+ * SimBuilder product, so every arm constructs through the same path
+ * as the tools.
+ */
 template <typename CpuT>
 struct Rig
 {
     explicit Rig(const Program &prog)
+        : sim(SimBuilder()
+                  .program(prog)
+                  .cpu(std::is_same_v<CpuT, SimpleCpu>
+                           ? CpuKind::Simple
+                           : CpuKind::Complex)
+                  .build()),
+          mem(sim->mem()), platform(sim->platform()),
+          memctrl(sim->memctrl()),
+          cpu(static_cast<CpuT *>(&sim->cpu()))
     {
-        mem.loadProgram(prog);
-        cpu = std::make_unique<CpuT>(prog, mem, platform, memctrl);
-        cpu->resetForTask();
     }
 
-    MainMemory mem;
-    Platform platform;
-    MemController memctrl;
-    std::unique_ptr<CpuT> cpu;
+    std::unique_ptr<Sim> sim;
+    MainMemory &mem;
+    Platform &platform;
+    MemController &memctrl;
+    CpuT *cpu;
 };
 
 /**
@@ -208,6 +223,45 @@ cachedSetup(const std::string &name)
         initSetup(*e->setup, name);
     });
     return *e->setup;
+}
+
+/**
+ * Build scheduler task definitions for @p members, deriving each
+ * task's execution-time budget and period from its analyzed WCETs:
+ *
+ *  - budget B_i = budget_stretch * tightDeadline_i, so every task is
+ *    comfortably single-task feasible (EQ 4) within its budget;
+ *  - period T_i = n * B_i * periodScale_i / util_target, so the set's
+ *    utilization sums to util_target when all period scales are 1
+ *    (larger scales lower that member's share below target).
+ *
+ * The referenced programs/WCET tables/DVS tables live in the
+ * process-wide cachedSetup() entries, which outlive any scheduler.
+ */
+inline std::vector<SchedTaskDef>
+makeTaskSetDefs(const std::vector<TaskSetMemberSpec> &members,
+                double util_target, double budget_stretch = 1.25)
+{
+    if (members.empty())
+        fatal("task set has no members");
+    if (util_target <= 0.0)
+        fatal("task-set utilization target must be positive");
+    const double n = static_cast<double>(members.size());
+    std::vector<SchedTaskDef> defs;
+    for (const TaskSetMemberSpec &m : members) {
+        const ExperimentSetup &s = cachedSetup(m.workload);
+        SchedTaskDef d;
+        d.name = m.workload;
+        d.program = &s.wl.program;
+        d.wcet = s.wcet.get();
+        d.dvs = &s.dvs;
+        const double budget = budget_stretch * s.tightDeadline;
+        d.runtime = s.runtimeConfig(budget);
+        d.periodSeconds = n * budget * m.periodScale / util_target;
+        d.expectedChecksum = s.wl.expectedChecksum;
+        defs.push_back(std::move(d));
+    }
+    return defs;
 }
 
 } // namespace visa::bench

@@ -95,6 +95,17 @@ DvsRuntime::disableWatchdogParams()
 TaskStats
 DvsRuntime::runTask(bool induce_miss)
 {
+    beginInstance(induce_miss);
+    while (!stepInstance(runawayBudget).completed) {
+    }
+    return finishInstance();
+}
+
+void
+DvsRuntime::beginInstance(bool induce_miss)
+{
+    if (instanceActive_)
+        fatal("runtime: beginInstance with an instance already active");
     const bool reeval =
         tasksRun_ == 0 ||
         (cfg_.reevalPeriod > 0 && tasksRun_ % cfg_.reevalPeriod == 0);
@@ -111,10 +122,10 @@ DvsRuntime::runTask(bool induce_miss)
             plan_.reset();
     }
 
-    TaskStats ts;
-    ts.fSpec = current_.fSpec;
-    ts.fRec = current_.fRec;
-    ts.speculating = speculating_;
+    inst_ = TaskStats{};
+    inst_.fSpec = current_.fSpec;
+    inst_.fRec = current_.fRec;
+    inst_.speculating = speculating_;
 
     cpu_.resetForTask();
 
@@ -158,6 +169,16 @@ DvsRuntime::runTask(bool induce_miss)
 
     if (plan_ && speculating_) {
         writeWatchdogParams(*plan_);
+        if (forceMiss_ && !plan_->increments.empty()) {
+            // Overwrite only the first programmed increment: the
+            // watchdog fires a few cycles into sub-task 1, well before
+            // the EQ 1 checkpoint, where recovery budget is plentiful.
+            const Cycles inc = forcedIncrement_
+                ? forcedIncrement_
+                : cfg_.armSlackCycles + 64;
+            auto it = prog_.symbols.find("wdinc");
+            mem_.writeWord(it->second, static_cast<Word>(inc));
+        }
         if (tr)
             tr->record(EventKind::CheckpointArm, cpu_.cycles(),
                        plan_->increments.size(),
@@ -168,59 +189,131 @@ DvsRuntime::runTask(bool induce_miss)
     } else {
         disableWatchdogParams();
     }
+    forceMiss_ = false;
 
-    const bool armed = plan_ && speculating_;
-    std::vector<std::pair<int, std::uint64_t>> aets;
-    platform.onAetReport = [&](int sub, std::uint64_t aet) {
-        aets.emplace_back(sub, aet);
-        if (armed && sub >= 1 && sub <= pets_.numSubtasks()) {
+    armed_ = plan_.has_value() && speculating_;
+    aets_.clear();
+    platform.onAetReport = [this](int sub, std::uint64_t aet) {
+        aets_.emplace_back(sub, aet);
+        if (armed_ && sub >= 1 && sub <= pets_.numSubtasks()) {
             const std::uint64_t pet = pets_.petCycles(sub - 1);
             const std::uint64_t slack = pet > aet ? pet - aet : 0;
             slackDist_.sample(slack);
-            if (tr)
-                tr->record(EventKind::CheckpointHit, cpu_.cycles(),
-                           static_cast<std::uint64_t>(sub), aet, pet,
-                           static_cast<double>(slack));
+            if (Tracer *t = currentTracer())
+                t->record(EventKind::CheckpointHit, cpu_.cycles(),
+                          static_cast<std::uint64_t>(sub), aet, pet,
+                          static_cast<double>(slack));
         }
     };
 
+    instanceCycles_ = 0;
+    instanceActive_ = true;
+}
+
+void
+DvsRuntime::foldOpenEpoch()
+{
+    const Cycles now = cpu_.cycles();
+    taskSeconds_ += static_cast<double>(now - epochStartCycles_) /
+                    (cpu_.frequency() * 1e6);
+    epochStartCycles_ = now;
+}
+
+void
+DvsRuntime::handleMiss()
+{
+    Platform &platform = cpu_.platform();
+    DPRINTF("Runtime",
+            "missed checkpoint in sub-task %d of task %d; "
+            "recovering\n",
+            platform.currentSubtask(), tasksRun_);
+    inst_.missedCheckpoint = true;
+    missedSubtask_ = platform.currentSubtask();
+    inst_.missedSubtask = missedSubtask_;
+    ++stats_.checkpointMisses;
+    if (Tracer *tr = currentTracer()) {
+        tr->record(EventKind::WatchdogFire, cpu_.cycles(),
+                   static_cast<std::uint64_t>(missedSubtask_));
+        tr->record(EventKind::CheckpointMiss, cpu_.cycles(),
+                   static_cast<std::uint64_t>(missedSubtask_),
+                   static_cast<std::uint64_t>(tasksRun_));
+    }
+    platform.maskWatchdog(true);
+    recover();
+}
+
+StepResult
+DvsRuntime::stepInstance(Cycles max_cycles)
+{
+    if (!instanceActive_)
+        fatal("runtime: stepInstance without an active instance");
+    StepResult sr;
+    const Cycles start_cycles = cpu_.cycles();
+    const double start_seconds = taskSeconds_;
+    Cycles remaining = max_cycles ? max_cycles : 1;
     for (;;) {
-        RunResult res = cpu_.run(runawayBudget);
-        if (res.reason == StopReason::Halted)
+        RunResult res = cpu_.run(remaining);
+        if (res.reason == StopReason::Halted) {
+            sr.completed = true;
             break;
+        }
         if (res.reason == StopReason::WatchdogExpired) {
-            DPRINTF("Runtime",
-                    "missed checkpoint in sub-task %d of task %d; "
-                    "recovering\n",
-                    platform.currentSubtask(), tasksRun_);
-            ts.missedCheckpoint = true;
-            missedSubtask_ = platform.currentSubtask();
-            ts.missedSubtask = missedSubtask_;
-            ++stats_.checkpointMisses;
-            if (tr) {
-                tr->record(EventKind::WatchdogFire, cpu_.cycles(),
-                           static_cast<std::uint64_t>(missedSubtask_));
-                tr->record(EventKind::CheckpointMiss, cpu_.cycles(),
-                           static_cast<std::uint64_t>(missedSubtask_),
-                           static_cast<std::uint64_t>(tasksRun_));
-            }
-            platform.maskWatchdog(true);
-            recover();
+            handleMiss();
+            sr.recovered = true;
+            // Recovery itself may exhaust the slice (drain +
+            // reconfiguration cycles are simulated, not requested).
+            const Cycles used = cpu_.cycles() - start_cycles;
+            if (used >= max_cycles)
+                break;
+            remaining = max_cycles - used;
             continue;
         }
-        fatal("runtime: task exceeded the runaway cycle budget");
+        break;    // CycleBudget: a normal preemption point
     }
+    sr.ranCycles = cpu_.cycles() - start_cycles;
+    instanceCycles_ += sr.ranCycles;
+    if (!sr.completed && instanceCycles_ >= runawayBudget)
+        fatal("runtime: task exceeded the runaway cycle budget");
+    foldOpenEpoch();
+    sr.ranSeconds = taskSeconds_ - start_seconds;
+    return sr;
+}
+
+StepResult
+DvsRuntime::preemptDrain()
+{
+    StepResult sr;
+    if (!instanceActive_)
+        return sr;
+    const Cycles start_cycles = cpu_.cycles();
+    const double start_seconds = taskSeconds_;
+    const DrainResult d = cpu_.drainForPreemption();
+    if (d.watchdogExpired) {
+        handleMiss();
+        sr.recovered = true;
+    }
+    sr.ranCycles = cpu_.cycles() - start_cycles;
+    instanceCycles_ += sr.ranCycles;
+    foldOpenEpoch();
+    sr.ranSeconds = taskSeconds_ - start_seconds;
+    return sr;
+}
+
+TaskStats
+DvsRuntime::finishInstance()
+{
+    if (!instanceActive_)
+        fatal("runtime: finishInstance without an active instance");
+    Platform &platform = cpu_.platform();
     platform.onAetReport = nullptr;
 
     // Close the final epoch.
+    foldOpenEpoch();
     const MHz final_freq = cpu_.frequency();
-    taskSeconds_ +=
-        static_cast<double>(cpu_.cycles() - epochStartCycles_) /
-        (final_freq * 1e6);
-    epochStartCycles_ = cpu_.cycles();
     if (meter_)
         meter_->closeEpoch(final_freq);
 
+    TaskStats ts = inst_;
     ts.completionSeconds = taskSeconds_;
     ts.deadlineMet = taskSeconds_ <= cfg_.deadlineSeconds + 1e-12;
     ts.retired = cpu_.retired();
@@ -234,7 +327,7 @@ DvsRuntime::runTask(bool induce_miss)
     }
 
     // Record AET histories; simple-mode portions are scaled (§4.3).
-    for (auto [sub, aet] : aets) {
+    for (auto [sub, aet] : aets_) {
         double v = static_cast<double>(aet);
         if (scaleAllAets_ ||
             (missedSubtask_ >= 1 && sub >= missedSubtask_))
@@ -244,7 +337,7 @@ DvsRuntime::runTask(bool induce_miss)
                          static_cast<std::uint64_t>(std::llround(v)));
     }
 
-    if (tr)
+    if (Tracer *tr = currentTracer())
         tr->record(EventKind::TaskEnd, cpu_.cycles(),
                    static_cast<std::uint64_t>(tasksRun_),
                    ts.deadlineMet ? 1 : 0, ts.missedCheckpoint ? 1 : 0,
@@ -256,6 +349,7 @@ DvsRuntime::runTask(bool induce_miss)
     stats_.totalBusySeconds += taskSeconds_;
     if (!ts.deadlineMet)
         ++stats_.deadlineMisses;
+    instanceActive_ = false;
     return ts;
 }
 

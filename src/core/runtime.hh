@@ -14,6 +14,8 @@
 #define VISA_CORE_RUNTIME_HH
 
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "core/checkpoints.hh"
 #include "core/freq_spec.hh"
@@ -99,6 +101,15 @@ struct ExperimentStats
     double totalBusySeconds = 0.0;
 };
 
+/** Progress of one stepInstance() slice. */
+struct StepResult
+{
+    Cycles ranCycles = 0;       ///< CPU cycles this slice consumed
+    double ranSeconds = 0.0;    ///< wall-clock seconds of those cycles
+    bool completed = false;     ///< the instance executed HALT
+    bool recovered = false;     ///< a missed checkpoint was handled
+};
+
 /** Common machinery of both run-time flavors. */
 class DvsRuntime
 {
@@ -106,11 +117,87 @@ class DvsRuntime
     virtual ~DvsRuntime() = default;
 
     /**
-     * Execute one task instance.
+     * Execute one task instance to completion.
      * @param induce_miss flush caches/predictors first (Fig. 4's
      *        mechanism for forcing mispredicted tasks)
      */
     TaskStats runTask(bool induce_miss = false);
+
+    // ---- incremental instance API (preemptive multi-task use) ----
+    //
+    // runTask() == beginInstance() + stepInstance() until completed +
+    // finishInstance(). The multi-task scheduler (core/scheduler.hh)
+    // interleaves slices of several runtimes on one core; between
+    // slices this runtime's CPU does not tick, so its watchdog — which
+    // bounds the instance's *execution-time* demand — is naturally
+    // frozen while the task is preempted.
+
+    /**
+     * Start a task instance: PET re-evaluation, frequency speculation,
+     * checkpoint programming, and watchdog arming. An instance is
+     * active until finishInstance().
+     */
+    void beginInstance(bool induce_miss = false);
+
+    /**
+     * Run the active instance for at most @p max_cycles CPU cycles.
+     * Missed-checkpoint recoveries are handled inside the slice (the
+     * drain and reconfiguration may overshoot the budget slightly —
+     * the returned counts are actual, not requested).
+     */
+    StepResult stepInstance(Cycles max_cycles);
+
+    /**
+     * Drain the pipeline to a preemption point (in-flight instructions
+     * retire; cycles are charged to this instance). A watchdog expiry
+     * during the drain takes the normal recovery path first.
+     */
+    StepResult preemptDrain();
+
+    /** Close the completed instance and account its statistics. */
+    TaskStats finishInstance();
+
+    bool instanceActive() const { return instanceActive_; }
+
+    /** Sub-task of the active instance's missed checkpoint (-1 = none). */
+    int activeMissedSubtask() const { return missedSubtask_; }
+
+    /** Wall-clock seconds consumed by the active instance so far. */
+    double
+    instanceSeconds() const
+    {
+        return taskSeconds_ +
+               static_cast<double>(cpu_.cycles() - epochStartCycles_) /
+                   (cpu_.frequency() * 1e6);
+    }
+
+    /**
+     * Overrule the task's requested operating point (the shared-core
+     * DVS governor resolving several tasks' requests into one core
+     * frequency). Raising the frequency is always deadline- and
+     * watchdog-safe: checkpoints are programmed in cycles, and EQ 1-4
+     * budgets only shrink in wall time at a faster clock.
+     */
+    void overrideFrequency(MHz f) { switchFrequency(f); }
+
+    /** The operating point this task last requested (f_spec, or f_rec
+     *  after a recovery). */
+    MHz requestedFrequency() const { return cpu_.frequency(); }
+
+    /**
+     * Force the next instance's first watchdog increment down to a
+     * handful of cycles, deterministically triggering the
+     * missed-checkpoint recovery early in sub-task 1. Expiring ahead
+     * of the EQ 1 checkpoint is always safe (more budget remains than
+     * the recovery needs), so this exercises the full recovery path
+     * without perturbing the safety argument — the scheduler tests'
+     * forced-expiry scenarios are built on it.
+     */
+    void forceNextMiss(Cycles increment = 0)
+    {
+        forceMiss_ = true;
+        forcedIncrement_ = increment;
+    }
 
     /** Attach a power meter; the runtime closes epochs at switches. */
     void attachMeter(PowerMeter *meter) { meter_ = meter; }
@@ -119,6 +206,8 @@ class DvsRuntime
     PetEstimator &pets() { return pets_; }
     int tasksRun() const { return tasksRun_; }
     double deadlineSeconds() const { return cfg_.deadlineSeconds; }
+    const RuntimeConfig &config() const { return cfg_; }
+    Cpu &cpu() { return cpu_; }
 
     /**
      * Contribute the "runtime" statistics group to @p set: task /
@@ -145,6 +234,13 @@ class DvsRuntime
     void switchFrequency(MHz f);
     void writeWatchdogParams(const CheckpointPlan &plan);
     void disableWatchdogParams();
+
+    /** Fold the open frequency epoch into taskSeconds_ (the meter's
+     *  epoch stays open: the frequency did not change). */
+    void foldOpenEpoch();
+    /** The missed-checkpoint response shared by stepInstance() and
+     *  preemptDrain(): record the miss, mask the watchdog, recover. */
+    void handleMiss();
 
     Cpu &cpu_;
     const Program &prog_;
@@ -188,6 +284,14 @@ class DvsRuntime
     double taskSeconds_ = 0.0;
     Cycles epochStartCycles_ = 0;
     int missedSubtask_ = -1;
+    bool instanceActive_ = false;
+    bool armed_ = false;              ///< watchdog armed this instance
+    Cycles instanceCycles_ = 0;       ///< runaway guard accumulator
+    TaskStats inst_;                  ///< stats of the active instance
+    /** AET reports collected by the platform hook this instance. */
+    std::vector<std::pair<int, std::uint64_t>> aets_;
+    bool forceMiss_ = false;          ///< see forceNextMiss()
+    Cycles forcedIncrement_ = 0;
 
     /**
      * Detection slack (PET - AET, cycles) at every armed checkpoint

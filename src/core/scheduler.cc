@@ -1,0 +1,541 @@
+#include "core/scheduler.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+namespace
+{
+
+std::string
+formatted(const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+} // anonymous namespace
+
+/** One admitted task: its private rig plus the scheduler's job state. */
+struct MultiTaskScheduler::ManagedTask
+{
+    SchedTaskDef def;
+
+    // The rig: every task keeps its own cycle/watchdog/memory domain,
+    // so preemption freezes exactly this task's watchdog and nothing
+    // else (member order is construction order; the CPU references
+    // mem/platform/memctrl).
+    MainMemory mem;
+    Platform platform;
+    MemController memctrl;
+    std::unique_ptr<Cpu> cpu;
+    std::unique_ptr<DvsRuntime> rt;
+
+    // Job state of the current period.
+    int released = 0;              ///< jobs released so far
+    int done = 0;                  ///< jobs completed so far
+    bool ready = false;            ///< a released job awaits completion
+    double releaseNominal = 0.0;   ///< r_k of the current job
+    double deadline = 0.0;         ///< absolute deadline r_k + T
+    int jobPreemptions = 0;
+    double jobBusy = 0.0;
+
+    SchedTaskStats stats;
+};
+
+MultiTaskScheduler::MultiTaskScheduler(SchedulerConfig cfg)
+    : cfg_(cfg)
+{
+}
+
+MultiTaskScheduler::~MultiTaskScheduler() = default;
+
+int
+MultiTaskScheduler::addTask(const SchedTaskDef &def)
+{
+    if (!def.program || !def.wcet || !def.dvs)
+        fatal("scheduler: task '%s' needs program, wcet and dvs",
+              def.name.c_str());
+    if (def.periodSeconds <= 0.0)
+        fatal("scheduler: task '%s' needs a positive period",
+              def.name.c_str());
+    auto t = std::make_unique<ManagedTask>();
+    t->def = def;
+    t->mem.loadProgram(*def.program);
+    if (def.complexMachine) {
+        auto cpu = std::make_unique<OooCpu>(*def.program, t->mem,
+                                            t->platform, t->memctrl);
+        t->rt = std::make_unique<VisaComplexRuntime>(
+            *cpu, *def.program, t->mem, *def.wcet, *def.dvs, def.runtime);
+        t->cpu = std::move(cpu);
+    } else {
+        auto cpu = std::make_unique<SimpleCpu>(*def.program, t->mem,
+                                               t->platform, t->memctrl);
+        t->rt = std::make_unique<SimpleFixedRuntime>(
+            *cpu, *def.program, t->mem, *def.wcet, *def.dvs, def.runtime);
+        t->cpu = std::move(cpu);
+    }
+    t->stats.minSlackSeconds = def.periodSeconds;
+    tasks_.push_back(std::move(t));
+    return numTasks() - 1;
+}
+
+double
+MultiTaskScheduler::switchSeconds(MHz f) const
+{
+    return static_cast<double>(cfg_.contextSwitchCycles) / (f * 1e6);
+}
+
+double
+MultiTaskScheduler::nominalRelease(const ManagedTask &t) const
+{
+    return t.def.phaseSeconds + t.released * t.def.periodSeconds;
+}
+
+std::string
+MultiTaskScheduler::admissionError() const
+{
+    if (tasks_.empty())
+        return "no tasks";
+    std::vector<PeriodicTask> set;
+    for (const auto &tp : tasks_) {
+        const SchedTaskDef &d = tp->def;
+        const double budget = d.runtime.deadlineSeconds;
+        if (budget > d.periodSeconds)
+            return formatted("task '%s': budget %.3g ms exceeds its "
+                             "period %.3g ms",
+                             d.name.c_str(), budget * 1e3,
+                             d.periodSeconds * 1e3);
+        // Single-task feasibility of the budget: the task must have a
+        // safe schedule within B_i on its own machine — statically, or
+        // by frequency speculation with conservatively seeded PETs.
+        bool feasible =
+            solveStaticFrequency(*d.wcet, *d.dvs, budget) != 0;
+        if (!feasible) {
+            PetEstimator pets(d.wcet->numSubtasks(),
+                              d.runtime.petPolicy);
+            std::vector<std::uint64_t> seed;
+            for (int k = 0; k < d.wcet->numSubtasks(); ++k)
+                seed.push_back(
+                    d.wcet->subtaskCycles(k, d.dvs->maxFreq()));
+            pets.seed(seed);
+            const FreqPair pair = d.complexMachine
+                ? solveVisaSpeculation(
+                      *d.wcet, pets, *d.dvs, budget, d.runtime.ovhdSeconds,
+                      d.runtime.dvsSoftwareCycles +
+                          d.runtime.drainBudgetCycles)
+                : solveConventionalSpeculation(
+                      *d.wcet, pets, *d.dvs, budget, d.runtime.ovhdSeconds,
+                      d.runtime.dvsSoftwareCycles +
+                          static_cast<Cycles>(d.wcet->numSubtasks()) *
+                              d.runtime.armSlackCycles);
+            feasible = pair.feasible;
+        }
+        if (!feasible)
+            return formatted("task '%s': budget %.3g ms is infeasible "
+                             "even at the top operating point",
+                             d.name.c_str(), budget * 1e3);
+        // Demand per job: the budget plus two context switches (in and
+        // out), costed at the slowest clock the governor could pick.
+        const double sw = 2.0 * switchSeconds(d.dvs->minFreq());
+        set.push_back({budget + sw, d.periodSeconds});
+    }
+    // The configured margin inflates demand rather than deflating the
+    // bound, so the reported utilization numbers stay recognizable.
+    for (PeriodicTask &pt : set)
+        pt.wcet /= (1.0 - cfg_.utilizationMargin);
+    if (cfg_.policy == SchedPolicy::Edf) {
+        if (!edfSchedulable(set))
+            return formatted("EDF: utilization %.3f of the inflated set "
+                             "exceeds 1",
+                             utilization(set));
+    } else {
+        if (!rmResponseTimeFeasible(set))
+            return formatted("RM: response-time analysis rejects the "
+                             "inflated set (utilization %.3f)",
+                             utilization(set));
+    }
+    return "";
+}
+
+int
+MultiTaskScheduler::pickReady() const
+{
+    int best = -1;
+    double best_key = 0.0;
+    for (int i = 0; i < numTasks(); ++i) {
+        const ManagedTask &t = *tasks_[i];
+        if (!t.ready)
+            continue;
+        const double key = cfg_.policy == SchedPolicy::Edf
+            ? t.deadline
+            : t.def.periodSeconds;
+        // Strict < keeps the lowest task index on ties — the
+        // deterministic tie-break the tests pin down.
+        if (best < 0 || key < best_key) {
+            best = i;
+            best_key = key;
+        }
+    }
+    return best;
+}
+
+MHz
+MultiTaskScheduler::resolveFrequency(int next)
+{
+    ManagedTask &t = *tasks_[next];
+    const MHz requested = t.rt->requestedFrequency();
+    MHz f = requested;
+    if (cfg_.governor == GovernorPolicy::MaxRequest) {
+        for (const auto &u : tasks_)
+            if (u->ready && u->rt->instanceActive())
+                f = std::max(f, u->rt->requestedFrequency());
+    }
+    if (f != requested)
+        t.rt->overrideFrequency(f);
+    if (coreFreq_ != 0 && f != coreFreq_)
+        ++outcome_.freqChanges;
+    coreFreq_ = f;
+    return f;
+}
+
+ScheduleOutcome
+MultiTaskScheduler::run(int jobs_per_task)
+{
+    if (jobs_per_task <= 0)
+        fatal("scheduler: jobs_per_task must be positive");
+    const std::string err = admissionError();
+    if (!err.empty())
+        fatal("scheduler: task set rejected: %s", err.c_str());
+
+    jobs_.clear();
+    outcome_ = ScheduleOutcome{};
+    wall_ = 0.0;
+    onCore_ = -1;
+    lastOnCore_ = -1;
+    coreFreq_ = 0;
+
+    // Runaway guard: an admitted set completes well within one extra
+    // hyperperiod of the last release.
+    double horizon = 1e-3;
+    for (const auto &t : tasks_)
+        horizon = std::max(horizon,
+                           t->def.phaseSeconds +
+                               (jobs_per_task + 2) * t->def.periodSeconds);
+    horizon = 10.0 * horizon + 1.0;
+
+    Tracer *const tr = currentTracer();
+    // Scheduler events carry the wall clock (integer nanoseconds in
+    // the cycle field): per-task cycle domains are incomparable, and
+    // the runtimes bank their own offsets into the tracer.
+    const auto schedEvent = [&](EventKind k, int task, std::uint64_t b,
+                                std::uint64_t c) {
+        if (!tr)
+            return;
+        const Cycles off = tr->cycleOffset();
+        tr->setCycleOffset(0);
+        tr->record(k, static_cast<Cycles>(std::llround(wall_ * 1e9)),
+                   static_cast<std::uint64_t>(task), b, c, wall_);
+        tr->setCycleOffset(off);
+    };
+
+    for (;;) {
+        // 1. Release every job that is due. A task re-releases only
+        // after its previous job completed (jobs of one task do not
+        // overlap; an overrun shows up as a deadline miss instead).
+        bool all_done = true;
+        for (int i = 0; i < numTasks(); ++i) {
+            ManagedTask &t = *tasks_[i];
+            if (t.released < jobs_per_task || t.done < t.released)
+                all_done = false;
+            if (t.released < jobs_per_task && t.done == t.released &&
+                !t.ready && nominalRelease(t) <= wall_ + 1e-15) {
+                t.releaseNominal = nominalRelease(t);
+                t.deadline = t.releaseNominal + t.def.periodSeconds;
+                t.ready = true;
+                t.jobPreemptions = 0;
+                t.jobBusy = 0.0;
+                ++t.released;
+                schedEvent(EventKind::SchedRelease, i,
+                           static_cast<std::uint64_t>(t.released - 1), 0);
+            }
+        }
+        if (all_done)
+            break;
+
+        // 2. Pick the highest-priority ready job.
+        const int next = pickReady();
+        if (next < 0) {
+            double nr = std::numeric_limits<double>::infinity();
+            for (const auto &t : tasks_)
+                if (t->released < jobs_per_task &&
+                    t->done == t->released)
+                    nr = std::min(nr, nominalRelease(*t));
+            if (!std::isfinite(nr))
+                fatal("scheduler: idle with no pending release");
+            if (nr > wall_) {
+                outcome_.idleSeconds += nr - wall_;
+                wall_ = nr;
+            }
+            continue;
+        }
+        ManagedTask &t = *tasks_[next];
+
+        // 3. Dispatch (possibly preempting the running task).
+        if (onCore_ != next) {
+            if (onCore_ >= 0) {
+                ManagedTask &out = *tasks_[onCore_];
+                // Retire the outgoing task's in-flight instructions;
+                // the cycles are its own execution time. A watchdog
+                // expiry surfacing here takes the recovery path before
+                // the task is suspended.
+                const StepResult d = out.rt->preemptDrain();
+                wall_ += d.ranSeconds;
+                out.jobBusy += d.ranSeconds;
+                out.stats.busySeconds += d.ranSeconds;
+                if (d.recovered) {
+                    ++out.stats.checkpointMisses;
+                    ++outcome_.checkpointMisses;
+                    schedEvent(EventKind::SchedRecovery, onCore_,
+                               static_cast<std::uint64_t>(std::max(
+                                   0, out.rt->activeMissedSubtask())),
+                               0);
+                }
+                ++out.jobPreemptions;
+                ++out.stats.preemptions;
+                ++outcome_.preemptions;
+                schedEvent(EventKind::SchedPreempt, onCore_,
+                           static_cast<std::uint64_t>(out.released - 1),
+                           static_cast<std::uint64_t>(next));
+            }
+            if (!t.rt->instanceActive()) {
+                const int job = t.released - 1;
+                if (t.def.forceMissEvery > 0 &&
+                    job % t.def.forceMissEvery == 0)
+                    t.rt->forceNextMiss(t.def.forceMissIncrement);
+                const bool induce = t.def.induceMissEvery > 0 &&
+                                    job > 0 &&
+                                    job % t.def.induceMissEvery == 0;
+                t.rt->beginInstance(induce);
+            }
+            const MHz f = resolveFrequency(next);
+            if (lastOnCore_ != next) {
+                // Context-switch cost: wall time only, charged to no
+                // task's CPU — it must not tick any watchdog.
+                const double sw = switchSeconds(f);
+                wall_ += sw;
+                outcome_.switchOverheadSeconds += sw;
+                ++outcome_.contextSwitches;
+            }
+            onCore_ = next;
+            lastOnCore_ = next;
+            ++outcome_.dispatches;
+            schedEvent(EventKind::SchedDispatch, next,
+                       static_cast<std::uint64_t>(t.released - 1),
+                       static_cast<std::uint64_t>(f));
+        }
+
+        // 4. Run until the next scheduling point: the earliest pending
+        // release (a possible preemption), capped by the quantum.
+        double next_event = std::numeric_limits<double>::infinity();
+        for (const auto &u : tasks_)
+            if (u->released < jobs_per_task && u->done == u->released &&
+                !u->ready)
+                next_event = std::min(next_event, nominalRelease(*u));
+        Cycles budget = cfg_.quantumCycles;
+        if (std::isfinite(next_event) && next_event > wall_) {
+            const MHz f = t.cpu->frequency();
+            const Cycles until = static_cast<Cycles>(
+                std::ceil((next_event - wall_) * f * 1e6));
+            budget = std::min(budget, std::max<Cycles>(until, 1));
+        }
+
+        const StepResult sr = t.rt->stepInstance(budget);
+        wall_ += sr.ranSeconds;
+        t.jobBusy += sr.ranSeconds;
+        t.stats.busySeconds += sr.ranSeconds;
+        if (sr.recovered) {
+            ++t.stats.checkpointMisses;
+            ++outcome_.checkpointMisses;
+            schedEvent(EventKind::SchedRecovery, next,
+                       static_cast<std::uint64_t>(std::max(
+                           0, t.rt->activeMissedSubtask())),
+                       0);
+        }
+
+        if (sr.completed) {
+            const TaskStats ts = t.rt->finishInstance();
+            JobRecord jr;
+            jr.task = next;
+            jr.job = t.released - 1;
+            jr.releaseSeconds = t.releaseNominal;
+            jr.completionSeconds = wall_;
+            jr.deadlineSeconds = t.deadline;
+            jr.deadlineMet = wall_ <= t.deadline + 1e-12;
+            jr.missedCheckpoint = ts.missedCheckpoint;
+            jr.preemptions = t.jobPreemptions;
+            jr.busySeconds = t.jobBusy;
+            jobs_.push_back(jr);
+            ++outcome_.jobs;
+
+            SchedTaskStats &st = t.stats;
+            ++st.jobs;
+            st.retired += ts.retired;
+            if (!jr.deadlineMet) {
+                ++st.deadlineMisses;
+                ++outcome_.deadlineMisses;
+            }
+            if (t.def.expectedChecksum &&
+                (!ts.checksumReported ||
+                 ts.checksum != t.def.expectedChecksum))
+                ++st.badChecksums;
+            const double slack = t.deadline - wall_;
+            if (st.jobs == 1 || slack < st.minSlackSeconds)
+                st.minSlackSeconds = slack;
+            st.maxResponseSeconds = std::max(
+                st.maxResponseSeconds, wall_ - t.releaseNominal);
+
+            t.ready = false;
+            ++t.done;
+            schedEvent(EventKind::SchedComplete, next,
+                       static_cast<std::uint64_t>(jr.job),
+                       jr.deadlineMet ? 1 : 0);
+            onCore_ = -1;
+        }
+
+        if (wall_ > horizon)
+            fatal("scheduler: wall clock %.3g s exceeded the runaway "
+                  "horizon %.3g s",
+                  wall_, horizon);
+    }
+
+    outcome_.wallSeconds = wall_;
+    return outcome_;
+}
+
+const SchedTaskStats &
+MultiTaskScheduler::taskStats(int task) const
+{
+    return tasks_.at(static_cast<std::size_t>(task))->stats;
+}
+
+const SchedTaskDef &
+MultiTaskScheduler::taskDef(int task) const
+{
+    return tasks_.at(static_cast<std::size_t>(task))->def;
+}
+
+DvsRuntime &
+MultiTaskScheduler::taskRuntime(int task)
+{
+    return *tasks_.at(static_cast<std::size_t>(task))->rt;
+}
+
+void
+MultiTaskScheduler::buildStats(StatSet &set) const
+{
+    StatGroup &g = set.group("sched");
+    g.scalar("tasks", "tasks in the set")
+        .set(static_cast<std::uint64_t>(numTasks()));
+    g.scalar("jobs", "jobs completed")
+        .set(static_cast<std::uint64_t>(outcome_.jobs));
+    g.scalar("dispatches", "dispatch decisions")
+        .set(static_cast<std::uint64_t>(outcome_.dispatches));
+    g.scalar("preemptions", "jobs suspended mid-execution")
+        .set(static_cast<std::uint64_t>(outcome_.preemptions));
+    g.scalar("context_switches", "running-task changes")
+        .set(static_cast<std::uint64_t>(outcome_.contextSwitches));
+    g.scalar("freq_changes", "governor-visible core clock changes")
+        .set(static_cast<std::uint64_t>(outcome_.freqChanges));
+    g.scalar("deadline_misses", "job deadline violations (must stay 0)")
+        .set(static_cast<std::uint64_t>(outcome_.deadlineMisses));
+    g.scalar("checkpoint_misses", "missed-checkpoint recoveries")
+        .set(static_cast<std::uint64_t>(outcome_.checkpointMisses));
+    g.formula("wall_seconds", [this] { return outcome_.wallSeconds; },
+              "schedule length");
+    g.formula("switch_overhead_seconds",
+              [this] { return outcome_.switchOverheadSeconds; },
+              "modeled context-switch cost");
+    g.formula("idle_seconds", [this] { return outcome_.idleSeconds; },
+              "core idle time");
+    g.formula("utilization",
+              [this] {
+                  return (outcome_.wallSeconds - outcome_.idleSeconds) /
+                         outcome_.wallSeconds;
+              },
+              "busy fraction of the schedule");
+    for (int i = 0; i < numTasks(); ++i) {
+        const ManagedTask &t = *tasks_[i];
+        StatGroup &tg = set.group("sched.task" + std::to_string(i));
+        tg.scalar("jobs", "jobs completed (" + t.def.name + ")")
+            .set(static_cast<std::uint64_t>(t.stats.jobs));
+        tg.scalar("deadline_misses", "deadline violations (must stay 0)")
+            .set(static_cast<std::uint64_t>(t.stats.deadlineMisses));
+        tg.scalar("checkpoint_misses", "missed-checkpoint recoveries")
+            .set(static_cast<std::uint64_t>(t.stats.checkpointMisses));
+        tg.scalar("preemptions", "times suspended mid-job")
+            .set(static_cast<std::uint64_t>(t.stats.preemptions));
+        tg.scalar("bad_checksums", "checksum mismatches (must stay 0)")
+            .set(static_cast<std::uint64_t>(t.stats.badChecksums));
+        tg.scalar("retired", "instructions retired")
+            .set(t.stats.retired);
+        tg.formula("busy_seconds",
+                   [&t] { return t.stats.busySeconds; },
+                   "execution time consumed");
+        tg.formula("min_slack_seconds",
+                   [&t] { return t.stats.minSlackSeconds; },
+                   "worst observed deadline slack");
+        tg.formula("max_response_seconds",
+                   [&t] { return t.stats.maxResponseSeconds; },
+                   "worst observed response time");
+    }
+}
+
+const char *
+schedPolicyName(SchedPolicy p)
+{
+    return p == SchedPolicy::Edf ? "edf" : "rm";
+}
+
+const char *
+governorPolicyName(GovernorPolicy p)
+{
+    return p == GovernorPolicy::PerTask ? "pertask" : "max";
+}
+
+bool
+parseSchedPolicy(const std::string &name, SchedPolicy &out)
+{
+    if (name == "edf")
+        out = SchedPolicy::Edf;
+    else if (name == "rm")
+        out = SchedPolicy::RateMonotonic;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseGovernorPolicy(const std::string &name, GovernorPolicy &out)
+{
+    if (name == "pertask")
+        out = GovernorPolicy::PerTask;
+    else if (name == "max")
+        out = GovernorPolicy::MaxRequest;
+    else
+        return false;
+    return true;
+}
+
+} // namespace visa

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Preemptive multi-task VISA runtime: several periodic hard real-time
+ * tasks share one DVS-capable core under EDF (or rate-monotonic)
+ * scheduling, each carrying its own VISA machinery — per-task WCET
+ * table, checkpoint schedule (EQ 1), PET history, watchdog arming and
+ * speculation state (core/runtime.hh's incremental instance API).
+ *
+ * Safety composition: each task's runtime is configured with an
+ * *execution-time budget* B_i (its `deadlineSeconds`), so its watchdog
+ * and EQ 1/EQ 4 checkpoints bound the CPU time the task can demand per
+ * job — including recovery, which EQ 1 sizes to finish within B_i.
+ * Because a preempted task's core does not tick, its watchdog freezes
+ * across preemption: the bound is on execution time, not wall time.
+ * Classic schedulability analysis (core/schedulability.hh) over
+ * {B_i + switch overhead, T_i} then guarantees every job's wall-clock
+ * deadline r_k + T_i, and one task's recovery cannot consume another
+ * task's slack — it is confined to the recovering task's own budget.
+ *
+ * Tasks keep their own cycle/watchdog/memory domains (one rig per
+ * task); the scheduler advances a shared wall clock by each slice's
+ * wall-time cost and models the context-switch cost at every change of
+ * the running task. A shared DVS governor resolves the ready tasks'
+ * per-task frequency requests into the single core frequency.
+ */
+
+#ifndef VISA_CORE_SCHEDULER_HH
+#define VISA_CORE_SCHEDULER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hh"
+#include "core/schedulability.hh"
+
+namespace visa
+{
+
+/** Dispatching policy. */
+enum class SchedPolicy
+{
+    Edf,              ///< earliest absolute deadline first
+    RateMonotonic,    ///< shortest period first (fixed priority)
+};
+
+/** How per-task frequency requests map to the one core clock. */
+enum class GovernorPolicy
+{
+    /** The dispatched task's own operating point (switches on every
+     *  context switch; each task runs exactly its EQ 2/EQ 4 choice). */
+    PerTask,
+    /** The maximum over all ready tasks' requests: fewer DVS
+     *  transitions, never below any task's requirement (running a task
+     *  faster than its f_spec is deadline- and watchdog-safe). */
+    MaxRequest,
+};
+
+/** One periodic task submitted to the scheduler. */
+struct SchedTaskDef
+{
+    std::string name;
+    /** Task binary and analysis products; must outlive the scheduler. */
+    const Program *program = nullptr;
+    const WcetTable *wcet = nullptr;
+    const DvsTable *dvs = nullptr;
+    /**
+     * Per-task runtime configuration. `runtime.deadlineSeconds` is the
+     * task's execution-time budget B_i (see file comment), NOT its
+     * period: the wall-clock deadline of job k is its release plus
+     * periodSeconds.
+     */
+    RuntimeConfig runtime;
+    double periodSeconds = 0.0;    ///< period == relative deadline
+    double phaseSeconds = 0.0;     ///< first release offset
+    /** Complex pipeline + VISA runtime (EQ 4) when true; the
+     *  explicitly-safe simple-fixed pipeline (EQ 2) when false. */
+    bool complexMachine = true;
+    Word expectedChecksum = 0;     ///< 0 = don't check
+    /** Flush caches/predictors every Nth job (0 = never). */
+    int induceMissEvery = 0;
+    /** Force a watchdog expiry every Nth job (0 = never); see
+     *  DvsRuntime::forceNextMiss(). */
+    int forceMissEvery = 0;
+    /** Cycle count for forced expiries (0 = the runtime's default). */
+    Cycles forceMissIncrement = 0;
+};
+
+struct SchedulerConfig
+{
+    SchedPolicy policy = SchedPolicy::Edf;
+    GovernorPolicy governor = GovernorPolicy::PerTask;
+    /**
+     * Modeled context-switch cost, charged to the wall clock at every
+     * dispatch that changes the running task. Deliberately charged to
+     * no task's CPU: it must not consume any task's watchdog budget,
+     * so admission reserves it per job instead (two switches per job).
+     */
+    Cycles contextSwitchCycles = 500;
+    /** Longest slice between scheduling points while a job runs. */
+    Cycles quantumCycles = 20000;
+    /** Core-utilization headroom the admission test reserves. */
+    double utilizationMargin = 0.02;
+};
+
+/** One completed job (task instance) in wall-clock terms. */
+struct JobRecord
+{
+    int task = 0;
+    int job = 0;                   ///< per-task job index
+    double releaseSeconds = 0.0;   ///< nominal release r_k
+    double completionSeconds = 0.0;
+    double deadlineSeconds = 0.0;  ///< absolute: r_k + T
+    bool deadlineMet = false;
+    bool missedCheckpoint = false;
+    int preemptions = 0;           ///< times this job was preempted
+    double busySeconds = 0.0;      ///< execution time consumed
+};
+
+/** Aggregates per task across the whole schedule. */
+struct SchedTaskStats
+{
+    int jobs = 0;
+    int deadlineMisses = 0;        ///< must stay 0 (safety!)
+    int checkpointMisses = 0;
+    int preemptions = 0;
+    int badChecksums = 0;
+    double busySeconds = 0.0;
+    /** min over jobs of (absolute deadline - completion). */
+    double minSlackSeconds = 0.0;
+    double maxResponseSeconds = 0.0;
+    std::uint64_t retired = 0;
+};
+
+/** Whole-schedule outcome. */
+struct ScheduleOutcome
+{
+    double wallSeconds = 0.0;
+    int jobs = 0;
+    int dispatches = 0;
+    int preemptions = 0;
+    int contextSwitches = 0;
+    int freqChanges = 0;           ///< governor-visible core changes
+    double switchOverheadSeconds = 0.0;
+    double idleSeconds = 0.0;
+    int deadlineMisses = 0;
+    int checkpointMisses = 0;
+};
+
+/**
+ * The preemptive multi-task engine. Construction order: addTask() for
+ * each task, then run(). Deterministic: dispatch ties break by task
+ * index, and every modeled cost is derived from simulated state.
+ */
+class MultiTaskScheduler
+{
+  public:
+    explicit MultiTaskScheduler(SchedulerConfig cfg = {});
+    ~MultiTaskScheduler();
+
+    MultiTaskScheduler(const MultiTaskScheduler &) = delete;
+    MultiTaskScheduler &operator=(const MultiTaskScheduler &) = delete;
+
+    /** Admit a task (builds its private rig). @return its index. */
+    int addTask(const SchedTaskDef &def);
+
+    /**
+     * The admission test run() enforces: per-task single-task
+     * feasibility of each budget B_i, plus the policy's schedulability
+     * test over {B_i + 2 * switch, T_i} with the configured margin.
+     * @return an explanation naming the offender, or "" if admitted.
+     */
+    std::string admissionError() const;
+
+    /** Execute @p jobs_per_task jobs of every task. */
+    ScheduleOutcome run(int jobs_per_task);
+
+    int numTasks() const { return static_cast<int>(tasks_.size()); }
+    const SchedTaskStats &taskStats(int task) const;
+    const SchedTaskDef &taskDef(int task) const;
+    DvsRuntime &taskRuntime(int task);
+    const std::vector<JobRecord> &jobs() const { return jobs_; }
+    const ScheduleOutcome &outcome() const { return outcome_; }
+
+    /**
+     * Contribute "sched" and per-task "sched.taskN" statistics groups
+     * to @p set. Formulas capture `this`; dump while alive.
+     */
+    void buildStats(StatSet &set) const;
+
+  private:
+    struct ManagedTask;
+
+    /** Wall seconds one switch takes at @p f. */
+    double switchSeconds(MHz f) const;
+    /** Nominal release time of task @p t's next unreleased job. */
+    double nominalRelease(const ManagedTask &t) const;
+    int pickReady() const;
+    /** Resolve the governor for dispatching @p next; switches the
+     *  core (and possibly the task's runtime) to the result. */
+    MHz resolveFrequency(int next);
+
+    SchedulerConfig cfg_;
+    std::vector<std::unique_ptr<ManagedTask>> tasks_;
+    std::vector<JobRecord> jobs_;
+    ScheduleOutcome outcome_;
+    double wall_ = 0.0;
+    int onCore_ = -1;        ///< task currently dispatched (-1 = idle)
+    int lastOnCore_ = -1;    ///< last task whose context is loaded
+    MHz coreFreq_ = 0;
+};
+
+const char *schedPolicyName(SchedPolicy p);
+const char *governorPolicyName(GovernorPolicy p);
+/** Parse "edf" / "rm"; @return false on unknown names. */
+bool parseSchedPolicy(const std::string &name, SchedPolicy &out);
+/** Parse "pertask" / "max"; @return false on unknown names. */
+bool parseGovernorPolicy(const std::string &name, GovernorPolicy &out);
+
+} // namespace visa
+
+#endif // VISA_CORE_SCHEDULER_HH

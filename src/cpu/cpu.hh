@@ -285,6 +285,16 @@ struct RunResult
     StopReason reason = StopReason::Halted;
 };
 
+/** Result of a drainForPreemption() call. */
+struct DrainResult
+{
+    Cycles cycles = 0;          ///< simulated cycles the drain took
+    /** An unmasked watchdog expiry fired during the drain; the caller
+     *  must take the missed-checkpoint recovery path before the task
+     *  is suspended. */
+    bool watchdogExpired = false;
+};
+
 inline constexpr Cycles noCycleLimit = ~static_cast<Cycles>(0);
 
 /**
@@ -319,6 +329,17 @@ class Cpu
 
     /** Invalidate caches and predictors (Fig. 4 induced mispredictions). */
     virtual void flushCachesAndPredictors();
+
+    /**
+     * Bring the pipeline to a preemption point: complete all in-flight
+     * work so another task's context can be switched in. Instructions
+     * past a run() stop are already functionally executed, so they
+     * must retire before the core is handed over — the complex
+     * pipeline runs its back-end stages with fetch halted until the
+     * ROB and fetch queue are empty; the in-order pipelines stop
+     * between instructions and have nothing to drain.
+     */
+    virtual DrainResult drainForPreemption() { return {}; }
 
     /**
      * Advance simulated time by @p n cycles with the pipeline idle

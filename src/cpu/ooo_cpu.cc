@@ -488,6 +488,39 @@ OooCpu::switchToSimple()
     syncActivityCycles();
 }
 
+DrainResult
+OooCpu::drainForPreemption()
+{
+    DrainResult res;
+    if (mode_ == Mode::Simple ||
+        (rob_.empty() && fetchQueue_.empty()))
+        return res;    // in-order timing stops between instructions
+    const Cycles drain_start = cycle_;
+    while (!rob_.empty() || !fetchQueue_.empty()) {
+        ++cycle_;
+        memPortsUsed_ = 0;
+        retireStage();
+        issueStage();
+        dispatchStage();
+        auto t = tickTo(cycle_);
+        if (t.expired) {
+            // The missed-checkpoint exception preempts the preemption:
+            // recovery (which drains the rest) must run first.
+            res.watchdogExpired = true;
+            break;
+        }
+    }
+    DPRINTF("Mode",
+            "preemption drain: %llu cycles%s\n",
+            static_cast<unsigned long long>(cycle_ - drain_start),
+            res.watchdogExpired ? " (watchdog expired)" : "");
+    fetchReadyCycle_ = cycle_;
+    lastFetchBlock_ = ~0u;
+    syncActivityCycles();
+    res.cycles = cycle_ - drain_start;
+    return res;
+}
+
 void
 OooCpu::switchToComplex()
 {

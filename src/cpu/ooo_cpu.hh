@@ -83,6 +83,15 @@ class OooCpu final : public Cpu
     /** Reconfigure back to complex mode; the pipeline must be idle. */
     void switchToComplex();
 
+    /**
+     * Preemption drain (multi-task operation): retire everything in
+     * flight without fetching, staying in the current mode. Unlike
+     * switchToSimple() the watchdog is live here — an expiry aborts
+     * the drain and is reported so the scheduler can run the
+     * missed-checkpoint recovery (which finishes the drain itself).
+     */
+    DrainResult drainForPreemption() override;
+
     Mode mode() const { return mode_; }
 
     std::uint64_t branchMispredicts() const { return mispredicts_; }

@@ -1,0 +1,153 @@
+#include "sim/builder.hh"
+
+#include "isa/assembler.hh"
+#include "sim/logging.hh"
+
+namespace visa
+{
+
+Sim::~Sim() = default;
+
+OooCpu &
+Sim::ooo()
+{
+    if (!ooo_)
+        fatal("Sim: the machine was built with a simple-fixed "
+              "pipeline, not the OOO one");
+    return *ooo_;
+}
+
+SimpleCpu &
+Sim::simple()
+{
+    if (!simple_)
+        fatal("Sim: the machine was built with the OOO pipeline, not "
+              "the simple-fixed one");
+    return *simple_;
+}
+
+DvsRuntime &
+Sim::runtime()
+{
+    if (!runtime_)
+        fatal("Sim: no runtime was requested at build time");
+    return *runtime_;
+}
+
+SimBuilder::SimBuilder() = default;
+
+SimBuilder &
+SimBuilder::program(const Program &prog)
+{
+    prog_ = &prog;
+    ownedProg_.reset();
+    workload_.reset();
+    return *this;
+}
+
+SimBuilder &
+SimBuilder::program(Program &&prog)
+{
+    ownedProg_ = std::make_unique<Program>(std::move(prog));
+    workload_.reset();
+    prog_ = ownedProg_.get();
+    return *this;
+}
+
+SimBuilder &
+SimBuilder::source(const std::string &assembly)
+{
+    return program(assemble(assembly));
+}
+
+SimBuilder &
+SimBuilder::workload(const std::string &name)
+{
+    workload_ = std::make_unique<Workload>(makeWorkload(name));
+    ownedProg_.reset();
+    prog_ = &workload_->program;
+    return *this;
+}
+
+SimBuilder &
+SimBuilder::cpu(CpuKind kind)
+{
+    cpuKind_ = kind;
+    cpuKindSet_ = true;
+    return *this;
+}
+
+SimBuilder &
+SimBuilder::frequency(MHz f)
+{
+    freq_ = f;
+    return *this;
+}
+
+SimBuilder &
+SimBuilder::runtime(RuntimeKind kind, const WcetTable &wcet,
+                    const DvsTable &dvs, RuntimeConfig cfg)
+{
+    runtimeKind_ = kind;
+    wcet_ = &wcet;
+    dvs_ = &dvs;
+    runtimeCfg_ = cfg;
+    return *this;
+}
+
+std::unique_ptr<Sim>
+SimBuilder::build()
+{
+    if (!prog_)
+        fatal("SimBuilder: no program (use program/source/workload)");
+
+    CpuKind kind = cpuKind_;
+    if (runtimeKind_ == RuntimeKind::Visa) {
+        if (cpuKindSet_ && cpuKind_ != CpuKind::Complex)
+            fatal("SimBuilder: the VISA runtime needs the complex "
+                  "pipeline");
+        kind = CpuKind::Complex;
+    } else if (runtimeKind_ == RuntimeKind::SimpleFixed) {
+        if (cpuKindSet_ && cpuKind_ != CpuKind::Simple)
+            fatal("SimBuilder: the simple-fixed runtime needs the "
+                  "simple pipeline");
+        kind = CpuKind::Simple;
+    }
+
+    // Sim has a private ctor; tie the ownership transfer together.
+    std::unique_ptr<Sim> sim(new Sim);
+    sim->ownedProg_ = std::move(ownedProg_);
+    sim->workload_ = std::move(workload_);
+    sim->prog_ = prog_;
+    const Program &prog = *sim->prog_;
+
+    sim->mem_.loadProgram(prog);
+    if (kind == CpuKind::Simple) {
+        auto cpu = std::make_unique<SimpleCpu>(prog, sim->mem_,
+                                               sim->platform_,
+                                               sim->memctrl_);
+        sim->simple_ = cpu.get();
+        sim->cpu_ = std::move(cpu);
+    } else {
+        auto cpu = std::make_unique<OooCpu>(prog, sim->mem_,
+                                            sim->platform_,
+                                            sim->memctrl_);
+        sim->ooo_ = cpu.get();
+        sim->cpu_ = std::move(cpu);
+    }
+    sim->cpu_->resetForTask();
+    if (kind == CpuKind::ComplexSimpleMode)
+        sim->ooo_->switchToSimple();
+    if (freq_)
+        sim->cpu_->setFrequency(freq_);
+
+    if (runtimeKind_ == RuntimeKind::Visa)
+        sim->runtime_ = std::make_unique<VisaComplexRuntime>(
+            *sim->ooo_, prog, sim->mem_, *wcet_, *dvs_, runtimeCfg_);
+    else if (runtimeKind_ == RuntimeKind::SimpleFixed)
+        sim->runtime_ = std::make_unique<SimpleFixedRuntime>(
+            *sim->simple_, prog, sim->mem_, *wcet_, *dvs_, runtimeCfg_);
+    return sim;
+}
+
+} // namespace visa

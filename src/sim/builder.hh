@@ -1,0 +1,143 @@
+/**
+ * @file
+ * SimBuilder: the one way to wire a simulated machine. Every harness
+ * used to hand-assemble the same four-element rig (MainMemory,
+ * Platform, MemController, a pipeline) plus an optional DVS runtime,
+ * each getting the construction order and reset dance subtly right;
+ * the builder centralizes that into a fluent API:
+ *
+ *   auto sim = SimBuilder().workload("cnt").cpu(CpuKind::Complex)
+ *                  .runtime(RuntimeKind::Visa, wcet, dvs, cfg)
+ *                  .build();
+ *   sim->runtime().runTask();
+ *
+ * The product (Sim) owns the whole rig — and the program, when built
+ * from source text or a named workload — so lifetime mistakes (a CPU
+ * outliving its memory, a program freed under the analyzer) cannot be
+ * expressed.
+ */
+
+#ifndef VISA_SIM_BUILDER_HH
+#define VISA_SIM_BUILDER_HH
+
+#include <memory>
+#include <string>
+
+#include "core/runtime.hh"
+#include "workloads/clab.hh"
+
+namespace visa
+{
+
+enum class CpuKind
+{
+    Simple,              ///< the simple-fixed in-order pipeline
+    Complex,             ///< the out-of-order pipeline
+    ComplexSimpleMode,   ///< OOO pipeline locked into simple mode
+};
+
+enum class RuntimeKind
+{
+    None,
+    Visa,          ///< VisaComplexRuntime (EQ 4) on the OOO pipeline
+    SimpleFixed,   ///< SimpleFixedRuntime (EQ 2) on simple-fixed
+};
+
+/**
+ * A fully wired machine. Construction order is the member order below
+ * (the CPU references mem/platform/memctrl; the runtime references the
+ * CPU), so teardown is automatically safe. Not movable: the references
+ * pin the rig in place.
+ */
+class Sim
+{
+  public:
+    ~Sim();
+    Sim(const Sim &) = delete;
+    Sim &operator=(const Sim &) = delete;
+
+    const Program &program() const { return *prog_; }
+    /** The built workload, or nullptr unless workload() was used. */
+    const Workload *workload() const { return workload_.get(); }
+
+    MainMemory &mem() { return mem_; }
+    Platform &platform() { return platform_; }
+    MemController &memctrl() { return memctrl_; }
+
+    Cpu &cpu() { return *cpu_; }
+    /** The pipeline as its concrete type; fatal on a kind mismatch. */
+    OooCpu &ooo();
+    SimpleCpu &simple();
+
+    bool hasRuntime() const { return runtime_ != nullptr; }
+    /** The DVS runtime; fatal unless one was requested. */
+    DvsRuntime &runtime();
+
+  private:
+    friend class SimBuilder;
+    Sim() = default;
+
+    std::unique_ptr<Program> ownedProg_;
+    std::unique_ptr<Workload> workload_;
+    const Program *prog_ = nullptr;
+    MainMemory mem_;
+    Platform platform_;
+    MemController memctrl_;
+    std::unique_ptr<Cpu> cpu_;
+    OooCpu *ooo_ = nullptr;
+    SimpleCpu *simple_ = nullptr;
+    std::unique_ptr<DvsRuntime> runtime_;
+};
+
+class SimBuilder
+{
+  public:
+    SimBuilder();
+
+    /** Run @p prog, which the caller keeps alive past the Sim. */
+    SimBuilder &program(const Program &prog);
+    /** Run @p prog, transferring ownership into the Sim. */
+    SimBuilder &program(Program &&prog);
+    /** Assemble @p assembly and own the result. */
+    SimBuilder &source(const std::string &assembly);
+    /** Build benchmark @p name (workloads/clab.hh) and own it. */
+    SimBuilder &workload(const std::string &name);
+
+    /** Pipeline choice; defaults to Simple (or to the runtime's). */
+    SimBuilder &cpu(CpuKind kind);
+    /** Initial clock; defaults to the pipeline's reset frequency. */
+    SimBuilder &frequency(MHz f);
+
+    /**
+     * Attach a DVS runtime. The runtime dictates the pipeline
+     * (Visa -> Complex, SimpleFixed -> Simple); an explicit
+     * incompatible cpu() choice is fatal at build(). @p wcet, @p dvs
+     * must outlive the Sim; the runtime's deadline and speculation
+     * knobs ride in @p cfg.
+     */
+    SimBuilder &runtime(RuntimeKind kind, const WcetTable &wcet,
+                        const DvsTable &dvs, RuntimeConfig cfg);
+
+    /**
+     * Wire everything (load memory, construct the pipeline, reset it
+     * for the first task, apply the frequency, attach the runtime).
+     * Single-shot: the builder's program ownership moves into the Sim.
+     */
+    std::unique_ptr<Sim> build();
+
+  private:
+    std::unique_ptr<Program> ownedProg_;
+    std::unique_ptr<Workload> workload_;
+    const Program *prog_ = nullptr;
+    CpuKind cpuKind_ = CpuKind::Simple;
+    bool cpuKindSet_ = false;
+    MHz freq_ = 0;
+    RuntimeKind runtimeKind_ = RuntimeKind::None;
+    const WcetTable *wcet_ = nullptr;
+    const DvsTable *dvs_ = nullptr;
+    RuntimeConfig runtimeCfg_;
+};
+
+} // namespace visa
+
+#endif // VISA_SIM_BUILDER_HH

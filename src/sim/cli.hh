@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unified command-line flag registry for the visa-* tools. Each tool
+ * used to hand-roll its own argv loop, so shared flags (--trace,
+ * --stats-json, --threads, --debug) drifted in spelling, defaults and
+ * error behavior; CliParser centralizes registration, usage text, and
+ * the unknown-flag error (which lists every registered flag), and the
+ * helper classes below bundle the shared flag groups with their
+ * post-parse application.
+ */
+
+#ifndef VISA_SIM_CLI_HH
+#define VISA_SIM_CLI_HH
+
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "sim/trace.hh"
+
+namespace visa
+{
+
+/**
+ * A declarative argv parser. Register flags (each returns a stable
+ * reference the caller reads after parse()), then parse():
+ *
+ *   CliParser cli("visa-tool");
+ *   std::string &freq = cli.flag("--freq", "MHZ", "core clock", "1000");
+ *   bool &verbose = cli.boolFlag("--verbose", "chatty output");
+ *   cli.parse(argc, argv);
+ *
+ * parse() handles --help/-h (usage to stdout, exit 0) and rejects
+ * unknown dash-arguments fatally after printing the full usage, so a
+ * typo always shows the legal flag list.
+ */
+class CliParser
+{
+  public:
+    /**
+     * @param positional_name non-empty to accept one free argument
+     *        (e.g. "program.s"); without it, free arguments are fatal.
+     */
+    explicit CliParser(std::string prog,
+                       std::string positional_name = "",
+                       std::string positional_help = "");
+
+    /** Register a value flag; @return its value slot (stable). */
+    std::string &flag(const std::string &name,
+                      const std::string &value_name,
+                      const std::string &help, std::string def = "");
+
+    /** Register a boolean flag; @return its slot (stable). */
+    bool &boolFlag(const std::string &name, const std::string &help);
+
+    void parse(int argc, char **argv);
+
+    void printUsage(std::FILE *out) const;
+
+    /** The free argument ("" if absent). */
+    const std::string &positional() const { return posValue_; }
+
+  private:
+    struct Flag
+    {
+        std::string name;
+        std::string valueName;    ///< empty for boolean flags
+        std::string help;
+        std::string value;
+        bool isBool = false;
+        bool boolValue = false;
+    };
+
+    Flag *find(const std::string &name);
+
+    std::string prog_;
+    std::string posName_;
+    std::string posHelp_;
+    std::string posValue_;
+    std::deque<Flag> flags_;    ///< deque: handed-out refs stay valid
+};
+
+/**
+ * The shared tracing flag group: --trace, --trace-jsonl,
+ * --trace-events, --trace-buffer. Construct against the tool's parser
+ * before parse(); afterwards makeTracer()/writeOutputs() implement the
+ * standard record-then-export cycle.
+ */
+class TraceFlags
+{
+  public:
+    explicit TraceFlags(CliParser &cli);
+
+    /** True if any trace output was requested. */
+    bool requested() const;
+
+    /**
+     * Build the tracer the flags describe (buffer size, category
+     * mask), or nullptr when no output was requested. Fatal on unknown
+     * categories.
+     */
+    std::unique_ptr<Tracer> makeTracer() const;
+
+    /**
+     * Write the requested outputs; call after uninstalling any
+     * ScopedTracer. Warns if the ring dropped events.
+     */
+    void writeOutputs(const Tracer &tracer) const;
+
+  private:
+    std::string *trace_;
+    std::string *jsonl_;
+    std::string *events_;
+    std::string *buffer_;
+};
+
+/** Register --stats-json; @return the path slot. */
+std::string &addStatsJsonFlag(CliParser &cli);
+
+/** Register --threads (worker count for parallel campaigns). */
+std::string &addThreadsFlag(CliParser &cli);
+/**
+ * Apply a parsed --threads value by exporting VISA_THREADS; must run
+ * before the first parallelFor (the pool latches the count once).
+ * No-op on "".
+ */
+void applyThreadsFlag(const std::string &value);
+
+/** Register --debug (help|flag[,flag...]). */
+std::string &addDebugFlag(CliParser &cli);
+/**
+ * Apply a parsed --debug value: "help"/"list" prints the known flags
+ * and exits 0; otherwise enables each named flag, fatally rejecting
+ * unknown ones against the printed list. No-op on "".
+ */
+void applyDebugFlag(const std::string &value);
+
+/** Open @p path for writing ("-" = stdout) and pass the stream on. */
+void withOutputStream(const std::string &path,
+                      const std::function<void(std::ostream &)> &fn);
+
+} // namespace visa
+
+#endif // VISA_SIM_CLI_HH

@@ -6,6 +6,7 @@
 #include <iomanip>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace visa
 {
@@ -283,8 +284,16 @@ StatSet::dumpJson(std::ostream &os) const
                  name.c_str());
         node->group = &g;
     }
-    emitNode(os, root, 0);
-    os << '\n';
+    // The root object carries the document's schema version (shared
+    // with the trace exports; see TESTING.md).
+    os << "{\n  \"schema\": " << traceSchemaVersion;
+    for (const auto &[name, child] : root.children) {
+        os << ",\n";
+        indentBy(os, 1);
+        os << '"' << name << "\": ";
+        emitNode(os, child, 1);
+    }
+    os << "\n}\n";
 }
 
 } // namespace visa

@@ -41,15 +41,22 @@ constexpr EventKindInfo kindTable[numEventKinds] = {
     {"icache_miss", "mem", {"pc", nullptr, nullptr, nullptr}},
     {"dcache_miss", "mem", {"addr", "pc", nullptr, nullptr}},
     {"mshr_occupancy", "mem", {"outstanding", nullptr, nullptr, nullptr}},
+    {"sched_release", "sched", {"task", "job", nullptr, "wall_s"}},
+    {"sched_dispatch", "sched", {"task", "job", "core_mhz", "wall_s"}},
+    {"sched_preempt", "sched", {"task", "job", "by_task", "wall_s"}},
+    {"sched_complete", "sched",
+     {"task", "job", "deadline_met", "wall_s"}},
+    {"sched_recovery", "sched", {"task", "subtask", nullptr, "wall_s"}},
 };
 
 /** Perfetto track (tid) per category, in kindTable category order. */
 int
 trackOf(const char *category)
 {
-    constexpr const char *tracks[] = {"task",  "checkpoint", "mode",
-                                      "dvs",   "cpu",        "mem"};
-    for (int i = 0; i < 6; ++i)
+    constexpr const char *tracks[] = {"task", "checkpoint", "mode",
+                                      "dvs",  "cpu",        "mem",
+                                      "sched"};
+    for (int i = 0; i < 7; ++i)
         if (std::string_view(category) == tracks[i])
             return i;
     return 0;
@@ -117,6 +124,9 @@ Tracer::clear()
 void
 Tracer::writeJsonl(std::ostream &os) const
 {
+    // Schema header (v2): readers treat a missing header as v1. The
+    // event-line format is shared by both versions.
+    os << "{\"schema\":" << traceSchemaVersion << "}\n";
     for (std::size_t i = 0; i < count_; ++i) {
         const TraceEvent &e = at(i);
         const EventKindInfo &info = eventKindInfo(e.kind);
@@ -135,7 +145,7 @@ Tracer::writeJsonl(std::ostream &os) const
 void
 Tracer::writeChromeTrace(std::ostream &os) const
 {
-    os << "{\"traceEvents\":[\n";
+    os << "{\"schema\":" << traceSchemaVersion << ",\"traceEvents\":[\n";
     bool first = true;
     auto sep = [&] {
         if (!first)
@@ -146,8 +156,9 @@ Tracer::writeChromeTrace(std::ostream &os) const
     // Name the per-category tracks.
     constexpr const char *tracks[] = {"runtime/task", "runtime/checkpoint",
                                       "mode",         "dvs",
-                                      "cpu",          "mem"};
-    for (int t = 0; t < 6; ++t) {
+                                      "cpu",          "mem",
+                                      "sched"};
+    for (int t = 0; t < 7; ++t) {
         sep();
         os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
            << t << ",\"args\":{\"name\":\"" << tracks[t] << "\"}}";

@@ -45,6 +45,16 @@
 namespace visa
 {
 
+/**
+ * Version stamped into every exported trace (JSONL header line,
+ * Chrome-JSON root key) and stats JSON document. History:
+ *  - 1: PR 2 format (no version field; readers treat its absence as 1)
+ *  - 2: adds the version field and the "sched" event category
+ * See TESTING.md ("JSON schema versioning") for the compatibility
+ * contract.
+ */
+inline constexpr int traceSchemaVersion = 2;
+
 /** Every event type the simulator can emit. */
 enum class EventKind : std::uint8_t
 {
@@ -72,10 +82,19 @@ enum class EventKind : std::uint8_t
     IcacheMiss,         ///< a=pc
     DcacheMiss,         ///< a=addr, b=pc
     MshrOccupancy,      ///< a=outstanding misses
+    // multi-task scheduler (category "sched"); cycle carries the
+    // scheduler's wall clock in integer nanoseconds, d repeats it in
+    // seconds (tasks run on per-task cycle domains, so only wall time
+    // orders cross-task events)
+    SchedRelease,       ///< a=task, b=job, d=wall s
+    SchedDispatch,      ///< a=task, b=job, c=core MHz, d=wall s
+    SchedPreempt,       ///< a=task, b=job, c=preempting task, d=wall s
+    SchedComplete,      ///< a=task, b=job, c=deadline met, d=wall s
+    SchedRecovery,      ///< a=task, b=missed sub-task, d=wall s
 };
 
 inline constexpr int numEventKinds =
-    static_cast<int>(EventKind::MshrOccupancy) + 1;
+    static_cast<int>(EventKind::SchedRecovery) + 1;
 
 /** One recorded event. Fixed-size POD; meaning of a/b/c/d per kind. */
 struct TraceEvent
@@ -131,7 +150,8 @@ class Tracer
 
     /**
      * Mask covering one category name ("task", "checkpoint", "mode",
-     * "dvs", "cpu", "mem") or "all". @return 0 for unknown names.
+     * "dvs", "cpu", "mem", "sched") or "all". @return 0 for unknown
+     * names.
      */
     static std::uint32_t maskFor(std::string_view category);
 

@@ -232,6 +232,84 @@ TEST(RuntimeMetering, ComplexBeatsSimpleFixedPowerAtEqualDeadline)
     EXPECT_LT(p_complex, p_simple);
 }
 
+TEST(RuntimeIncremental, SlicedInstanceMatchesRunTask)
+{
+    // The incremental instance API (beginInstance / stepInstance /
+    // finishInstance) must reproduce runTask() exactly: same retired
+    // count, checksum, speculation choice and busy time, regardless of
+    // how the instance is sliced.
+    Stack whole("cnt");
+    Stack sliced("cnt");
+    const double d = whole.wcet.taskSeconds(600);
+
+    OooCpu cpu_w(whole.wl.program, whole.mem, whole.platform,
+                 whole.memctrl);
+    VisaComplexRuntime rt_w(cpu_w, whole.wl.program, whole.mem,
+                            whole.wcet, whole.dvs, whole.config(d));
+    const TaskStats ref = rt_w.runTask();
+
+    OooCpu cpu_s(sliced.wl.program, sliced.mem, sliced.platform,
+                 sliced.memctrl);
+    VisaComplexRuntime rt_s(cpu_s, sliced.wl.program, sliced.mem,
+                            sliced.wcet, sliced.dvs, sliced.config(d));
+    rt_s.beginInstance();
+    ASSERT_TRUE(rt_s.instanceActive());
+    int slices = 0;
+    while (true) {
+        const StepResult sr = rt_s.stepInstance(4000);
+        ++slices;
+        if (sr.completed)
+            break;
+        ASSERT_LT(slices, 100000);
+    }
+    const TaskStats got = rt_s.finishInstance();
+    EXPECT_FALSE(rt_s.instanceActive());
+
+    EXPECT_GT(slices, 1);
+    EXPECT_EQ(got.retired, ref.retired);
+    EXPECT_EQ(got.checksum, ref.checksum);
+    EXPECT_EQ(got.fSpec, ref.fSpec);
+    EXPECT_EQ(got.deadlineMet, ref.deadlineMet);
+    EXPECT_NEAR(got.completionSeconds, ref.completionSeconds,
+                1e-12 + 1e-9 * ref.completionSeconds);
+}
+
+TEST(RuntimeIncremental, ForcedMissRecoversAcrossDrainedSlices)
+{
+    // A forced watchdog expiry while the instance is being sliced and
+    // drained at every scheduling point (the preemption pattern) must
+    // take the normal recovery path and still finish correctly.
+    Stack s("cnt");
+    const double d = s.wcet.taskSeconds(600);
+    OooCpu cpu(s.wl.program, s.mem, s.platform, s.memctrl);
+    VisaComplexRuntime rt(cpu, s.wl.program, s.mem, s.wcet, s.dvs,
+                          s.config(d));
+
+    rt.forceNextMiss();
+    rt.beginInstance();
+    bool recovered = false;
+    int slices = 0;
+    while (true) {
+        StepResult sr = rt.stepInstance(2000);
+        recovered = recovered || sr.recovered;
+        if (sr.completed)
+            break;
+        // Drain to a preemption point between every pair of slices.
+        sr = rt.preemptDrain();
+        recovered = recovered || sr.recovered;
+        ASSERT_FALSE(sr.completed);
+        ++slices;
+        ASSERT_LT(slices, 100000);
+    }
+    const TaskStats ts = rt.finishInstance();
+    EXPECT_TRUE(recovered);
+    EXPECT_TRUE(ts.missedCheckpoint);
+    EXPECT_TRUE(ts.deadlineMet);
+    EXPECT_EQ(ts.checksum, s.wl.expectedChecksum);
+    EXPECT_EQ(rt.stats().checkpointMisses, 1);
+    EXPECT_EQ(rt.stats().deadlineMisses, 0);
+}
+
 TEST(RuntimeProfiling, ComplexAetProfileCoversSubtasks)
 {
     Workload wl = makeWorkload("fft");

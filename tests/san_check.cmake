@@ -35,7 +35,7 @@ set(ENV{ASAN_OPTIONS} "detect_leaks=0")
 
 execute_process(
     COMMAND "${CMAKE_CTEST_COMMAND}"
-            -R "Differential|Lockstep|Progen|Oracle|Corpus|trace_schema"
+            -R "Differential|Lockstep|Progen|Oracle|Corpus|Scheduler|trace_schema"
             --output-on-failure
     WORKING_DIRECTORY "${build_dir}"
     RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <type_traits>
 
 #include "cpu/ooo_cpu.hh"
 #include "cpu/simple_cpu.hh"
@@ -16,20 +17,29 @@
 #include "mem/memctrl.hh"
 #include "mem/memory.hh"
 #include "mem/platform.hh"
+#include "sim/builder.hh"
 
 namespace visa::test
 {
 
-/** A fully wired machine around one program. */
+/**
+ * A fully wired machine around one assembled source, built through
+ * SimBuilder (the same construction path the tools use).
+ */
 template <typename CpuT>
 struct Machine
 {
     explicit Machine(const std::string &source)
-        : prog(assemble(source))
+        : sim(SimBuilder()
+                  .source(source)
+                  .cpu(std::is_same_v<CpuT, SimpleCpu>
+                           ? CpuKind::Simple
+                           : CpuKind::Complex)
+                  .build()),
+          prog(sim->program()), mem(sim->mem()),
+          platform(sim->platform()), memctrl(sim->memctrl()),
+          cpu(static_cast<CpuT *>(&sim->cpu()))
     {
-        mem.loadProgram(prog);
-        cpu = std::make_unique<CpuT>(prog, mem, platform, memctrl);
-        cpu->resetForTask();
     }
 
     RunResult
@@ -50,11 +60,12 @@ struct Machine
         return cpu->arch().fpRegs[static_cast<std::size_t>(r)];
     }
 
-    Program prog;
-    MainMemory mem;
-    Platform platform;
-    MemController memctrl;
-    std::unique_ptr<CpuT> cpu;
+    std::unique_ptr<Sim> sim;
+    const Program &prog;
+    MainMemory &mem;
+    Platform &platform;
+    MemController &memctrl;
+    CpuT *cpu;
 };
 
 using SimpleMachine = Machine<SimpleCpu>;

@@ -44,6 +44,7 @@ TEST(TraceFormat, JsonlGoldenBytes)
     std::ostringstream os;
     t.writeJsonl(os);
     EXPECT_EQ(os.str(),
+              "{\"schema\":2}\n"
               "{\"ev\":\"task_begin\",\"cat\":\"task\",\"cycle\":0,"
               "\"task\":3,\"fspec_mhz\":900,\"frec_mhz\":700,"
               "\"deadline_s\":0.000125}\n"
@@ -77,8 +78,9 @@ TEST(TraceFormat, ChromeTraceStructure)
     std::ostringstream os;
     t.writeChromeTrace(os);
     const std::string out = os.str();
-    // Top-level object with the traceEvents array and track names.
-    EXPECT_EQ(out.find("{\"traceEvents\":["), 0u);
+    // Top-level object leading with the schema version, then the
+    // traceEvents array and track names.
+    EXPECT_EQ(out.find("{\"schema\":2,\"traceEvents\":["), 0u);
     EXPECT_NE(out.find("\"thread_name\""), std::string::npos);
     // The simple mode renders as a B/E duration slice.
     EXPECT_NE(out.find("\"ph\":\"B\""), std::string::npos);
@@ -172,12 +174,9 @@ TEST(TracePipelines, SimpleCpuEmitsRetires)
                             "addi r2, r0, 7\n"
                             "add  r3, r1, r2\n"
                             "halt\n");
-    MainMemory mem;
-    Platform plat;
-    MemController mc;
-    mem.loadProgram(prog);
-    SimpleCpu cpu(prog, mem, plat, mc);
-    cpu.resetForTask();
+    auto sim = SimBuilder().program(std::move(prog))
+                   .cpu(CpuKind::Simple).build();
+    Cpu &cpu = sim->cpu();
     Tracer t(1 << 12);
     {
         ScopedTracer scope(t);
@@ -198,13 +197,9 @@ TEST(TracePipelines, SimpleCpuEmitsRetires)
 
 TEST(TracePipelines, OooCpuEmitsFetchRetireAndMispredicts)
 {
-    Workload wl = makeWorkload("cnt");
-    MainMemory mem;
-    Platform plat;
-    MemController mc;
-    mem.loadProgram(wl.program);
-    OooCpu cpu(wl.program, mem, plat, mc);
-    cpu.resetForTask();
+    auto sim = SimBuilder().workload("cnt")
+                   .cpu(CpuKind::Complex).build();
+    OooCpu &cpu = sim->ooo();
     Tracer t(1 << 22);
     {
         ScopedTracer scope(t);
@@ -231,20 +226,16 @@ TEST(TracePipelines, TracingDoesNotPerturbTiming)
 {
     Workload wl = makeWorkload("srt");
     auto run_cycles = [&](bool traced) {
-        MainMemory mem;
-        Platform plat;
-        MemController mc;
-        mem.loadProgram(wl.program);
-        OooCpu cpu(wl.program, mem, plat, mc);
-        cpu.resetForTask();
+        auto sim = SimBuilder().program(wl.program)
+                       .cpu(CpuKind::Complex).build();
         Tracer t(1 << 22);
         if (traced) {
             ScopedTracer scope(t);
-            cpu.run();
+            sim->cpu().run();
         } else {
-            cpu.run();
+            sim->cpu().run();
         }
-        return cpu.cycles();
+        return sim->cpu().cycles();
     };
     EXPECT_EQ(run_cycles(false), run_cycles(true));
 }
@@ -258,17 +249,14 @@ TEST(TraceRuntime, VisaRunEmitsCheckpointAndDvsEvents)
     DMissProfile dmiss = profileDataMisses(wl.program);
     DvsTable dvs;
     WcetTable wcet(analyzer, dvs, &dmiss);
-    MainMemory mem;
-    Platform plat;
-    MemController mc;
-    mem.loadProgram(wl.program);
-    OooCpu cpu(wl.program, mem, plat, mc);
     RuntimeConfig cfg;
     cfg.deadlineSeconds = wcet.taskSeconds(650);
     cfg.ovhdSeconds = 2e-6;
     cfg.dvsSoftwareCycles = 500;
     cfg.drainBudgetCycles = 512;
-    VisaComplexRuntime rt(cpu, wl.program, mem, wcet, dvs, cfg);
+    auto sim = SimBuilder().program(wl.program)
+                   .runtime(RuntimeKind::Visa, wcet, dvs, cfg).build();
+    DvsRuntime &rt = sim->runtime();
     rt.pets().seed(profileComplexAets(wl.program, wl.numSubtasks));
 
     Tracer t(1 << 20);
@@ -314,15 +302,12 @@ TEST(TraceRuntime, RuntimeStatsGroupExportsSlackDistribution)
     DMissProfile dmiss = profileDataMisses(wl.program);
     DvsTable dvs;
     WcetTable wcet(analyzer, dvs, &dmiss);
-    MainMemory mem;
-    Platform plat;
-    MemController mc;
-    mem.loadProgram(wl.program);
-    OooCpu cpu(wl.program, mem, plat, mc);
     RuntimeConfig cfg;
     cfg.deadlineSeconds = wcet.taskSeconds(650);
     cfg.ovhdSeconds = 2e-6;
-    VisaComplexRuntime rt(cpu, wl.program, mem, wcet, dvs, cfg);
+    auto sim = SimBuilder().program(wl.program)
+                   .runtime(RuntimeKind::Visa, wcet, dvs, cfg).build();
+    DvsRuntime &rt = sim->runtime();
     rt.pets().seed(profileComplexAets(wl.program, wl.numSubtasks));
 
     // Before any task: the miss-rate formula divides 0 by 0 and must
@@ -343,7 +328,7 @@ TEST(TraceRuntime, RuntimeStatsGroupExportsSlackDistribution)
         rt.runTask();
 
     StatSet set;
-    cpu.buildStats(set);
+    sim->cpu().buildStats(set);
     rt.buildStats(set);
     std::ostringstream text;
     set.dump(text);
@@ -415,16 +400,11 @@ TEST(StatsJson, HierarchicalExportNestsDottedGroups)
 
 TEST(StatsJson, CpuJsonDumpIsWellFormedEnough)
 {
-    Program prog = assemble("addi r1, r0, 1\nhalt\n");
-    MainMemory mem;
-    Platform plat;
-    MemController mc;
-    mem.loadProgram(prog);
-    SimpleCpu cpu(prog, mem, plat, mc);
-    cpu.resetForTask();
-    cpu.run();
+    auto sim = SimBuilder().source("addi r1, r0, 1\nhalt\n")
+                   .cpu(CpuKind::Simple).build();
+    sim->cpu().run();
     std::ostringstream os;
-    cpu.dumpStatsJson(os);
+    sim->cpu().dumpStatsJson(os);
     const std::string out = os.str();
     EXPECT_EQ(out.front(), '{');
     EXPECT_NE(out.find("\"simple\""), std::string::npos);

@@ -38,78 +38,58 @@ TEST_P(WorkloadFixture, AssemblesWithExpectedStructure)
 
 TEST_P(WorkloadFixture, GoldenChecksumOnSimpleFixed)
 {
-    MainMemory mem;
-    Platform platform;
-    MemController memctrl;
-    mem.loadProgram(wl_.program);
-    SimpleCpu cpu(wl_.program, mem, platform, memctrl);
-    cpu.resetForTask();
-    auto res = cpu.run(2'000'000'000ULL);
+    auto sim = SimBuilder().program(wl_.program)
+                   .cpu(CpuKind::Simple).build();
+    auto res = sim->cpu().run(2'000'000'000ULL);
     ASSERT_EQ(res.reason, StopReason::Halted) << wl_.name;
-    EXPECT_TRUE(platform.checksumReported());
-    EXPECT_EQ(platform.lastChecksum(), wl_.expectedChecksum) << wl_.name;
+    EXPECT_TRUE(sim->platform().checksumReported());
+    EXPECT_EQ(sim->platform().lastChecksum(), wl_.expectedChecksum)
+        << wl_.name;
 }
 
 TEST_P(WorkloadFixture, GoldenChecksumOnComplex)
 {
-    MainMemory mem;
-    Platform platform;
-    MemController memctrl;
-    mem.loadProgram(wl_.program);
-    OooCpu cpu(wl_.program, mem, platform, memctrl);
-    cpu.resetForTask();
-    auto res = cpu.run(2'000'000'000ULL);
+    auto sim = SimBuilder().program(wl_.program)
+                   .cpu(CpuKind::Complex).build();
+    auto res = sim->cpu().run(2'000'000'000ULL);
     ASSERT_EQ(res.reason, StopReason::Halted) << wl_.name;
-    EXPECT_EQ(platform.lastChecksum(), wl_.expectedChecksum) << wl_.name;
+    EXPECT_EQ(sim->platform().lastChecksum(), wl_.expectedChecksum)
+        << wl_.name;
 }
 
 TEST_P(WorkloadFixture, GoldenChecksumInSimpleMode)
 {
-    MainMemory mem;
-    Platform platform;
-    MemController memctrl;
-    mem.loadProgram(wl_.program);
-    OooCpu cpu(wl_.program, mem, platform, memctrl);
-    cpu.resetForTask();
-    cpu.switchToSimple();
-    auto res = cpu.run(2'000'000'000ULL);
+    auto sim = SimBuilder().program(wl_.program)
+                   .cpu(CpuKind::ComplexSimpleMode).build();
+    auto res = sim->cpu().run(2'000'000'000ULL);
     ASSERT_EQ(res.reason, StopReason::Halted) << wl_.name;
-    EXPECT_EQ(platform.lastChecksum(), wl_.expectedChecksum) << wl_.name;
+    EXPECT_EQ(sim->platform().lastChecksum(), wl_.expectedChecksum)
+        << wl_.name;
 }
 
 TEST_P(WorkloadFixture, SimpleModeMatchesSimpleFixedCycles)
 {
     // T2 on real workloads: the complex pipeline's simple mode is
     // cycle-identical to the simple-fixed processor.
-    MainMemory mem_a, mem_b;
-    Platform plat_a, plat_b;
-    MemController mc_a, mc_b;
-    mem_a.loadProgram(wl_.program);
-    mem_b.loadProgram(wl_.program);
-    SimpleCpu simple(wl_.program, mem_a, plat_a, mc_a);
-    OooCpu ooo(wl_.program, mem_b, plat_b, mc_b);
-    simple.resetForTask();
-    ooo.resetForTask();
-    ooo.switchToSimple();
-    simple.run(2'000'000'000ULL);
-    ooo.run(2'000'000'000ULL);
-    EXPECT_EQ(ooo.cycles(), simple.cycles()) << wl_.name;
+    auto simple = SimBuilder().program(wl_.program)
+                      .cpu(CpuKind::Simple).build();
+    auto ooo = SimBuilder().program(wl_.program)
+                   .cpu(CpuKind::ComplexSimpleMode).build();
+    simple->cpu().run(2'000'000'000ULL);
+    ooo->cpu().run(2'000'000'000ULL);
+    EXPECT_EQ(ooo->cpu().cycles(), simple->cpu().cycles()) << wl_.name;
 }
 
 TEST_P(WorkloadFixture, AetsReportedForEverySubtask)
 {
-    MainMemory mem;
-    Platform platform;
-    MemController memctrl;
-    mem.loadProgram(wl_.program);
-    SimpleCpu cpu(wl_.program, mem, platform, memctrl);
-    cpu.resetForTask();
+    auto sim = SimBuilder().program(wl_.program)
+                   .cpu(CpuKind::Simple).build();
     std::vector<int> reported;
-    platform.onAetReport = [&](int sub, std::uint64_t aet) {
+    sim->platform().onAetReport = [&](int sub, std::uint64_t aet) {
         reported.push_back(sub);
         EXPECT_GT(aet, 0u);
     };
-    cpu.run(2'000'000'000ULL);
+    sim->cpu().run(2'000'000'000ULL);
     ASSERT_EQ(static_cast<int>(reported.size()), wl_.numSubtasks)
         << wl_.name;
     for (int i = 0; i < wl_.numSubtasks; ++i)
@@ -119,15 +99,12 @@ TEST_P(WorkloadFixture, AetsReportedForEverySubtask)
 TEST_P(WorkloadFixture, ComplexIsSubstantiallyFaster)
 {
     // Table 3: simple/complex is 3.1x - 5.8x. Require at least 2x.
-    MainMemory mem_a, mem_b;
-    Platform plat_a, plat_b;
-    MemController mc_a, mc_b;
-    mem_a.loadProgram(wl_.program);
-    mem_b.loadProgram(wl_.program);
-    SimpleCpu simple(wl_.program, mem_a, plat_a, mc_a);
-    OooCpu ooo(wl_.program, mem_b, plat_b, mc_b);
-    simple.resetForTask();
-    ooo.resetForTask();
+    auto simple_sim = SimBuilder().program(wl_.program)
+                          .cpu(CpuKind::Simple).build();
+    auto ooo_sim = SimBuilder().program(wl_.program)
+                       .cpu(CpuKind::Complex).build();
+    Cpu &simple = simple_sim->cpu();
+    Cpu &ooo = ooo_sim->cpu();
     simple.run(2'000'000'000ULL);
     ooo.run(2'000'000'000ULL);
     bool paper_six =
@@ -150,36 +127,28 @@ TEST_P(WorkloadFixture, WcetBoundsSimpleFixed)
     DMissProfile dmiss = profileDataMisses(wl_.program);
     EXPECT_EQ(an.numSubtasks(), wl_.numSubtasks);
     for (MHz f : {100u, 500u, 1000u}) {
-        MainMemory mem;
-        Platform platform;
-        MemController memctrl;
-        mem.loadProgram(wl_.program);
-        SimpleCpu cpu(wl_.program, mem, platform, memctrl);
-        cpu.resetForTask();
-        cpu.setFrequency(f);
-        auto res = cpu.run(2'000'000'000ULL);
+        auto sim = SimBuilder().program(wl_.program)
+                       .cpu(CpuKind::Simple).frequency(f).build();
+        auto res = sim->cpu().run(2'000'000'000ULL);
         ASSERT_EQ(res.reason, StopReason::Halted);
         WcetReport rep = an.analyze(f, &dmiss);
-        EXPECT_GE(rep.taskCycles, cpu.cycles())
+        EXPECT_GE(rep.taskCycles, sim->cpu().cycles())
             << wl_.name << " at " << f;
         // Tightness: paper's worst over-estimate is 2.0x (srt).
-        EXPECT_LE(rep.taskCycles, cpu.cycles() * 3)
+        EXPECT_LE(rep.taskCycles, sim->cpu().cycles() * 3)
             << wl_.name << " at " << f;
     }
 }
 
 TEST_P(WorkloadFixture, RepeatedTasksStayFunctionallyCorrect)
 {
-    MainMemory mem;
-    Platform platform;
-    MemController memctrl;
-    mem.loadProgram(wl_.program);
-    OooCpu cpu(wl_.program, mem, platform, memctrl);
+    auto sim = SimBuilder().program(wl_.program)
+                   .cpu(CpuKind::Complex).build();
     for (int t = 0; t < 3; ++t) {
-        cpu.resetForTask();
-        auto res = cpu.run(2'000'000'000ULL);
+        sim->cpu().resetForTask();
+        auto res = sim->cpu().run(2'000'000'000ULL);
         ASSERT_EQ(res.reason, StopReason::Halted);
-        EXPECT_EQ(platform.lastChecksum(), wl_.expectedChecksum)
+        EXPECT_EQ(sim->platform().lastChecksum(), wl_.expectedChecksum)
             << wl_.name << " task " << t;
     }
 }

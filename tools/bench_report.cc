@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "sim/cli.hh"
 #include "verify/lockstep.hh"
 #include "verify/progen.hh"
 
@@ -160,6 +161,22 @@ profileCampaignPhases()
         }
         return insts;
     }));
+    // Preemptive multi-task throughput: the trio task set under EDF at
+    // 85% utilization (core/scheduler.hh). Task-set analysis happens
+    // outside the timed body so the phase isolates scheduler +
+    // simulation speed, not WCET setup.
+    const std::vector<SchedTaskDef> trio =
+        makeTaskSetDefs(parseTaskSet("trio"), 0.85);
+    phases.push_back(profilePhase("taskset_throughput", [&] {
+        MultiTaskScheduler sched;
+        for (const SchedTaskDef &d : trio)
+            sched.addTask(d);
+        sched.run(10);
+        std::uint64_t insts = 0;
+        for (int t = 0; t < sched.numTasks(); ++t)
+            insts += sched.taskStats(t).retired;
+        return insts;
+    }));
     return phases;
 }
 
@@ -168,18 +185,23 @@ profileCampaignPhases()
 int
 main(int argc, char **argv)
 {
-    const char *out_path = nullptr;
-    int reps = 5;
-    for (int i = 1; i < argc; ++i) {
-        if (!strcmp(argv[i], "-o") && i + 1 < argc) {
-            out_path = argv[++i];
-        } else if (!strcmp(argv[i], "--reps") && i + 1 < argc) {
-            reps = atoi(argv[++i]);
-        } else {
-            fprintf(stderr, "usage: %s [-o FILE] [--reps N]\n", argv[0]);
-            return 2;
-        }
+    CliParser cli("bench-report");
+    std::string &out_flag =
+        cli.flag("-o", "FILE", "write the JSON report here (default "
+                               "stdout)");
+    std::string &reps_flag =
+        cli.flag("--reps", "N", "repetitions per benchmark (fastest "
+                                "kept)", "5");
+    std::string &threads_flag = addThreadsFlag(cli);
+    try {
+        cli.parse(argc, argv);
+        applyThreadsFlag(threads_flag);
+    } catch (const FatalError &e) {
+        fprintf(stderr, "error: %s\n", e.what());
+        return 2;
     }
+    const char *out_path = out_flag.empty() ? nullptr : out_flag.c_str();
+    int reps = atoi(reps_flag.c_str());
     if (reps < 1)
         reps = 1;
 

@@ -32,6 +32,7 @@
 
 #include "cpu/ooo_cpu.hh"
 #include "isa/assembler.hh"
+#include "sim/cli.hh"
 #include "sim/logging.hh"
 #include "sim/parallel.hh"
 #include "verify/corpus.hh"
@@ -50,7 +51,6 @@ struct Options
 {
     std::uint64_t seed = 1;
     std::uint64_t count = 1000;
-    int threads = 0;    ///< 0 = simThreads() default
     GenProfile profile = GenProfile::Mixed;
     int statements = 48;
     std::uint64_t maxInstructions = 2'000'000;
@@ -61,31 +61,6 @@ struct Options
     std::string outDir;
     std::string replayPath;
 };
-
-void
-usage(const char *argv0)
-{
-    std::fprintf(stderr,
-        "usage: %s [options]\n"
-        "  --seed N              first seed (default 1)\n"
-        "  --count N             programs to test (default 1000)\n"
-        "  --threads N           worker threads (default: all cores)\n"
-        "  --profile P           alu | branch | memory | mixed "
-        "(default mixed)\n"
-        "  --statements N        top-level statements per program "
-        "(default 48)\n"
-        "  --max-insts N         lockstep instruction cap "
-        "(default 2000000)\n"
-        "  --oracle-every K      timing oracle on every Kth program "
-        "(default 512, 0 = off)\n"
-        "  --minimize            shrink the first failing program\n"
-        "  --out DIR             write a repro file for the failure\n"
-        "  --replay FILE         re-run a saved repro, exit 1 if it "
-        "still fails\n"
-        "  --inject-load-ext-bug enable the candidate's deliberate "
-        "subword-load bug\n",
-        argv0);
-}
 
 /** One recorded failure, keyed by scan index for determinism. */
 struct Failure
@@ -272,59 +247,55 @@ fuzz(const Options &opts)
 int
 main(int argc, char **argv)
 {
-    Options opts;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        const auto value = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--seed") {
-            opts.seed = std::strtoull(value(), nullptr, 0);
-        } else if (arg == "--count") {
-            opts.count = std::strtoull(value(), nullptr, 0);
-        } else if (arg == "--threads") {
-            opts.threads = std::atoi(value());
-        } else if (arg == "--profile") {
-            const char *name = value();
-            if (!parseProfile(name, opts.profile)) {
-                std::fprintf(stderr, "unknown profile '%s'\n", name);
-                return 2;
-            }
-        } else if (arg == "--statements") {
-            opts.statements = std::atoi(value());
-        } else if (arg == "--max-insts") {
-            opts.maxInstructions = std::strtoull(value(), nullptr, 0);
-        } else if (arg == "--oracle-every") {
-            opts.oracleEvery = std::strtoull(value(), nullptr, 0);
-        } else if (arg == "--minimize") {
-            opts.minimize = true;
-        } else if (arg == "--out") {
-            opts.outDir = value();
-        } else if (arg == "--replay") {
-            opts.replayPath = value();
-        } else if (arg == "--inject-load-ext-bug") {
-            opts.injectBug = true;
-        } else if (arg == "--help" || arg == "-h") {
-            usage(argv[0]);
-            return 0;
-        } else {
-            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
-            usage(argv[0]);
-            return 2;
-        }
-    }
-
-    if (opts.threads > 0) {
-        // Must precede the first parallelFor: simThreads() reads it.
-        const std::string n = std::to_string(opts.threads);
-        setenv("VISA_THREADS", n.c_str(), 1);
-    }
+    CliParser cli("visa-fuzz");
+    std::string &seed = cli.flag("--seed", "N", "first seed", "1");
+    std::string &count =
+        cli.flag("--count", "N", "programs to test", "1000");
+    std::string &threads = addThreadsFlag(cli);
+    std::string &profile = cli.flag(
+        "--profile", "P", "alu | branch | memory | mixed", "mixed");
+    std::string &statements = cli.flag(
+        "--statements", "N", "top-level statements per program", "48");
+    std::string &max_insts = cli.flag("--max-insts", "N",
+                                      "lockstep instruction cap",
+                                      "2000000");
+    std::string &oracle_every =
+        cli.flag("--oracle-every", "K",
+                 "timing oracle on every Kth program (0 = off)", "512");
+    bool &minimize =
+        cli.boolFlag("--minimize", "shrink the first failing program");
+    std::string &out_dir =
+        cli.flag("--out", "DIR", "write a repro file for the failure");
+    std::string &replay_path =
+        cli.flag("--replay", "FILE",
+                 "re-run a saved repro, exit 1 if it still fails");
+    bool &inject = cli.boolFlag(
+        "--inject-load-ext-bug",
+        "enable the candidate's deliberate subword-load bug");
+    std::string &debug = addDebugFlag(cli);
 
     try {
+        cli.parse(argc, argv);
+        applyDebugFlag(debug);
+        // Must precede the first parallelFor: simThreads() reads the
+        // exported count once.
+        applyThreadsFlag(threads);
+
+        Options opts;
+        opts.seed = std::strtoull(seed.c_str(), nullptr, 0);
+        opts.count = std::strtoull(count.c_str(), nullptr, 0);
+        if (!parseProfile(profile.c_str(), opts.profile))
+            fatal("unknown profile '%s'", profile.c_str());
+        opts.statements = std::atoi(statements.c_str());
+        opts.maxInstructions =
+            std::strtoull(max_insts.c_str(), nullptr, 0);
+        opts.oracleEvery =
+            std::strtoull(oracle_every.c_str(), nullptr, 0);
+        opts.minimize = minimize;
+        opts.injectBug = inject;
+        opts.outDir = out_dir;
+        opts.replayPath = replay_path;
+
         if (!opts.replayPath.empty())
             return replay(opts);
         return fuzz(opts);

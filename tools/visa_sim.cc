@@ -2,8 +2,9 @@
  * @file
  * visa-sim: the command-line driver. Assembles a VPISA source file (or
  * builds a named C-lab workload) and runs it on either pipeline, under
- * the VISA run-time system if requested, with structured event tracing
- * and JSON statistics export.
+ * the VISA run-time system if requested — single-task periodic
+ * execution, or a preemptive multi-task set under EDF/RM scheduling —
+ * with structured event tracing and JSON statistics export.
  *
  *   visa-sim program.s                      run on simple-fixed
  *   visa-sim --cpu complex program.s        run on the OOO pipeline
@@ -17,6 +18,9 @@
  *   visa-sim --runtime visa --workload fft --tasks 20
  *                                           periodic execution under the
  *                                           VISA run-time system
+ *   visa-sim --taskset trio --jobs 40 --util 0.6
+ *                                           preemptive multi-task EDF
+ *                                           schedule of a benchmark set
  *   visa-sim --trace out.json ...           Chrome/Perfetto event trace
  *   visa-sim --trace-jsonl out.jsonl ...    flat JSONL event trace
  *   visa-sim --stats-json stats.json ...    hierarchical JSON stats
@@ -24,55 +28,28 @@
  */
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
-#include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
 
 #include "bench/bench_util.hh"
 #include "core/runtime.hh"
-#include "cpu/ooo_cpu.hh"
-#include "cpu/simple_cpu.hh"
+#include "core/scheduler.hh"
 #include "isa/assembler.hh"
 #include "isa/disassembler.hh"
+#include "sim/builder.hh"
+#include "sim/cli.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 #include "wcet/analyzer.hh"
 #include "workloads/clab.hh"
+#include "workloads/tasksets.hh"
 
 using namespace visa;
 
 namespace
 {
-
-void
-usage()
-{
-    std::fprintf(
-        stderr,
-        "usage: visa-sim [--cpu simple|complex|simple-mode] [--freq MHz]\n"
-        "                [--wcet] [--disasm] [--stats] [--encodings]\n"
-        "                [--workload NAME] [--runtime visa|simple]\n"
-        "                [--tasks N] [--induce-every N]\n"
-        "                [--deadline tight|loose|min|SECONDS]\n"
-        "                [--trace FILE] [--trace-jsonl FILE]\n"
-        "                [--trace-events cat,cat] [--trace-buffer N]\n"
-        "                [--stats-json FILE]\n"
-        "                [--debug help|flag,flag] [program.s]\n");
-}
-
-void
-listDebugFlags(std::FILE *out)
-{
-    std::fprintf(out, "debug flags (--debug flag[,flag...]):\n");
-    for (const auto &f : Debug::knownFlags())
-        std::fprintf(out, "  %-10s %s\n", f.name, f.desc);
-    std::fprintf(out,
-                 "trace event categories (--trace-events cat[,cat...]):\n"
-                 "  all task checkpoint mode dvs cpu mem\n");
-}
 
 std::string
 readFile(const std::string &path)
@@ -85,154 +62,81 @@ readFile(const std::string &path)
     return ss.str();
 }
 
-/** Open @p path for writing ("-" = stdout) and pass the stream on. */
-template <typename Fn>
-void
-withOutput(const std::string &path, Fn &&fn)
-{
-    if (path == "-") {
-        fn(std::cout);
-        return;
-    }
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot write '%s'", path.c_str());
-    fn(out);
-}
-
 struct Options
 {
-    std::string cpu_kind = "simple";
-    MHz freq = 1000;
-    bool do_wcet = false;
-    bool do_disasm = false;
-    bool do_stats = false;
-    bool show_encodings = false;
-    std::string workload;
-    std::string runtime;          ///< "", "visa", "simple"
-    int tasks = 20;
-    int induce_every = 0;         ///< flush caches every Nth task
-    std::string deadline = "tight";
-    std::string trace_path;       ///< Chrome trace-event JSON
-    std::string trace_jsonl_path;
-    std::string trace_events;     ///< category filter
-    std::size_t trace_buffer = 1u << 18;
-    std::string stats_json_path;
-    std::string path;
+    CliParser cli{"visa-sim", "program.s",
+                  "VPISA source file (or use --workload/--taskset)"};
+    std::string &cpu_kind =
+        cli.flag("--cpu", "simple|complex|simple-mode",
+                 "pipeline for the free run", "simple");
+    std::string &freq =
+        cli.flag("--freq", "MHZ", "core clock for the free run", "1000");
+    bool &do_wcet =
+        cli.boolFlag("--wcet", "static WCET analysis across DVS points");
+    bool &do_disasm =
+        cli.boolFlag("--disasm", "annotated disassembly");
+    bool &do_stats =
+        cli.boolFlag("--stats", "dump simulation statistics");
+    bool &show_encodings =
+        cli.boolFlag("--encodings", "instruction encodings in --disasm");
+    std::string &workload =
+        cli.flag("--workload", "NAME", "built-in benchmark to run");
+    std::string &runtime =
+        cli.flag("--runtime", "visa|simple",
+                 "periodic execution under a DVS runtime");
+    std::string &tasks =
+        cli.flag("--tasks", "N", "task instances under --runtime", "20");
+    std::string &induce_every =
+        cli.flag("--induce-every", "N",
+                 "flush caches/predictors every Nth task", "0");
+    std::string &deadline =
+        cli.flag("--deadline", "tight|loose|min|SECONDS",
+                 "per-task deadline under --runtime", "tight");
+    std::string &taskset =
+        cli.flag("--taskset", "SET",
+                 "multi-task schedule: a named set (duo trio mixed "
+                 "clab6) or wl[:scale],wl[:scale],...");
+    std::string &policy =
+        cli.flag("--policy", "edf|rm", "dispatching policy", "edf");
+    std::string &governor =
+        cli.flag("--governor", "pertask|max", "DVS governor policy",
+                 "pertask");
+    std::string &jobs =
+        cli.flag("--jobs", "N", "jobs per task under --taskset", "20");
+    std::string &util =
+        cli.flag("--util", "U",
+                 "target core utilization for the derived periods",
+                 "0.6");
+    std::string &force_miss =
+        cli.flag("--force-miss", "TASK[:EVERY]",
+                 "force a watchdog expiry on the named task's jobs "
+                 "(every Nth, default every job)");
+    std::string &switch_cycles =
+        cli.flag("--switch-cycles", "N",
+                 "modeled context-switch cost, cycles", "500");
+    std::string &quantum =
+        cli.flag("--quantum", "N", "scheduler slice budget, cycles",
+                 "20000");
+    TraceFlags trace{cli};
+    std::string &stats_json = addStatsJsonFlag(cli);
+    std::string &threads = addThreadsFlag(cli);
+    std::string &debug = addDebugFlag(cli);
 };
 
-Options
-parseArgs(int argc, char **argv)
+/** Deadline/budget selector shared by --runtime and --taskset. */
+double
+resolveDeadline(const bench::ExperimentSetup &setup,
+                const std::string &spec)
 {
-    Options o;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
-                fatal("missing value for %s", arg.c_str());
-            return argv[++i];
-        };
-        if (arg == "--cpu") {
-            o.cpu_kind = next();
-        } else if (arg == "--freq") {
-            o.freq = static_cast<MHz>(std::stoul(next()));
-        } else if (arg == "--wcet") {
-            o.do_wcet = true;
-        } else if (arg == "--disasm") {
-            o.do_disasm = true;
-        } else if (arg == "--stats") {
-            o.do_stats = true;
-        } else if (arg == "--encodings") {
-            o.show_encodings = true;
-        } else if (arg == "--workload") {
-            o.workload = next();
-        } else if (arg == "--runtime") {
-            o.runtime = next();
-            if (o.runtime != "visa" && o.runtime != "simple")
-                fatal("--runtime must be 'visa' or 'simple', not '%s'",
-                      o.runtime.c_str());
-        } else if (arg == "--tasks") {
-            o.tasks = std::stoi(next());
-        } else if (arg == "--induce-every") {
-            o.induce_every = std::stoi(next());
-        } else if (arg == "--deadline") {
-            o.deadline = next();
-        } else if (arg == "--trace") {
-            o.trace_path = next();
-        } else if (arg == "--trace-jsonl") {
-            o.trace_jsonl_path = next();
-        } else if (arg == "--trace-events") {
-            o.trace_events = next();
-        } else if (arg == "--trace-buffer") {
-            o.trace_buffer = std::stoul(next());
-        } else if (arg == "--stats-json") {
-            o.stats_json_path = next();
-        } else if (arg == "--debug") {
-            std::string value = next();
-            if (value == "help" || value == "list") {
-                listDebugFlags(stdout);
-                std::exit(0);
-            }
-            std::istringstream flags(value);
-            std::string flag;
-            while (std::getline(flags, flag, ',')) {
-                if (!Debug::isKnown(flag)) {
-                    listDebugFlags(stderr);
-                    fatal("unknown debug flag '%s' (see the list above)",
-                          flag.c_str());
-                }
-                Debug::enable(flag);
-            }
-        } else if (arg == "--help" || arg == "-h") {
-            usage();
-            std::exit(0);
-        } else if (!arg.empty() && arg[0] == '-') {
-            usage();
-            fatal("unknown option '%s'", arg.c_str());
-        } else {
-            o.path = arg;
-        }
-    }
-    return o;
-}
-
-/** Build the tracer requested on the command line, or nullptr. */
-std::unique_ptr<Tracer>
-makeTracer(const Options &o)
-{
-    if (o.trace_path.empty() && o.trace_jsonl_path.empty())
-        return nullptr;
-    auto tracer = std::make_unique<Tracer>(o.trace_buffer);
-    if (!o.trace_events.empty()) {
-        std::uint32_t mask = 0;
-        std::istringstream cats(o.trace_events);
-        std::string cat;
-        while (std::getline(cats, cat, ',')) {
-            std::uint32_t m = Tracer::maskFor(cat);
-            if (m == 0)
-                fatal("unknown trace event category '%s' (categories: "
-                      "all task checkpoint mode dvs cpu mem)",
-                      cat.c_str());
-            mask |= m;
-        }
-        tracer->setKindMask(mask);
-    }
-    return tracer;
-}
-
-void
-writeTraceOutputs(const Options &o, const Tracer &tracer)
-{
-    if (!o.trace_jsonl_path.empty())
-        withOutput(o.trace_jsonl_path,
-                   [&](std::ostream &os) { tracer.writeJsonl(os); });
-    if (!o.trace_path.empty())
-        withOutput(o.trace_path,
-                   [&](std::ostream &os) { tracer.writeChromeTrace(os); });
-    if (tracer.dropped())
-        warn("trace ring overflowed: %llu events dropped (raise "
-             "--trace-buffer)",
-             static_cast<unsigned long long>(tracer.dropped()));
+    if (spec == "tight")
+        return setup.tightDeadline;
+    if (spec == "loose")
+        return setup.looseDeadline;
+    if (spec == "min")
+        // Near-zero residual slack (the Fig. 4 regime): induced
+        // cache/predictor flushes actually miss checkpoints here.
+        return 1.02 * setup.minDeadline;
+    return std::stod(spec);
 }
 
 /** Periodic execution under the VISA run-time system (fig3/fig4 style). */
@@ -242,140 +146,221 @@ runUnderRuntime(const Options &o)
     if (o.workload.empty())
         fatal("--runtime requires --workload (the run-time system needs "
               "the WCET analysis of a known benchmark)");
+    if (o.runtime != "visa" && o.runtime != "simple")
+        fatal("--runtime must be 'visa' or 'simple', not '%s'",
+              o.runtime.c_str());
 
     const bench::ExperimentSetup &setup = bench::cachedSetup(o.workload);
-    double deadline;
-    if (o.deadline == "tight")
-        deadline = setup.tightDeadline;
-    else if (o.deadline == "loose")
-        deadline = setup.looseDeadline;
-    else if (o.deadline == "min")
-        // Near-zero residual slack (the Fig. 4 regime): induced
-        // cache/predictor flushes actually miss checkpoints here.
-        deadline = 1.02 * setup.minDeadline;
-    else
-        deadline = std::stod(o.deadline);
-    RuntimeConfig cfg = setup.runtimeConfig(deadline);
+    const double deadline = resolveDeadline(setup, o.deadline);
+    const int num_tasks = std::stoi(o.tasks);
+    const int induce_every = std::stoi(o.induce_every);
 
-    std::unique_ptr<Tracer> tracer = makeTracer(o);
+    auto sim = SimBuilder()
+                   .program(setup.wl.program)
+                   .runtime(o.runtime == "visa" ? RuntimeKind::Visa
+                                                : RuntimeKind::SimpleFixed,
+                            *setup.wcet, setup.dvs,
+                            setup.runtimeConfig(deadline))
+                   .build();
+    DvsRuntime &rt = sim->runtime();
+
+    std::unique_ptr<Tracer> tracer = o.trace.makeTracer();
     std::unique_ptr<ScopedTracer> scope;
     if (tracer)
         scope = std::make_unique<ScopedTracer>(*tracer);
 
     int misses = 0, deadline_misses = 0, bad_checksums = 0;
-    std::string stats_text, stats_json;
-
-    // The stats formulas capture the rig and runtime, so the set must
-    // be rendered before they go out of scope.
-    auto campaign = [&](auto &rig, DvsRuntime &rt) {
-        for (int t = 0; t < o.tasks; ++t) {
-            bool induce =
-                o.induce_every > 0 && t > 0 && t % o.induce_every == 0;
-            TaskStats ts = rt.runTask(induce);
-            if (ts.missedCheckpoint)
-                ++misses;
-            if (!ts.deadlineMet)
-                ++deadline_misses;
-            if (ts.checksumReported &&
-                ts.checksum != setup.wl.expectedChecksum)
-                ++bad_checksums;
-        }
-        StatSet stats;
-        rig.cpu->buildStats(stats);
-        rt.buildStats(stats);
-        std::ostringstream text, json;
-        stats.dump(text);
-        stats.dumpJson(json);
-        stats_text = text.str();
-        stats_json = json.str();
-    };
-
-    if (o.runtime == "visa") {
-        bench::Rig<OooCpu> rig(setup.wl.program);
-        VisaComplexRuntime rt(*rig.cpu, setup.wl.program, rig.mem,
-                              *setup.wcet, setup.dvs, cfg);
-        campaign(rig, rt);
-    } else {
-        bench::Rig<SimpleCpu> rig(setup.wl.program);
-        SimpleFixedRuntime rt(*rig.cpu, setup.wl.program, rig.mem,
-                              *setup.wcet, setup.dvs, cfg);
-        campaign(rig, rt);
+    for (int t = 0; t < num_tasks; ++t) {
+        bool induce = induce_every > 0 && t > 0 && t % induce_every == 0;
+        TaskStats ts = rt.runTask(induce);
+        if (ts.missedCheckpoint)
+            ++misses;
+        if (!ts.deadlineMet)
+            ++deadline_misses;
+        if (ts.checksumReported &&
+            ts.checksum != setup.wl.expectedChecksum)
+            ++bad_checksums;
     }
+
+    StatSet stats;
+    sim->cpu().buildStats(stats);
+    rt.buildStats(stats);
 
     std::printf("ran %d tasks of '%s' under the %s runtime "
                 "(deadline %.3g us): %d checkpoint misses, "
                 "%d deadline misses, %d bad checksums\n",
-                o.tasks, o.workload.c_str(), o.runtime.c_str(),
+                num_tasks, o.workload.c_str(), o.runtime.c_str(),
                 deadline * 1e6, misses, deadline_misses, bad_checksums);
 
-    if (o.do_stats)
-        std::fputs(stats_text.c_str(), stdout);
-    if (!o.stats_json_path.empty())
-        withOutput(o.stats_json_path,
-                   [&](std::ostream &os) { os << stats_json; });
+    if (o.do_stats) {
+        std::ostringstream text;
+        stats.dump(text);
+        std::fputs(text.str().c_str(), stdout);
+    }
+    if (!o.stats_json.empty())
+        withOutputStream(o.stats_json, [&](std::ostream &os) {
+            stats.dumpJson(os);
+        });
     if (tracer) {
         scope.reset();    // uninstall before writing
-        writeTraceOutputs(o, *tracer);
+        o.trace.writeOutputs(*tracer);
     }
     return deadline_misses == 0 && bad_checksums == 0 ? 0 : 1;
 }
 
+/** Preemptive multi-task schedule of a benchmark set. */
+int
+runTaskSet(const Options &o)
+{
+    SchedulerConfig cfg;
+    if (!parseSchedPolicy(o.policy, cfg.policy))
+        fatal("--policy must be 'edf' or 'rm', not '%s'",
+              o.policy.c_str());
+    if (!parseGovernorPolicy(o.governor, cfg.governor))
+        fatal("--governor must be 'pertask' or 'max', not '%s'",
+              o.governor.c_str());
+    cfg.contextSwitchCycles =
+        static_cast<Cycles>(std::stoull(o.switch_cycles));
+    cfg.quantumCycles = static_cast<Cycles>(std::stoull(o.quantum));
+
+    std::string force_task;
+    int force_every = 1;
+    if (!o.force_miss.empty()) {
+        force_task = o.force_miss;
+        if (std::size_t colon = force_task.find(':');
+            colon != std::string::npos) {
+            force_every = std::stoi(force_task.substr(colon + 1));
+            force_task = force_task.substr(0, colon);
+        }
+        if (force_every < 1)
+            fatal("--force-miss: EVERY must be at least 1");
+    }
+
+    const std::vector<TaskSetMemberSpec> members =
+        parseTaskSet(o.taskset);
+    std::vector<SchedTaskDef> defs =
+        bench::makeTaskSetDefs(members, std::stod(o.util));
+    bool force_matched = force_task.empty();
+    for (SchedTaskDef &d : defs) {
+        if (d.name == force_task) {
+            d.forceMissEvery = force_every;
+            force_matched = true;
+        }
+    }
+    if (!force_matched)
+        fatal("--force-miss: no task named '%s' in the set",
+              force_task.c_str());
+
+    MultiTaskScheduler sched(cfg);
+    for (const SchedTaskDef &d : defs)
+        sched.addTask(d);
+    if (std::string err = sched.admissionError(); !err.empty())
+        fatal("task set rejected: %s", err.c_str());
+
+    std::unique_ptr<Tracer> tracer = o.trace.makeTracer();
+    std::unique_ptr<ScopedTracer> scope;
+    if (tracer)
+        scope = std::make_unique<ScopedTracer>(*tracer);
+
+    const ScheduleOutcome out = sched.run(std::stoi(o.jobs));
+
+    std::printf("scheduled %d tasks (%s, governor %s) for %d jobs "
+                "each: %.3f ms wall, %d preemptions, %d deadline "
+                "misses, %d checkpoint misses\n",
+                sched.numTasks(), schedPolicyName(cfg.policy),
+                governorPolicyName(cfg.governor), std::stoi(o.jobs),
+                out.wallSeconds * 1e3, out.preemptions,
+                out.deadlineMisses, out.checkpointMisses);
+    int bad_checksums = 0;
+    for (int i = 0; i < sched.numTasks(); ++i) {
+        const SchedTaskStats &st = sched.taskStats(i);
+        bad_checksums += st.badChecksums;
+        std::printf("  %-10s B=%.3g us T=%.3g us: %d jobs, %d deadline "
+                    "misses, %d recoveries, %d preemptions, min slack "
+                    "%.3g us\n",
+                    sched.taskDef(i).name.c_str(),
+                    sched.taskDef(i).runtime.deadlineSeconds * 1e6,
+                    sched.taskDef(i).periodSeconds * 1e6, st.jobs,
+                    st.deadlineMisses, st.checkpointMisses,
+                    st.preemptions, st.minSlackSeconds * 1e6);
+    }
+
+    StatSet stats;
+    sched.buildStats(stats);
+    if (o.do_stats) {
+        std::ostringstream text;
+        stats.dump(text);
+        std::fputs(text.str().c_str(), stdout);
+    }
+    if (!o.stats_json.empty())
+        withOutputStream(o.stats_json, [&](std::ostream &os) {
+            stats.dumpJson(os);
+        });
+    if (tracer) {
+        scope.reset();
+        o.trace.writeOutputs(*tracer);
+    }
+    return out.deadlineMisses == 0 && bad_checksums == 0 ? 0 : 1;
+}
+
 /** Single free run of one program on one pipeline (the classic mode). */
 int
-runOnce(const Options &o, const Program &prog)
+runOnce(const Options &o, Program prog)
 {
-    MainMemory mem;
-    Platform platform;
-    MemController memctrl;
-    mem.loadProgram(prog);
-    std::unique_ptr<Cpu> cpu;
-    if (o.cpu_kind == "simple") {
-        cpu = std::make_unique<SimpleCpu>(prog, mem, platform, memctrl);
-    } else if (o.cpu_kind == "complex" || o.cpu_kind == "simple-mode") {
-        auto ooo = std::make_unique<OooCpu>(prog, mem, platform, memctrl);
-        if (o.cpu_kind == "simple-mode")
-            ooo->switchToSimple();
-        cpu = std::move(ooo);
-    } else {
+    CpuKind kind;
+    if (o.cpu_kind == "simple")
+        kind = CpuKind::Simple;
+    else if (o.cpu_kind == "complex")
+        kind = CpuKind::Complex;
+    else if (o.cpu_kind == "simple-mode")
+        kind = CpuKind::ComplexSimpleMode;
+    else
         fatal("unknown --cpu '%s'", o.cpu_kind.c_str());
-    }
-    cpu->resetForTask();
-    cpu->setFrequency(o.freq);
+    const MHz freq = static_cast<MHz>(std::stoul(o.freq));
 
-    std::unique_ptr<Tracer> tracer = makeTracer(o);
+    auto sim = SimBuilder()
+                   .program(std::move(prog))
+                   .cpu(kind)
+                   .frequency(freq)
+                   .build();
+    Cpu &cpu = sim->cpu();
+
+    std::unique_ptr<Tracer> tracer = o.trace.makeTracer();
     RunResult res;
     {
         std::unique_ptr<ScopedTracer> scope;
         if (tracer)
             scope = std::make_unique<ScopedTracer>(*tracer);
-        res = cpu->run(20'000'000'000ULL);
+        res = cpu.run(20'000'000'000ULL);
     }
     if (res.reason != StopReason::Halted)
         fatal("program did not halt (budget/watchdog)");
 
     std::printf("\nran on %s @ %u MHz: %llu cycles, %llu "
                 "instructions (IPC %.2f, %.2f us)\n",
-                o.cpu_kind.c_str(), o.freq,
-                static_cast<unsigned long long>(cpu->cycles()),
-                static_cast<unsigned long long>(cpu->retired()),
-                static_cast<double>(cpu->retired()) /
-                    static_cast<double>(cpu->cycles()),
-                static_cast<double>(cpu->cycles()) / o.freq);
-    if (platform.checksumReported())
-        std::printf("checksum: 0x%x\n", platform.lastChecksum());
-    if (!platform.consoleOutput().empty())
-        std::printf("console: %s\n", platform.consoleOutput().c_str());
+                o.cpu_kind.c_str(), freq,
+                static_cast<unsigned long long>(cpu.cycles()),
+                static_cast<unsigned long long>(cpu.retired()),
+                static_cast<double>(cpu.retired()) /
+                    static_cast<double>(cpu.cycles()),
+                static_cast<double>(cpu.cycles()) / freq);
+    if (sim->platform().checksumReported())
+        std::printf("checksum: 0x%x\n", sim->platform().lastChecksum());
+    if (!sim->platform().consoleOutput().empty())
+        std::printf("console: %s\n",
+                    sim->platform().consoleOutput().c_str());
     if (o.do_stats) {
         std::printf("\n");
         std::ostringstream os;
-        cpu->dumpStats(os);
+        cpu.dumpStats(os);
         std::fputs(os.str().c_str(), stdout);
     }
-    if (!o.stats_json_path.empty())
-        withOutput(o.stats_json_path,
-                   [&](std::ostream &os) { cpu->dumpStatsJson(os); });
+    if (!o.stats_json.empty())
+        withOutputStream(o.stats_json, [&](std::ostream &os) {
+            cpu.dumpStatsJson(os);
+        });
     if (tracer)
-        writeTraceOutputs(o, *tracer);
+        o.trace.writeOutputs(*tracer);
     return 0;
 }
 
@@ -385,12 +370,19 @@ int
 main(int argc, char **argv)
 {
     try {
-        Options o = parseArgs(argc, argv);
-        if (o.path.empty() && o.workload.empty()) {
-            usage();
+        Options o;
+        o.cli.parse(argc, argv);
+        applyDebugFlag(o.debug);
+        applyThreadsFlag(o.threads);
+        const std::string &path = o.cli.positional();
+
+        if (!o.taskset.empty())
+            return runTaskSet(o);
+        if (path.empty() && o.workload.empty()) {
+            o.cli.printUsage(stderr);
             return 2;
         }
-        if (!o.path.empty() && !o.workload.empty())
+        if (!path.empty() && !o.workload.empty())
             fatal("give either a source file or --workload, not both");
 
         if (!o.runtime.empty())
@@ -405,7 +397,7 @@ main(int argc, char **argv)
                         o.workload.c_str(), prog.size(),
                         prog.subtaskStarts.size());
         } else {
-            prog = assemble(readFile(o.path));
+            prog = assemble(readFile(path));
             std::printf("assembled %zu instructions (%zu sub-task "
                         "markers, %zu loop bounds)\n",
                         prog.size(), prog.subtaskStarts.size(),
@@ -431,7 +423,7 @@ main(int argc, char **argv)
             }
         }
 
-        return runOnce(o, prog);
+        return runOnce(o, std::move(prog));
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/cli.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -255,6 +256,25 @@ lookupKind(const std::string &name, EventKind *kind_out)
 
 int schemaErrors = 0;
 
+/**
+ * Declared version of the file being read. Schema-1 files (PR 2
+ * format) carry no version marker, so absence means 1; schema-2 files
+ * lead with it (a `{"schema":2}` header line in JSONL, a root "schema"
+ * key in Chrome traces). Files newer than this build's table are
+ * rejected rather than mis-validated.
+ */
+int fileSchemaVersion = 1;
+
+void
+noteSchemaVersion(double declared)
+{
+    fileSchemaVersion = static_cast<int>(declared);
+    if (fileSchemaVersion > traceSchemaVersion)
+        fatal("trace declares schema %d but this build understands "
+              "up to %d",
+              fileSchemaVersion, traceSchemaVersion);
+}
+
 void
 schemaError(std::size_t where, const char *fmt, const std::string &arg)
 {
@@ -329,6 +349,15 @@ loadJsonl(const std::string &text)
             schemaError(lineno, "line is not a JSON object%s", "");
             continue;
         }
+        const JsonValue *schema = v.find("schema");
+        if (schema && !v.find("ev")) {
+            // Schema-2+ header line; v1 files simply don't have one.
+            if (schema->type != JsonValue::Type::Number)
+                schemaError(lineno, "non-numeric schema version%s", "");
+            else
+                noteSchemaVersion(schema->number);
+            continue;
+        }
         const JsonValue *ev = v.find("ev");
         const JsonValue *cat = v.find("cat");
         const JsonValue *cycle = v.find("cycle");
@@ -351,6 +380,9 @@ loadChrome(const std::string &text)
 {
     std::vector<DecodedEvent> events;
     JsonValue root = JsonParser(text).parse();
+    const JsonValue *schema = root.find("schema");
+    if (schema && schema->type == JsonValue::Type::Number)
+        noteSchemaVersion(schema->number);
     const JsonValue *list = root.find("traceEvents");
     if (!list || list->type != JsonValue::Type::Array)
         fatal("Chrome trace has no traceEvents array");
@@ -505,40 +537,26 @@ reportFrequencyResidency(const std::vector<DecodedEvent> &events)
                     total > 0 ? 100.0 * c / total : 0.0);
 }
 
-void
-usage()
-{
-    std::fprintf(stderr,
-                 "usage: visa-trace [--validate] trace.{json,jsonl}\n"
-                 "  reads a visa-sim event trace (JSONL or Chrome "
-                 "trace-event JSON)\n"
-                 "  --validate  schema-check only; exit non-zero on any "
-                 "violation\n");
-}
-
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
-    bool validate_only = false;
+    CliParser cli("visa-trace", "trace.{json,jsonl}",
+                  "a visa-sim event trace (JSONL or Chrome "
+                  "trace-event JSON)");
+    bool &validate_only = cli.boolFlag(
+        "--validate",
+        "schema-check only; exit non-zero on any violation");
+
     std::string path;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--validate")
-            validate_only = true;
-        else if (arg == "--help" || arg == "-h") {
-            usage();
-            return 0;
-        } else if (!arg.empty() && arg[0] == '-') {
-            usage();
-            return 2;
-        } else {
-            path = arg;
-        }
-    }
-    if (path.empty()) {
-        usage();
+    try {
+        cli.parse(argc, argv);
+        path = cli.positional();
+        if (path.empty())
+            fatal("no trace file given");
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }
 
@@ -564,13 +582,15 @@ main(int argc, char **argv)
             return 1;
         }
         if (validate_only) {
-            std::printf("OK: %zu events, schema clean (%s format)\n",
-                        events.size(), chrome ? "chrome" : "jsonl");
+            std::printf("OK: %zu events, schema v%d clean (%s format)\n",
+                        events.size(), fileSchemaVersion,
+                        chrome ? "chrome" : "jsonl");
             return 0;
         }
 
-        std::printf("%s: %s format\n", path.c_str(),
-                    chrome ? "chrome trace-event" : "jsonl");
+        std::printf("%s: %s format, schema v%d\n", path.c_str(),
+                    chrome ? "chrome trace-event" : "jsonl",
+                    fileSchemaVersion);
         reportCounts(events);
         reportSlack(events);
         reportMarginHistogram(events);
