@@ -22,13 +22,24 @@
  * model tracks structure occupancy and dependences. Mispredicted
  * branches stall fetch until they resolve (perfect squash: wrong-path
  * instructions consume no resources; documented in DESIGN.md).
+ *
+ * The complex-mode timing core is *event-driven* (DESIGN.md
+ * "Event-driven complex core"): completing instructions wake their
+ * consumers through per-entry waiter lists instead of the issue stage
+ * polling every unissued entry, the ROB and fetch queue are fixed ring
+ * buffers with O(1) seq indexing, and cycles in which no stage can do
+ * anything are skipped in one jump to the next scheduled event. The
+ * model is cycle-for-cycle identical to the historical per-cycle
+ * stepper, which is preserved as verify::RefOooCpu and cross-checked
+ * continuously by the timing-equivalence oracle
+ * (verify/timing_cross.hh) and the golden cycle-count table
+ * (tests/timing_golden_test.cc).
  */
 
 #ifndef VISA_CPU_OOO_CPU_HH
 #define VISA_CPU_OOO_CPU_HH
 
-#include <deque>
-#include <set>
+#include <bit>
 #include <vector>
 
 #include "cpu/bpred.hh"
@@ -126,12 +137,40 @@ class OooCpu final : public Cpu
     {
         ExecInfo info;
         std::uint64_t seq = 0;
-        std::array<std::int64_t, 3> srcProducers{-1, -1, -1};
-        Cycles dispatchCycle = 0;
         Cycles completeCycle = 0;
+        /**
+         * Earliest cycle the entry can issue once its last producer has
+         * issued: max(dispatch cycle + 1, producers' completeCycle).
+         * Folded incrementally — at dispatch for already-issued
+         * producers, at wakeup for the rest.
+         */
+        Cycles readyAt = 0;
+        /**
+         * Dependence-linked wakeup: consumers registered while this
+         * entry was unissued; drained (and their pending counts
+         * decremented) the cycle it issues. The vector lives in the
+         * ring slot and keeps its capacity across reuse, so the steady
+         * state allocates nothing.
+         */
+        std::vector<std::uint64_t> waiters;
+        /** Producers this entry still waits on (0 = data-ready). */
+        std::uint8_t pending = 0;
+        /**
+         * Regfile accesses charged at issue, derived once at dispatch
+         * from the same operand-flags load that drives renaming (the
+         * historical model re-queried the operand table at issue).
+         */
+        std::uint8_t regReads = 0;
+        bool regWrite = false;
         bool issued = false;
-        bool wasMiss = false;
         bool mispredicted = false;
+    };
+
+    /** In-flight (dispatched, unretired) non-MMIO store. */
+    struct StoreRef
+    {
+        std::uint64_t seq;
+        Addr lo, hi;
     };
 
     RunResult runComplex(Cycles budget_end);
@@ -145,10 +184,36 @@ class OooCpu final : public Cpu
     template <bool Traced>
     RunResult runSimpleLoop(Cycles budget_end);
 
-    void fetchStage();
-    void dispatchStage();
-    void issueStage();
-    void retireStage();
+    // Each stage returns how many instructions it moved this cycle.
+    // A cycle where every stage reports zero is the only kind that can
+    // start an idle span, so the run loops consult nextEventCycle()
+    // (and attempt a skip) only then — busy cycles pay nothing for the
+    // event machinery.
+    int fetchStage();
+    int dispatchStage();
+    int issueStage();
+    int retireStage();
+
+    /**
+     * First future cycle at which any stage can make progress, given
+     * the state after this cycle's stages, or noCycleLimit if nothing
+     * is scheduled (only possible when the machine is finished). The
+     * run loops jump straight to it when it is beyond cycle_ + 1; see
+     * DESIGN.md for the argument that the skipped span is observably
+     * empty. @p fetching is false inside the drain loops, which run
+     * with fetch disabled.
+     */
+    Cycles nextEventCycle(bool fetching) const;
+
+    /**
+     * Advance cycle_ to the cycle before @p next (clamped to
+     * @p budget_end and, when the watchdog is live, to its expiry
+     * cycle), ticking the platform across the whole span at once.
+     * @return true if the watchdog expired in the span (cycle_ then
+     * sits exactly on the expiry cycle, as the per-cycle stepper would
+     * leave it).
+     */
+    bool skipIdleCycles(Cycles next, Cycles budget_end);
 
     bool olderStoresIssued(const RobEntry &load) const;
     bool overlapsOlderStore(const RobEntry &load) const;
@@ -157,48 +222,62 @@ class OooCpu final : public Cpu
     /** Corrupt a sub-word load per the injected bug (cold path). */
     void applyLoadExtBug(const ExecInfo &info);
 
-    // ROB sequence numbers are contiguous (dispatch appends, retire pops
-    // the front), so seq lookup is an O(1) index off the oldest entry.
-    // Inline: called up to three times per entry per issue scan.
-    const RobEntry *
-    findBySeq(std::uint64_t seq) const
-    {
-        if (rob_.empty() || seq < rob_.front().seq)
-            return nullptr;
-        std::size_t idx =
-            static_cast<std::size_t>(seq - rob_.front().seq);
-        if (idx >= rob_.size())
-            return nullptr;
-        return &rob_[idx];
-    }
+    // ROB sequence numbers are contiguous (dispatch appends, retire
+    // pops the front), so an entry's ring slot is an O(1) index off the
+    // oldest entry: slot(head + (seq - frontSeq)). Inline: called for
+    // every producer of every dispatched instruction.
     RobEntry *
     findBySeq(std::uint64_t seq)
     {
-        return const_cast<RobEntry *>(
-            static_cast<const OooCpu *>(this)->findBySeq(seq));
+        if (robCount_ == 0)
+            return nullptr;
+        const std::uint64_t front_seq = rob_[robHead_].seq;
+        if (seq < front_seq)
+            return nullptr;
+        const std::size_t idx =
+            static_cast<std::size_t>(seq - front_seq);
+        if (idx >= robCount_)
+            return nullptr;
+        return &rob_[(robHead_ + idx) & robMask_];
     }
 
-    bool
-    sourcesReady(const RobEntry &e) const
+    RobEntry &robFront() { return rob_[robHead_]; }
+    const RobEntry &robFront() const { return rob_[robHead_]; }
+    void
+    robPopFront()
     {
-        for (std::int64_t p : e.srcProducers) {
-            if (p < 0)
-                continue;
-            const RobEntry *prod =
-                findBySeq(static_cast<std::uint64_t>(p));
-            if (!prod)
-                continue;    // producer already retired
-            if (!prod->issued || prod->completeCycle > cycle_)
-                return false;
-        }
-        return true;
+        robHead_ = (robHead_ + 1) & robMask_;
+        --robCount_;
+    }
+    /** The slot a new entry dispatches into (fields are overwritten). */
+    RobEntry &
+    robPushSlot()
+    {
+        RobEntry &e = rob_[(robHead_ + robCount_) & robMask_];
+        ++robCount_;
+        return e;
+    }
+
+    FetchEntry &fqFront() { return fetchQueue_[fqHead_]; }
+    void
+    fqPopFront()
+    {
+        fqHead_ = (fqHead_ + 1) & fqMask_;
+        --fqCount_;
+    }
+    FetchEntry &
+    fqPushSlot()
+    {
+        FetchEntry &e = fetchQueue_[(fqHead_ + fqCount_) & fqMask_];
+        ++fqCount_;
+        return e;
     }
 
     Platform::TickResult tickTo(Cycles to);
 
     bool robFull() const
     {
-        return static_cast<int>(rob_.size()) >= params_.robSize;
+        return static_cast<int>(robCount_) >= params_.robSize;
     }
     int iqOccupancy() const { return iqCount_; }
     int lsqOccupancy() const { return lsqCount_; }
@@ -212,8 +291,12 @@ class OooCpu final : public Cpu
     Cycles ticked_ = 0;
     std::uint64_t seqCounter_ = 0;
 
-    std::deque<FetchEntry> fetchQueue_;
-    std::deque<RobEntry> rob_;
+    // Fixed ring buffers (capacity = next power of two >= the
+    // configured size, so indexing is a mask, not a modulo).
+    std::vector<FetchEntry> fetchQueue_;
+    std::size_t fqHead_ = 0, fqCount_ = 0, fqMask_ = 0;
+    std::vector<RobEntry> rob_;
+    std::size_t robHead_ = 0, robCount_ = 0, robMask_ = 0;
 
     // Last writer (sequence number) of each architectural register.
     std::array<std::int64_t, numIntRegs> lastIntWriter_;
@@ -228,26 +311,36 @@ class OooCpu final : public Cpu
     int iqCount_ = 0;
     int lsqCount_ = 0;
 
-    // Incremental views of the ROB, so the per-cycle issue stage does
-    // not rescan all 128 entries. Each mirrors a predicate the old
-    // full-ROB walks computed; they are updated at dispatch, issue, and
-    // retire, and must stay exactly consistent with rob_.
+    /**
+     * Data-ready, unissued entries in program (seq) order: exactly the
+     * entries whose pending count is zero. The issue stage scans only
+     * this list — the wakeup-list replacement for the historical
+     * sourcesReady() poll over every unissued entry. Entries stay
+     * until they issue (structural stalls keep them here); a ready
+     * entry whose readyAt is still in the future is skipped until that
+     * cycle arrives.
+     */
+    std::vector<std::uint64_t> readyList_;
+    /** Consumers woken mid-scan; merged into readyList_ after it. */
+    std::vector<std::uint64_t> wokenBuf_;
+    /**
+     * Earliest future cycle the issue stage could issue anything:
+     * recomputed by each issueStage() pass, then folded by same-cycle
+     * wakeups and dispatches. Feeds nextEventCycle().
+     */
+    Cycles issueEvent_ = 0;
 
-    /** Dispatched-but-unissued entries, in program (seq) order. */
-    std::vector<std::uint64_t> unissuedSeqs_;
-    /** Unissued non-MMIO stores (min element gates load issue). */
-    std::set<std::uint64_t> unissuedStoreSeqs_;
-    /** In-flight (dispatched, unretired) non-MMIO stores, seq order. */
-    struct StoreRef
-    {
-        std::uint64_t seq;
-        Addr lo, hi;
-    };
-    std::deque<StoreRef> inflightStores_;
+    /** Unissued non-MMIO stores, ascending seq (front gates loads). */
+    std::vector<std::uint64_t> unissuedStoreSeqs_;
+    /** In-flight non-MMIO stores, a ring in program order. */
+    std::vector<StoreRef> inflightStores_;
+    std::size_t storeHead_ = 0, storeCount_ = 0, storeMask_ = 0;
     /** Fill-completion cycles of issued, still-outstanding load misses. */
     std::vector<Cycles> missFillTimes_;
 
     std::uint64_t mispredicts_ = 0;
+    /** Last MshrOccupancy value traced (dedupe: emit per change). */
+    int lastMshrTraced_ = -1;
     /** See testInjectLoadExtBug. */
     bool injectLoadExtBug_ = false;
 

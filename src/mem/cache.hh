@@ -105,6 +105,8 @@ class Cache
     std::uint32_t numSets() const { return numSets_; }
     std::uint32_t assoc() const { return params_.assoc; }
     std::uint32_t blockBytes() const { return params_.blockBytes; }
+    /** log2(blockBytes); addr >> blockShift() == addr / blockBytes(). */
+    std::uint32_t blockShift() const { return blockShift_; }
 
     /** Block-aligned address -> (set, tag). */
     std::uint32_t setIndex(Addr addr) const

@@ -1,0 +1,594 @@
+/**
+ * @file
+ * Frozen per-cycle reference stepper for the complex processor. See
+ * ref_ooo_cpu.hh: this is the pre-event-driven OooCpu implementation,
+ * preserved verbatim for the timing-equivalence cross-check. Do not
+ * "improve" it — its value is that it stays the historical model.
+ */
+
+#include "verify/ref_ooo_cpu.hh"
+
+#include "sim/logging.hh"
+
+namespace visa::verify
+{
+
+RefOooCpu::RefOooCpu(const Program &prog, MainMemory &mem,
+                     Platform &platform, MemController &memctrl,
+                     const OooParams &params)
+    : Cpu(prog, mem, platform, memctrl,
+          CacheParams{"icache", 64 * 1024, 4, 64},
+          CacheParams{"dcache", 64 * 1024, 4, 64}),
+      params_(params),
+      gshare_(params.gshareLog2),
+      indirect_(params.indirectLog2)
+{
+    lastIntWriter_.fill(-1);
+    lastFpWriter_.fill(-1);
+}
+
+void
+RefOooCpu::resetForTask()
+{
+    Cpu::resetForTask();
+    cycle_ = 0;
+    ticked_ = 0;
+    seqCounter_ = 0;
+    fetchQueue_.clear();
+    rob_.clear();
+    lastIntWriter_.fill(-1);
+    lastFpWriter_.fill(-1);
+    lastFccWriter_ = -1;
+    fetchReadyCycle_ = 0;
+    fetchBlockedSeq_ = -1;
+    lastFetchBlock_ = ~0u;
+    haltFetched_ = false;
+    mispredicts_ = 0;
+    iqCount_ = 0;
+    lsqCount_ = 0;
+    timer_.reset();
+    timerBase_ = 0;
+    prevWasLoad_ = false;
+    simpleFetchGroup_ = 0;
+    memctrl_.reset();
+    unissuedSeqs_.clear();
+    unissuedStoreSeqs_.clear();
+    inflightStores_.clear();
+    missFillTimes_.clear();
+    lastMshrTraced_ = -1;
+}
+
+void
+RefOooCpu::flushCachesAndPredictors()
+{
+    Cpu::flushCachesAndPredictors();
+    gshare_.flush();
+    indirect_.flush();
+}
+
+Platform::TickResult
+RefOooCpu::tickTo(Cycles to)
+{
+    if (to <= ticked_)
+        return {};
+    auto res = platform_.tickN(to - ticked_);
+    if (res.expired)
+        res.offset += ticked_;
+    ticked_ = to;
+    return res;
+}
+
+void
+RefOooCpu::advanceIdle(Cycles n)
+{
+    cycle_ += n;
+    if (mode_ == Mode::Simple) {
+        timerBase_ = cycle_;
+        timer_.reset();
+        prevWasLoad_ = false;
+    }
+    tickTo(cycle_);
+    syncActivityCycles();
+}
+
+bool
+RefOooCpu::olderStoresIssued(const RobEntry &load) const
+{
+    return unissuedStoreSeqs_.empty() ||
+           *unissuedStoreSeqs_.begin() >= load.seq;
+}
+
+bool
+RefOooCpu::overlapsOlderStore(const RobEntry &load) const
+{
+    const Addr lo = load.info.effAddr;
+    const Addr hi = lo + static_cast<Addr>(load.info.inst.memBytes());
+    for (const auto &s : inflightStores_) {
+        if (s.seq >= load.seq)
+            break;
+        if (s.lo < hi && lo < s.hi)
+            return true;
+    }
+    return false;
+}
+
+int
+RefOooCpu::outstandingLoadMisses()
+{
+    std::erase_if(missFillTimes_,
+                  [this](Cycles c) { return c <= cycle_; });
+    return static_cast<int>(missFillTimes_.size());
+}
+
+void
+RefOooCpu::fetchStage()
+{
+    if (haltFetched_ || fetchBlockedSeq_ >= 0 || cycle_ < fetchReadyCycle_)
+        return;
+
+    int n = 0;
+    bool block_end = false;
+    bool charged_icache = false;
+    while (n < params_.fetchWidth && !haltFetched_ && !block_end &&
+           static_cast<int>(fetchQueue_.size()) < params_.fetchQueueSize) {
+        const Addr pc = core_.state().pc;
+        const Addr blk = pc / icache_.blockBytes();
+        if (blk != lastFetchBlock_) {
+            bool hit = icache_.access(pc, false);
+            activity_.add(Unit::ICache);
+            charged_icache = true;
+            lastFetchBlock_ = blk;
+            if (!hit) {
+                if (tracer_) [[unlikely]]
+                    tracer_->record(EventKind::IcacheMiss, cycle_, pc);
+                fetchReadyCycle_ = cycle_ + missPenalty();
+                break;
+            }
+        } else if (!charged_icache) {
+            activity_.add(Unit::ICache);
+            charged_icache = true;
+        }
+
+        ExecInfo info = core_.step(false);
+        FetchEntry fe;
+        fe.info = info;
+        fe.seq = seqCounter_++;
+        fe.fetchCycle = cycle_;
+
+        const Instruction &inst = info.inst;
+        if (inst.isCondBranch()) {
+            activity_.add(Unit::Bpred);
+            bool pred = gshare_.predict(pc);
+            gshare_.update(pc, info.taken);
+            if (pred != info.taken) {
+                fe.mispredicted = true;
+                ++mispredicts_;
+                fetchBlockedSeq_ = static_cast<std::int64_t>(fe.seq);
+                block_end = true;
+            } else if (info.taken) {
+                block_end = true;
+            }
+        } else if (inst.isIndirectJump()) {
+            activity_.add(Unit::Bpred);
+            Addr pred_target = indirect_.predict(pc);
+            indirect_.update(pc, info.nextPc);
+            if (pred_target != info.nextPc) {
+                fe.mispredicted = true;
+                ++mispredicts_;
+                fetchBlockedSeq_ = static_cast<std::int64_t>(fe.seq);
+            }
+            block_end = true;
+        } else if (inst.isDirectJump()) {
+            block_end = true;
+        }
+
+        if (tracer_) [[unlikely]] {
+            tracer_->record(EventKind::Fetch, cycle_, pc, fe.seq);
+            if (fe.mispredicted)
+                tracer_->record(EventKind::BranchMispredict, cycle_, pc,
+                                fe.seq, info.taken);
+        }
+
+        if (info.halted)
+            haltFetched_ = true;
+        activity_.add(Unit::FetchQueue);
+        fetchQueue_.push_back(fe);
+        ++n;
+    }
+}
+
+void
+RefOooCpu::dispatchStage()
+{
+    int n = 0;
+    while (n < params_.dispatchWidth && !fetchQueue_.empty()) {
+        const FetchEntry &fe = fetchQueue_.front();
+        if (fe.fetchCycle + static_cast<Cycles>(params_.frontLatency) >
+            cycle_)
+            break;
+        if (robFull())
+            break;
+        if (iqOccupancy() >= params_.iqSize)
+            break;
+        if (fe.info.isMem && !fe.info.isMmio &&
+            lsqOccupancy() >= params_.lsqSize)
+            break;
+
+        RobEntry e;
+        e.info = fe.info;
+        e.seq = fe.seq;
+        e.dispatchCycle = cycle_;
+        e.mispredicted = fe.mispredicted;
+
+        int k = 0;
+        const Instruction &inst = e.info.inst;
+        for (int r : inst.srcIntRegs()) {
+            if (r > 0 && lastIntWriter_[static_cast<std::size_t>(r)] >= 0)
+                e.srcProducers[static_cast<std::size_t>(k++)] =
+                    lastIntWriter_[static_cast<std::size_t>(r)];
+        }
+        for (int r : inst.srcFpRegs()) {
+            if (r >= 0 && lastFpWriter_[static_cast<std::size_t>(r)] >= 0)
+                e.srcProducers[static_cast<std::size_t>(k++)] =
+                    lastFpWriter_[static_cast<std::size_t>(r)];
+        }
+        if (inst.readsFcc() && lastFccWriter_ >= 0)
+            e.srcProducers[static_cast<std::size_t>(k++)] = lastFccWriter_;
+
+        int di = inst.destIntReg();
+        if (di >= 0)
+            lastIntWriter_[static_cast<std::size_t>(di)] =
+                static_cast<std::int64_t>(e.seq);
+        int df = inst.destFpReg();
+        if (df >= 0)
+            lastFpWriter_[static_cast<std::size_t>(df)] =
+                static_cast<std::int64_t>(e.seq);
+        if (inst.writesFcc())
+            lastFccWriter_ = static_cast<std::int64_t>(e.seq);
+
+        activity_.add(Unit::RenameMap);
+        activity_.add(Unit::ActiveList);
+        if (e.info.isMem && !e.info.isMmio)
+            activity_.add(Unit::Lsq);
+
+        rob_.push_back(e);
+        unissuedSeqs_.push_back(e.seq);
+        if (e.info.isMem && !e.info.isLoad && !e.info.isMmio) {
+            unissuedStoreSeqs_.insert(e.seq);
+            const Addr lo = e.info.effAddr;
+            inflightStores_.push_back(
+                {e.seq, lo,
+                 lo + static_cast<Addr>(e.info.inst.memBytes())});
+        }
+        ++iqCount_;
+        if (e.info.isMem && !e.info.isMmio)
+            ++lsqCount_;
+        fetchQueue_.pop_front();
+        ++n;
+    }
+}
+
+void
+RefOooCpu::issueStage()
+{
+    // The historical polling scan: walk every dispatched-but-unissued
+    // entry in program order, re-deriving readiness from sourcesReady()
+    // each cycle.
+    int issued = 0;
+    int misses_outstanding = outstandingLoadMisses();
+    std::size_t keep = 0;
+    const std::size_t n = unissuedSeqs_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t seq = unissuedSeqs_[i];
+        RobEntry &e = *findBySeq(seq);
+        bool do_issue = false;
+
+        if (issued < params_.issueWidth && e.dispatchCycle < cycle_ &&
+            sourcesReady(e)) {
+            if (e.info.isMem && !e.info.isMmio) {
+                if (e.info.isLoad) {
+                    if (olderStoresIssued(e)) {
+                        if (overlapsOlderStore(e)) {
+                            e.completeCycle = cycle_ + 2;
+                            activity_.add(Unit::Lsq);
+                            do_issue = true;
+                        } else if (memPortsUsed_ < params_.dcachePorts) {
+                            bool hit = dcache_.probe(e.info.effAddr);
+                            if (hit || misses_outstanding <
+                                           memctrl_.maxOutstanding()) {
+                                ++memPortsUsed_;
+                                dcache_.access(e.info.effAddr, false);
+                                activity_.add(Unit::DCache);
+                                activity_.add(Unit::Lsq);
+                                if (hit) {
+                                    e.completeCycle = cycle_ + 2;
+                                } else {
+                                    e.completeCycle =
+                                        memctrl_.schedule(cycle_ + 2,
+                                                          freq_);
+                                    e.wasMiss = true;
+                                    ++misses_outstanding;
+                                    missFillTimes_.push_back(
+                                        e.completeCycle);
+                                    if (tracer_) [[unlikely]] {
+                                        tracer_->record(
+                                            EventKind::DcacheMiss, cycle_,
+                                            e.info.effAddr, e.info.pc);
+                                        if (misses_outstanding !=
+                                            lastMshrTraced_) {
+                                            lastMshrTraced_ =
+                                                misses_outstanding;
+                                            tracer_->record(
+                                                EventKind::MshrOccupancy,
+                                                cycle_,
+                                                static_cast<std::uint64_t>(
+                                                    misses_outstanding));
+                                        }
+                                    }
+                                }
+                                do_issue = true;
+                            }
+                        }
+                    }
+                } else {
+                    e.completeCycle = cycle_ + 1;
+                    activity_.add(Unit::Lsq);
+                    unissuedStoreSeqs_.erase(seq);
+                    do_issue = true;
+                }
+            } else {
+                e.completeCycle = cycle_ + e.info.inst.latency();
+                do_issue = true;
+            }
+        }
+
+        if (!do_issue) {
+            unissuedSeqs_[keep++] = seq;
+            continue;
+        }
+
+        const Instruction &inst = e.info.inst;
+        e.issued = true;
+        --iqCount_;
+        ++issued;
+        activity_.add(Unit::IssueQueue);
+        activity_.add(Unit::Fu);
+        activity_.add(Unit::ResultBus);
+        for (int r : inst.srcIntRegs())
+            if (r > 0)
+                activity_.add(Unit::RegfileRead);
+        for (int r : inst.srcFpRegs())
+            if (r >= 0)
+                activity_.add(Unit::RegfileRead);
+        if (inst.destIntReg() >= 0 || inst.destFpReg() >= 0)
+            activity_.add(Unit::RegfileWrite);
+
+        if (static_cast<std::int64_t>(seq) == fetchBlockedSeq_) {
+            fetchReadyCycle_ = e.completeCycle + 1;
+            fetchBlockedSeq_ = -1;
+            if (tracer_) [[unlikely]]
+                tracer_->record(EventKind::Squash, e.completeCycle,
+                                e.info.pc, seq);
+        }
+    }
+    unissuedSeqs_.resize(keep);
+}
+
+void
+RefOooCpu::retireStage()
+{
+    int n = 0;
+    while (n < params_.retireWidth && !rob_.empty()) {
+        RobEntry &e = rob_.front();
+        if (!e.issued || e.completeCycle + 1 > cycle_)
+            break;
+        if (e.info.isMem && !e.info.isLoad && !e.info.isMmio) {
+            if (memPortsUsed_ >= params_.dcachePorts)
+                break;
+            ++memPortsUsed_;
+            bool hit = dcache_.access(e.info.effAddr, true);
+            activity_.add(Unit::DCache);
+            if (!hit) {
+                memctrl_.schedule(cycle_, freq_);
+            }
+            inflightStores_.pop_front();
+        }
+        if (e.info.isMem && !e.info.isMmio)
+            --lsqCount_;
+        if (e.info.halted)
+            halted_ = true;
+        if (tracer_) [[unlikely]]
+            tracer_->record(EventKind::Retire, cycle_, e.info.pc, e.seq);
+        rob_.pop_front();
+        ++retired_;
+        ++n;
+    }
+}
+
+RunResult
+RefOooCpu::runComplex(Cycles budget_end)
+{
+    while (true) {
+        if (halted_ && rob_.empty())
+            return {StopReason::Halted};
+        if (cycle_ >= budget_end)
+            return {StopReason::CycleBudget};
+        ++cycle_;
+        memPortsUsed_ = 0;
+        retireStage();
+        issueStage();
+        dispatchStage();
+        fetchStage();
+        syncActivityCycles();
+        auto t = tickTo(cycle_);
+        if (t.expired) {
+            DPRINTF("Watchdog", "expired at cycle %llu (sub-task %d)\n",
+                    static_cast<unsigned long long>(cycle_),
+                    platform_.currentSubtask());
+            return {StopReason::WatchdogExpired};
+        }
+    }
+}
+
+void
+RefOooCpu::switchToSimple()
+{
+    if (mode_ == Mode::Simple)
+        return;
+    Tracer *tr = currentTracer();
+    const Cycles drain_start = cycle_;
+    while (!rob_.empty() || !fetchQueue_.empty()) {
+        ++cycle_;
+        memPortsUsed_ = 0;
+        retireStage();
+        issueStage();
+        dispatchStage();
+        tickTo(cycle_);
+    }
+    DPRINTF("Mode", "drained at cycle %llu; entering simple mode\n",
+            static_cast<unsigned long long>(cycle_));
+    if (tr) {
+        tr->record(EventKind::ModeSwitchDrain, cycle_,
+                   cycle_ - drain_start);
+        tr->record(EventKind::SimpleModeEnter, cycle_);
+    }
+    mode_ = Mode::Simple;
+    timerBase_ = cycle_;
+    timer_.reset();
+    prevWasLoad_ = false;
+    fetchBlockedSeq_ = -1;
+    fetchReadyCycle_ = cycle_;
+    lastFetchBlock_ = ~0u;
+    syncActivityCycles();
+}
+
+void
+RefOooCpu::switchToComplex()
+{
+    if (mode_ == Mode::Complex)
+        return;
+    if (!rob_.empty() || !fetchQueue_.empty())
+        panic("switchToComplex with a non-idle pipeline");
+    if (Tracer *tr = currentTracer())
+        tr->record(EventKind::SimpleModeExit, cycle_);
+    mode_ = Mode::Complex;
+    fetchReadyCycle_ = cycle_;
+    lastFetchBlock_ = ~0u;
+}
+
+RunResult
+RefOooCpu::runSimple(Cycles budget_end)
+{
+    return tracer_ ? runSimpleLoop<true>(budget_end)
+                   : runSimpleLoop<false>(budget_end);
+}
+
+template <bool Traced>
+RunResult
+RefOooCpu::runSimpleLoop(Cycles budget_end)
+{
+    const Cycles penalty = missPenalty();
+    while (true) {
+        if (halted_)
+            return {StopReason::Halted};
+        if (cycle_ >= budget_end)
+            return {StopReason::CycleBudget};
+
+        const Addr pc = core_.state().pc;
+
+        bool ihit = icache_.access(pc, false);
+        if (simpleFetchGroup_++ % 4 == 0)
+            activity_.add(Unit::ICache);
+        activity_.add(Unit::FetchQueue);
+
+        ExecInfo info = core_.step(true);
+        const Instruction &inst = info.inst;
+
+        bool dhit = true;
+        if (info.isMem && !info.isMmio) {
+            dhit = dcache_.access(info.effAddr, !info.isLoad);
+            activity_.add(Unit::DCache);
+        }
+
+        bool redirect = false;
+        if (inst.isCondBranch()) {
+            redirect = staticPredictTaken(inst, pc) != info.taken;
+        } else if (inst.isIndirectJump()) {
+            redirect = true;
+        }
+
+        TimingRecord rec;
+        rec.exLatency = inst.latency();
+        rec.imissPenalty = ihit ? 0 : penalty;
+        rec.dmissPenalty =
+            (info.isMem && !info.isMmio && !dhit) ? penalty : 0;
+        rec.loadUseStall = prevWasLoad_ && inst.dependsOn(prevInst_);
+        rec.redirect = redirect;
+        timer_.consume(rec);
+        cycle_ = timerBase_ + timer_.totalCycles();
+
+        if constexpr (Traced) {
+            if (!ihit)
+                tracer_->record(EventKind::IcacheMiss, cycle_, pc);
+            if (info.isMem && !info.isMmio && !dhit)
+                tracer_->record(EventKind::DcacheMiss, cycle_,
+                                info.effAddr, pc);
+            if (redirect)
+                tracer_->record(EventKind::BranchMispredict, cycle_, pc,
+                                retired_, info.taken);
+            tracer_->record(EventKind::Retire, cycle_, pc, retired_);
+        }
+
+        int nmap = 0;
+        for (int r : inst.srcIntRegs())
+            if (r > 0) {
+                ++nmap;
+                activity_.add(Unit::RegfileRead);
+            }
+        for (int r : inst.srcFpRegs())
+            if (r >= 0) {
+                ++nmap;
+                activity_.add(Unit::RegfileRead);
+            }
+        if (inst.destIntReg() >= 0 || inst.destFpReg() >= 0) {
+            ++nmap;
+            activity_.add(Unit::RegfileWrite);
+        }
+        activity_.add(Unit::RenameMap, static_cast<std::uint64_t>(nmap));
+        activity_.add(Unit::Fu);
+        activity_.add(Unit::ResultBus);
+
+        auto tick = tickTo(timerBase_ + timer_.lastMemDone());
+        if (info.isMmio)
+            core_.performMmio(info);
+
+        prevInst_ = inst;
+        prevWasLoad_ = info.isLoad;
+        ++retired_;
+        syncActivityCycles();
+
+        if (tick.expired)
+            return {StopReason::WatchdogExpired};
+        if (info.halted) {
+            halted_ = true;
+            cycle_ = timerBase_ + timer_.totalCycles();
+            tickTo(cycle_);
+            return {StopReason::Halted};
+        }
+    }
+}
+
+RunResult
+RefOooCpu::run(Cycles max_cycles)
+{
+    const Cycles budget_end = max_cycles == noCycleLimit
+        ? noCycleLimit
+        : cycle_ + max_cycles;
+    if (halted_)
+        return {StopReason::Halted};
+    tracer_ = currentTracer();
+    return mode_ == Mode::Complex ? runComplex(budget_end)
+                                  : runSimple(budget_end);
+}
+
+} // namespace visa::verify

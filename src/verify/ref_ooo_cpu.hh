@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The reference complex-processor timing stepper: a frozen copy of the
+ * pre-event-driven OooCpu cycle loop (polling issue, tick-per-cycle,
+ * no idle skipping), kept verbatim so the production event-driven core
+ * (cpu/ooo_cpu.cc, DESIGN.md "Event-driven complex core") can be
+ * cross-checked against it cycle for cycle.
+ *
+ * The timing-equivalence oracle (verify/timing_cross.hh) runs the same
+ * program on both implementations with a private event tracer each and
+ * asserts the complete cycle-stamped event streams — every fetch,
+ * retire, squash, mispredict, cache miss, MSHR transition, and mode
+ * switch — are identical, along with final cycle counts and stats.
+ * `visa-fuzz --cross-check-timing` drives it over the fuzz corpus.
+ *
+ * This class is deliberately NOT refactored to share stage code with
+ * OooCpu: sharing would let a bug cancel itself out on both sides. It
+ * must stay a faithful snapshot of the historical per-cycle model; the
+ * only divergence from that snapshot is the MshrOccupancy per-change
+ * dedupe, which landed before the snapshot was taken.
+ */
+
+#ifndef VISA_VERIFY_REF_OOO_CPU_HH
+#define VISA_VERIFY_REF_OOO_CPU_HH
+
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "cpu/bpred.hh"
+#include "cpu/cpu.hh"
+#include "cpu/ooo_cpu.hh"
+#include "cpu/visa_timing.hh"
+#include "sim/trace.hh"
+
+namespace visa::verify
+{
+
+/** The historical per-cycle complex processor (reference stepper). */
+class RefOooCpu final : public Cpu
+{
+  public:
+    enum class Mode { Complex, Simple };
+
+    RefOooCpu(const Program &prog, MainMemory &mem, Platform &platform,
+              MemController &memctrl, const OooParams &params = {});
+
+    void resetForTask() override;
+    RunResult run(Cycles max_cycles = noCycleLimit) override;
+    void advanceIdle(Cycles n) override;
+    Cycles cycles() const override { return cycle_; }
+    void flushCachesAndPredictors() override;
+
+    /** Drain and reconfigure into simple mode (see OooCpu). */
+    void switchToSimple();
+
+    /** Reconfigure back to complex mode; the pipeline must be idle. */
+    void switchToComplex();
+
+    Mode mode() const { return mode_; }
+    std::uint64_t branchMispredicts() const { return mispredicts_; }
+    const OooParams &params() const { return params_; }
+
+  protected:
+    const char *statsName() const override { return "complex"; }
+
+  private:
+    struct FetchEntry
+    {
+        ExecInfo info;
+        std::uint64_t seq = 0;
+        Cycles fetchCycle = 0;
+        bool mispredicted = false;
+    };
+
+    struct RobEntry
+    {
+        ExecInfo info;
+        std::uint64_t seq = 0;
+        std::array<std::int64_t, 3> srcProducers{-1, -1, -1};
+        Cycles dispatchCycle = 0;
+        Cycles completeCycle = 0;
+        bool issued = false;
+        bool wasMiss = false;
+        bool mispredicted = false;
+    };
+
+    RunResult runComplex(Cycles budget_end);
+    RunResult runSimple(Cycles budget_end);
+
+    template <bool Traced>
+    RunResult runSimpleLoop(Cycles budget_end);
+
+    void fetchStage();
+    void dispatchStage();
+    void issueStage();
+    void retireStage();
+
+    bool olderStoresIssued(const RobEntry &load) const;
+    bool overlapsOlderStore(const RobEntry &load) const;
+    int outstandingLoadMisses();
+
+    // ROB sequence numbers are contiguous (dispatch appends, retire pops
+    // the front), so seq lookup is an O(1) index off the oldest entry.
+    const RobEntry *
+    findBySeq(std::uint64_t seq) const
+    {
+        if (rob_.empty() || seq < rob_.front().seq)
+            return nullptr;
+        std::size_t idx =
+            static_cast<std::size_t>(seq - rob_.front().seq);
+        if (idx >= rob_.size())
+            return nullptr;
+        return &rob_[idx];
+    }
+    RobEntry *
+    findBySeq(std::uint64_t seq)
+    {
+        return const_cast<RobEntry *>(
+            static_cast<const RefOooCpu *>(this)->findBySeq(seq));
+    }
+
+    bool
+    sourcesReady(const RobEntry &e) const
+    {
+        for (std::int64_t p : e.srcProducers) {
+            if (p < 0)
+                continue;
+            const RobEntry *prod =
+                findBySeq(static_cast<std::uint64_t>(p));
+            if (!prod)
+                continue;    // producer already retired
+            if (!prod->issued || prod->completeCycle > cycle_)
+                return false;
+        }
+        return true;
+    }
+
+    Platform::TickResult tickTo(Cycles to);
+
+    bool robFull() const
+    {
+        return static_cast<int>(rob_.size()) >= params_.robSize;
+    }
+    int iqOccupancy() const { return iqCount_; }
+    int lsqOccupancy() const { return lsqCount_; }
+
+    OooParams params_;
+    Mode mode_ = Mode::Complex;
+    Gshare gshare_;
+    IndirectPredictor indirect_;
+
+    Cycles cycle_ = 0;
+    Cycles ticked_ = 0;
+    std::uint64_t seqCounter_ = 0;
+
+    std::deque<FetchEntry> fetchQueue_;
+    std::deque<RobEntry> rob_;
+
+    std::array<std::int64_t, numIntRegs> lastIntWriter_;
+    std::array<std::int64_t, numFpRegs> lastFpWriter_;
+    std::int64_t lastFccWriter_ = -1;
+
+    Cycles fetchReadyCycle_ = 0;
+    std::int64_t fetchBlockedSeq_ = -1;   ///< unresolved mispredict
+    Addr lastFetchBlock_ = ~0u;
+    bool haltFetched_ = false;
+    int memPortsUsed_ = 0;
+    int iqCount_ = 0;
+    int lsqCount_ = 0;
+
+    /** Dispatched-but-unissued entries, in program (seq) order. */
+    std::vector<std::uint64_t> unissuedSeqs_;
+    /** Unissued non-MMIO stores (min element gates load issue). */
+    std::set<std::uint64_t> unissuedStoreSeqs_;
+    /** In-flight (dispatched, unretired) non-MMIO stores, seq order. */
+    struct StoreRef
+    {
+        std::uint64_t seq;
+        Addr lo, hi;
+    };
+    std::deque<StoreRef> inflightStores_;
+    /** Fill-completion cycles of issued, still-outstanding load misses. */
+    std::vector<Cycles> missFillTimes_;
+
+    std::uint64_t mispredicts_ = 0;
+    /** Last MshrOccupancy value traced (dedupe: emit per change). */
+    int lastMshrTraced_ = -1;
+
+    Tracer *tracer_ = nullptr;
+
+    // ---- simple-mode engine (shared VISA timing recurrence) ----
+    VisaTimer timer_;
+    Cycles timerBase_ = 0;
+    Instruction prevInst_;
+    bool prevWasLoad_ = false;
+    std::uint64_t simpleFetchGroup_ = 0;
+};
+
+} // namespace visa::verify
+
+#endif // VISA_VERIFY_REF_OOO_CPU_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Timing-equivalence oracle for the event-driven complex core.
+ *
+ * Runs the same program on the production OooCpu (event-driven wakeup,
+ * idle-cycle skipping; cpu/ooo_cpu.cc) and on verify::RefOooCpu (the
+ * frozen per-cycle stepper) with a private event tracer each, and
+ * asserts the complete cycle-stamped event streams are identical:
+ * every fetch, retire, squash, branch mispredict, cache miss, MSHR
+ * transition, and mode-switch event must occur at the same cycle with
+ * the same payload on both sides. Final cycle counts, retired
+ * instruction counts, mispredict counts, and platform outputs are
+ * compared as well.
+ *
+ * This is a far stronger check than comparing end-of-run totals: a
+ * wakeup that fires one cycle late, or an idle skip that jumps past a
+ * cycle in which a stage could have acted, shifts at least one event's
+ * timestamp and is caught at the first occurrence, with a report that
+ * pinpoints it. `visa-fuzz --cross-check-timing` drives this over the
+ * random-program corpus; the `differential` ctest runs it on every
+ * checked-in corpus program and 2k generated ones.
+ *
+ * Optionally the harness exercises the reconfiguration drains too:
+ * at a caller-chosen cycle both sides switchToSimple() (draining the
+ * in-flight window — the drain loop also idle-skips), run a while in
+ * simple mode, and switch back. The ModeSwitchDrain event then encodes
+ * the exact drain length on both sides.
+ */
+
+#ifndef VISA_VERIFY_TIMING_CROSS_HH
+#define VISA_VERIFY_TIMING_CROSS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "isa/program.hh"
+#include "sim/types.hh"
+
+namespace visa
+{
+class OooCpu;
+} // namespace visa
+
+namespace visa::verify
+{
+
+/** Oracle knobs. */
+struct TimingCrossOptions
+{
+    /**
+     * Cycles simulated per scheduling slice. Bounds tracer occupancy
+     * between compare passes: with every kind enabled a cycle can emit
+     * at most ~3 events per pipeline slot, so the default slice keeps
+     * the 1<<16-event rings loss-free with a wide margin.
+     */
+    Cycles sliceCycles = 2048;
+    /** Per-side cycle cap; exceeding it reports a timeout. */
+    Cycles maxCycles = 20'000'000;
+    /** Events shown around the first mismatch. */
+    int reportWindow = 6;
+    /**
+     * When nonzero: once both sides pass this cycle, drain into simple
+     * mode (exercising the drain loop's idle skipping), stay simple for
+     * modeSwitchDwell cycles, then reconfigure back to complex.
+     */
+    Cycles modeSwitchAtCycle = 0;
+    Cycles modeSwitchDwell = 4096;
+    /**
+     * Test hook: called on the candidate (event-driven) core after
+     * construction, e.g. to enable the injected verification bug and
+     * prove the oracle detects a one-sided behavior change.
+     */
+    std::function<void(OooCpu &)> prepareCandidate;
+};
+
+/** Outcome of one cross-check. */
+struct TimingCrossResult
+{
+    /** True iff both cores produced identical timing. */
+    bool equivalent = false;
+    /** A concrete timing divergence was found (report describes it). */
+    bool diverged = false;
+    /** The cycle cap was hit before both sides halted. */
+    bool timedOut = false;
+    /** Cycles simulated on the reference side. */
+    Cycles cycles = 0;
+    /** Events compared equal. */
+    std::uint64_t eventsCompared = 0;
+    /** Human-readable divergence report; empty when equivalent. */
+    std::string report;
+};
+
+/** Cross-check @p prog on the event-driven and reference cores. */
+TimingCrossResult runTimingCross(const Program &prog,
+                                 const TimingCrossOptions &opts = {});
+
+} // namespace visa::verify
+
+#endif // VISA_VERIFY_TIMING_CROSS_HH

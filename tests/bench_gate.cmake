@@ -1,0 +1,114 @@
+# Performance gate: run the bench-report micro benchmarks and campaign
+# phases, then compare the load-bearing metrics against the checked-in
+# baseline (BENCH_PR5.json). The gate fails when a metric is more than
+# 25% worse than baseline:
+#   - OooCpuRun    ns_per_op  (lower is better)
+#   - SimpleCpuRun ns_per_op  (lower is better)
+#   - visa_campaign sim_mips  (higher is better)
+#
+# math(EXPR) has no floating point, so values compare as milli-unit
+# integers (45.559 -> 45559); the "1${frac} - 1000" dance below keeps
+# fraction digits with leading zeros ("057") from being parsed as
+# octal.
+#
+# Wall-clock noise on a loaded host can exceed the 25% margin (the
+# bench phases are tens of milliseconds), so the gate passes if ANY of
+# up to 3 attempts is clean; the ctest entry is RUN_SERIAL so sibling
+# tests do not add contention of our own making.
+#
+# Inputs: -DBENCH_REPORT=<exe> -DBASELINE=<BENCH_PR5.json> -DWORK_DIR=<dir>
+
+foreach(var BENCH_REPORT BASELINE WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "bench_gate: -D${var}=... is required")
+    endif()
+endforeach()
+
+# Decimal string -> milli-unit integer ("45.559" -> 45559, "17" -> 17000).
+function(to_milli value out)
+    if(value MATCHES "^([0-9]+)\\.([0-9]+)$")
+        set(int_part ${CMAKE_MATCH_1})
+        string(SUBSTRING "${CMAKE_MATCH_2}000" 0 3 frac)
+        math(EXPR milli "${int_part} * 1000 + 1${frac} - 1000")
+    elseif(value MATCHES "^[0-9]+$")
+        math(EXPR milli "${value} * 1000")
+    else()
+        message(FATAL_ERROR "bench_gate: unparseable metric value '${value}'")
+    endif()
+    set(${out} ${milli} PARENT_SCOPE)
+endfunction()
+
+# Fetch <key> of the entry named <name> in the JSON array <section>.
+function(bench_metric json section name key out)
+    string(JSON n LENGTH "${json}" ${section})
+    math(EXPR last "${n} - 1")
+    foreach(i RANGE ${last})
+        string(JSON nm GET "${json}" ${section} ${i} name)
+        if(nm STREQUAL name)
+            string(JSON v GET "${json}" ${section} ${i} ${key})
+            set(${out} ${v} PARENT_SCOPE)
+            return()
+        endif()
+    endforeach()
+    message(FATAL_ERROR "bench_gate: '${name}' not found in ${section}")
+endfunction()
+
+file(READ ${BASELINE} base_json)
+bench_metric("${base_json}" benchmarks OooCpuRun ns_per_op base_ooo)
+bench_metric("${base_json}" benchmarks SimpleCpuRun ns_per_op base_simple)
+bench_metric("${base_json}" campaign_phases visa_campaign sim_mips base_mips)
+to_milli(${base_ooo} base_ooo_m)
+to_milli(${base_simple} base_simple_m)
+to_milli(${base_mips} base_mips_m)
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+foreach(attempt RANGE 1 3)
+    execute_process(
+        COMMAND ${BENCH_REPORT} -o ${WORK_DIR}/bench_gate.json
+        RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "bench_gate: bench-report exited with ${rc}")
+    endif()
+    file(READ ${WORK_DIR}/bench_gate.json cur_json)
+    bench_metric("${cur_json}" benchmarks OooCpuRun ns_per_op cur_ooo)
+    bench_metric("${cur_json}" benchmarks SimpleCpuRun ns_per_op cur_simple)
+    bench_metric("${cur_json}" campaign_phases visa_campaign sim_mips cur_mips)
+    to_milli(${cur_ooo} cur_ooo_m)
+    to_milli(${cur_simple} cur_simple_m)
+    to_milli(${cur_mips} cur_mips_m)
+
+    set(failures "")
+    # Lower-is-better: fail when cur > 1.25 * base.
+    math(EXPR lhs "${cur_ooo_m} * 100")
+    math(EXPR rhs "${base_ooo_m} * 125")
+    if(lhs GREATER rhs)
+        string(APPEND failures
+            " OooCpuRun ${cur_ooo} ns/op vs baseline ${base_ooo};")
+    endif()
+    math(EXPR lhs "${cur_simple_m} * 100")
+    math(EXPR rhs "${base_simple_m} * 125")
+    if(lhs GREATER rhs)
+        string(APPEND failures
+            " SimpleCpuRun ${cur_simple} ns/op vs baseline ${base_simple};")
+    endif()
+    # Higher-is-better: fail when cur < 0.75 * base.
+    math(EXPR lhs "${cur_mips_m} * 100")
+    math(EXPR rhs "${base_mips_m} * 75")
+    if(lhs LESS rhs)
+        string(APPEND failures
+            " visa_campaign ${cur_mips} sim-MIPS vs baseline ${base_mips};")
+    endif()
+
+    if(failures STREQUAL "")
+        message(STATUS
+            "bench_gate pass (attempt ${attempt}): OooCpuRun ${cur_ooo} "
+            "(base ${base_ooo}), SimpleCpuRun ${cur_simple} "
+            "(base ${base_simple}), visa_campaign ${cur_mips} sim-MIPS "
+            "(base ${base_mips})")
+        return()
+    endif()
+    message(STATUS "bench_gate attempt ${attempt}/3 over margin:${failures}")
+endforeach()
+
+message(FATAL_ERROR
+    "bench_gate: >25% regression persisted across 3 attempts:${failures}")

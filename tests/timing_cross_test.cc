@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Timing-equivalence oracle tests: the event-driven OooCpu must be
+ * cycle-for-cycle identical to the frozen per-cycle reference stepper
+ * (verify/ref_ooo_cpu.hh) on real workloads, the checked-in corpus,
+ * and generated programs — including runs that drain into simple mode
+ * and back mid-flight. A final test proves the oracle's detection
+ * power by enabling the injected verification bug on the candidate
+ * side only.
+ *
+ * The suite name carries "Differential" so the sanitizer tier
+ * (tests/san_check.cmake) picks it up, putting both cores and the
+ * comparison harness under ASan/UBSan.
+ */
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "cpu/ooo_cpu.hh"
+#include "isa/assembler.hh"
+#include "verify/corpus.hh"
+#include "verify/progen.hh"
+#include "verify/timing_cross.hh"
+#include "workloads/clab.hh"
+
+#ifndef VISA_CORPUS_DIR
+#error "VISA_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace visa
+{
+namespace
+{
+
+using verify::runTimingCross;
+using verify::TimingCrossOptions;
+using verify::TimingCrossResult;
+
+TEST(TimingCrossDifferential, WorkloadsAreCycleIdentical)
+{
+    for (const std::string &name : allWorkloadNames()) {
+        const Workload w = makeWorkload(name);
+        const TimingCrossResult r = runTimingCross(w.program);
+        EXPECT_TRUE(r.equivalent) << name << "\n" << r.report;
+        EXPECT_GT(r.eventsCompared, 0u) << name;
+    }
+}
+
+TEST(TimingCrossDifferential, WorkloadsWithModeSwitchAreCycleIdentical)
+{
+    // Drain mid-flight into simple mode and back: exercises the drain
+    // loop's idle skipping and the ModeSwitchDrain cycle accounting on
+    // a real instruction mix.
+    TimingCrossOptions opts;
+    opts.modeSwitchAtCycle = 5000;
+    opts.modeSwitchDwell = 4096;
+    for (const char *name : {"adpcm", "mm", "jfdctint"}) {
+        const Workload w = makeWorkload(name);
+        const TimingCrossResult r = runTimingCross(w.program, opts);
+        EXPECT_TRUE(r.equivalent) << name << "\n" << r.report;
+    }
+}
+
+TEST(TimingCrossDifferential, CorpusProgramsAreCycleIdentical)
+{
+    const std::filesystem::path dir = VISA_CORPUS_DIR;
+    ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+    int checked = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".s")
+            continue;
+        const verify::ReproCase rc =
+            verify::loadRepro(entry.path().string());
+        const TimingCrossResult r =
+            runTimingCross(assemble(rc.source));
+        EXPECT_TRUE(r.equivalent) << entry.path() << "\n" << r.report;
+        ++checked;
+    }
+    EXPECT_GE(checked, 4);
+}
+
+TEST(TimingCrossDifferential, GeneratedProgramsAreCycleIdentical)
+{
+    verify::GenParams gen;
+    for (std::uint64_t seed = 1; seed <= 48; ++seed) {
+        gen.profile = static_cast<verify::GenProfile>(
+            seed % 4);    // cycle through all profiles
+        const verify::GeneratedProgram g = verify::generate(seed, gen);
+        TimingCrossOptions opts;
+        if (seed % 4 == 0)
+            opts.modeSwitchAtCycle = 1024 + (seed % 7) * 512;
+        const TimingCrossResult r = runTimingCross(g.program, opts);
+        EXPECT_TRUE(r.equivalent)
+            << "seed " << seed << "\n" << r.report;
+    }
+}
+
+TEST(TimingCrossDifferential, DetectsCandidateOnlyBehaviorChange)
+{
+    // Enable the injected subword-load bug on the candidate side only:
+    // the architectural streams fork, so the event streams must too.
+    // This proves a one-sided change cannot slip past the oracle.
+    TimingCrossOptions opts;
+    opts.prepareCandidate = [](OooCpu &cpu) {
+        cpu.testInjectLoadExtBug(true);
+    };
+    const std::filesystem::path dir = VISA_CORPUS_DIR;
+    int detected = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".s")
+            continue;
+        const verify::ReproCase rc =
+            verify::loadRepro(entry.path().string());
+        if (rc.note.find("sign-exten") == std::string::npos)
+            continue;
+        const TimingCrossResult r =
+            runTimingCross(assemble(rc.source), opts);
+        EXPECT_TRUE(r.diverged) << entry.path();
+        EXPECT_FALSE(r.report.empty()) << entry.path();
+        ++detected;
+    }
+    EXPECT_GE(detected, 1);
+}
+
+} // anonymous namespace
+} // namespace visa

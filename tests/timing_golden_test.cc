@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Golden cycle-count regression test: every workload in src/workloads
+ * runs cold-start to completion on each of the three machine
+ * configurations (the simple-fixed pipeline, the complex pipeline in
+ * its default out-of-order mode, and the complex pipeline forced into
+ * the VISA simple mode) and the total cycle count and retired
+ * instruction count are compared against the checked-in table
+ * (tests/timing_golden.inc).
+ *
+ * The table pins the timing model bit-for-bit: any change to the
+ * cycle-level behavior of either pipeline — intended or not — shows up
+ * as an explicit one-line diff of the table, reviewed like any other
+ * code change. The event-driven complex core (DESIGN.md) was landed
+ * against this table unchanged, which is the cycle-identity proof the
+ * refactor claims.
+ *
+ * Regenerating after an intentional timing change:
+ *
+ *   VISA_TIMING_GOLDEN_DUMP=1 build/tests/visa_tests \
+ *       --gtest_filter='TimingGolden.*' 2>/dev/null > tests/timing_golden.inc
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/builder.hh"
+#include "workloads/clab.hh"
+
+namespace visa
+{
+namespace
+{
+
+struct GoldenRow
+{
+    const char *workload;
+    const char *config;
+    std::uint64_t cycles;
+    std::uint64_t retired;
+};
+
+constexpr GoldenRow goldenRows[] = {
+#include "tests/timing_golden.inc"
+};
+
+constexpr const char *configNames[] = {"simple-fixed", "complex",
+                                       "forced-simple"};
+
+CpuKind
+configKind(const std::string &config)
+{
+    if (config == "simple-fixed")
+        return CpuKind::Simple;
+    if (config == "complex")
+        return CpuKind::Complex;
+    return CpuKind::ComplexSimpleMode;
+}
+
+/** Cold-start run of @p workload on @p config until HALT. */
+GoldenRow
+measure(const char *workload, const char *config)
+{
+    auto sim = SimBuilder()
+                   .workload(workload)
+                   .cpu(configKind(config))
+                   .build();
+    RunResult r = sim->cpu().run();
+    EXPECT_EQ(r.reason, StopReason::Halted)
+        << workload << " on " << config << " did not halt";
+    EXPECT_EQ(sim->platform().lastChecksum(),
+              sim->workload()->expectedChecksum)
+        << workload << " on " << config << " computed a bad checksum";
+    return {workload, config, sim->cpu().cycles(), sim->cpu().retired()};
+}
+
+TEST(TimingGolden, AllWorkloadsMatchTable)
+{
+    const bool dump = std::getenv("VISA_TIMING_GOLDEN_DUMP") != nullptr;
+    for (const std::string &name : allWorkloadNames()) {
+        for (const char *config : configNames) {
+            const GoldenRow actual = measure(name.c_str(), config);
+            if (dump) {
+                std::printf("    {\"%s\", \"%s\", %lluull, %lluull},\n",
+                            actual.workload, actual.config,
+                            static_cast<unsigned long long>(actual.cycles),
+                            static_cast<unsigned long long>(
+                                actual.retired));
+                continue;
+            }
+            const GoldenRow *golden = nullptr;
+            for (const GoldenRow &row : goldenRows)
+                if (name == row.workload && actual.config == row.config) {
+                    golden = &row;
+                    break;
+                }
+            ASSERT_NE(golden, nullptr)
+                << "no golden row for " << name << " / " << config
+                << " — regenerate tests/timing_golden.inc (see file "
+                   "comment)";
+            EXPECT_EQ(actual.cycles, golden->cycles)
+                << name << " on " << config
+                << ": cycle count changed — if intentional, regenerate "
+                   "tests/timing_golden.inc (see file comment)";
+            EXPECT_EQ(actual.retired, golden->retired)
+                << name << " on " << config
+                << ": retired count changed — if intentional, regenerate "
+                   "tests/timing_golden.inc (see file comment)";
+        }
+    }
+}
+
+/** The table covers exactly workloads x configs, nothing stale. */
+TEST(TimingGolden, TableIsComplete)
+{
+    const std::size_t expected = allWorkloadNames().size() * 3;
+    EXPECT_EQ(std::size(goldenRows), expected)
+        << "tests/timing_golden.inc is stale — regenerate it (see file "
+           "comment)";
+}
+
+} // anonymous namespace
+} // namespace visa

@@ -18,6 +18,15 @@
  * --inject-load-ext-bug enables a deliberate subword-load
  * sign-extension bug in the candidate pipeline (a hidden test hook) to
  * demonstrate end-to-end detection and minimization.
+ *
+ * --cross-check-timing switches the harness: instead of the
+ * architectural lockstep, every program runs on the event-driven
+ * OooCpu and the frozen per-cycle reference stepper (verify/
+ * timing_cross.hh) and the complete cycle-stamped event streams are
+ * compared. A deterministic quarter of the corpus additionally drains
+ * into simple mode mid-run and back, covering the reconfiguration
+ * paths. This is the continuous proof that the event-driven timing
+ * core is cycle-for-cycle identical to the historical model.
  */
 
 #include <algorithm>
@@ -40,6 +49,7 @@
 #include "verify/minimize.hh"
 #include "verify/oracle.hh"
 #include "verify/progen.hh"
+#include "verify/timing_cross.hh"
 
 using namespace visa;
 using namespace visa::verify;
@@ -58,6 +68,7 @@ struct Options
     std::uint64_t oracleEvery = 512;
     bool minimize = false;
     bool injectBug = false;
+    bool crossCheckTiming = false;
     std::string outDir;
     std::string replayPath;
 };
@@ -82,6 +93,19 @@ lockstepOptions(const Options &opts)
             cpu.testInjectLoadExtBug(true);
         };
     return lo;
+}
+
+TimingCrossOptions
+timingCrossOptions(std::uint64_t seed)
+{
+    TimingCrossOptions xo;
+    // A deterministic quarter of the corpus also exercises the
+    // reconfiguration drains: switch to simple mode at a seed-derived
+    // cycle (so the drain catches the window in many states), dwell,
+    // and switch back.
+    if (seed % 4 == 0)
+        xo.modeSwitchAtCycle = 1024 + (seed % 7) * 512;
+    return xo;
 }
 
 int
@@ -112,13 +136,17 @@ minimizeFailure(const Options &opts, const std::string &source)
     lo.maxInstructions =
         std::min<std::uint64_t>(opts.maxInstructions, 200'000);
     lo.traceTail = 0;
+    TimingCrossOptions xo;
+    xo.maxCycles = 1'000'000;
     const MinimizeResult m =
         minimizeSource(source, [&](const Program &p) {
             // Deleting a jump or halt can send a candidate's PC off the
             // end of the text segment (a PanicError) — reject it, the
             // same way a timeout is rejected.
             try {
-                return runLockstep(p, lo).diverged;
+                return opts.crossCheckTiming
+                           ? runTimingCross(p, xo).diverged
+                           : runLockstep(p, lo).diverged;
             } catch (const std::exception &) {
                 return false;
             }
@@ -154,6 +182,17 @@ fuzz(const Options &opts)
             const std::uint64_t index = base + i;
             const std::uint64_t seed = opts.seed + index;
             const GeneratedProgram g = generate(seed, gen);
+            if (opts.crossCheckTiming) {
+                const TimingCrossResult x =
+                    runTimingCross(g.program, timingCrossOptions(seed));
+                instructions += x.eventsCompared;
+                if (!x.equivalent)
+                    record({index, seed,
+                            x.diverged ? "timing-divergence"
+                                       : "timing-timeout",
+                            x.report, g.source});
+                return;
+            }
             const LockstepResult r =
                 runLockstep(g.program, lockstepOptions(opts));
             instructions += r.instructions;
@@ -189,10 +228,12 @@ fuzz(const Options &opts)
         std::chrono::duration_cast<std::chrono::duration<double>>(t1 -
                                                                   t0)
             .count();
-    std::printf("%llu programs, %llu instructions, %.2f s "
+    std::printf("%llu programs, %llu %s, %.2f s "
                 "(%.0f programs/s)\n",
                 static_cast<unsigned long long>(done),
                 static_cast<unsigned long long>(instructions.load()),
+                opts.crossCheckTiming ? "timing events compared"
+                                      : "instructions",
                 secs, secs > 0 ? static_cast<double>(done) / secs : 0);
 
     if (failures.empty()) {
@@ -214,7 +255,8 @@ fuzz(const Options &opts)
                 f.report.c_str());
 
     std::string source = f.source;
-    if (opts.minimize && f.kind == "divergence")
+    if (opts.minimize &&
+        (f.kind == "divergence" || f.kind == "timing-divergence"))
         source = minimizeFailure(opts, source);
     else if (opts.minimize)
         std::fprintf(stderr,
@@ -272,6 +314,10 @@ main(int argc, char **argv)
     bool &inject = cli.boolFlag(
         "--inject-load-ext-bug",
         "enable the candidate's deliberate subword-load bug");
+    bool &cross_timing = cli.boolFlag(
+        "--cross-check-timing",
+        "compare the event-driven core against the per-cycle "
+        "reference stepper instead of the architectural lockstep");
     std::string &debug = addDebugFlag(cli);
 
     try {
@@ -293,6 +339,7 @@ main(int argc, char **argv)
             std::strtoull(oracle_every.c_str(), nullptr, 0);
         opts.minimize = minimize;
         opts.injectBug = inject;
+        opts.crossCheckTiming = cross_timing;
         opts.outDir = out_dir;
         opts.replayPath = replay_path;
 
