@@ -126,11 +126,37 @@ BENCHMARK(BM_LoadProgram);
 void
 BM_ExecCoreStep(benchmark::State &state)
 {
+    // Functional-core throughput via the block-granular fast path
+    // (runFunctional); the per-call step() API is measured by
+    // BM_ExecCoreStepUncached below and by the pipeline benchmarks.
     const Workload &wl = cachedWorkload("mm");
     MainMemory mem;
     mem.loadProgram(wl.program);
     Platform platform;
     ExecCore core(wl.program, mem, platform);
+    std::int64_t insts = 0;
+    for (auto _ : state) {
+        core.reset();
+        ExecCore::FuncRunResult r =
+            core.runFunctional(20'000'000'000ULL);
+        insts += static_cast<std::int64_t>(r.insts);
+        benchmark::DoNotOptimize(core.state().pc);
+    }
+    state.SetItemsProcessed(insts);
+}
+BENCHMARK(BM_ExecCoreStep)->Unit(benchmark::kMillisecond);
+
+void
+BM_ExecCoreStepUncached(benchmark::State &state)
+{
+    // The --no-block-cache path: per-instruction fetch/decode-dispatch.
+    // The delta against BM_ExecCoreStep is the translation cache's win.
+    const Workload &wl = cachedWorkload("mm");
+    MainMemory mem;
+    mem.loadProgram(wl.program);
+    Platform platform;
+    ExecCore core(wl.program, mem, platform);
+    core.setBlockCacheEnabled(false);
     std::int64_t insts = 0;
     for (auto _ : state) {
         core.reset();
@@ -143,7 +169,7 @@ BM_ExecCoreStep(benchmark::State &state)
     }
     state.SetItemsProcessed(insts);
 }
-BENCHMARK(BM_ExecCoreStep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExecCoreStepUncached)->Unit(benchmark::kMillisecond);
 
 void
 BM_VisaTimerRecurrence(benchmark::State &state)

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Basic-block pre-decode: the translation-cache data structures shared
+ * by the functional execution core (src/cpu) and the WCET analyzer's
+ * CFG construction (src/wcet).
+ *
+ * A CodeBlock is the straight-line run of instructions from one entry
+ * PC up to and including the next control transfer (or HALT / end of
+ * text). Each instruction is stored as a PredecodedInst: the decoded
+ * Instruction plus every per-opcode table value the executor would
+ * otherwise reload per dynamic instruction (operand-role flags, memory
+ * width, functional class). The BlockMap owns all blocks, indexed by
+ * start word for O(1) lookup, and carries chained fall-through/taken
+ * pointers so steady-state execution never touches the index at all.
+ *
+ * This module is purely structural: it reads instruction storage the
+ * caller provides and never touches MainMemory. Invalidation policy
+ * (per-page generation counters, store-to-code detection) lives in the
+ * executor that composes a BlockMap with a memory (cpu/cpu.hh).
+ */
+
+#ifndef VISA_ISA_PREDECODE_HH
+#define VISA_ISA_PREDECODE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "sim/types.hh"
+
+namespace visa
+{
+
+/**
+ * One pre-resolved instruction record. The opcode doubles as the
+ * dispatch key of the executor's threaded switch (it is already a
+ * dense uint8), so no separate handler index is stored; the satellite
+ * fields cache the per-opcode table lookups.
+ */
+struct alignas(16) PredecodedInst
+{
+    Instruction inst;
+    std::uint16_t flags = 0;      ///< detail::operandFlags(inst.op)
+    std::uint8_t memBytes = 0;    ///< access width, 0 for non-memory
+    std::uint8_t cls = 0;         ///< static_cast<uint8_t>(classOf(op))
+};
+
+/**
+ * Dispatch key of the trailing end-of-block sentinel record. Every
+ * decoded CodeBlock carries one extra PredecodedInst with this opcode
+ * after its `count` real records, so a threaded executor can dispatch
+ * unconditionally and let the sentinel's handler end the block instead
+ * of comparing the cursor against an end pointer per instruction. The
+ * value sits one slot past the Opcode::NumOpcodes marker used for
+ * undecodable words; BlockMap::ensure normalizes every out-of-range
+ * opcode in a real record to NumOpcodes, so no program-supplied word
+ * can collide with the sentinel.
+ */
+constexpr Opcode blockEndOpcode =
+    static_cast<Opcode>(detail::numOpcodeSlots + 1);
+
+/**
+ * @return the length in instructions of the straight-line run starting
+ * at @p start: everything up to and including the first control
+ * transfer, HALT, or undecodable opcode, clamped to the end of text.
+ * Returns 0 when @p start is outside [@p base, @p base + 4*@p n) or
+ * misaligned. Shared by the execution block cache and the WCET CFG
+ * builder so both carve identical basic blocks.
+ */
+std::uint32_t straightLineLength(const Instruction *text, std::size_t n,
+                                 Addr base, Addr start);
+
+/** A decoded basic block plus its chained control-flow edges. */
+struct CodeBlock
+{
+    Addr startPc = 0;
+    /** Word index of startPc in the text segment. */
+    std::uint32_t firstWord = 0;
+    /** Instruction count, terminator included. */
+    std::uint32_t count = 0;
+    /** False after invalidation; re-decoded in place on next entry. */
+    bool valid = false;
+    /**
+     * Lazily resolved successor blocks. Chains are hints: the executor
+     * must confirm startPc (an indirect jump can go anywhere) and
+     * validity before following one. Blocks are never freed before the
+     * owning BlockMap, so a stale chain pointer is checkable, not
+     * dangling.
+     */
+    CodeBlock *chainFall = nullptr;
+    CodeBlock *chainTaken = nullptr;
+    /** count real records plus the trailing blockEndOpcode sentinel. */
+    std::vector<PredecodedInst> insts;
+
+    /** Address of the instruction after the block's last one. */
+    Addr fallPc() const { return startPc + 4 * count; }
+};
+
+/**
+ * The translation cache: every block decoded so far, indexed by start
+ * word. Blocks are allocated once per distinct start PC and re-decoded
+ * in place after invalidation, which keeps every CodeBlock* stable for
+ * the lifetime of the map.
+ */
+class BlockMap
+{
+  public:
+    /** Size the index for a text segment of @p words instructions. */
+    void reset(std::size_t words);
+
+    /**
+     * @return the valid block starting at @p pc, decoding (or
+     * re-decoding) it from @p text as needed; nullptr when @p pc is
+     * outside the indexed text range or misaligned.
+     */
+    CodeBlock *ensure(const Instruction *text, std::size_t n, Addr base,
+                      Addr pc);
+
+    /**
+     * Invalidate every block overlapping word indices
+     * [@p lo, @p hi] (inclusive). Blocks stay allocated and are
+     * re-decoded in place on their next entry.
+     */
+    void invalidateWords(std::size_t lo, std::size_t hi);
+
+    /** Blocks decoded or re-decoded since construction. */
+    std::uint64_t blocksDecoded() const { return blocksDecoded_; }
+    /** ensure() calls served by an already-valid block. */
+    std::uint64_t blockHits() const { return blockHits_; }
+    /** Blocks invalidated by invalidateWords(). */
+    std::uint64_t invalidations() const { return invalidations_; }
+    /** Instructions decoded into blocks (counts re-decodes). */
+    std::uint64_t instsDecoded() const { return instsDecoded_; }
+
+  private:
+    std::vector<std::unique_ptr<CodeBlock>> blocks_;
+    /** Start-word -> block, nullptr until first entry at that PC. */
+    std::vector<CodeBlock *> byWord_;
+    std::uint64_t blocksDecoded_ = 0;
+    std::uint64_t blockHits_ = 0;
+    std::uint64_t invalidations_ = 0;
+    std::uint64_t instsDecoded_ = 0;
+};
+
+} // namespace visa
+
+#endif // VISA_ISA_PREDECODE_HH

@@ -101,8 +101,46 @@ MainMemory::readBytes(Addr addr, void *dst, std::size_t n) const
 }
 
 void
+MainMemory::setCodeRange(Addr base, Addr bytes)
+{
+    const Addr end = base + bytes;
+    if (codeEnd_ > codeBase_) {    // union with the existing range
+        base = std::min(base, codeBase_);
+        bytes = std::max(end, codeEnd_) - base;
+    }
+    const Addr first_page = base >> pageBits;
+    const Addr last_page = (base + bytes - 1) >> pageBits;
+    std::vector<std::uint64_t> gens(last_page - first_page + 1, 0);
+    if (codeEnd_ > codeBase_) {
+        // Preserve existing counters at their (possibly shifted) slots.
+        const Addr old_first = codeBase_ >> pageBits;
+        for (std::size_t i = 0; i < codePageGens_.size(); ++i)
+            gens[old_first - first_page + i] = codePageGens_[i];
+    }
+    codePageGens_ = std::move(gens);
+    codeBase_ = base;
+    codeEnd_ = base + bytes;
+}
+
+void
+MainMemory::noteCodeWrite(Addr addr, Addr bytes)
+{
+    const Addr lo = std::max(addr, codeBase_);
+    const Addr hi = std::min(addr + bytes, codeEnd_);
+    if (lo >= hi)
+        return;
+    ++codeWriteCount_;
+    const Addr first = codeBase_ >> pageBits;
+    for (Addr p = lo >> pageBits; p <= (hi - 1) >> pageBits; ++p)
+        ++codePageGens_[p - first];
+}
+
+void
 MainMemory::writeBytes(Addr addr, const void *src, std::size_t n)
 {
+    if (addr + static_cast<Addr>(n) > codeBase_ && addr < codeEnd_)
+        [[unlikely]]
+        noteCodeWrite(addr, static_cast<Addr>(n));
     const auto *in = static_cast<const std::uint8_t *>(src);
     while (n > 0) {
         const Addr off = addr & pageMask;
@@ -139,6 +177,8 @@ MainMemory::loadProgram(const Program &prog)
     // Pre-touch every text and data page so the first simulated
     // accesses never pay the map-insert cost mid-run.
     const Addr text_bytes = static_cast<Addr>(prog.words.size() * 4);
+    if (text_bytes)
+        setCodeRange(prog.textBase, text_bytes);
     for (Addr a = prog.textBase & ~pageMask; a < prog.textBase + text_bytes;
          a += pageSize)
         touchPage(a);

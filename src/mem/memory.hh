@@ -47,6 +47,9 @@ class MainMemory
     void
     write(Addr addr, std::uint64_t value, int bytes)
     {
+        if (addr + static_cast<Addr>(bytes) > codeBase_ &&
+            addr < codeEnd_) [[unlikely]]
+            noteCodeWrite(addr, static_cast<Addr>(bytes));
         const Addr off = addr & pageMask;
         if ((addr >> pageBits) == cachedIdx_ &&
             off + static_cast<Addr>(bytes) <= pageSize) [[likely]] {
@@ -100,6 +103,30 @@ class MainMemory
 
     /** Page size of the flat-page table, bytes. */
     static constexpr Addr pageBytes() { return pageSize; }
+
+    /**
+     * Register [base, base+bytes) as executable code so stores into it
+     * are flagged for the pre-decoded block caches. Called by
+     * loadProgram before it writes the text image (the load itself
+     * bumps the counters, which a resync then observes as a no-op word
+     * diff). Re-registration extends the tracked range to the union.
+     */
+    void setCodeRange(Addr base, Addr bytes);
+
+    /** Total stores that touched the registered code range. */
+    std::uint64_t codeWriteCount() const { return codeWriteCount_; }
+
+    /**
+     * Monotonic write-generation of the code page containing @p a
+     * (0 when @p a is outside the registered range).
+     */
+    std::uint64_t
+    codePageGen(Addr a) const
+    {
+        if (a - codeBase_ >= codeEnd_ - codeBase_)
+            return 0;
+        return codePageGens_[(a >> pageBits) - (codeBase_ >> pageBits)];
+    }
 
     /**
      * Base addresses of every materialized (dirty) page, ascending.
@@ -170,6 +197,9 @@ class MainMemory
     std::uint64_t readSlow(Addr addr, int bytes) const;
     void writeSlow(Addr addr, std::uint64_t value, int bytes);
 
+    /** Bump generation counters for a store into the code range. */
+    void noteCodeWrite(Addr addr, Addr bytes);
+
     std::uint8_t readByte(Addr a) const;
     void writeByte(Addr a, std::uint8_t v);
 
@@ -177,6 +207,13 @@ class MainMemory
     /** One-entry page cache: index and pointer of the last-hit page. */
     mutable Addr cachedIdx_ = noPage;
     mutable Page *cachedPage_ = nullptr;
+
+    /** Registered executable range; empty (0, 0) until loadProgram. */
+    Addr codeBase_ = 0;
+    Addr codeEnd_ = 0;
+    std::uint64_t codeWriteCount_ = 0;
+    /** Per-code-page write generations, indexed from codeBase_'s page. */
+    std::vector<std::uint64_t> codePageGens_;
 };
 
 } // namespace visa

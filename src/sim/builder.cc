@@ -85,6 +85,14 @@ SimBuilder::frequency(MHz f)
 }
 
 SimBuilder &
+SimBuilder::blockCache(bool on)
+{
+    blockCache_ = on;
+    blockCacheSet_ = true;
+    return *this;
+}
+
+SimBuilder &
 SimBuilder::runtime(RuntimeKind kind, const WcetTable &wcet,
                     const DvsTable &dvs, RuntimeConfig cfg)
 {
@@ -135,6 +143,8 @@ SimBuilder::build()
         sim->ooo_ = cpu.get();
         sim->cpu_ = std::move(cpu);
     }
+    if (blockCacheSet_)
+        sim->cpu_->execCore().setBlockCacheEnabled(blockCache_);
     sim->cpu_->resetForTask();
     if (kind == CpuKind::ComplexSimpleMode)
         sim->ooo_->switchToSimple();

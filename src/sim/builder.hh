@@ -107,6 +107,14 @@ class SimBuilder
     SimBuilder &cpu(CpuKind kind);
     /** Initial clock; defaults to the pipeline's reset frequency. */
     SimBuilder &frequency(MHz f);
+    /**
+     * Enable or disable the functional core's basic-block translation
+     * cache for the built pipeline. Defaults to the process-wide
+     * default (ExecCore::blockCacheDefault, flipped by the tools'
+     * --no-block-cache flag); both settings are architecturally
+     * identical, so this is an escape hatch and differential knob.
+     */
+    SimBuilder &blockCache(bool on);
 
     /**
      * Attach a DVS runtime. The runtime dictates the pipeline
@@ -132,6 +140,8 @@ class SimBuilder
     CpuKind cpuKind_ = CpuKind::Simple;
     bool cpuKindSet_ = false;
     MHz freq_ = 0;
+    bool blockCache_ = true;
+    bool blockCacheSet_ = false;
     RuntimeKind runtimeKind_ = RuntimeKind::None;
     const WcetTable *wcet_ = nullptr;
     const DvsTable *dvs_ = nullptr;

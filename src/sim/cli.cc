@@ -196,6 +196,15 @@ applyThreadsFlag(const std::string &value)
     setenv("VISA_THREADS", value.c_str(), 1);
 }
 
+bool &
+addNoBlockCacheFlag(CliParser &cli)
+{
+    return cli.boolFlag("--no-block-cache",
+                        "disable the functional core's basic-block "
+                        "translation cache (slower; architecturally "
+                        "identical)");
+}
+
 std::string &
 addDebugFlag(CliParser &cli)
 {

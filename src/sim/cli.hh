@@ -129,6 +129,15 @@ std::string &addThreadsFlag(CliParser &cli);
  */
 void applyThreadsFlag(const std::string &value);
 
+/**
+ * Register --no-block-cache; @return its slot. The flag disables the
+ * functional core's basic-block translation cache process-wide. This
+ * layer only registers it: after parse(), the tool applies a true
+ * value with ExecCore::setBlockCacheDefault(false) before building any
+ * rig (the CLI library sits below the CPU library and cannot call it).
+ */
+bool &addNoBlockCacheFlag(CliParser &cli);
+
 /** Register --debug (help|flag[,flag...]). */
 std::string &addDebugFlag(CliParser &cli);
 /**

@@ -114,11 +114,12 @@ struct Side
 
     template <typename CpuT>
     void
-    makeCpu(const Program &prog)
+    makeCpu(const Program &prog, bool blockCache)
     {
         auto c = std::make_unique<CpuT>(prog, mem, platform, memctrl);
         cpu = std::move(c);
         cpu->resetForTask();
+        cpu->execCore().setBlockCacheEnabled(blockCache);
         cpu->execCore().setObserver(&rec);
     }
 
@@ -312,9 +313,9 @@ runLockstep(const Program &prog, const LockstepOptions &opts)
     LockstepResult res;
 
     Side ref(prog, "reference(simple)");
-    ref.makeCpu<SimpleCpu>(prog);
+    ref.makeCpu<SimpleCpu>(prog, opts.refBlockCache);
     Side cand(prog, "candidate(complex)");
-    cand.makeCpu<OooCpu>(prog);
+    cand.makeCpu<OooCpu>(prog, opts.candBlockCache);
     if (opts.prepareComplex)
         opts.prepareComplex(static_cast<OooCpu &>(*cand.cpu));
 

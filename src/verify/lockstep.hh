@@ -50,6 +50,14 @@ struct LockstepOptions
     /** Skip the final page-by-page memory diff (for speed). */
     bool compareMemory = true;
     /**
+     * Per-side basic-block translation cache switches. Defaulting both
+     * on matches production; splitting them (one side cached, one not)
+     * turns every lockstep run into a cache-on/off equivalence check
+     * on top of the pipeline diff.
+     */
+    bool refBlockCache = true;
+    bool candBlockCache = true;
+    /**
      * Test hook: called on the complex rig's CPU after construction
      * (e.g. to enable the injected verification bug).
      */

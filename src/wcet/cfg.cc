@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "isa/predecode.hh"
 #include "sim/logging.hh"
 
 namespace visa
@@ -34,12 +35,33 @@ Cfg::buildBlocks()
             work.push_back(a);
     };
 
+    // Discover reachable code one straight-line run at a time via the
+    // translation cache's pre-decode primitive (isa/predecode.hh), so
+    // the analyzer and the executor carve identical runs from the same
+    // code.
+    const Instruction *text = prog.text.data();
+    const std::size_t words = prog.text.size();
     while (!work.empty()) {
-        Addr pc = work.front();
+        const Addr start = work.front();
         work.pop_front();
-        if (reachable.count(pc))
+        if (reachable.count(start))
             continue;
-        reachable.insert(pc);
+        const std::uint32_t len =
+            straightLineLength(text, words, prog.textBase, start);
+        if (len == 0)
+            fatal("cfg: control flow leaves text at 0x%x", start);
+        // Mark the run; stop early if it merges into the tail of an
+        // already-scanned run (its terminator was handled there).
+        std::uint32_t k = 0;
+        for (; k < len; ++k) {
+            const Addr a = start + 4 * k;
+            if (reachable.count(a))
+                break;
+            reachable.insert(a);
+        }
+        if (k < len)
+            continue;
+        const Addr pc = start + 4 * (len - 1);
         const Instruction &inst = prog.at(pc);
         switch (inst.cls()) {
           case InstrClass::CondBranch:
@@ -68,6 +90,8 @@ Cfg::buildBlocks()
           case InstrClass::Halt:
             break;
           default:
+            // The run was clamped by the end of text: falling through
+            // would leave the program.
             enqueue(pc + 4);
         }
     }

@@ -1,6 +1,6 @@
 # Performance gate: run the bench-report micro benchmarks and campaign
 # phases, then compare the load-bearing metrics against the checked-in
-# baseline (BENCH_PR5.json). The gate fails when a metric is more than
+# baseline (currently BENCH_PR6.json). The gate fails when a metric is more than
 # 25% worse than baseline:
 #   - OooCpuRun    ns_per_op  (lower is better)
 #   - SimpleCpuRun ns_per_op  (lower is better)
@@ -16,7 +16,7 @@
 # up to 3 attempts is clean; the ctest entry is RUN_SERIAL so sibling
 # tests do not add contention of our own making.
 #
-# Inputs: -DBENCH_REPORT=<exe> -DBASELINE=<BENCH_PR5.json> -DWORK_DIR=<dir>
+# Inputs: -DBENCH_REPORT=<exe> -DBASELINE=<BENCH_PR*.json> -DWORK_DIR=<dir>
 
 foreach(var BENCH_REPORT BASELINE WORK_DIR)
     if(NOT DEFINED ${var})

@@ -318,6 +318,7 @@ main(int argc, char **argv)
         "--cross-check-timing",
         "compare the event-driven core against the per-cycle "
         "reference stepper instead of the architectural lockstep");
+    bool &no_block_cache = addNoBlockCacheFlag(cli);
     std::string &debug = addDebugFlag(cli);
 
     try {
@@ -326,6 +327,10 @@ main(int argc, char **argv)
         // Must precede the first parallelFor: simThreads() reads the
         // exported count once.
         applyThreadsFlag(threads);
+        // Must precede rig construction: each ExecCore latches the
+        // default when built.
+        if (no_block_cache)
+            ExecCore::setBlockCacheDefault(false);
 
         Options opts;
         opts.seed = std::strtoull(seed.c_str(), nullptr, 0);

@@ -120,6 +120,7 @@ struct Options
     TraceFlags trace{cli};
     std::string &stats_json = addStatsJsonFlag(cli);
     std::string &threads = addThreadsFlag(cli);
+    bool &no_block_cache = addNoBlockCacheFlag(cli);
     std::string &debug = addDebugFlag(cli);
 };
 
@@ -374,6 +375,10 @@ main(int argc, char **argv)
         o.cli.parse(argc, argv);
         applyDebugFlag(o.debug);
         applyThreadsFlag(o.threads);
+        // Must precede rig construction: each ExecCore latches the
+        // default when built.
+        if (o.no_block_cache)
+            ExecCore::setBlockCacheDefault(false);
         const std::string &path = o.cli.positional();
 
         if (!o.taskset.empty())
