@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/prof/prof.hh"
 
 namespace visa
 {
@@ -42,6 +43,9 @@ DvsRuntime::buildStats(StatSet &set) const
         .set(static_cast<std::uint64_t>(stats_.checkpointMisses));
     g.scalar("deadline_misses", "deadline violations (must stay 0)")
         .set(static_cast<std::uint64_t>(stats_.deadlineMisses));
+    g.scalar("aet_cycles_total",
+             "sum of guest-reported sub-task AETs (all tasks)")
+        .set(aetCyclesTotal_);
     g.formula("checkpoint_miss_rate",
               [this] {
                   // Deliberately unguarded: 0/0 before any task ran is
@@ -195,6 +199,20 @@ DvsRuntime::beginInstance(bool induce_miss)
     aets_.clear();
     platform.onAetReport = [this](int sub, std::uint64_t aet) {
         aets_.emplace_back(sub, aet);
+        aetCyclesTotal_ += aet;
+        if (prof::BlockProfiler *prof = prof::currentProfiler()) {
+            prof::CheckpointRecord rec;
+            rec.subtask = sub;
+            rec.aet = aet;
+            if (sub >= 1 && sub <= pets_.numSubtasks()) {
+                rec.pet = pets_.petCycles(sub - 1);
+                rec.wcet =
+                    wcet_.subtaskCycles(sub - 1, cpu_.frequency());
+            }
+            rec.freq = cpu_.frequency();
+            rec.stamp = tracedCycles_ + cpu_.cycles();
+            prof->recordCheckpoint(rec);
+        }
         if (armed_ && sub >= 1 && sub <= pets_.numSubtasks()) {
             const std::uint64_t pet = pets_.petCycles(sub - 1);
             const std::uint64_t slack = pet > aet ? pet - aet : 0;

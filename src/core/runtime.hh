@@ -204,6 +204,9 @@ class DvsRuntime
 
     const ExperimentStats &stats() const { return stats_; }
     PetEstimator &pets() { return pets_; }
+    /** Sum of all AETs the guest reported, across every task run. The
+     *  profiler's checkpoint records reconcile against this exactly. */
+    std::uint64_t aetCyclesTotal() const { return aetCyclesTotal_; }
     int tasksRun() const { return tasksRun_; }
     double deadlineSeconds() const { return cfg_.deadlineSeconds; }
     const RuntimeConfig &config() const { return cfg_; }
@@ -306,6 +309,9 @@ class DvsRuntime
      * (per-task cycle counters reset to zero each instance).
      */
     Cycles tracedCycles_ = 0;
+
+    /** See aetCyclesTotal(). */
+    std::uint64_t aetCyclesTotal_ = 0;
 };
 
 /**

@@ -4,6 +4,7 @@
 
 #include "isa/encoding.hh"
 #include "sim/logging.hh"
+#include "sim/prof/prof.hh"
 #include "sim/stats.hh"
 
 namespace visa
@@ -66,11 +67,18 @@ ExecCore::refill()
 ExecCore::FuncRunResult
 ExecCore::runFunctional(std::uint64_t max_insts)
 {
+    // Hoisted once per run, like the pipelines hoist the tracer: the
+    // batch path below pays one predicted branch per *block* when no
+    // profiler is installed (and none at all under -DVISA_PROFILING=0,
+    // where currentProfiler() is a constant nullptr).
+    prof::BlockProfiler *const prof = prof::currentProfiler();
     std::uint64_t n = 0;
     if (!cacheOn_ || obs_) {
         while (n < max_insts) {
             const ExecInfo info = step(false);
             ++n;
+            if (prof) [[unlikely]]
+                prof->countStep(info.pc, info.inst.isControl());
             if (info.halted)
                 return {n, true};
         }
@@ -82,6 +90,8 @@ ExecCore::runFunctional(std::uint64_t max_insts)
     while (n < max_insts) {
         const ExecInfo info = step(false);
         ++n;
+        if (prof) [[unlikely]]
+            prof->countStep(info.pc, info.inst.isControl());
         if (info.halted)
             return {n, true};
     }
@@ -159,6 +169,8 @@ ExecCore::runFunctional(std::uint64_t max_insts)
             while (n < max_insts) {
                 const ExecInfo info = step(false);
                 ++n;
+                if (prof) [[unlikely]]
+                    prof->countStep(info.pc, info.inst.isControl());
                 if (info.halted)
                     return {n, true};
             }
@@ -173,6 +185,7 @@ ExecCore::runFunctional(std::uint64_t max_insts)
         Addr pc;    // assigned on every path into block_done
         bool halted = false;
         bool leave = false;    // store-to-code: force a refill/resync
+        bool xfer = false;     // block ended in a control transfer
 
         VISA_DISPATCH();
 
@@ -348,52 +361,52 @@ ExecCore::runFunctional(std::uint64_t max_insts)
       op_BEQ:
         pc = VISA_RS == VISA_RT ? static_cast<Addr>(VISA_IMM)
                                 : VISA_PC + 4;
-        goto block_done;
+        goto block_done_xfer;
       op_BNE:
         pc = VISA_RS != VISA_RT ? static_cast<Addr>(VISA_IMM)
                                 : VISA_PC + 4;
-        goto block_done;
+        goto block_done_xfer;
       op_BLEZ:
         pc = static_cast<std::int32_t>(VISA_RS) <= 0
                  ? static_cast<Addr>(VISA_IMM)
                  : VISA_PC + 4;
-        goto block_done;
+        goto block_done_xfer;
       op_BGTZ:
         pc = static_cast<std::int32_t>(VISA_RS) > 0
                  ? static_cast<Addr>(VISA_IMM)
                  : VISA_PC + 4;
-        goto block_done;
+        goto block_done_xfer;
       op_BLTZ:
         pc = static_cast<std::int32_t>(VISA_RS) < 0
                  ? static_cast<Addr>(VISA_IMM)
                  : VISA_PC + 4;
-        goto block_done;
+        goto block_done_xfer;
       op_BGEZ:
         pc = static_cast<std::int32_t>(VISA_RS) >= 0
                  ? static_cast<Addr>(VISA_IMM)
                  : VISA_PC + 4;
-        goto block_done;
+        goto block_done_xfer;
       op_BC1T:
         pc = state_.fcc ? static_cast<Addr>(VISA_IMM) : VISA_PC + 4;
-        goto block_done;
+        goto block_done_xfer;
       op_BC1F:
         pc = !state_.fcc ? static_cast<Addr>(VISA_IMM) : VISA_PC + 4;
-        goto block_done;
+        goto block_done_xfer;
       op_J:
         pc = static_cast<Addr>(VISA_IMM);
-        goto block_done;
+        goto block_done_xfer;
       op_JAL:
         state_.writeInt(reg::ra, VISA_PC + 4);
         pc = static_cast<Addr>(VISA_IMM);
-        goto block_done;
+        goto block_done_xfer;
       op_JR:
         pc = VISA_RS;
-        goto block_done;
+        goto block_done_xfer;
       op_JALR: {
         const Addr target = VISA_RS;    // read rs before a write to rd
         VISA_WR(VISA_PC + 4);
         pc = target;
-        goto block_done;
+        goto block_done_xfer;
       }
 
       op_ADD_D: VISA_FD = VISA_FS + VISA_FT; VISA_DISPATCH();
@@ -429,7 +442,18 @@ ExecCore::runFunctional(std::uint64_t max_insts)
         --p;
         goto block_done;
 
+      block_done_xfer:
+        xfer = true;
+        // falls through into block_done
       block_done:
+        // cachePc_ still holds the block's entry PC here, so the whole
+        // batch is attributed in one call. Non-transfer exits (HALT,
+        // store-to-code leave, fall-off-the-end) tell the profiler the
+        // next counted PC is a *continuation*, not a block entry --
+        // keeping cached and per-step profiles identical.
+        if (prof) [[unlikely]]
+            prof->countBlockRun(cachePc_,
+                                static_cast<std::uint32_t>(p - cur_), xfer);
         n += static_cast<std::uint64_t>(p - cur_);
         cur_ = leave ? curEnd_ : p;
         cachePc_ = pc;

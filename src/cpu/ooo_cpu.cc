@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/prof/prof.hh"
 #include "sim/stats.hh"
 
 namespace visa
@@ -99,7 +100,10 @@ OooCpu::tickTo(Cycles to)
 void
 OooCpu::advanceIdle(Cycles n)
 {
+    if (prof::BlockProfiler *prof = prof::currentProfiler())
+        prof->addUnattributed(n);
     cycle_ += n;
+    profLastRetire_ += n;    // idle gap is not the next retire's stall
     if (mode_ == Mode::Simple) {
         timerBase_ = cycle_;
         timer_.reset();
@@ -585,6 +589,14 @@ OooCpu::retireStage()
             halted_ = true;
         if (tracer_) [[unlikely]]
             tracer_->record(EventKind::Retire, cycle_, e.info.pc, e.seq);
+        if (prof_) [[unlikely]] {
+            // Only retired (architectural) instructions are charged;
+            // the first retire of a cycle absorbs the stall gap since
+            // the previous one, same-cycle retires charge zero.
+            prof_->countTimed(e.info.pc, e.info.inst.isControl(),
+                              cycle_ - profLastRetire_);
+            profLastRetire_ = cycle_;
+        }
         robPopFront();
         ++retired_;
         ++n;
@@ -844,6 +856,12 @@ OooCpu::runSimpleLoop(Cycles budget_end)
         timer_.consume(rec);
         cycle_ = timerBase_ + timer_.totalCycles();
 
+        if (prof_) [[unlikely]] {
+            prof_->countTimed(pc, inst.isControl(),
+                              cycle_ - profLastRetire_);
+            profLastRetire_ = cycle_;
+        }
+
         if constexpr (Traced) {
             if (!ihit)
                 tracer_->record(EventKind::IcacheMiss, cycle_, pc);
@@ -919,6 +937,8 @@ OooCpu::run(Cycles max_cycles)
     if (halted_)
         return {StopReason::Halted};
     tracer_ = currentTracer();
+    prof_ = prof::currentProfiler();
+    profLastRetire_ = cycle_;
     return mode_ == Mode::Complex ? runComplex(budget_end)
                                   : runSimple(budget_end);
 }

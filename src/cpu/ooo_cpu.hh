@@ -47,6 +47,11 @@
 #include "cpu/visa_timing.hh"
 #include "sim/trace.hh"
 
+namespace visa::prof
+{
+class BlockProfiler;
+} // namespace visa::prof
+
 namespace visa
 {
 
@@ -350,6 +355,16 @@ class OooCpu final : public Cpu
      * is off (see sim/trace.hh's cost model).
      */
     Tracer *tracer_ = nullptr;
+
+    /**
+     * The thread's profiler, hoisted like tracer_. Cycle attribution
+     * charges each retired instruction the cycles elapsed since the
+     * previous retirement (the first retire of a cycle absorbs any
+     * stall gap; same-cycle retires charge zero), so attributed
+     * cycles never exceed elapsed cycles.
+     */
+    prof::BlockProfiler *prof_ = nullptr;
+    Cycles profLastRetire_ = 0;
 
     // ---- simple-mode engine (shared VISA timing recurrence) ----
     VisaTimer timer_;

@@ -2,6 +2,7 @@
 
 #include "cpu/bpred.hh"
 #include "sim/logging.hh"
+#include "sim/prof/prof.hh"
 #include "sim/trace.hh"
 
 namespace visa
@@ -43,6 +44,8 @@ SimpleCpu::advanceIdle(Cycles n)
 {
     // The pipeline drains and sits idle for n cycles (reconfiguration /
     // frequency switch). The watchdog and cycle counter keep running.
+    if (prof::BlockProfiler *prof = prof::currentProfiler())
+        prof->addUnattributed(n);
     cycleBase_ = cycles() + n;
     timer_.reset();
     tickTo(cycleBase_);
@@ -83,6 +86,10 @@ SimpleCpu::runLoop(Cycles budget_end, [[maybe_unused]] Tracer *tracer)
     // trace flags are set before a run starts.
     const Cycles penalty = missPenalty();
     const bool trace_exec = Debug::enabled("Exec");
+    // Profiler hoisted like the tracer; attribution charges each
+    // retired instruction the cycles the timer advanced for it.
+    prof::BlockProfiler *const prof = prof::currentProfiler();
+    Cycles profPrev = cycles();
 
     while (true) {
         if (halted_)
@@ -133,6 +140,12 @@ SimpleCpu::runLoop(Cycles budget_end, [[maybe_unused]] Tracer *tracer)
         rec.loadUseStall = prevWasLoad_ && inst.dependsOn(prevInst_);
         rec.redirect = redirect;
         timer_.consume(rec);
+
+        if (prof) [[unlikely]] {
+            const Cycles pnow = cycleBase_ + timer_.totalCycles();
+            prof->countTimed(pc, inst.isControl(), pnow - profPrev);
+            profPrev = pnow;
+        }
 
         if constexpr (Traced) {
             const Cycles now = cycleBase_ + timer_.totalCycles();

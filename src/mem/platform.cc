@@ -1,6 +1,7 @@
 #include "mem/platform.hh"
 
 #include "sim/logging.hh"
+#include "sim/prof/prof.hh"
 
 namespace visa
 {
@@ -43,6 +44,10 @@ Platform::store(Addr addr, Word value)
         curSubtask_ = static_cast<int>(value);
         if (onSubtaskBegin)
             onSubtaskBegin(curSubtask_);
+        // The checkpoint-register store is the sub-task boundary, so
+        // it is also where profiled cycle attribution switches phase.
+        if (prof::BlockProfiler *prof = prof::currentProfiler())
+            prof->setPhase(curSubtask_);
         break;
       case mmio::aetReport:
         if (onAetReport)

@@ -1,0 +1,199 @@
+#include "sim/json.hh"
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace visa::json
+{
+
+const Value &
+Value::at(const std::string &key) const
+{
+    const Value *v = find(key);
+    if (!v)
+        fatal("JSON object has no '%s' key", key.c_str());
+    return *v;
+}
+
+void
+Parser::fail(const char *what) const
+{
+    fatal("JSON parse error at offset %zu: %s", pos_, what);
+}
+
+void
+Parser::skipSpace()
+{
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+}
+
+char
+Parser::peek()
+{
+    skipSpace();
+    if (pos_ >= text_.size())
+        fail("unexpected end of input");
+    return text_[pos_];
+}
+
+void
+Parser::expect(char c)
+{
+    if (peek() != c)
+        fail("unexpected character");
+    ++pos_;
+}
+
+bool
+Parser::consume(char c)
+{
+    if (pos_ < text_.size() && peek() == c) {
+        ++pos_;
+        return true;
+    }
+    return false;
+}
+
+Value
+Parser::parse()
+{
+    Value v = parseValue();
+    skipSpace();
+    if (pos_ != text_.size())
+        fail("trailing garbage after JSON value");
+    return v;
+}
+
+Value
+Parser::parseValue()
+{
+    switch (peek()) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': return parseString();
+      case 't': case 'f': return parseBool();
+      case 'n': return parseNull();
+      default: return parseNumber();
+    }
+}
+
+Value
+Parser::parseObject()
+{
+    Value v;
+    v.type = Value::Type::Object;
+    expect('{');
+    if (consume('}'))
+        return v;
+    do {
+        Value key = parseString();
+        expect(':');
+        v.object.emplace_back(std::move(key.string), parseValue());
+    } while (consume(','));
+    expect('}');
+    return v;
+}
+
+Value
+Parser::parseArray()
+{
+    Value v;
+    v.type = Value::Type::Array;
+    expect('[');
+    if (consume(']'))
+        return v;
+    do {
+        v.array.push_back(parseValue());
+    } while (consume(','));
+    expect(']');
+    return v;
+}
+
+Value
+Parser::parseString()
+{
+    Value v;
+    v.type = Value::Type::String;
+    expect('"');
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+        char c = text_[pos_++];
+        if (c == '\\') {
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case 'n': c = '\n'; break;
+              case 't': c = '\t'; break;
+              case 'r': c = '\r'; break;
+              case '"': case '\\': case '/': c = e; break;
+              default: fail("unsupported escape");
+            }
+        }
+        v.string.push_back(c);
+    }
+    expect('"');
+    return v;
+}
+
+Value
+Parser::parseBool()
+{
+    Value v;
+    v.type = Value::Type::Bool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+        v.boolean = true;
+        pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+        v.boolean = false;
+        pos_ += 5;
+    } else {
+        fail("bad literal");
+    }
+    return v;
+}
+
+Value
+Parser::parseNull()
+{
+    if (text_.compare(pos_, 4, "null") != 0)
+        fail("bad literal");
+    pos_ += 4;
+    Value v;
+    return v;
+}
+
+Value
+Parser::parseNumber()
+{
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            std::strchr("+-.eE", text_[pos_])))
+        ++pos_;
+    if (pos_ == start)
+        fail("expected a number");
+    Value v;
+    v.type = Value::Type::Number;
+    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return v;
+}
+
+Value
+parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    return Parser(text).parse();
+}
+
+} // namespace visa::json

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A minimal recursive-descent JSON parser shared by the reporting
+ * tools (visa-trace, visa-prof). The documents it reads are machine-
+ * written by this repository, so the parser favors smallness over
+ * diagnostics; it still rejects malformed input (the validators
+ * depend on that).
+ */
+
+#ifndef VISA_SIM_JSON_HH
+#define VISA_SIM_JSON_HH
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace visa::json
+{
+
+struct Value
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    std::vector<std::pair<std::string, Value>> object;
+
+    const Value *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : object)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+
+    /** find() that fatals when @p key is absent (required fields). */
+    const Value &at(const std::string &key) const;
+};
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    /** Parse one complete value; fatal on malformed input. */
+    Value parse();
+
+  private:
+    [[noreturn]] void fail(const char *what) const;
+    void skipSpace();
+    char peek();
+    void expect(char c);
+    bool consume(char c);
+    Value parseValue();
+    Value parseObject();
+    Value parseArray();
+    Value parseString();
+    Value parseBool();
+    Value parseNull();
+    Value parseNumber();
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+/** Parse the whole of file @p path; fatal on I/O or parse errors. */
+Value parseFile(const std::string &path);
+
+} // namespace visa::json
+
+#endif // VISA_SIM_JSON_HH

@@ -1,0 +1,108 @@
+#include "sim/prof/coverage.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/prof/prof.hh"
+
+namespace visa::prof
+{
+
+CoverageMap::CoverageMap(std::size_t bits)
+{
+    if (bits < 64 || (bits & (bits - 1)) != 0)
+        fatal("coverage map size must be a power of two >= 64");
+    words_.assign(bits / 64, 0);
+    mask_ = bits - 1;
+}
+
+bool
+CoverageMap::insert(std::uint64_t feature)
+{
+    const std::uint64_t bit = feature & mask_;
+    std::uint64_t &w = words_[bit >> 6];
+    const std::uint64_t m = 1ULL << (bit & 63);
+    if (w & m)
+        return false;
+    w |= m;
+    ++pop_;
+    return true;
+}
+
+std::uint64_t
+CoverageMap::add(const std::vector<std::uint64_t> &features)
+{
+    std::uint64_t fresh = 0;
+    for (std::uint64_t f : features)
+        fresh += insert(f) ? 1 : 0;
+    return fresh;
+}
+
+namespace
+{
+
+constexpr std::uint64_t fnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t fnvPrime = 0x100000001b3ULL;
+
+std::uint64_t
+fnv(std::uint64_t h, std::uint8_t byte)
+{
+    return (h ^ byte) * fnvPrime;
+}
+
+/**
+ * Signature of the straight-line block starting at word @p w: FNV-1a
+ * over its opcode bytes up to and including the terminator, capped at
+ * 32 instructions so pathological runs stay cheap.
+ */
+std::uint64_t
+blockSignature(const Program &prog, std::uint32_t w)
+{
+    std::uint64_t h = fnvOffset;
+    const std::size_t n = prog.text.size();
+    for (std::uint32_t i = 0; i < 32 && w + i < n; ++i) {
+        const Instruction &in = prog.text[w + i];
+        h = fnv(h, static_cast<std::uint8_t>(in.op));
+        if (in.isControl() || in.isHalt())
+            break;
+    }
+    return h;
+}
+
+} // anonymous namespace
+
+std::vector<std::uint64_t>
+coverageFeatures(const BlockProfiler &prof, const Program &prog)
+{
+    // Edge keys sorted so the feature list is order-independent.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(prof.edges().size());
+    for (const auto &[key, count] : prof.edges()) {
+        (void)count;
+        keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+
+    std::vector<std::uint64_t> out;
+    out.reserve(keys.size() * 2);
+    std::uint64_t lastBlockSig = 0;
+    std::uint32_t lastBlockWord = entryBlockId;
+    for (std::uint64_t key : keys) {
+        const std::uint32_t from = static_cast<std::uint32_t>(key >> 32);
+        const std::uint32_t to = static_cast<std::uint32_t>(key);
+        const std::uint64_t toSig =
+            to == lastBlockWord ? lastBlockSig : blockSignature(prog, to);
+        lastBlockWord = to;
+        lastBlockSig = toSig;
+        // Block feature: the destination block ran (salt 0x51).
+        out.push_back((toSig * fnvPrime) ^ 0x51);
+        // Edge feature: source signature folded with destination.
+        const std::uint64_t fromSig = from == entryBlockId
+                                          ? fnvOffset
+                                          : blockSignature(prog, from);
+        out.push_back(((fromSig ^ (toSig * fnvPrime)) * fnvPrime) ^ 0xed);
+    }
+    return out;
+}
+
+} // namespace visa::prof

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Block/edge coverage over generated programs, for coverage-guided
+ * fuzzing (`visa-fuzz --coverage`). Distinct progen programs have
+ * distinct text images, so raw PCs are meaningless across a corpus;
+ * coverage features are instead *structural* signatures — a hash of
+ * the opcode sequences of the source and destination blocks of each
+ * executed edge (and of each executed block alone) — folded into a
+ * fixed-size bitmap, AFL-style. A program "discovers" coverage when it
+ * exercises a block shape or block-pair transition no earlier program
+ * produced.
+ */
+
+#ifndef VISA_SIM_PROF_COVERAGE_HH
+#define VISA_SIM_PROF_COVERAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace visa::prof
+{
+
+class BlockProfiler;
+
+/** Fixed-size coverage bitmap with a population count. */
+class CoverageMap
+{
+  public:
+    /** @param bits map size; must be a power of two. */
+    explicit CoverageMap(std::size_t bits = std::size_t{1} << 22);
+
+    /** Fold @p feature into the map. @return true if its bit was new. */
+    bool insert(std::uint64_t feature);
+
+    /** Fold a feature batch; @return how many bits were new. */
+    std::uint64_t add(const std::vector<std::uint64_t> &features);
+
+    /** Bits set so far. */
+    std::uint64_t population() const { return pop_; }
+    /** Map capacity in bits. */
+    std::size_t sizeBits() const { return words_.size() * 64; }
+
+  private:
+    std::vector<std::uint64_t> words_;
+    std::uint64_t pop_ = 0;
+    std::uint64_t mask_ = 0;
+};
+
+/**
+ * Structural coverage features of one profiled run: one feature per
+ * distinct executed block (hash of its opcode sequence) and one per
+ * distinct executed edge (hash of both endpoint blocks' opcode
+ * sequences plus a direction salt). Deterministic for a given
+ * profile + program, independent of thread count or execution order.
+ */
+std::vector<std::uint64_t> coverageFeatures(const BlockProfiler &prof,
+                                            const Program &prog);
+
+} // namespace visa::prof
+
+#endif // VISA_SIM_PROF_COVERAGE_HH

@@ -501,6 +501,140 @@ struct WcetAnalyzer::Impl
         return w;
     }
 
+    /**
+     * Like evalPath, but records one WcetCharge per step. Identical
+     * timing walk, so the recorded cycles sum to evalPath's result.
+     */
+    void
+    chargePath(const FuncAnalysis &fa, const Path &path, EvalCtx &ctx,
+               std::vector<WcetCharge> &out) const
+    {
+        Cycles total = 0;
+        VisaTimer timer;
+        timer.reset();
+        const Instruction *prev = nullptr;
+        bool prev_load = false;
+        auto flush = [&]() {
+            total += timer.totalCycles();
+            timer.reset();
+            prev = nullptr;
+            prev_load = false;
+        };
+        for (const Step &step : path) {
+            if (step.kind == Step::LoopSum) {
+                flush();
+                const Cycles w = loopWcet(fa, step.loopId, ctx);
+                const Loop &loop = fa.cfg->loop(step.loopId);
+                WcetCharge c;
+                c.kind = WcetCharge::Kind::Loop;
+                c.startPc = fa.cfg->block(loop.header).startPc;
+                c.count = static_cast<std::uint64_t>(loop.bound);
+                c.cycles = w;
+                out.push_back(c);
+                total += w;
+                continue;
+            }
+            if (step.kind == Step::CallSum) {
+                flush();
+                const Cycles w = funcWcet(step.callee, ctx);
+                WcetCharge c;
+                c.kind = WcetCharge::Kind::Call;
+                c.startPc = step.callee;
+                c.cycles = w;
+                out.push_back(c);
+                total += w;
+                continue;
+            }
+            const Cycles before = total + timer.totalCycles();
+            const BasicBlock &bb = fa.cfg->block(step.bb);
+            for (Addr pc = bb.startPc; pc < bb.endPc; pc += 4) {
+                const Instruction &inst = fa.cfg->program().at(pc);
+                TimingRecord rec;
+                rec.exLatency = inst.latency();
+                rec.imissPenalty =
+                    fa.cache->at(pc).cat == CacheCat::AlwaysMiss
+                        ? ctx.penalty
+                        : 0;
+                rec.dmissPenalty = 0;
+                rec.loadUseStall =
+                    prev_load && prev && inst.dependsOn(*prev);
+                if (pc == bb.endPc - 4) {
+                    if (inst.isIndirectJump())
+                        rec.redirect = true;
+                    else if (inst.isCondBranch())
+                        rec.redirect = step.redirect;
+                }
+                timer.consume(rec);
+                prev = &inst;
+                prev_load = inst.isLoad();
+            }
+            WcetCharge c;
+            c.startPc = bb.startPc;
+            c.endPc = bb.endPc;
+            c.cycles = total + timer.totalCycles() - before;
+            out.push_back(c);
+        }
+    }
+
+    WcetAttribution
+    attribute(MHz f, const DMissProfile *dmiss) const
+    {
+        EvalCtx ctx;
+        ctx.f = f;
+        ctx.penalty = penaltyAt(f);
+
+        const FuncAnalysis &fa = funcs.at(mainEntry);
+        WcetAttribution out;
+        out.frequency = f;
+        for (int k = 0; k < numSubtasks; ++k) {
+            const ScopePaths &sp =
+                fa.subtaskPaths[static_cast<std::size_t>(k)];
+            // The argmax path re-derived with the same evaluator; any
+            // tie resolves to the first best path, whose time *is* the
+            // maxPath() bound either way.
+            Cycles best = 0;
+            std::size_t bi = 0;
+            for (std::size_t i = 0; i < sp.paths.size(); ++i) {
+                const Cycles t = evalPath(fa, sp.paths[i], ctx);
+                if (t > best) {
+                    best = t;
+                    bi = i;
+                }
+            }
+            std::vector<WcetCharge> charges;
+            if (!sp.paths.empty())
+                chargePath(fa, sp.paths[bi], ctx, charges);
+            const auto &fm =
+                fa.subtaskFmBlocks[static_cast<std::size_t>(k)];
+            if (!fm.empty()) {
+                WcetCharge c;
+                c.kind = WcetCharge::Kind::FirstMiss;
+                c.count = fm.size();
+                c.cycles = static_cast<Cycles>(fm.size()) * ctx.penalty;
+                charges.push_back(c);
+            }
+            if (dmiss) {
+                const auto &mpt = dmiss->missesPerSubtask;
+                const std::uint64_t misses =
+                    k < static_cast<int>(mpt.size())
+                        ? mpt[static_cast<std::size_t>(k)]
+                        : 0;
+                const auto padded = static_cast<std::uint64_t>(
+                    std::ceil(static_cast<double>(misses) *
+                              dmiss->safetyFactor));
+                if (padded > 0) {
+                    WcetCharge c;
+                    c.kind = WcetCharge::Kind::DMissPad;
+                    c.count = padded;
+                    c.cycles = static_cast<Cycles>(padded) * ctx.penalty;
+                    charges.push_back(c);
+                }
+            }
+            out.subtaskCharges.push_back(std::move(charges));
+        }
+        return out;
+    }
+
     WcetReport
     analyze(MHz f, const DMissProfile *dmiss) const
     {
@@ -547,6 +681,30 @@ WcetReport
 WcetAnalyzer::analyze(MHz f, const DMissProfile *dmiss) const
 {
     return impl_->analyze(f, dmiss);
+}
+
+WcetAttribution
+WcetAnalyzer::attribute(MHz f, const DMissProfile *dmiss) const
+{
+    return impl_->attribute(f, dmiss);
+}
+
+const char *
+wcetChargeKindName(WcetCharge::Kind kind)
+{
+    switch (kind) {
+      case WcetCharge::Kind::Block:
+        return "block";
+      case WcetCharge::Kind::Loop:
+        return "loop";
+      case WcetCharge::Kind::Call:
+        return "call";
+      case WcetCharge::Kind::FirstMiss:
+        return "first_miss";
+      case WcetCharge::Kind::DMissPad:
+        return "dmiss_pad";
+    }
+    return "?";
 }
 
 int

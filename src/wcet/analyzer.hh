@@ -80,6 +80,36 @@ struct DMissProfile
     double safetyFactor = 1.0;
 };
 
+/**
+ * One charge on a sub-task's WCET bound: a step of the analyzer's
+ * worst-case path (or a cache/D-miss pad) with the cycles it
+ * contributed. The per-sub-task charges sum *exactly* to the
+ * corresponding analyze() sub-task WCET, so profiling tools can join
+ * bound-side charges against dynamic block profiles.
+ */
+struct WcetCharge
+{
+    enum class Kind { Block, Loop, Call, FirstMiss, DMissPad };
+    Kind kind = Kind::Block;
+    Addr startPc = 0;     ///< Block: block start; Loop: header;
+                          ///< Call: callee entry; pads: 0
+    Addr endPc = 0;       ///< Block: exclusive end; others: 0
+    std::uint64_t count = 1;    ///< Loop: bound; FirstMiss: blocks;
+                                ///< DMissPad: padded misses
+    Cycles cycles = 0;
+};
+
+/** Printable name of a charge kind ("block", "loop", ...). */
+const char *wcetChargeKindName(WcetCharge::Kind kind);
+
+/** Bound-side attribution of every sub-task WCET at one frequency. */
+struct WcetAttribution
+{
+    MHz frequency = 0;
+    /** Index 0 = sub-task 1. Sums match analyze().subtaskCycles. */
+    std::vector<std::vector<WcetCharge>> subtaskCharges;
+};
+
 /** The timing analyzer for one program. */
 class WcetAnalyzer
 {
@@ -95,6 +125,16 @@ class WcetAnalyzer
      * @param dmiss optional trace-derived data-miss padding
      */
     WcetReport analyze(MHz f, const DMissProfile *dmiss = nullptr) const;
+
+    /**
+     * Break every sub-task's WCET bound at @p f into the charges of
+     * the analyzer's worst-case path (blocks with pipeline-aware cycle
+     * deltas, summarized loops and calls, first-miss and D-miss pads).
+     * Per sub-task, the charge cycles sum exactly to the analyze()
+     * bound with the same @p dmiss.
+     */
+    WcetAttribution attribute(MHz f,
+                              const DMissProfile *dmiss = nullptr) const;
 
     /** Number of sub-tasks (1 when the program has no markers). */
     int numSubtasks() const;

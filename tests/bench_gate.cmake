@@ -16,7 +16,19 @@
 # up to 3 attempts is clean; the ctest entry is RUN_SERIAL so sibling
 # tests do not add contention of our own making.
 #
+# The report carries host metadata ("host": cpu_model/cores/...). When
+# the current host differs from the baseline's recorded host, every
+# gate downgrades to a warning: a throughput number recorded on another
+# machine bounds nothing on this one. Baselines predating the host
+# field gate normally.
+#
 # Inputs: -DBENCH_REPORT=<exe> -DBASELINE=<BENCH_PR*.json> -DWORK_DIR=<dir>
+#         [-DPROF_BASELINE=<BENCH_PR*.json>]
+#
+# PROF_BASELINE adds the profiling-overhead gate: the block-profiling
+# hooks are always compiled in (sim/prof), so ExecCoreStep with no
+# profiler installed must stay within 2% of the pre-profiling baseline
+# — the disabled path must be a dead branch, not a tax.
 
 foreach(var BENCH_REPORT BASELINE WORK_DIR)
     if(NOT DEFINED ${var})
@@ -61,6 +73,27 @@ to_milli(${base_ooo} base_ooo_m)
 to_milli(${base_simple} base_simple_m)
 to_milli(${base_mips} base_mips_m)
 
+if(DEFINED PROF_BASELINE)
+    file(READ ${PROF_BASELINE} prof_base_json)
+    bench_metric("${prof_base_json}" benchmarks ExecCoreStep ns_per_op
+        base_step)
+    to_milli(${base_step} base_step_m)
+endif()
+
+# "<cpu_model>/<cores>" of a report's host object, or "" if absent.
+function(host_id json out)
+    string(JSON host ERROR_VARIABLE err GET "${json}" host)
+    if(err)
+        set(${out} "" PARENT_SCOPE)
+        return()
+    endif()
+    string(JSON model GET "${host}" cpu_model)
+    string(JSON cores GET "${host}" cores)
+    set(${out} "${model}/${cores}" PARENT_SCOPE)
+endfunction()
+
+host_id("${base_json}" base_host)
+
 file(MAKE_DIRECTORY ${WORK_DIR})
 foreach(attempt RANGE 1 3)
     execute_process(
@@ -76,6 +109,12 @@ foreach(attempt RANGE 1 3)
     to_milli(${cur_ooo} cur_ooo_m)
     to_milli(${cur_simple} cur_simple_m)
     to_milli(${cur_mips} cur_mips_m)
+
+    host_id("${cur_json}" cur_host)
+    set(host_mismatch FALSE)
+    if(NOT base_host STREQUAL "" AND NOT cur_host STREQUAL base_host)
+        set(host_mismatch TRUE)
+    endif()
 
     set(failures "")
     # Lower-is-better: fail when cur > 1.25 * base.
@@ -98,6 +137,21 @@ foreach(attempt RANGE 1 3)
         string(APPEND failures
             " visa_campaign ${cur_mips} sim-MIPS vs baseline ${base_mips};")
     endif()
+    # Profiling-off overhead: ExecCoreStep within 2% of the
+    # pre-profiling baseline (the hooks compile in unconditionally; the
+    # uninstalled path must cost nothing).
+    if(DEFINED PROF_BASELINE)
+        bench_metric("${cur_json}" benchmarks ExecCoreStep ns_per_op
+            cur_step)
+        to_milli(${cur_step} cur_step_m)
+        math(EXPR lhs "${cur_step_m} * 100")
+        math(EXPR rhs "${base_step_m} * 102")
+        if(lhs GREATER rhs)
+            string(APPEND failures
+                " ExecCoreStep ${cur_step} ns/op vs pre-profiling "
+                "baseline ${base_step} (>2% profiling-off overhead);")
+        endif()
+    endif()
 
     if(failures STREQUAL "")
         message(STATUS
@@ -109,6 +163,15 @@ foreach(attempt RANGE 1 3)
     endif()
     message(STATUS "bench_gate attempt ${attempt}/3 over margin:${failures}")
 endforeach()
+
+if(host_mismatch)
+    message(WARNING
+        "bench_gate: regression over margin, but this host "
+        "('${cur_host}') differs from the baseline's ('${base_host}') "
+        "— numbers are not comparable, downgrading to a warning:"
+        "${failures}")
+    return()
+endif()
 
 message(FATAL_ERROR
     "bench_gate: >25% regression persisted across 3 attempts:${failures}")

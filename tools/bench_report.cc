@@ -23,8 +23,10 @@
 #include <cstdio>
 #include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.hh"
@@ -44,6 +46,61 @@ struct Result
     double nsPerOp = 0.0;
     double itemsPerSecond = 0.0;
 };
+
+/**
+ * Identify the machine and toolchain behind the numbers, so a report
+ * compared against a baseline recorded elsewhere can be flagged
+ * (tests/bench_gate.cmake downgrades its throughput gates to warnings
+ * on a host mismatch instead of failing on apples-vs-oranges data).
+ */
+struct HostInfo
+{
+    std::string cpuModel;    ///< /proc/cpuinfo "model name" ("" off-Linux)
+    unsigned cores = 0;
+    std::string compiler;    ///< __VERSION__
+    std::string buildType;   ///< "release" / "debug" (NDEBUG)
+};
+
+HostInfo
+hostInfo()
+{
+    HostInfo h;
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+        const auto colon = line.find(':');
+        if (line.compare(0, 10, "model name") == 0 &&
+            colon != std::string::npos) {
+            h.cpuModel = line.substr(colon + 1);
+            while (!h.cpuModel.empty() && h.cpuModel.front() == ' ')
+                h.cpuModel.erase(h.cpuModel.begin());
+            break;
+        }
+    }
+    h.cores = std::thread::hardware_concurrency();
+#if defined(__VERSION__)
+    h.compiler = __VERSION__;
+#endif
+#ifdef NDEBUG
+    h.buildType = "release";
+#else
+    h.buildType = "debug";
+#endif
+    return h;
+}
+
+/** Minimal JSON string escape (quotes and backslashes). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
 
 /**
  * Run @p body @p reps times; it returns the number of items it
@@ -327,7 +384,13 @@ main(int argc, char **argv)
         fprintf(stderr, "cannot open %s\n", out_path);
         return 1;
     }
-    fprintf(out, "{\n  \"benchmarks\": [\n");
+    const HostInfo host = hostInfo();
+    fprintf(out,
+            "{\n  \"host\": {\"cpu_model\": \"%s\", \"cores\": %u, "
+            "\"compiler\": \"%s\", \"build_type\": \"%s\"},\n",
+            jsonEscape(host.cpuModel).c_str(), host.cores,
+            jsonEscape(host.compiler).c_str(), host.buildType.c_str());
+    fprintf(out, "  \"benchmarks\": [\n");
     for (std::size_t i = 0; i < results.size(); ++i) {
         const Result &r = results[i];
         fprintf(out,

@@ -19,6 +19,15 @@
  * sign-extension bug in the candidate pipeline (a hidden test hook) to
  * demonstrate end-to-end detection and minimization.
  *
+ * --coverage switches the harness to coverage-guided exploration:
+ * every program runs once on the in-order pipeline under a block
+ * profiler and its structural block/edge signatures (sim/prof/
+ * coverage.hh) are folded into a cumulative AFL-style bitmap. Programs
+ * that light up new bits are "interesting" and are kept as corpus
+ * seeds when --out is given. The per-batch merge is sequential in scan
+ * order, so the cumulative coverage curve is deterministic for a given
+ * {seed, count, profile} regardless of VISA_THREADS.
+ *
  * --cross-check-timing switches the harness: instead of the
  * architectural lockstep, every program runs on the event-driven
  * OooCpu and the frozen per-cycle reference stepper (verify/
@@ -40,10 +49,13 @@
 #include <vector>
 
 #include "cpu/ooo_cpu.hh"
+#include "cpu/simple_cpu.hh"
 #include "isa/assembler.hh"
 #include "sim/cli.hh"
 #include "sim/logging.hh"
 #include "sim/parallel.hh"
+#include "sim/prof/coverage.hh"
+#include "sim/prof/prof.hh"
 #include "verify/corpus.hh"
 #include "verify/lockstep.hh"
 #include "verify/minimize.hh"
@@ -69,6 +81,7 @@ struct Options
     bool minimize = false;
     bool injectBug = false;
     bool crossCheckTiming = false;
+    bool coverage = false;
     std::string outDir;
     std::string replayPath;
 };
@@ -155,6 +168,101 @@ minimizeFailure(const Options &opts, const std::string &source)
                  "minimized to %zu instructions (%d candidates)\n",
                  m.instructions, m.candidates);
     return m.source;
+}
+
+/**
+ * Coverage-guided scan: run every generated program under a block
+ * profiler, fold its structural block/edge signatures into one
+ * cumulative bitmap, and keep the programs that discover new bits as
+ * corpus seeds. Profiling runs in parallel; the bitmap merge is
+ * sequential in scan-index order so the coverage curve (and the kept
+ * seed set) is identical for any VISA_THREADS.
+ */
+int
+coverageScan(const Options &opts)
+{
+    GenParams gen;
+    gen.profile = opts.profile;
+    gen.statements = opts.statements;
+
+    prof::CoverageMap map;
+    std::uint64_t interesting = 0, kept = 0, lastPop = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    constexpr std::uint64_t batch = 256;
+    for (std::uint64_t base = 0; base < opts.count; base += batch) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min(batch, opts.count - base));
+        std::vector<std::vector<std::uint64_t>> feats(n);
+        std::vector<std::string> sources(n);
+        parallelFor(n, [&](std::size_t i) {
+            const std::uint64_t seed = opts.seed + base + i;
+            const GeneratedProgram g = generate(seed, gen);
+            MainMemory mem;
+            mem.loadProgram(g.program);
+            Platform platform;
+            MemController memctrl;
+            SimpleCpu cpu(g.program, mem, platform, memctrl);
+            cpu.resetForTask();
+            prof::BlockProfiler profiler(g.program);
+            {
+                prof::ScopedProfiler scope(profiler);
+                // Cycle budget, so runaway loops stop; a truncated run
+                // still contributes the coverage it reached.
+                cpu.run(opts.maxInstructions);
+            }
+            feats[i] = prof::coverageFeatures(profiler, g.program);
+            sources[i] = g.source;
+        });
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t fresh = map.add(feats[i]);
+            if (!fresh)
+                continue;
+            ++interesting;
+            if (!opts.outDir.empty()) {
+                const std::uint64_t seed = opts.seed + base + i;
+                ReproCase rc;
+                rc.seed = seed;
+                rc.profile = profileName(opts.profile);
+                rc.note = "coverage seed (+" + std::to_string(fresh) +
+                          " features)";
+                rc.source = sources[i];
+                const std::string path = opts.outDir + "/cov_seed_" +
+                                         std::to_string(seed) + ".s";
+                if (saveRepro(path, rc))
+                    ++kept;
+                else
+                    std::fprintf(stderr, "cannot write %s\n",
+                                 path.c_str());
+            }
+        }
+        std::printf("scanned %8llu programs: coverage %8llu bits "
+                    "(+%llu), %llu interesting\n",
+                    static_cast<unsigned long long>(base + n),
+                    static_cast<unsigned long long>(map.population()),
+                    static_cast<unsigned long long>(map.population() -
+                                                    lastPop),
+                    static_cast<unsigned long long>(interesting));
+        lastPop = map.population();
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration_cast<std::chrono::duration<double>>(t1 -
+                                                                  t0)
+            .count();
+    std::printf("%llu programs, %llu coverage bits (%.2f%% of map), "
+                "%llu interesting, %.2f s (%.0f programs/s)\n",
+                static_cast<unsigned long long>(opts.count),
+                static_cast<unsigned long long>(map.population()),
+                100.0 * static_cast<double>(map.population()) /
+                    static_cast<double>(map.sizeBits()),
+                static_cast<unsigned long long>(interesting), secs,
+                secs > 0 ? static_cast<double>(opts.count) / secs : 0);
+    if (kept)
+        std::printf("%llu coverage seeds written to %s\n",
+                    static_cast<unsigned long long>(kept),
+                    opts.outDir.c_str());
+    return 0;
 }
 
 int
@@ -318,6 +426,11 @@ main(int argc, char **argv)
         "--cross-check-timing",
         "compare the event-driven core against the per-cycle "
         "reference stepper instead of the architectural lockstep");
+    bool &coverage = cli.boolFlag(
+        "--coverage",
+        "coverage-guided scan: profile every program, track "
+        "cumulative block/edge coverage, keep discovering seeds "
+        "(--out DIR)");
     bool &no_block_cache = addNoBlockCacheFlag(cli);
     std::string &debug = addDebugFlag(cli);
 
@@ -345,11 +458,14 @@ main(int argc, char **argv)
         opts.minimize = minimize;
         opts.injectBug = inject;
         opts.crossCheckTiming = cross_timing;
+        opts.coverage = coverage;
         opts.outDir = out_dir;
         opts.replayPath = replay_path;
 
         if (!opts.replayPath.empty())
             return replay(opts);
+        if (opts.coverage)
+            return coverageScan(opts);
         return fuzz(opts);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "fatal: %s\n", e.what());

@@ -41,6 +41,7 @@
 #include "sim/builder.hh"
 #include "sim/cli.hh"
 #include "sim/logging.hh"
+#include "sim/prof/prof.hh"
 #include "sim/trace.hh"
 #include "wcet/analyzer.hh"
 #include "workloads/clab.hh"
@@ -117,12 +118,39 @@ struct Options
     std::string &quantum =
         cli.flag("--quantum", "N", "scheduler slice budget, cycles",
                  "20000");
+    std::string &profile_json =
+        cli.flag("--profile-json", "FILE",
+                 "block-granular execution profile JSON ('-' = stdout)");
+    std::string &prof_counters =
+        cli.flag("--prof-counters", "FILE",
+                 "Perfetto counter tracks of checkpoint slack/AET");
     TraceFlags trace{cli};
     std::string &stats_json = addStatsJsonFlag(cli);
     std::string &threads = addThreadsFlag(cli);
     bool &no_block_cache = addNoBlockCacheFlag(cli);
     std::string &debug = addDebugFlag(cli);
 };
+
+/** True when either profiling output was requested. */
+bool
+wantProfile(const Options &o)
+{
+    return !o.profile_json.empty() || !o.prof_counters.empty();
+}
+
+/** Export the collected profile to the files the flags name. */
+void
+writeProfileOutputs(const Options &o, const prof::BlockProfiler &prof)
+{
+    if (!o.profile_json.empty())
+        withOutputStream(o.profile_json, [&](std::ostream &os) {
+            prof.writeJson(os);
+        });
+    if (!o.prof_counters.empty())
+        withOutputStream(o.prof_counters, [&](std::ostream &os) {
+            prof.writeChromeCounters(os);
+        });
+}
 
 /** Deadline/budget selector shared by --runtime and --taskset. */
 double
@@ -170,6 +198,13 @@ runUnderRuntime(const Options &o)
     if (tracer)
         scope = std::make_unique<ScopedTracer>(*tracer);
 
+    std::unique_ptr<prof::BlockProfiler> profiler;
+    std::unique_ptr<prof::ScopedProfiler> pscope;
+    if (wantProfile(o)) {
+        profiler = std::make_unique<prof::BlockProfiler>(sim->program());
+        pscope = std::make_unique<prof::ScopedProfiler>(*profiler);
+    }
+
     int misses = 0, deadline_misses = 0, bad_checksums = 0;
     for (int t = 0; t < num_tasks; ++t) {
         bool induce = induce_every > 0 && t > 0 && t % induce_every == 0;
@@ -183,9 +218,43 @@ runUnderRuntime(const Options &o)
             ++bad_checksums;
     }
 
+    pscope.reset();    // uninstall before reporting
+    if (profiler) {
+        // Bound-side inputs for the slack report: per-sub-task WCETs
+        // at every DVS operating point, and the analyzer's worst-case
+        // path broken into charges at the top setting.
+        for (const DvsSetting &s : setup.dvs.settings()) {
+            std::vector<std::uint64_t> bounds;
+            for (int k = 0; k < setup.wcet->numSubtasks(); ++k)
+                bounds.push_back(setup.wcet->subtaskCycles(k, s.freq));
+            profiler->setWcetBound(s.freq, std::move(bounds));
+        }
+        const WcetAttribution attr =
+            setup.analyzer->attribute(setup.dvs.maxFreq(), &setup.dmiss);
+        std::vector<prof::SubtaskBound> sbounds;
+        for (std::size_t k = 0; k < attr.subtaskCharges.size(); ++k) {
+            prof::SubtaskBound b;
+            b.subtask = static_cast<int>(k) + 1;
+            for (const WcetCharge &c : attr.subtaskCharges[k]) {
+                prof::BoundCharge pc;
+                pc.startPc = c.startPc;
+                pc.endPc = c.endPc;
+                pc.kind = wcetChargeKindName(c.kind);
+                pc.count = c.count;
+                pc.cycles = c.cycles;
+                b.cycles += c.cycles;
+                b.charges.push_back(std::move(pc));
+            }
+            sbounds.push_back(std::move(b));
+        }
+        profiler->setBoundAttribution(std::move(sbounds));
+    }
+
     StatSet stats;
     sim->cpu().buildStats(stats);
     rt.buildStats(stats);
+    if (profiler)
+        profiler->buildStats(stats);
 
     std::printf("ran %d tasks of '%s' under the %s runtime "
                 "(deadline %.3g us): %d checkpoint misses, "
@@ -206,6 +275,8 @@ runUnderRuntime(const Options &o)
         scope.reset();    // uninstall before writing
         o.trace.writeOutputs(*tracer);
     }
+    if (profiler)
+        writeProfileOutputs(o, *profiler);
     return deadline_misses == 0 && bad_checksums == 0 ? 0 : 1;
 }
 
@@ -327,11 +398,17 @@ runOnce(const Options &o, Program prog)
     Cpu &cpu = sim->cpu();
 
     std::unique_ptr<Tracer> tracer = o.trace.makeTracer();
+    std::unique_ptr<prof::BlockProfiler> profiler;
+    if (wantProfile(o))
+        profiler = std::make_unique<prof::BlockProfiler>(sim->program());
     RunResult res;
     {
         std::unique_ptr<ScopedTracer> scope;
         if (tracer)
             scope = std::make_unique<ScopedTracer>(*tracer);
+        std::unique_ptr<prof::ScopedProfiler> pscope;
+        if (profiler)
+            pscope = std::make_unique<prof::ScopedProfiler>(*profiler);
         res = cpu.run(20'000'000'000ULL);
     }
     if (res.reason != StopReason::Halted)
@@ -362,6 +439,8 @@ runOnce(const Options &o, Program prog)
         });
     if (tracer)
         o.trace.writeOutputs(*tracer);
+    if (profiler)
+        writeProfileOutputs(o, *profiler);
     return 0;
 }
 

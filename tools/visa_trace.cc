@@ -10,22 +10,26 @@
  *
  * or, with --validate, checks the file against the trace schema (known
  * event names, matching categories, required fields, numeric argument
- * types) and exits non-zero on the first violation. The schema is the
- * kind table in sim/trace.cc — the validator and the emitter cannot
- * drift apart because both link the same table.
+ * types) and exits non-zero on any violation. The schema is the kind
+ * table in sim/trace.cc — the validator and the emitter cannot drift
+ * apart because both link the same table. Counter tracks ("C" phase
+ * events, including the profiler's slack/AET sinks) are checked
+ * against the known counter names; event or counter names this build
+ * does not know are *listed as warnings* rather than failing or being
+ * skipped silently, so newer files degrade loudly but gracefully.
  */
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "sim/cli.hh"
+#include "sim/json.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -34,208 +38,8 @@ using namespace visa;
 namespace
 {
 
-// ---- a minimal recursive-descent JSON parser ----
-//
-// The traces are machine-written by this repository, so the parser
-// favors smallness over diagnostics; it still rejects malformed input
-// (validate mode depends on that).
-
-struct JsonValue
-{
-    enum class Type { Null, Bool, Number, String, Array, Object };
-    Type type = Type::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string string;
-    std::vector<JsonValue> array;
-    std::vector<std::pair<std::string, JsonValue>> object;
-
-    const JsonValue *
-    find(const std::string &key) const
-    {
-        for (const auto &[k, v] : object)
-            if (k == key)
-                return &v;
-        return nullptr;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(std::string_view text) : text_(text) {}
-
-    /** Parse one complete value; fatal on malformed input. */
-    JsonValue
-    parse()
-    {
-        JsonValue v = parseValue();
-        skipSpace();
-        if (pos_ != text_.size())
-            fail("trailing garbage after JSON value");
-        return v;
-    }
-
-  private:
-    [[noreturn]] void
-    fail(const char *what) const
-    {
-        fatal("JSON parse error at offset %zu: %s", pos_, what);
-    }
-
-    void
-    skipSpace()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    char
-    peek()
-    {
-        skipSpace();
-        if (pos_ >= text_.size())
-            fail("unexpected end of input");
-        return text_[pos_];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail("unexpected character");
-        ++pos_;
-    }
-
-    bool
-    consume(char c)
-    {
-        if (pos_ < text_.size() && peek() == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    JsonValue
-    parseValue()
-    {
-        switch (peek()) {
-          case '{': return parseObject();
-          case '[': return parseArray();
-          case '"': return parseString();
-          case 't': case 'f': return parseBool();
-          case 'n': return parseNull();
-          default: return parseNumber();
-        }
-    }
-
-    JsonValue
-    parseObject()
-    {
-        JsonValue v;
-        v.type = JsonValue::Type::Object;
-        expect('{');
-        if (consume('}'))
-            return v;
-        do {
-            JsonValue key = parseString();
-            expect(':');
-            v.object.emplace_back(std::move(key.string), parseValue());
-        } while (consume(','));
-        expect('}');
-        return v;
-    }
-
-    JsonValue
-    parseArray()
-    {
-        JsonValue v;
-        v.type = JsonValue::Type::Array;
-        expect('[');
-        if (consume(']'))
-            return v;
-        do {
-            v.array.push_back(parseValue());
-        } while (consume(','));
-        expect(']');
-        return v;
-    }
-
-    JsonValue
-    parseString()
-    {
-        JsonValue v;
-        v.type = JsonValue::Type::String;
-        expect('"');
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            char c = text_[pos_++];
-            if (c == '\\') {
-                if (pos_ >= text_.size())
-                    fail("unterminated escape");
-                char e = text_[pos_++];
-                switch (e) {
-                  case 'n': c = '\n'; break;
-                  case 't': c = '\t'; break;
-                  case 'r': c = '\r'; break;
-                  case '"': case '\\': case '/': c = e; break;
-                  default: fail("unsupported escape");
-                }
-            }
-            v.string.push_back(c);
-        }
-        expect('"');
-        return v;
-    }
-
-    JsonValue
-    parseBool()
-    {
-        JsonValue v;
-        v.type = JsonValue::Type::Bool;
-        if (text_.compare(pos_, 4, "true") == 0) {
-            v.boolean = true;
-            pos_ += 4;
-        } else if (text_.compare(pos_, 5, "false") == 0) {
-            v.boolean = false;
-            pos_ += 5;
-        } else {
-            fail("bad literal");
-        }
-        return v;
-    }
-
-    JsonValue
-    parseNull()
-    {
-        if (text_.compare(pos_, 4, "null") != 0)
-            fail("bad literal");
-        pos_ += 4;
-        JsonValue v;
-        return v;
-    }
-
-    JsonValue
-    parseNumber()
-    {
-        std::size_t start = pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-                std::strchr("+-.eE", text_[pos_])))
-            ++pos_;
-        if (pos_ == start)
-            fail("expected a number");
-        JsonValue v;
-        v.type = JsonValue::Type::Number;
-        v.number = std::stod(std::string(text_.substr(start,
-                                                      pos_ - start)));
-        return v;
-    }
-
-    std::string_view text_;
-    std::size_t pos_ = 0;
-};
+using JsonValue = json::Value;
+using JsonParser = json::Parser;
 
 // ---- schema ----
 
@@ -255,6 +59,44 @@ lookupKind(const std::string &name, EventKind *kind_out)
 }
 
 int schemaErrors = 0;
+
+/**
+ * Non-fatal findings: unknown event kinds or counter names. Collected
+ * and listed (deduplicated, with occurrence counts) instead of either
+ * failing validation or vanishing silently.
+ */
+std::map<std::string, std::size_t> schemaWarnings;
+
+void
+schemaWarning(const std::string &what)
+{
+    ++schemaWarnings[what];
+}
+
+void
+printWarnings()
+{
+    if (schemaWarnings.empty())
+        return;
+    std::size_t total = 0;
+    for (const auto &[what, n] : schemaWarnings)
+        total += n;
+    std::printf("%zu warning(s):\n", total);
+    for (const auto &[what, n] : schemaWarnings)
+        std::printf("  %s (x%zu)\n", what.c_str(), n);
+}
+
+/**
+ * Counter tracks this build's sinks emit: the tracer's Chrome export
+ * (sim/trace.cc) and the profiler's counter sink (sim/prof/prof.cc).
+ */
+const std::set<std::string> knownCounters = {
+    "mshr_outstanding",
+    "frequency_mhz",
+    "subtask_slack",
+    "subtask_aet",
+    "checkpoint_headroom_pct",
+};
 
 /**
  * Declared version of the file being read. Schema-1 files (PR 2
@@ -304,7 +146,9 @@ decodeEvent(std::size_t index, const std::string &name,
     EventKind kind;
     const EventKindInfo *info = lookupKind(name, &kind);
     if (!info) {
-        schemaError(index, "unknown event name '%s'", name);
+        // Likely a kind from a newer build: degrade to a listed
+        // warning so older validators don't reject newer traces.
+        schemaWarning("unknown event kind '" + name + "'");
         return;
     }
     if (!cat.empty() && cat != info->category) {
@@ -401,12 +245,46 @@ loadChrome(const std::string &text)
             schemaError(index, "entry lacks ph/name%s", "");
             continue;
         }
-        // Metadata and counter tracks carry no schema'd payload.
-        if (ph->string == "M" || ph->string == "C")
+        // Metadata events carry no schema'd payload.
+        if (ph->string == "M")
             continue;
+        // Counter tracks: known name, numeric ts, and a non-empty args
+        // object whose values are all numbers (what the viewers plot).
+        if (ph->string == "C") {
+            if (!knownCounters.count(name->string)) {
+                schemaWarning("unknown counter track '" + name->string +
+                              "'");
+                continue;
+            }
+            const JsonValue *ts = e.find("ts");
+            if (!ts || ts->type != JsonValue::Type::Number) {
+                schemaError(index, "counter '%s' lacks a numeric ts",
+                            name->string);
+                continue;
+            }
+            const JsonValue *args = e.find("args");
+            if (!args || args->type != JsonValue::Type::Object ||
+                args->object.empty()) {
+                schemaError(index, "counter '%s' lacks an args object",
+                            name->string);
+                continue;
+            }
+            bool ok = true;
+            for (const auto &[k, v] : args->object) {
+                if (v.type != JsonValue::Type::Number) {
+                    schemaError(index,
+                                "counter '%s' has a non-numeric value",
+                                name->string);
+                    ok = false;
+                    break;
+                }
+            }
+            (void)ok;
+            continue;
+        }
         if (ph->string != "i" && ph->string != "B" &&
             ph->string != "E") {
-            schemaError(index, "unexpected phase '%s'", ph->string);
+            schemaWarning("unexpected phase '" + ph->string + "'");
             continue;
         }
         const JsonValue *ts = e.find("ts");
@@ -577,20 +455,25 @@ main(int argc, char **argv)
             chrome ? loadChrome(text) : loadJsonl(text);
 
         if (schemaErrors) {
+            printWarnings();
             std::fprintf(stderr, "%d schema violation(s) in '%s'\n",
                          schemaErrors, path.c_str());
             return 1;
         }
         if (validate_only) {
-            std::printf("OK: %zu events, schema v%d clean (%s format)\n",
+            printWarnings();
+            std::printf("OK: %zu events, schema v%d clean (%s format, "
+                        "%zu warning(s))\n",
                         events.size(), fileSchemaVersion,
-                        chrome ? "chrome" : "jsonl");
+                        chrome ? "chrome" : "jsonl",
+                        schemaWarnings.size());
             return 0;
         }
 
         std::printf("%s: %s format, schema v%d\n", path.c_str(),
                     chrome ? "chrome trace-event" : "jsonl",
                     fileSchemaVersion);
+        printWarnings();
         reportCounts(events);
         reportSlack(events);
         reportMarginHistogram(events);
