@@ -74,6 +74,24 @@ solveVisaSpeculation(const WcetTable &wcet, const PetEstimator &pet,
 }
 
 FreqPair
+solveRestartSpeculation(const WcetTable &wcet, const PetEstimator &pet,
+                        const DvsTable &dvs, double deadline_s,
+                        double ovhd_s, Cycles overhead_cycles_at_fspec,
+                        Cycles restore_cycles)
+{
+    // EQ 4 with the snapshot-restore overhead folded into the fixed
+    // per-recovery term: restore runs at f_rec, so its wall-clock cost
+    // depends on the candidate pair and cannot be pre-added to ovhd_s.
+    return lowestPair(dvs, [&](MHz fs, MHz fr) {
+        const double restore_s =
+            static_cast<double>(restore_cycles) / (fr * 1e6);
+        return visaFeasible(wcet, pet, fs, fr, deadline_s,
+                            ovhd_s + restore_s,
+                            overhead_cycles_at_fspec);
+    });
+}
+
+FreqPair
 solveConventionalSpeculation(const WcetTable &wcet,
                              const PetEstimator &pet,
                              const DvsTable &dvs, double deadline_s,

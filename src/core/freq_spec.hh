@@ -50,6 +50,28 @@ FreqPair solveVisaSpeculation(const WcetTable &wcet,
                               Cycles overhead_cycles_at_fspec = 0);
 
 /**
+ * EQ 4 extended for restart-based recovery (Abdi et al.): on a missed
+ * checkpoint the runtime restores the sub-task-boundary snapshot and
+ * re-executes the mispredicted sub-task from its beginning in simple
+ * mode. EQ 4's recovery tail already charges sub-task i's *full* VISA
+ * WCET at f_rec — re-execution from the boundary costs no more than
+ * that — so the only additional demand is the snapshot-restore
+ * overhead, charged at f_rec on top of every misprediction point:
+ *
+ *   sum_{j<=i} PET_{j,fspec} + ovhd + restore_{frec}
+ *     + sum_{k>=i} WCET_{k,frec} <= deadline
+ *
+ * @param restore_cycles modeled snapshot-restore cost, charged at
+ *        the recovery frequency
+ */
+FreqPair solveRestartSpeculation(const WcetTable &wcet,
+                                 const PetEstimator &pet,
+                                 const DvsTable &dvs, double deadline_s,
+                                 double ovhd_s,
+                                 Cycles overhead_cycles_at_fspec,
+                                 Cycles restore_cycles);
+
+/**
  * EQ 2: conventional frequency speculation (requires the WCETs to
  * hold on the executing processor — usable by simple-fixed only).
  */

@@ -1,6 +1,8 @@
 #include "core/runtime.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "sim/logging.hh"
 #include "sim/prof/prof.hh"
@@ -46,6 +48,14 @@ DvsRuntime::buildStats(StatSet &set) const
     g.scalar("aet_cycles_total",
              "sum of guest-reported sub-task AETs (all tasks)")
         .set(aetCyclesTotal_);
+    g.scalar("restarts", "restart-based recoveries (Restart policy)")
+        .set(static_cast<std::uint64_t>(stats_.restarts));
+    g.scalar("restart_restore_cycles_total",
+             "snapshot-restore cycles charged across all restarts")
+        .set(restartRestoreCyclesTotal_);
+    g.scalar("restart_pages_total",
+             "memory pages rewritten across all restarts")
+        .set(restartPagesTotal_);
     g.formula("checkpoint_miss_rate",
               [this] {
                   // Deliberately unguarded: 0/0 before any task ran is
@@ -224,8 +234,86 @@ DvsRuntime::beginInstance(bool induce_miss)
         }
     };
 
+    // Restart policy: snapshot at instance begin (covers a miss inside
+    // sub-task 1) and again at every sub-task boundary.
+    snap_.valid = false;
+    if (cfg_.recoveryPolicy == RecoveryPolicy::Restart) {
+        takeSnapshot(0);
+        platform.onSubtaskBegin = [this](int sub) { takeSnapshot(sub); };
+    } else {
+        platform.onSubtaskBegin = nullptr;
+    }
+
     instanceCycles_ = 0;
     instanceActive_ = true;
+}
+
+void
+DvsRuntime::takeSnapshot(int subtask)
+{
+    snap_.subtask = subtask;
+    snap_.arch = cpu_.arch();
+    snap_.pages.clear();
+    const std::size_t page_bytes = MainMemory::pageBytes();
+    for (Addr base : mem_.pageBases()) {
+        const std::uint8_t *p = mem_.peekPage(base);
+        snap_.pages.emplace_back(
+            base, std::vector<std::uint8_t>(p, p + page_bytes));
+    }
+    snap_.valid = true;
+}
+
+std::uint64_t
+DvsRuntime::restoreSnapshot()
+{
+    const std::size_t page_bytes = MainMemory::pageBytes();
+    std::uint64_t rewritten = 0;
+    for (const auto &[base, bytes] : snap_.pages) {
+        const std::uint8_t *cur = mem_.peekPage(base);
+        if (cur && std::memcmp(cur, bytes.data(), page_bytes) == 0)
+            continue;
+        // writeBytes bumps the code-page generation counters when the
+        // page is text, so the pipelines' block caches resync.
+        mem_.writeBytes(base, bytes.data(), page_bytes);
+        ++rewritten;
+    }
+    // Pages the task materialized after the snapshot read as zero in
+    // it (snap_.pages is sorted: pageBases() sorts).
+    std::vector<std::uint8_t> zeros;
+    for (Addr base : mem_.pageBases()) {
+        auto it = std::lower_bound(
+            snap_.pages.begin(), snap_.pages.end(), base,
+            [](const auto &p, Addr b) { return p.first < b; });
+        if (it != snap_.pages.end() && it->first == base)
+            continue;
+        const std::uint8_t *cur = mem_.peekPage(base);
+        if (!cur || std::all_of(cur, cur + page_bytes,
+                                [](std::uint8_t b) { return b == 0; }))
+            continue;
+        if (zeros.empty())
+            zeros.assign(page_bytes, 0);
+        mem_.writeBytes(base, zeros.data(), page_bytes);
+        ++rewritten;
+    }
+    cpu_.arch() = snap_.arch;
+    return rewritten;
+}
+
+void
+DvsRuntime::restartFromSnapshot()
+{
+    if (!snap_.valid)
+        return;
+    const std::uint64_t pages = restoreSnapshot();
+    // The restore cost is charged at the (already-switched) recovery
+    // frequency — the same term solveRestartSpeculation budgets.
+    cpu_.advanceIdle(cfg_.restartRestoreCycles);
+    ++stats_.restarts;
+    restartRestoreCyclesTotal_ += cfg_.restartRestoreCycles;
+    restartPagesTotal_ += pages;
+    VISA_TRACE(EventKind::RecoveryRestart, cpu_.cycles(),
+               static_cast<std::uint64_t>(snap_.subtask),
+               cfg_.restartRestoreCycles, pages);
 }
 
 void
@@ -324,6 +412,7 @@ DvsRuntime::finishInstance()
         fatal("runtime: finishInstance without an active instance");
     Platform &platform = cpu_.platform();
     platform.onAetReport = nullptr;
+    platform.onSubtaskBegin = nullptr;
 
     // Close the final epoch.
     foldOpenEpoch();
@@ -376,9 +465,19 @@ DvsRuntime::finishInstance()
 FreqPair
 VisaComplexRuntime::chooseFrequencies()
 {
-    FreqPair pair = solveVisaSpeculation(
-        wcet_, pets_, dvs_, cfg_.deadlineSeconds, cfg_.ovhdSeconds,
-        overheadCyclesAtFspec());
+    // Restart recovery re-executes the mispredicted sub-task, so its
+    // admission bound carries the snapshot-restore overhead on top of
+    // EQ 4 (DESIGN.md §11).
+    FreqPair pair =
+        cfg_.recoveryPolicy == RecoveryPolicy::Restart
+            ? solveRestartSpeculation(wcet_, pets_, dvs_,
+                                      cfg_.deadlineSeconds,
+                                      cfg_.ovhdSeconds,
+                                      overheadCyclesAtFspec(),
+                                      cfg_.restartRestoreCycles)
+            : solveVisaSpeculation(wcet_, pets_, dvs_,
+                                   cfg_.deadlineSeconds, cfg_.ovhdSeconds,
+                                   overheadCyclesAtFspec());
     if (pair.feasible) {
         speculating_ = true;
         fallbackSimple_ = false;
@@ -406,8 +505,15 @@ VisaComplexRuntime::buildPlan()
     // snippet prologue delay the arming.
     double drain_s = static_cast<double>(cfg_.drainBudgetCycles) /
                      (current_.fSpec * 1e6);
+    // Restart recovery additionally pays the snapshot restore before
+    // re-execution begins; shift every checkpoint earlier by it.
+    double restore_s =
+        cfg_.recoveryPolicy == RecoveryPolicy::Restart
+            ? static_cast<double>(cfg_.restartRestoreCycles) /
+                  (current_.fRec * 1e6)
+            : 0.0;
     return computeCheckpoints(wcet_, current_.fRec, current_.fSpec,
-                              cfg_.deadlineSeconds - drain_s,
+                              cfg_.deadlineSeconds - drain_s - restore_s,
                               cfg_.ovhdSeconds,
                               cfg_.dvsSoftwareCycles +
                                   cfg_.armSlackCycles);
@@ -424,6 +530,12 @@ VisaComplexRuntime::recover()
     const Cycles ovhd_cycles = static_cast<Cycles>(
         std::ceil(cfg_.ovhdSeconds * current_.fRec * 1e6));
     cpu_.advanceIdle(ovhd_cycles);
+    // Restart policy: discard everything the complex core did since
+    // the sub-task boundary and re-execute it in the trusted simple
+    // mode — a state-recovery guarantee on top of the paper's timing
+    // guarantee (DESIGN.md §11).
+    if (cfg_.recoveryPolicy == RecoveryPolicy::Restart)
+        restartFromSnapshot();
 }
 
 void
@@ -440,6 +552,12 @@ VisaComplexRuntime::prepare()
 FreqPair
 SimpleFixedRuntime::chooseFrequencies()
 {
+    // Restart recovery needs the VISA WCET tail EQ 4 provides (the
+    // re-executed sub-task runs at f_rec); EQ 2 charges the
+    // mispredicted sub-task at f_spec and cannot absorb it.
+    if (cfg_.recoveryPolicy == RecoveryPolicy::Restart)
+        fatal("runtime: RecoveryPolicy::Restart requires the VISA "
+              "complex runtime");
     // Frequency speculation is used only when it lowers the frequency
     // below the static requirement (paper §6.2).
     MHz fstatic = solveStaticFrequency(wcet_, dvs_, cfg_.deadlineSeconds);

@@ -30,6 +30,25 @@
 namespace visa
 {
 
+/**
+ * What the missed-checkpoint response does with the work the complex
+ * core had already (possibly incorrectly) performed.
+ *
+ *  - Resume: the paper's policy — switch to the safe configuration and
+ *    continue from the current architectural state. Bounds *timing*
+ *    misbehavior; state corrupted by a faulty complex core persists.
+ *  - Restart: restart-based recovery (Abdi et al., DESIGN.md §11) —
+ *    restore the sub-task-boundary snapshot and re-execute the
+ *    mispredicted sub-task in simple mode, discarding everything the
+ *    complex core did since the boundary. Admission control charges
+ *    the restore on top of EQ 4 (solveRestartSpeculation).
+ */
+enum class RecoveryPolicy
+{
+    Resume,
+    Restart,
+};
+
 /** Configuration of the run-time system. */
 struct RuntimeConfig
 {
@@ -75,6 +94,16 @@ struct RuntimeConfig
      * increment.
      */
     Cycles armSlackCycles = 64;
+    /** Missed-checkpoint response; see RecoveryPolicy. */
+    RecoveryPolicy recoveryPolicy = RecoveryPolicy::Resume;
+    /**
+     * Modeled cost, in cycles at the recovery frequency, of restoring
+     * the sub-task-boundary snapshot under RecoveryPolicy::Restart
+     * (memory image + register state). Charged per recovery and in the
+     * restart admission bound; the snapshot *capture* at each boundary
+     * is modeled as free (hardware-assisted copy-on-write).
+     */
+    Cycles restartRestoreCycles = 4096;
 };
 
 /** Outcome of one task instance. */
@@ -98,6 +127,7 @@ struct ExperimentStats
     int tasks = 0;
     int deadlineMisses = 0;          ///< must stay 0 (safety!)
     int checkpointMisses = 0;
+    int restarts = 0;                ///< Restart-policy recoveries
     double totalBusySeconds = 0.0;
 };
 
@@ -238,6 +268,24 @@ class DvsRuntime
     void writeWatchdogParams(const CheckpointPlan &plan);
     void disableWatchdogParams();
 
+    // ---- restart-based recovery (RecoveryPolicy::Restart) ----
+
+    /**
+     * Capture the restart snapshot: the architectural state and every
+     * materialized memory page, taken at each sub-task boundary (the
+     * platform's onSubtaskBegin hook) and at instance begin.
+     */
+    void takeSnapshot(int subtask);
+    /**
+     * Rewind memory and architectural state to the last snapshot
+     * (pages are compared first so unchanged ones — in particular the
+     * text image — are not rewritten). @return pages rewritten.
+     */
+    std::uint64_t restoreSnapshot();
+    /** The Restart recovery tail shared by both runtime flavors:
+     *  restore, charge cfg_.restartRestoreCycles, trace + count. */
+    void restartFromSnapshot();
+
     /** Fold the open frequency epoch into taskSeconds_ (the meter's
      *  epoch stays open: the frequency did not change). */
     void foldOpenEpoch();
@@ -295,6 +343,20 @@ class DvsRuntime
     std::vector<std::pair<int, std::uint64_t>> aets_;
     bool forceMiss_ = false;          ///< see forceNextMiss()
     Cycles forcedIncrement_ = 0;
+
+    /** Restart snapshot (valid only under RecoveryPolicy::Restart). */
+    struct SubtaskSnapshot
+    {
+        bool valid = false;
+        int subtask = 0;
+        ArchState arch{};
+        /** (base, pageBytes() of content) per materialized page. */
+        std::vector<std::pair<Addr, std::vector<std::uint8_t>>> pages;
+    };
+    SubtaskSnapshot snap_;
+    /** Restart recovery-cost accumulators (buildStats exports them). */
+    std::uint64_t restartRestoreCyclesTotal_ = 0;
+    std::uint64_t restartPagesTotal_ = 0;
 
     /**
      * Detection slack (PET - AET, cycles) at every armed checkpoint

@@ -113,21 +113,6 @@ OooCpu::advanceIdle(Cycles n)
     syncActivityCycles();
 }
 
-void
-OooCpu::applyLoadExtBug(const ExecInfo &info)
-{
-    const Instruction &inst = info.inst;
-    if (!info.isLoad || info.isMmio)
-        return;
-    if (inst.op != Opcode::LB && inst.op != Opcode::LH)
-        return;
-    // Re-write the destination with the zero-extended raw value,
-    // clobbering the correct sign extension ExecCore::step produced.
-    const Word raw =
-        static_cast<Word>(mem_.read(info.effAddr, inst.memBytes()));
-    core_.state().writeInt(inst.rd, raw);
-}
-
 bool
 OooCpu::olderStoresIssued(const RobEntry &load) const
 {
@@ -170,6 +155,12 @@ OooCpu::fetchStage()
     if (haltFetched_ || fetchBlockedSeq_ >= 0 || cycle_ < fetchReadyCycle_)
         return 0;
 
+#if VISA_INJECT
+    // Hoisted once per stage call: the member could alias the stores
+    // below, and a reload per fetched instruction is a real tax on the
+    // no-port path.
+    FaultPort *const fault_port = faultPort_;
+#endif
     int n = 0;
     bool block_end = false;
     std::uint64_t icache_accesses = 0;
@@ -200,8 +191,10 @@ OooCpu::fetchStage()
         // accessed immediately, in program order.
         FetchEntry &fe = fqPushSlot();
         fe.info = core_.step(false);
-        if (injectLoadExtBug_) [[unlikely]]
-            applyLoadExtBug(fe.info);
+#if VISA_INJECT
+        if (fault_port) [[unlikely]]
+            fault_port->onExecute(core_, mem_, fe.info, seqCounter_, cycle_);
+#endif
         fe.seq = seqCounter_++;
         fe.fetchCycle = cycle_;
         fe.mispredicted = false;
@@ -417,6 +410,12 @@ OooCpu::issueStage()
     // repeat after every ROB store. Unused (garbage) when n == 0.
     const std::uint64_t head_seq = rob_[robHead_].seq;
     const std::size_t head_idx = robHead_;
+#if VISA_INJECT
+    // Hoisted: this loop is the scheduler's hottest path, and the
+    // member pointer would otherwise reload every iteration (the ROB
+    // stores below may alias it as far as the compiler knows).
+    FaultPort *const fault_port = faultPort_;
+#endif
     auto slot = [&](std::uint64_t s) -> RobEntry & {
         return rob_[(head_idx + static_cast<std::size_t>(s - head_seq)) &
                     robMask_];
@@ -432,6 +431,20 @@ OooCpu::issueStage()
             readyList_[keep++] = seq;
             continue;
         }
+#if VISA_INJECT
+        if (fault_port) [[unlikely]] {
+            // A stuck scheduler entry: push the wakeup into the future
+            // as if the select logic lost the request.
+            const Cycles delay = fault_port->onIssueReady(seq, cycle_);
+            if (delay > 0) {
+                e.readyAt = cycle_ + delay;
+                if (e.readyAt < issueEvent_)
+                    issueEvent_ = e.readyAt;
+                readyList_[keep++] = seq;
+                continue;
+            }
+        }
+#endif
         bool do_issue = false;
 
         if (issued < issue_width) {

@@ -44,6 +44,7 @@
 
 #include "cpu/bpred.hh"
 #include "cpu/cpu.hh"
+#include "cpu/fault_port.hh"
 #include "cpu/visa_timing.hh"
 #include "sim/trace.hh"
 
@@ -114,14 +115,14 @@ class OooCpu final : public Cpu
     const OooParams &params() const { return params_; }
 
     /**
-     * Hidden verification hook (tests and `visa-fuzz --inject-bug`
-     * only): when enabled, the complex engine zero- instead of
-     * sign-extends LB/LH results — a classic sub-word datapath bug.
-     * The differential harness must detect it, which validates that
-     * the lockstep checker would catch a real divergence of this
-     * class. Never enabled in production paths.
+     * Install (or clear, with nullptr) the fault-injection port
+     * (cpu/fault_port.hh). Verification harnesses only — the port is
+     * consulted on the complex-mode execute and issue paths; simple
+     * mode never takes faults. Not owned. With -DVISA_INJECT=0 the
+     * call sites compile out and the installed port is ignored.
      */
-    void testInjectLoadExtBug(bool on) { injectLoadExtBug_ = on; }
+    void setFaultPort(FaultPort *port) { faultPort_ = port; }
+    FaultPort *faultPort() const { return faultPort_; }
 
     void buildStats(StatSet &set) const override;
 
@@ -223,9 +224,6 @@ class OooCpu final : public Cpu
     bool olderStoresIssued(const RobEntry &load) const;
     bool overlapsOlderStore(const RobEntry &load) const;
     int outstandingLoadMisses();
-
-    /** Corrupt a sub-word load per the injected bug (cold path). */
-    void applyLoadExtBug(const ExecInfo &info);
 
     // ROB sequence numbers are contiguous (dispatch appends, retire
     // pops the front), so an entry's ring slot is an O(1) index off the
@@ -346,8 +344,8 @@ class OooCpu final : public Cpu
     std::uint64_t mispredicts_ = 0;
     /** Last MshrOccupancy value traced (dedupe: emit per change). */
     int lastMshrTraced_ = -1;
-    /** See testInjectLoadExtBug. */
-    bool injectLoadExtBug_ = false;
+    /** See setFaultPort(). Null on every production path. */
+    FaultPort *faultPort_ = nullptr;
 
     /**
      * The thread's tracer, hoisted once per run() call so the per-cycle

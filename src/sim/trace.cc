@@ -47,6 +47,11 @@ constexpr EventKindInfo kindTable[numEventKinds] = {
     {"sched_complete", "sched",
      {"task", "job", "deadline_met", "wall_s"}},
     {"sched_recovery", "sched", {"task", "subtask", nullptr, "wall_s"}},
+    {"fault_inject", "fault", {"class", "pc", "seq", nullptr}},
+    {"fault_detect", "fault",
+     {"detector", "class", "latency_cycles", nullptr}},
+    {"recovery_restart", "fault",
+     {"subtask", "restore_cycles", "pages", nullptr}},
 };
 
 /** Perfetto track (tid) per category, in kindTable category order. */
@@ -55,8 +60,8 @@ trackOf(const char *category)
 {
     constexpr const char *tracks[] = {"task", "checkpoint", "mode",
                                       "dvs",  "cpu",        "mem",
-                                      "sched"};
-    for (int i = 0; i < 7; ++i)
+                                      "sched", "fault"};
+    for (int i = 0; i < 8; ++i)
         if (std::string_view(category) == tracks[i])
             return i;
     return 0;
@@ -157,8 +162,8 @@ Tracer::writeChromeTrace(std::ostream &os) const
     constexpr const char *tracks[] = {"runtime/task", "runtime/checkpoint",
                                       "mode",         "dvs",
                                       "cpu",          "mem",
-                                      "sched"};
-    for (int t = 0; t < 7; ++t) {
+                                      "sched",        "fault"};
+    for (int t = 0; t < 8; ++t) {
         sep();
         os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
            << t << ",\"args\":{\"name\":\"" << tracks[t] << "\"}}";

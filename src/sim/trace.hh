@@ -91,10 +91,17 @@ enum class EventKind : std::uint8_t
     SchedPreempt,       ///< a=task, b=job, c=preempting task, d=wall s
     SchedComplete,      ///< a=task, b=job, c=deadline met, d=wall s
     SchedRecovery,      ///< a=task, b=missed sub-task, d=wall s
+    // fault injection + recovery (category "fault"); emitted by the
+    // verify-side injector (FaultInject) and the runtime's restart
+    // recovery path (FaultDetect / RecoveryRestart)
+    FaultInject,        ///< a=fault class, b=pc, c=seq
+    FaultDetect,        ///< a=detector (0=watchdog 1=lockstep), b=class,
+                        ///< c=detection latency (cycles)
+    RecoveryRestart,    ///< a=sub-task, b=restore cycles, c=pages restored
 };
 
 inline constexpr int numEventKinds =
-    static_cast<int>(EventKind::SchedRecovery) + 1;
+    static_cast<int>(EventKind::RecoveryRestart) + 1;
 
 /** One recorded event. Fixed-size POD; meaning of a/b/c/d per kind. */
 struct TraceEvent
@@ -150,8 +157,8 @@ class Tracer
 
     /**
      * Mask covering one category name ("task", "checkpoint", "mode",
-     * "dvs", "cpu", "mem", "sched") or "all". @return 0 for unknown
-     * names.
+     * "dvs", "cpu", "mem", "sched", "fault") or "all". @return 0 for
+     * unknown names.
      */
     static std::uint32_t maskFor(std::string_view category);
 

@@ -1,0 +1,203 @@
+# visa-fuzz repro
+# seed: 1060
+# profile: mixed
+# note: silent corruption escape, class decode-imm (reproduce: visa-fuzz --inject decode-imm --seed 1060 --count 1)
+        .subtask 1
+        li r25, 0xFFFF0010
+        li r1, 1
+        sw r1, 0(r25)
+        li r25, 0xFFFF0004
+        sw r0, 0(r25)
+        la r25, wdinc
+        lw r1, 0(r25)
+        li r25, 0xFFFF0000
+        sw r1, 0(r25)
+        la r26, scratch
+        li r2, -1170
+        cvt.d.w f2, r2
+        li r2, 8075
+        cvt.d.w f3, r2
+        li r2, -6560
+        cvt.d.w f4, r2
+        li r2, -4223
+        cvt.d.w f5, r2
+        li r2, -418
+        cvt.d.w f6, r2
+        li r2, -6147
+        cvt.d.w f7, r2
+        li r2, 7615
+        cvt.d.w f8, r2
+        li r2, -6447
+        cvt.d.w f9, r2
+        li r2, -825258751
+        li r3, 874978400
+        li r4, 1023426099
+        li r5, 18614250
+        li r6, 1002647605
+        li r7, 1067523588
+        li r8, 400403335
+        li r9, 85855534
+        li r10, -1046836055
+        li r11, -507836440
+        li r12, -39623653
+        li r13, -30972750
+        li r14, 735483485
+        li r15, 624508428
+        li r24, 31726
+        li r16, 2
+Lloop0:
+        c.lt.d f6, f3
+        ldc1 f9, 448(r26)
+        xor r24, r24, r9
+        xor r24, r24, r15
+        subi r16, r16, 1
+        .loopbound 2
+        bgtz r16, Lloop0
+        li r16, 3
+Lloop1:
+        mul.d f5, f6, f3
+        lw r10, 28(r26)
+        subi r16, r16, 1
+        .loopbound 3
+        bgtz r16, Lloop1
+        nor r3, r10, r5
+        slt r14, r7, r8
+        c.eq.d f7, f8
+        lhu r2, 194(r26)
+        sltiu r11, r2, 293
+        srl r6, r13, 20
+        sb r14, 39(r26)
+        bltz r7, Lskip2
+        lb r14, 175(r26)
+        mul r13, r8, r15
+        div.d f6, f3, f4
+Lskip2:
+        sh r15, 448(r26)
+        bne r15, r10, Lskip3
+        mul r7, r10, r7
+        xor r24, r24, r7
+        div r10, r5, r14
+Lskip3:
+        li r16, 2
+Lloop4:
+        sub.d f4, f9, f2
+        sb r7, 158(r26)
+        xor r24, r24, r9
+        subi r16, r16, 1
+        .loopbound 2
+        bgtz r16, Lloop4
+        xor r4, r9, r10
+        sll r15, r10, 7
+        xor r24, r24, r15
+        div r8, r3, r6
+        li r16, 2
+Lloop5:
+        bgez r10, Lskip6
+        xor r24, r24, r15
+Lskip6:
+        lhu r13, 124(r26)
+        subi r16, r16, 1
+        .loopbound 2
+        bgtz r16, Lloop5
+        lh r7, 164(r26)
+        lbu r13, 422(r26)
+        sh r5, 116(r26)
+        addi r2, r15, -242
+        sb r2, 25(r26)
+        nor r13, r8, r13
+        j Lseg_2
+Lseg_2:
+        .subtask 2
+        li r25, 0xFFFF0004
+        lw r1, 0(r25)
+        li r25, 0xFFFF0014
+        sw r1, 0(r25)
+        li r25, 0xFFFF0010
+        li r1, 2
+        sw r1, 0(r25)
+        li r25, 0xFFFF0004
+        sw r0, 0(r25)
+        la r25, wdinc
+        lw r1, 4(r25)
+        li r25, 0xFFFF0000
+        sw r1, 0(r25)
+        sllv r6, r11, r4
+        xor r24, r24, r10
+        li r16, 4
+Lloop7:
+        li r17, 5
+Lloop8:
+        sltu r15, r6, r13
+        sllv r4, r13, r10
+        srlv r13, r14, r15
+        subi r17, r17, 1
+        .loopbound 5
+        bgtz r17, Lloop8
+        sh r11, 368(r26)
+        subi r16, r16, 1
+        .loopbound 4
+        bgtz r16, Lloop7
+        ldc1 f5, 352(r26)
+        and r2, r5, r14
+        neg.d f8, f5
+        lb r9, 378(r26)
+        and r14, r3, r2
+        xor r24, r24, r14
+        sdc1 f8, 408(r26)
+        sdc1 f4, 184(r26)
+        bltz r15, Lskip9
+        sltu r13, r8, r7
+Lskip9:
+        xor r24, r24, r3
+        slt r6, r13, r12
+        abs.d f8, f5
+        xor r10, r5, r2
+        mul.d f9, f2, f7
+        rem r13, r8, r15
+        sub r12, r11, r14
+        lhu r10, 154(r26)
+        xor r24, r24, r4
+        neg.d f8, f5
+        div.d f6, f3, f4
+        li r16, 3
+Lloop10:
+        sra r5, r2, 1
+        xor r24, r24, r5
+        subi r16, r16, 1
+        .loopbound 3
+        bgtz r16, Lloop10
+        xor r24, r24, r2
+        xor r24, r24, r3
+        xor r24, r24, r4
+        xor r24, r24, r5
+        xor r24, r24, r6
+        xor r24, r24, r7
+        lw r2, 0(r26)
+        xor r24, r24, r2
+        li r25, 0xFFFF0004
+        lw r1, 0(r25)
+        li r25, 0xFFFF0014
+        sw r1, 0(r25)
+        li r25, 0xFFFF0018
+        sw r24, 0(r25)
+        halt
+        .data
+scratch:
+        .word 755825472, 997406111, 1697449586, -244600023, -414555532, 1002711875, -1473456186, -1224422291
+        .word 1741013736, 1439320359, 1437152346, 497842161, 746852508, -1124207797, -963170258, 1137490357
+        .word 1652522896, 2127285679, -153936062, -250751559, -597982268, -1044857773, 301241750, 890916861
+        .word 978899256, 80077623, -2090703062, 815983745, -1215734804, 1125426779, 497461246, -1935495355
+        .word 1346656224, 533375423, 755149842, 1675811913, 903493908, 2117456227, -1992095898, -1564543091
+        .word -1014451320, 707805511, -86798854, 556320017, 1756281660, 1959026027, -2028776498, -85178155
+        .word 1010861104, -384775729, 2011737314, -365705511, 763069028, 2104257139, 848637238, -1471429859
+        .word 98200024, -456498345, 835299530, -1733885535, -1337381236, -463595397, -1225116770, 1109558885
+        .word 2040071296, -780194337, 116531634, 1518966121, 1043619764, -1681029245, 1168639750, 1750708909
+        .word -1189940184, 127224167, 1162983322, 1053205041, 1743631836, -59582581, -591902866, -671193099
+        .word -1196238640, 204920303, -1731458430, 1370310649, 1949946116, -1777719149, -579300138, 264357437
+        .word -1707650440, 701625207, -910640534, 1232119489, 577851692, 265525915, 1927974718, -2072449659
+        .word 1462960416, 412664319, 1264805714, -1029185911, -1124018604, 420695459, -935078234, 1704787405
+        .word -1148418872, -1224646265, -1702121158, 214830929, 2078867580, 1771135403, 258870030, -238348523
+        .word -1342276240, -767167985, 1810184226, -2034083559, 926838692, -770050381, 1468451958, 1531205981
+        .word -728265960, -18574441, -1432904694, -1958224927, 1772733388, 1560095931, 861911774, 1013834917
+wdinc:
+        .space 8

@@ -1,0 +1,189 @@
+# visa-fuzz repro
+# seed: 1000
+# profile: mixed
+# note: silent corruption escape, class reg-bit-flip (reproduce: visa-fuzz --inject reg-bit-flip --seed 1000 --count 1)
+        .subtask 1
+        li r25, 0xFFFF0010
+        li r1, 1
+        sw r1, 0(r25)
+        li r25, 0xFFFF0004
+        sw r0, 0(r25)
+        la r25, wdinc
+        lw r1, 0(r25)
+        li r25, 0xFFFF0000
+        sw r1, 0(r25)
+        la r26, scratch
+        li r2, 9483
+        cvt.d.w f2, r2
+        li r2, -5365
+        cvt.d.w f3, r2
+        li r2, -289
+        cvt.d.w f4, r2
+        li r2, 5657
+        cvt.d.w f5, r2
+        li r2, -6077
+        cvt.d.w f6, r2
+        li r2, 2507
+        cvt.d.w f7, r2
+        li r2, 1567
+        cvt.d.w f8, r2
+        li r2, 7704
+        cvt.d.w f9, r2
+        li r2, -204947803
+        li r3, 932837812
+        li r4, -885460105
+        li r5, 98194526
+        li r6, -1019786727
+        li r7, -367311208
+        li r8, -491736309
+        li r9, 582485730
+        li r10, -25300275
+        li r11, 226332604
+        li r12, -61423137
+        li r13, 214122406
+        li r14, -456004415
+        li r15, 506231072
+        li r24, 29682
+        xor r24, r24, r14
+        xor r24, r24, r12
+        mov.d f4, f9
+        c.le.d f8, f5
+        lui r5, 60610
+        lbu r5, 278(r26)
+        li r16, 5
+Lloop0:
+        xor r24, r24, r2
+        lb r12, 197(r26)
+        subi r16, r16, 1
+        .loopbound 5
+        bgtz r16, Lloop0
+        sb r12, 457(r26)
+        bc1t Lskip1
+        xor r24, r24, r15
+        xor r24, r24, r5
+        div.d f2, f7, f8
+Lskip1:
+        xor r24, r24, r5
+        sllv r10, r11, r6
+        mul r3, r6, r13
+        li r16, 3
+Lloop2:
+        mul.d f5, f6, f3
+        li r17, 2
+Lloop3:
+        sb r11, 348(r26)
+        slti r2, r3, -176
+        xor r24, r24, r2
+        subi r17, r17, 1
+        .loopbound 2
+        bgtz r17, Lloop3
+        lb r14, 445(r26)
+        sh r12, 130(r26)
+        subi r16, r16, 1
+        .loopbound 3
+        bgtz r16, Lloop2
+        sw r4, 20(r26)
+        sltu r5, r6, r15
+        li r16, 3
+Lloop4:
+        rem r13, r2, r13
+        lh r15, 480(r26)
+        lb r5, 292(r26)
+        subi r16, r16, 1
+        .loopbound 3
+        bgtz r16, Lloop4
+        xor r24, r24, r11
+        c.le.d f4, f9
+        lh r15, 188(r26)
+        div.d f6, f3, f4
+        and r6, r3, r4
+        sdc1 f8, 88(r26)
+        mul r11, r10, r5
+        xor r24, r24, r7
+        j Lseg_2
+Lseg_2:
+        .subtask 2
+        li r25, 0xFFFF0004
+        lw r1, 0(r25)
+        li r25, 0xFFFF0014
+        sw r1, 0(r25)
+        li r25, 0xFFFF0010
+        li r1, 2
+        sw r1, 0(r25)
+        li r25, 0xFFFF0004
+        sw r0, 0(r25)
+        la r25, wdinc
+        lw r1, 4(r25)
+        li r25, 0xFFFF0000
+        sw r1, 0(r25)
+        ldc1 f9, 448(r26)
+        and r12, r11, r10
+        lh r8, 382(r26)
+        ori r15, r4, 1379
+        blez r5, Lskip5
+        xor r24, r24, r10
+        mul r15, r10, r5
+        addi r10, r9, 54
+Lskip5:
+        srlv r7, r2, r9
+        sb r11, 128(r26)
+        sub.d f8, f5, f6
+        lhu r5, 308(r26)
+        div.d f2, f7, f8
+        div r6, r15, r4
+        sll r11, r4, 23
+        xor r12, r11, r10
+        xor r24, r24, r6
+        sdc1 f8, 280(r26)
+        sltu r13, r10, r15
+        sw r7, 56(r26)
+        sh r15, 68(r26)
+        srav r4, r13, r2
+        sb r12, 481(r26)
+        li r16, 4
+Lloop6:
+        div r10, r5, r2
+        mul.d f9, f2, f7
+        subi r16, r16, 1
+        .loopbound 4
+        bgtz r16, Lloop6
+        bltz r13, Lskip7
+        mov.d f4, f9
+Lskip7:
+        slt r12, r3, r2
+        sw r2, 4(r26)
+        xor r24, r24, r2
+        xor r24, r24, r3
+        xor r24, r24, r4
+        xor r24, r24, r5
+        xor r24, r24, r6
+        xor r24, r24, r7
+        lw r2, 0(r26)
+        xor r24, r24, r2
+        li r25, 0xFFFF0004
+        lw r1, 0(r25)
+        li r25, 0xFFFF0014
+        sw r1, 0(r25)
+        li r25, 0xFFFF0018
+        sw r24, 0(r25)
+        halt
+        .data
+scratch:
+        .word -108526885, 1625119358, 805879749, -477745568, -937849281, 2022655634, 1444263113, -382584940
+        .word -2087404061, -1177548314, -2023286771, -1987749368, 618378695, 1718843514, 909553041, -1182365252
+        .word -1233069589, 532719182, -652707499, -598607184, -1851077041, -704256158, 226410329, 466428132
+        .word -1757907213, 124571574, 1082000285, 312127576, 153417687, -1576127670, 567347745, 995007756
+        .word -399788805, 491136542, 1696388837, -656270592, -106147233, -1639449550, -1787515415, 1281859124
+        .word -640764925, 1005734278, -14806227, 201251496, -1108935193, -1243422182, -208352591, -1358379940
+        .word -887516149, 852154862, -338765707, -1013215408, 624892527, -637369086, 1287684217, 1630973828
+        .word 436761875, 1549629270, -769636675, -1397303048, 207800311, -1069644566, -479531199, -1047920724
+        .word 68908827, 82559422, 1462205957, -1272752224, 96740991, 1898086866, 1751856905, -1582345004
+        .word -1764312541, -1595188954, -492986803, 17279816, 303650311, -1498539078, -948144175, -1461235972
+        .word -1337827797, -746201714, -211826795, 1063154672, 1759278735, -86707550, -2084712039, 109481508
+        .word 258638643, 1159261942, 66001373, 980832664, 1355524119, -436296054, -1540201375, 1953870412
+        .word 1960790331, 1236675934, -17779419, -948837312, 141101727, -1920542862, 809586729, -1984865420
+        .word -751513533, 1470314694, 1135458669, -3683352, -1099252185, 1648174426, 1010152689, 1556752796
+        .word -1887225781, 1306112302, 982730421, -876435312, -1702174033, -1897582526, -2051099975, 1986313412
+        .word -773414573, -1970850154, 2041740541, -1124001224, -714631113, 917936170, -1603311231, 330937580
+wdinc:
+        .space 8

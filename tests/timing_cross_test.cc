@@ -14,12 +14,14 @@
  */
 
 #include <filesystem>
+#include <memory>
 
 #include <gtest/gtest.h>
 
 #include "cpu/ooo_cpu.hh"
 #include "isa/assembler.hh"
 #include "verify/corpus.hh"
+#include "verify/inject.hh"
 #include "verify/progen.hh"
 #include "verify/timing_cross.hh"
 #include "workloads/clab.hh"
@@ -102,8 +104,10 @@ TEST(TimingCrossDifferential, DetectsCandidateOnlyBehaviorChange)
     // the architectural streams fork, so the event streams must too.
     // This proves a one-sided change cannot slip past the oracle.
     TimingCrossOptions opts;
-    opts.prepareCandidate = [](OooCpu &cpu) {
-        cpu.testInjectLoadExtBug(true);
+    auto inj = std::make_shared<verify::FaultInjector>(
+        verify::loadExtBugSpec());
+    opts.prepareCandidate = [inj](OooCpu &cpu) {
+        cpu.setFaultPort(inj.get());
     };
     const std::filesystem::path dir = VISA_CORPUS_DIR;
     int detected = 0;

@@ -7,11 +7,16 @@
 #   2. visa-trace --validate schema-checks both trace formats against
 #      the event-kind table;
 #   3. visa-trace summarizes the JSONL trace (slack, margins, residency)
-#      and must exit cleanly.
+#      and must exit cleanly;
+#   4. visa-fuzz --inject records a fault-injection demo trace whose
+#      fault_inject / fault_detect / recovery_restart events must be
+#      present, schema-validate, and show up in the summary's fault
+#      section.
 #
-# Expects -DVISA_SIM=..., -DVISA_TRACE=..., -DWORK_DIR=...
+# Expects -DVISA_SIM=..., -DVISA_TRACE=..., -DVISA_FUZZ=...,
+# -DWORK_DIR=...
 
-foreach(var VISA_SIM VISA_TRACE WORK_DIR)
+foreach(var VISA_SIM VISA_TRACE VISA_FUZZ WORK_DIR)
     if(NOT DEFINED ${var})
         message(FATAL_ERROR "trace_schema_check.cmake: ${var} not set")
     endif()
@@ -71,6 +76,50 @@ foreach(section "event counts" "checkpoint slack" "frequency residency")
             "visa-trace summary is missing the '${section}' section:\n${out}")
     endif()
 endforeach()
+
+# ---- fault-injection trace (visa-fuzz --inject) ----
+
+set(inj_jsonl "${WORK_DIR}/inject.jsonl")
+execute_process(
+    COMMAND "${VISA_FUZZ}" --inject reg-bit-flip --count 2 --seed 3
+            --trace-jsonl "${inj_jsonl}" --out "${WORK_DIR}/inj_corpus"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "visa-fuzz --inject failed (rc=${rc}):\n${out}\n${err}")
+endif()
+if(NOT EXISTS "${inj_jsonl}")
+    message(FATAL_ERROR "visa-fuzz did not write ${inj_jsonl}")
+endif()
+
+file(READ "${inj_jsonl}" inj_text)
+foreach(ev fault_inject fault_detect recovery_restart)
+    if(NOT inj_text MATCHES "\"ev\":\"${ev}\"")
+        message(FATAL_ERROR
+            "injection trace is missing expected event '${ev}'")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND "${VISA_TRACE}" --validate "${inj_jsonl}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "visa-trace --validate ${inj_jsonl} failed (rc=${rc}):"
+        "\n${out}\n${err}")
+endif()
+
+execute_process(
+    COMMAND "${VISA_TRACE}" "${inj_jsonl}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "visa-trace fault summary failed (rc=${rc}):\n${err}")
+endif()
+if(NOT out MATCHES "fault injection / recovery")
+    message(FATAL_ERROR
+        "visa-trace summary is missing the fault section:\n${out}")
+endif()
 
 # The stats export must be finite (the guards turn 0/0 into 0).
 file(READ "${stats}" stats_text)

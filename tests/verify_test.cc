@@ -10,12 +10,14 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cpu/ooo_cpu.hh"
 #include "isa/assembler.hh"
 #include "verify/corpus.hh"
+#include "verify/inject.hh"
 #include "verify/lockstep.hh"
 #include "verify/minimize.hh"
 #include "verify/oracle.hh"
@@ -116,8 +118,9 @@ LockstepOptions
 buggyOptions()
 {
     LockstepOptions opts;
-    opts.prepareComplex = [](OooCpu &cpu) {
-        cpu.testInjectLoadExtBug(true);
+    auto inj = std::make_shared<FaultInjector>(loadExtBugSpec());
+    opts.prepareComplex = [inj](OooCpu &cpu) {
+        cpu.setFaultPort(inj.get());
     };
     return opts;
 }

@@ -15,9 +15,20 @@
  * and exits non-zero if it still fails — the regression-replay tests
  * are built on that mode.
  *
- * --inject-load-ext-bug enables a deliberate subword-load
- * sign-extension bug in the candidate pipeline (a hidden test hook) to
- * demonstrate end-to-end detection and minimization.
+ * --inject CLASS|matrix switches the harness to the fault-injection
+ * campaign (verify/inject.hh): every program gets one seeded transient
+ * fault from the chosen class (or the whole matrix, round-robin),
+ * runs under the restart-recovery runtime, and is classified as
+ * detected-by-watchdog / detected-by-lockstep / silent. The campaign
+ * prints a per-class coverage table with detection-latency and
+ * deadline-cost statistics; silent-data-corruption escapes are written
+ * as corpus repros with --out. --trace-jsonl additionally records one
+ * demo run's full fault/recovery event trace for the schema tools.
+ *
+ * --inject-load-ext-bug is the deprecated alias for the oldest matrix
+ * entry: a persistent subword-load sign-extension bug in the candidate
+ * pipeline, demonstrating end-to-end detection and minimization
+ * through the architectural lockstep.
  *
  * --coverage switches the harness to coverage-guided exploration:
  * every program runs once on the in-order pipeline under a block
@@ -44,6 +55,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -57,6 +70,7 @@
 #include "sim/prof/coverage.hh"
 #include "sim/prof/prof.hh"
 #include "verify/corpus.hh"
+#include "verify/inject.hh"
 #include "verify/lockstep.hh"
 #include "verify/minimize.hh"
 #include "verify/oracle.hh"
@@ -84,6 +98,11 @@ struct Options
     bool coverage = false;
     std::string outDir;
     std::string replayPath;
+    /** Fault-injection campaign: a class name or "matrix" (empty =
+     *  campaign off). */
+    std::string injectArg;
+    /** Write the demo run's fault/recovery trace here (campaign only). */
+    std::string traceJsonlPath;
 };
 
 /** One recorded failure, keyed by scan index for determinism. */
@@ -101,10 +120,17 @@ lockstepOptions(const Options &opts)
 {
     LockstepOptions lo;
     lo.maxInstructions = opts.maxInstructions;
-    if (opts.injectBug)
-        lo.prepareComplex = [](OooCpu &cpu) {
-            cpu.testInjectLoadExtBug(true);
+    if (opts.injectBug) {
+        // The deprecated alias maps onto the fault matrix: a
+        // persistent LoadExt fault through the FaultPort. The injector
+        // is owned by the capture, which LockstepOptions keeps alive
+        // for the duration of the run.
+        auto inj =
+            std::make_shared<FaultInjector>(loadExtBugSpec());
+        lo.prepareComplex = [inj](OooCpu &cpu) {
+            cpu.setFaultPort(inj.get());
         };
+    }
     return lo;
 }
 
@@ -265,6 +291,120 @@ coverageScan(const Options &opts)
     return 0;
 }
 
+/**
+ * The fault-injection campaign: N programs x the chosen fault classes
+ * (round-robin by scan index), each injected, run under the
+ * restart-recovery runtime, and classified. Deterministic for a given
+ * {seed, count, classes} regardless of VISA_THREADS.
+ */
+int
+injectCampaign(const Options &opts)
+{
+    std::vector<FaultClass> classes;
+    if (opts.injectArg == "matrix") {
+        for (int c = 0; c < numFaultClasses; ++c)
+            classes.push_back(static_cast<FaultClass>(c));
+    } else {
+        FaultClass c;
+        if (!parseFaultClass(opts.injectArg.c_str(), c))
+            fatal("unknown fault class '%s' (use 'matrix' or one of "
+                  "the class names)",
+                  opts.injectArg.c_str());
+        classes.push_back(c);
+    }
+
+    InjectRunOptions io;
+    io.profile = opts.profile;
+    io.statements = opts.statements;
+    io.maxInstructions = opts.maxInstructions;
+
+    if (!opts.traceJsonlPath.empty()) {
+        // Demo trace carrying every fault/recovery event kind. No
+        // single run shows all three (a lockstep-detected fault never
+        // restarts, and rare-victim classes cannot fire inside the
+        // short complex window before a forced expiry), so the export
+        // is two legs: a naturally detected run of the requested
+        // class, plus a forced-expiry run for the restart path. Seeds
+        // are probed untraced first so the file holds only the two
+        // demonstrative runs.
+        Tracer tracer(1 << 16);
+        InjectRunOptions dio = io;
+        InjectRunOptions fio = io;
+        fio.forceMiss = true;
+        fio.triggerFirst = true;
+        const auto probe = [&](const InjectRunOptions &o, auto &&pred) {
+            for (std::uint64_t s = opts.seed; s < opts.seed + 64; ++s)
+                if (pred(runInjectProgram(s, classes.front(), o)))
+                    return s;
+            return opts.seed;
+        };
+        const std::uint64_t fire_seed =
+            probe(dio, [](const InjectRunResult &r) {
+                return r.outcome == InjectOutcome::DetectedWatchdog ||
+                       r.outcome == InjectOutcome::DetectedLockstep;
+            });
+        const std::uint64_t restart_seed =
+            probe(fio, [](const InjectRunResult &r) {
+                return r.restarts > 0;
+            });
+        dio.trace = &tracer;
+        fio.trace = &tracer;
+        runInjectProgram(fire_seed, classes.front(), dio);
+        runInjectProgram(restart_seed, classes.front(), fio);
+        std::ofstream os(opts.traceJsonlPath);
+        if (!os)
+            fatal("cannot write %s", opts.traceJsonlPath.c_str());
+        tracer.writeJsonl(os);
+        std::printf("fault/recovery trace written to %s\n",
+                    opts.traceJsonlPath.c_str());
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const InjectCampaignResult res = runInjectCampaign(
+        opts.seed, opts.count, classes, io,
+        [](std::uint64_t done, std::uint64_t total) {
+            std::fprintf(stderr, "injected %llu/%llu programs\r",
+                         static_cast<unsigned long long>(done),
+                         static_cast<unsigned long long>(total));
+        });
+    std::fprintf(stderr, "\n");
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration_cast<std::chrono::duration<double>>(t1 -
+                                                                  t0)
+            .count();
+
+    std::printf("%s", formatCoverageTable(res).c_str());
+    std::printf("%llu injected programs, %zu silent-corruption "
+                "escapes, %.2f s (%.0f programs/s)\n",
+                static_cast<unsigned long long>(res.programs),
+                res.escapes.size(), secs,
+                secs > 0 ? static_cast<double>(res.programs) / secs : 0);
+
+    if (!opts.outDir.empty()) {
+        for (const InjectRunResult &e : res.escapes) {
+            ReproCase rc;
+            rc.seed = e.seed;
+            rc.profile = profileName(opts.profile);
+            rc.note = std::string("silent corruption escape, class ") +
+                      faultClassName(e.cls) +
+                      " (reproduce: visa-fuzz --inject " +
+                      faultClassName(e.cls) + " --seed " +
+                      std::to_string(e.seed) + " --count 1)";
+            rc.source = e.source;
+            const std::string path =
+                opts.outDir + "/inj_" + faultClassName(e.cls) + "_" +
+                std::to_string(e.seed) + ".s";
+            if (saveRepro(path, rc))
+                std::printf("escape repro written to %s\n",
+                            path.c_str());
+            else
+                std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        }
+    }
+    return res.escapes.empty() ? 0 : 1;
+}
+
 int
 fuzz(const Options &opts)
 {
@@ -419,9 +559,18 @@ main(int argc, char **argv)
     std::string &replay_path =
         cli.flag("--replay", "FILE",
                  "re-run a saved repro, exit 1 if it still fails");
+    std::string &inject_class = cli.flag(
+        "--inject", "C",
+        "fault-injection campaign: a class name (reg-bit-flip, "
+        "load-value, load-addr, store-addr, branch-dir, branch-target, "
+        "decode-imm, wakeup-stall, load-ext) or 'matrix' for all");
+    std::string &trace_jsonl = cli.flag(
+        "--trace-jsonl", "FILE",
+        "with --inject: record a demo run's fault/recovery trace");
     bool &inject = cli.boolFlag(
         "--inject-load-ext-bug",
-        "enable the candidate's deliberate subword-load bug");
+        "deprecated alias: persistent load-ext fault in the candidate "
+        "(use --inject load-ext)");
     bool &cross_timing = cli.boolFlag(
         "--cross-check-timing",
         "compare the event-driven core against the per-cycle "
@@ -461,9 +610,18 @@ main(int argc, char **argv)
         opts.coverage = coverage;
         opts.outDir = out_dir;
         opts.replayPath = replay_path;
+        opts.injectArg = inject_class;
+        opts.traceJsonlPath = trace_jsonl;
+        if (opts.injectBug)
+            std::fprintf(stderr,
+                         "warning: --inject-load-ext-bug is deprecated; "
+                         "it now maps to the load-ext entry of the "
+                         "--inject fault matrix\n");
 
         if (!opts.replayPath.empty())
             return replay(opts);
+        if (!opts.injectArg.empty())
+            return injectCampaign(opts);
         if (opts.coverage)
             return coverageScan(opts);
         return fuzz(opts);

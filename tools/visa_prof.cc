@@ -10,7 +10,12 @@
  *    histograms per DVS frequency (--slack), optionally reconciled
  *    against a `--stats-json` stats dump (--reconcile),
  *  - a per-block diff between two profiles (--diff), for comparing a
- *    fast run against a slow one.
+ *    fast run against a slow one,
+ *  - a fault join (--faults): fault_inject / fault_detect /
+ *    recovery_restart events from a trace JSONL (visa-fuzz --inject
+ *    --trace-jsonl, or visa-sim under a restart policy) attributed to
+ *    the profile's basic blocks, so injection coverage is reported
+ *    per block.
  *
  * With --workload/--cpu instead of a profile file, the tool builds the
  * rig itself through SimBuilder, runs the program once under an
@@ -20,6 +25,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -31,6 +37,7 @@
 #include "sim/json.hh"
 #include "sim/logging.hh"
 #include "sim/prof/prof.hh"
+#include "verify/inject.hh"
 #include "workloads/clab.hh"
 
 using namespace visa;
@@ -257,6 +264,89 @@ reportDiff(const json::Value &a, const json::Value &b,
     }
 }
 
+/**
+ * Join fault events from a trace JSONL against the profile's blocks:
+ * each fault_inject lands in the basic block whose [pc, pc+4*words)
+ * range contains the corrupted pc. Detections and restarts are global
+ * (they carry no pc), so they are summarized underneath.
+ */
+void
+reportFaultJoin(const json::Value &p, const std::string &trace_path)
+{
+    struct BlockFaults
+    {
+        std::uint64_t entries = 0;
+        std::map<int, std::uint64_t> injectedByClass;
+    };
+    // block pc -> extent + profile entries
+    std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+        extents;    // pc -> {end, entries}
+    for (const json::Value &b : p.at("blocks").array)
+        extents[num(b.at("pc"))] = {
+            num(b.at("pc")) + 4 * num(b.at("words")),
+            num(b.at("entries"))};
+
+    std::map<std::uint64_t, BlockFaults> joined;
+    std::uint64_t injected = 0, unattributed = 0, detections = 0,
+                  restarts = 0;
+    std::ifstream in(trace_path);
+    if (!in)
+        fatal("cannot open '%s'", trace_path.c_str());
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line.find("\"ev\"") == std::string::npos)
+            continue;
+        json::Value v = json::Parser(line).parse();
+        const json::Value *ev = v.find("ev");
+        if (!ev || ev->type != json::Value::Type::String)
+            continue;
+        if (ev->string == "fault_detect") {
+            ++detections;
+        } else if (ev->string == "recovery_restart") {
+            ++restarts;
+        } else if (ev->string == "fault_inject") {
+            ++injected;
+            const std::uint64_t pc = num(v.at("pc"));
+            const int cls = static_cast<int>(num(v.at("class")));
+            // largest block pc <= fault pc, then range check
+            auto it = extents.upper_bound(pc);
+            if (it == extents.begin() ||
+                pc >= (--it)->second.first) {
+                ++unattributed;
+                continue;
+            }
+            BlockFaults &bf = joined[it->first];
+            bf.entries = it->second.second;
+            ++bf.injectedByClass[cls];
+        }
+    }
+    std::printf("\nfault join (%s):\n", trace_path.c_str());
+    if (!injected && !detections && !restarts) {
+        std::printf("  no fault events in the trace\n");
+        return;
+    }
+    std::printf("  %-12s %10s %10s  %s\n", "block", "entries",
+                "injected", "classes");
+    for (const auto &[pc, bf] : joined) {
+        std::uint64_t total = 0;
+        std::string classes;
+        for (const auto &[cls, n] : bf.injectedByClass) {
+            total += n;
+            if (!classes.empty())
+                classes += ", ";
+            classes += verify::faultClassName(
+                static_cast<verify::FaultClass>(cls));
+        }
+        std::printf("  0x%08" PRIx64 " %10" PRIu64 " %10" PRIu64 "  %s\n",
+                    pc, bf.entries, total, classes.c_str());
+    }
+    if (unattributed)
+        std::printf("  (%" PRIu64 " injection(s) outside profiled "
+                    "blocks)\n", unattributed);
+    std::printf("  %" PRIu64 " injected, %" PRIu64 " detected, %" PRIu64
+                " restart(s)\n", injected, detections, restarts);
+}
+
 } // anonymous namespace
 
 int
@@ -275,6 +365,9 @@ main(int argc, char **argv)
     std::string &reconcile_path =
         cli.flag("--reconcile", "FILE",
                  "check AET totals against a --stats-json dump");
+    std::string &faults_path =
+        cli.flag("--faults", "FILE",
+                 "join fault events from a trace JSONL to blocks");
     std::string &workload =
         cli.flag("--workload", "NAME",
                  "produce: run a built-in benchmark under a profiler");
@@ -345,6 +438,8 @@ main(int argc, char **argv)
             reportEdges(doc);
         if (do_slack)
             reportSlack(doc);
+        if (!faults_path.empty())
+            reportFaultJoin(doc, faults_path);
         if (!reconcile_path.empty())
             return reconcile(doc, reconcile_path);
     } catch (const FatalError &e) {

@@ -6,6 +6,8 @@
  *  - event counts per kind,
  *  - per-sub-task checkpoint slack (PET - AET detection margin),
  *  - a checkpoint-margin histogram (power-of-two buckets),
+ *  - fault injection / recovery (per-class detections, latency,
+ *    restart cost) when the trace carries the 'fault' category,
  *  - frequency residency (cycles spent at each operating point),
  *
  * or, with --validate, checks the file against the trace schema (known
@@ -32,6 +34,7 @@
 #include "sim/json.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
+#include "verify/inject.hh"
 
 using namespace visa;
 
@@ -380,32 +383,111 @@ reportMarginHistogram(const std::vector<DecodedEvent> &events)
 }
 
 void
+reportFaults(const std::vector<DecodedEvent> &events)
+{
+    // Injection campaigns (visa-fuzz --inject) and restart recovery
+    // emit the 'fault' category; join injections to detections and
+    // summarize restart cost.
+    struct Agg
+    {
+        std::size_t injected = 0;
+        std::size_t byDetector[2] = {0, 0};    // watchdog, lockstep
+        double latencySum = 0.0;
+        double latencyMax = 0.0;
+        std::size_t detections = 0;
+    };
+    std::map<int, Agg> per_class;
+    std::size_t restarts = 0;
+    double restore_sum = 0.0;
+    for (const DecodedEvent &e : events) {
+        if (e.kind == EventKind::FaultInject) {
+            ++per_class[static_cast<int>(e.args.at("class"))].injected;
+        } else if (e.kind == EventKind::FaultDetect) {
+            Agg &a = per_class[static_cast<int>(e.args.at("class"))];
+            const int det = static_cast<int>(e.args.at("detector"));
+            if (det == 0 || det == 1)
+                ++a.byDetector[det];
+            const double lat = e.args.at("latency_cycles");
+            a.latencySum += lat;
+            a.latencyMax = std::max(a.latencyMax, lat);
+            ++a.detections;
+        } else if (e.kind == EventKind::RecoveryRestart) {
+            ++restarts;
+            restore_sum += e.args.at("restore_cycles");
+        }
+    }
+    if (per_class.empty() && !restarts)
+        return;    // not an injection trace; keep the report quiet
+    std::printf("\nfault injection / recovery:\n");
+    std::printf("  %-16s %8s %9s %9s %12s %12s\n", "class", "injected",
+                "watchdog", "lockstep", "latency-avg", "latency-max");
+    for (const auto &[cls, a] : per_class) {
+        const char *name =
+            cls >= 0 && cls < verify::numFaultClasses
+                ? verify::faultClassName(
+                      static_cast<verify::FaultClass>(cls))
+                : "?";
+        std::printf("  %-16s %8zu %9zu %9zu %12.0f %12.0f\n", name,
+                    a.injected, a.byDetector[0], a.byDetector[1],
+                    a.detections
+                        ? a.latencySum /
+                              static_cast<double>(a.detections)
+                        : 0.0,
+                    a.latencyMax);
+    }
+    if (restarts)
+        std::printf("  restarts: %zu (restore %.0f cycles total, "
+                    "%.0f avg)\n",
+                    restarts, restore_sum,
+                    restore_sum / static_cast<double>(restarts));
+}
+
+void
 reportFrequencyResidency(const std::vector<DecodedEvent> &events)
 {
     // Integrate cycles between successive freq_change events; the tail
-    // (after the last change) runs to the last event in the trace.
+    // (after the last change) runs to the last event of its segment.
+    // A task_begin whose timestamp goes backwards marks a trace that
+    // concatenates several runs (e.g. the visa-fuzz --inject demo
+    // legs), each restarting at cycle 0: close the open interval at
+    // the old segment's end instead of integrating a negative span.
+    // Spans are also clamped at 0 because a few event kinds (squash)
+    // are stamped with a future cycle, so file order is only
+    // near-monotonic within one run.
     std::map<unsigned, double> cycles_at;
     double last_cycle = 0.0;
     unsigned current = 0;
     bool have_freq = false;
-    double end_cycle = 0.0;
-    for (const DecodedEvent &e : events)
-        end_cycle = std::max(end_cycle, e.cycle);
+    bool any_freq = false;
+    double seg_end = 0.0;
+    double prev_cycle = 0.0;
     for (const DecodedEvent &e : events) {
+        if (e.kind == EventKind::TaskBegin && e.cycle < prev_cycle) {
+            if (have_freq)
+                cycles_at[current] +=
+                    std::max(0.0, seg_end - last_cycle);
+            have_freq = false;
+            last_cycle = 0.0;
+            seg_end = 0.0;
+        }
+        prev_cycle = e.cycle;
+        seg_end = std::max(seg_end, e.cycle);
         if (e.kind != EventKind::FreqChange)
             continue;
         if (have_freq)
-            cycles_at[current] += e.cycle - last_cycle;
+            cycles_at[current] += std::max(0.0, e.cycle - last_cycle);
         current = static_cast<unsigned>(e.args.at("to_mhz"));
         last_cycle = e.cycle;
         have_freq = true;
+        any_freq = true;
     }
-    if (!have_freq) {
+    if (!any_freq) {
         std::printf("\nno freq_change events (single-frequency run, or "
                     "the 'dvs' category was filtered out)\n");
         return;
     }
-    cycles_at[current] += end_cycle - last_cycle;
+    if (have_freq)
+        cycles_at[current] += std::max(0.0, seg_end - last_cycle);
     double total = 0.0;
     for (const auto &[f, c] : cycles_at)
         total += c;
@@ -477,6 +559,7 @@ main(int argc, char **argv)
         reportCounts(events);
         reportSlack(events);
         reportMarginHistogram(events);
+        reportFaults(events);
         reportFrequencyResidency(events);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
