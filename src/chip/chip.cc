@@ -1,0 +1,117 @@
+#include "chip/chip.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+namespace chip
+{
+
+ChipCore::ChipCore(Chip &chip, int id)
+    : chip_(chip), id_(id), memctrl_(chip.cfg_.memctrl)
+{
+    if (chip.cfg_.attachBus && chip.cfg_.cores > 1)
+        memctrl_.attachBus(&chip.bus_, id);
+}
+
+OooCpu &
+ChipCore::makeOoo()
+{
+    if (ooo_)
+        fatal("ChipCore %d: complex pipeline already built", id_);
+    ooo_ = std::make_unique<OooCpu>(chip_.prog_, chip_.mem_, platform_,
+                                    memctrl_);
+    return *ooo_;
+}
+
+SimpleCpu &
+ChipCore::makeSimple()
+{
+    if (simple_)
+        fatal("ChipCore %d: simple pipeline already built", id_);
+    simple_ = std::make_unique<SimpleCpu>(chip_.prog_, chip_.mem_,
+                                          platform_, memctrl_);
+    return *simple_;
+}
+
+OooCpu &
+ChipCore::ooo()
+{
+    if (!ooo_)
+        makeOoo().resetForTask();
+    return *ooo_;
+}
+
+SimpleCpu &
+ChipCore::simple()
+{
+    if (!simple_)
+        makeSimple().resetForTask();
+    return *simple_;
+}
+
+Chip::Chip(const Program &prog, const ChipConfig &cfg)
+    : prog_(prog), cfg_(cfg), bus_(cfg.cores < 1 ? 1 : cfg.cores, cfg.bus)
+{
+    if (cfg.cores < 1)
+        fatal("Chip: need at least one core (got %d)", cfg.cores);
+    mem_.loadProgram(prog);
+    cores_.reserve(static_cast<std::size_t>(cfg.cores));
+    for (int i = 0; i < cfg.cores; ++i)
+        cores_.emplace_back(new ChipCore(*this, i));
+}
+
+Chip::~Chip() = default;
+
+Chip::RunAllResult
+Chip::runAll(Cycles maxCycles, Cycles window)
+{
+    if (window < 1)
+        window = 1;
+    std::vector<bool> done(cores_.size(), false);
+    Cycles spent = 0;
+    bool all = false;
+    while (!all && spent < maxCycles) {
+        const Cycles budget = std::min<Cycles>(window, maxCycles - spent);
+        all = true;
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            if (done[i])
+                continue;
+            OooCpu &cpu = core(static_cast<int>(i)).ooo();
+            if (cpu.run(budget).reason == StopReason::Halted)
+                done[i] = true;
+            else
+                all = false;
+        }
+        spent += budget;
+    }
+    RunAllResult res;
+    res.allHalted = all;
+    for (const auto &c : cores_)
+        if (c->hasOoo())
+            res.retired += c->ooo_->retired();
+    return res;
+}
+
+void
+Chip::buildStats(StatSet &set) const
+{
+    StatGroup &g = set.group("chip.bus");
+    g.scalar("requests", "misses routed over the shared bus")
+        .set(bus_.requests());
+    g.scalar("l2_hits", "shared-L2 tag hits").set(bus_.l2Hits());
+    g.scalar("bank_conflicts", "requests that waited on a busy bank")
+        .set(bus_.bankConflicts());
+    g.scalar("mshr_stalls", "requests that waited for a chip MSHR")
+        .set(bus_.mshrStalls());
+    g.scalar("bank_wait_ns", "total queueing delay behind busy banks, ns")
+        .set(static_cast<std::uint64_t>(bus_.bankWaitNs()));
+    g.scalar("mshr_wait_ns",
+             "total stall waiting for a free chip MSHR, ns")
+        .set(static_cast<std::uint64_t>(bus_.mshrWaitNs()));
+}
+
+} // namespace chip
+} // namespace visa

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The multi-core VISA chip: N cores — each with its own Platform
+ * (watchdog, cycle counter, DVS registers: the per-core safety and
+ * clock domain) and its own SimpleCpu/OooCpu pair sharing per-core
+ * L1s — in front of one shared MainMemory and one ChipInterconnect
+ * (banked bus + shared L2 + chip MSHR pool).
+ *
+ * Sharing boundary, and why: MainMemory, the L2, and the bus are
+ * per-chip objects (the scale-out the ROADMAP calls for); the
+ * Platform stays per-core because it *is* the VISA watchdog — the
+ * paper's safety argument needs one independent checkpoint counter
+ * per execution domain, and a shared watchdog would let one core's
+ * recovery mask another's missed checkpoint.
+ *
+ * Cores are stepped deterministically: runAll() interleaves the cores
+ * in ascending id order in fixed cycle windows, so a chip run is a
+ * pure function of (program, config, window).
+ */
+
+#ifndef VISA_CHIP_CHIP_HH
+#define VISA_CHIP_CHIP_HH
+
+#include <memory>
+#include <vector>
+
+#include "chip/interconnect.hh"
+#include "cpu/ooo_cpu.hh"
+#include "cpu/simple_cpu.hh"
+#include "sim/stats.hh"
+#include "workloads/clab.hh"
+
+namespace visa
+{
+namespace chip
+{
+
+/** Chip geometry; the bus/L2 knobs ride in ChipBusParams. */
+struct ChipConfig
+{
+    int cores = 1;
+    ChipBusParams bus;
+    /**
+     * Attach per-core MemControllers to the shared bus. Off for a
+     * single core: a 1-core chip is the historical rig, bit-identical
+     * (the bus only ever sees contention with >= 2 requestors).
+     */
+    bool attachBus = true;
+    MemCtrlParams memctrl;
+};
+
+class Chip;
+
+/**
+ * One execution slot: Platform + bus-attached MemController, plus the
+ * SimpleCpu/OooCpu pair built on demand (a VISA core is the pair — the
+ * complex pipeline for throughput, the simple one for recovery and
+ * for paired-core redundant execution).
+ */
+class ChipCore
+{
+  public:
+    int id() const { return id_; }
+    Platform &platform() { return platform_; }
+    MemController &memctrl() { return memctrl_; }
+
+    /** The complex (out-of-order) pipeline; built on first use. */
+    OooCpu &ooo();
+    /** The simple in-order pipeline; built on first use. */
+    SimpleCpu &simple();
+
+    /**
+     * Construct the pipeline WITHOUT resetting it for a task — the
+     * builder owns the exact construction dance (block-cache knob
+     * before reset, mode switch and frequency after); fatal if this
+     * pipeline was already built.
+     */
+    OooCpu &makeOoo();
+    SimpleCpu &makeSimple();
+
+    bool hasOoo() const { return ooo_ != nullptr; }
+    bool hasSimple() const { return simple_ != nullptr; }
+
+  private:
+    friend class Chip;
+    ChipCore(Chip &chip, int id);
+
+    Chip &chip_;
+    int id_;
+    Platform platform_;
+    MemController memctrl_;
+    std::unique_ptr<OooCpu> ooo_;
+    std::unique_ptr<SimpleCpu> simple_;
+};
+
+class Chip
+{
+  public:
+    /** @p prog must outlive the chip (the builder owns both). */
+    Chip(const Program &prog, const ChipConfig &cfg);
+    ~Chip();
+    Chip(const Chip &) = delete;
+    Chip &operator=(const Chip &) = delete;
+
+    const Program &program() const { return prog_; }
+    const ChipConfig &config() const { return cfg_; }
+    int numCores() const { return static_cast<int>(cores_.size()); }
+
+    MainMemory &mem() { return mem_; }
+    ChipInterconnect &bus() { return bus_; }
+    ChipCore &core(int i) { return *cores_[static_cast<std::size_t>(i)]; }
+
+    /** Result of a free chip run. */
+    struct RunAllResult
+    {
+        bool allHalted = false;
+        std::uint64_t retired = 0;    ///< sum over cores
+    };
+
+    /**
+     * Free-run the chip: every core executes the chip's program on its
+     * complex pipeline, interleaved in ascending core order in
+     * @p window-cycle slices until every core halts or a core exhausts
+     * @p maxCycles. Cores the caller never touched are built (and
+     * resetForTask) on first use here.
+     */
+    RunAllResult runAll(Cycles maxCycles, Cycles window = 4096);
+
+    /** Bus counters as a "chip.bus" stats group. */
+    void buildStats(StatSet &set) const;
+
+    /**
+     * Transfer ownership of the program (and the workload it came
+     * from, if any) into the chip. The ctor's @p prog reference must
+     * point at @p prog's heap object (SimBuilder guarantees this).
+     */
+    void
+    adoptProgram(std::unique_ptr<Program> prog,
+                 std::unique_ptr<Workload> workload)
+    {
+        ownedProg_ = std::move(prog);
+        workload_ = std::move(workload);
+    }
+    /** The built workload, or nullptr unless one was adopted. */
+    const Workload *workload() const { return workload_.get(); }
+
+  private:
+    friend class ChipCore;
+
+    // Ownership slots first: cores (whose CPUs reference the program)
+    // are destroyed before the program they run.
+    std::unique_ptr<Program> ownedProg_;
+    std::unique_ptr<Workload> workload_;
+    const Program &prog_;
+    ChipConfig cfg_;
+    MainMemory mem_;
+    ChipInterconnect bus_;
+    std::vector<std::unique_ptr<ChipCore>> cores_;
+};
+
+} // namespace chip
+} // namespace visa
+
+#endif // VISA_CHIP_CHIP_HH

@@ -1,0 +1,110 @@
+#include "chip/interconnect.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace visa
+{
+namespace chip
+{
+
+ChipInterconnect::ChipInterconnect(int cores, const ChipBusParams &params)
+    : params_(params), l2_(params.l2)
+{
+    if (cores < 1)
+        fatal("ChipInterconnect: need at least one core (got %d)", cores);
+    if (params_.banks < 1)
+        fatal("ChipInterconnect: need at least one bank (got %d)",
+              params_.banks);
+    clocks_.resize(static_cast<std::size_t>(cores));
+    bankFreeNs_.assign(static_cast<std::size_t>(params_.banks), 0.0);
+}
+
+Cycles
+ChipInterconnect::route(int core, Cycles now, MHz f, Addr addr)
+{
+    CoreClock &ck = clocks_[static_cast<std::size_t>(core)];
+    // Advance the core's shared-timeline position. Frequency changes
+    // between two misses attribute the whole gap to the frequency of
+    // the later call; the scheduler's per-dispatch syncCore() bounds
+    // the resulting drift to one quantum.
+    if (now > ck.lastCycle)
+        ck.ns += static_cast<double>(now - ck.lastCycle) * 1000.0 /
+                 static_cast<double>(f);
+    ck.lastCycle = now;
+    const double reqNs = ck.ns;
+
+    // Retire fills that completed before this request arrived.
+    auto drained = std::upper_bound(fills_.begin(), fills_.end(), reqNs);
+    fills_.erase(fills_.begin(), drained);
+
+    // Chip MSHR pool: a full pool blocks the request until the
+    // earliest outstanding fill frees its entry.
+    double startNs = reqNs;
+    while (static_cast<int>(fills_.size()) >= params_.mshrs) {
+        startNs = std::max(startNs, fills_.front());
+        fills_.erase(fills_.begin());
+        ++mshrStalls_;
+    }
+    mshrWaitNs_ += startNs - reqNs;
+
+    // Bank arbitration: the block's bank serializes requests at
+    // busOccupancyNs apiece.
+    const Addr block = addr >> l2_.blockShift();
+    const std::size_t bank =
+        static_cast<std::size_t>(block % static_cast<Addr>(params_.banks));
+    const double grantNs = std::max(startNs, bankFreeNs_[bank]);
+    if (grantNs > startNs)
+        ++bankConflicts_;
+    bankWaitNs_ += grantNs - startNs;
+    bankFreeNs_[bank] = grantNs + params_.busOccupancyNs;
+
+    // Shared L2 lookup (tag-only, allocate on miss).
+    const bool hit = l2_.access(addr, false);
+    const double fillNs =
+        grantNs + (hit ? params_.l2HitNs : params_.memAccessNs);
+    fills_.insert(std::upper_bound(fills_.begin(), fills_.end(), fillNs),
+                  fillNs);
+
+    ++requests_;
+    if (hit)
+        ++l2Hits_;
+
+    // Back to the core's cycle domain: the fill lands ceil(delay * f)
+    // core cycles after issue (at least the L2 hit time, so a routed
+    // miss is never cheaper than one bus round trip).
+    const double delayNs = fillNs - reqNs;
+    const auto delayCycles = static_cast<Cycles>(
+        std::ceil(delayNs * static_cast<double>(f) / 1000.0));
+    return now + std::max<Cycles>(delayCycles, 1);
+}
+
+void
+ChipInterconnect::syncCore(int core, double wallNs, Cycles coreCycle)
+{
+    CoreClock &ck = clocks_[static_cast<std::size_t>(core)];
+    ck.ns = wallNs;
+    ck.lastCycle = coreCycle;
+}
+
+void
+ChipInterconnect::reset()
+{
+    for (CoreClock &ck : clocks_)
+        ck = CoreClock{};
+    std::fill(bankFreeNs_.begin(), bankFreeNs_.end(), 0.0);
+    fills_.clear();
+    l2_.flush();
+    l2_.resetStats();
+    requests_ = 0;
+    l2Hits_ = 0;
+    bankConflicts_ = 0;
+    mshrStalls_ = 0;
+    bankWaitNs_ = 0.0;
+    mshrWaitNs_ = 0.0;
+}
+
+} // namespace chip
+} // namespace visa

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * FlexStep-style paired-core redundant execution: a spare core
+ * re-executes a sub-task in simple mode and the two final
+ * architectural states are voted at the sub-task boundary. Unlike the
+ * per-instruction lockstep checker (verify/lockstep.hh), the paired
+ * detector compares only once — registers, memory image, platform
+ * checksum and console — which is what a real spare core can afford:
+ * no per-record stream crosses the chip, just the boundary state.
+ *
+ * Each core of the pair owns a private memory image (redundant
+ * spatial execution): the victim's corrupted stores must not leak
+ * into the spare's input state, exactly as on a chip where the pair
+ * runs in split mode with separate allocations.
+ *
+ * The victim is the complex pipeline with a FaultPort attached (the
+ * same seam visa-fuzz --inject drives); the spare is the simple
+ * pipeline, which takes no faults by design. Detection fires on any
+ * final-state mismatch, on a victim trap, or on the victim failing to
+ * reach the boundary inside the cycle budget (the spare's completion
+ * plus the budget is the pair's deadline).
+ */
+
+#ifndef VISA_CHIP_PAIRED_HH
+#define VISA_CHIP_PAIRED_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/fault_port.hh"
+#include "isa/isa.hh"
+#include "isa/program.hh"
+
+namespace visa
+{
+namespace chip
+{
+
+struct PairedCheckResult
+{
+    /** The vote failed: the pair disagrees (or the victim trapped or
+     *  overran the budget). */
+    bool detected = false;
+    bool victimTrapped = false;
+    bool victimTimedOut = false;
+    std::uint64_t victimRetired = 0;
+    std::uint64_t spareRetired = 0;
+    /** First mismatch per state class, human-readable (empty if the
+     *  vote passed). */
+    std::string report;
+};
+
+/**
+ * Run @p prog on the victim/spare pair and vote the final states.
+ * @p victimPort is attached to the victim's complex pipeline (null =
+ * fault-free control run); @p maxCycles bounds both executions.
+ */
+PairedCheckResult runPairedCheck(const Program &prog,
+                                 FaultPort *victimPort,
+                                 std::uint64_t maxCycles);
+
+} // namespace chip
+} // namespace visa
+
+#endif // VISA_CHIP_PAIRED_HH

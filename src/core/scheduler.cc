@@ -50,6 +50,10 @@ struct MultiTaskScheduler::ManagedTask
     double deadline = 0.0;         ///< absolute deadline r_k + T
     int jobPreemptions = 0;
     double jobBusy = 0.0;
+    /** Wall time from which the current job may (re)start: its release,
+     *  or the preemption point it was last suspended at (multi-core
+     *  runs; a core must not run a job from its local future). */
+    double avail = 0.0;
 
     SchedTaskStats stats;
 };
@@ -103,11 +107,70 @@ MultiTaskScheduler::nominalRelease(const ManagedTask &t) const
     return t.def.phaseSeconds + t.released * t.def.periodSeconds;
 }
 
+double
+MultiTaskScheduler::interferenceFactor() const
+{
+    if (cfg_.cores <= 1)
+        return 1.0;
+    // Worst case, every shared-memory access in B_i queues behind one
+    // in-flight access from each of the other m-1 cores; memStallShare
+    // bounds the fraction of B_i that is such accesses.
+    const double perAccess = cfg_.bus.memAccessNs > 0.0
+        ? cfg_.bus.busOccupancyNs / cfg_.bus.memAccessNs
+        : 0.0;
+    return 1.0 + (cfg_.cores - 1) * cfg_.memStallShare * perAccess;
+}
+
+double
+MultiTaskScheduler::inflatedDemand(int task) const
+{
+    const SchedTaskDef &d =
+        tasks_[static_cast<std::size_t>(task)]->def;
+    const double sw = 2.0 * switchSeconds(d.dvs->minFreq());
+    return (d.runtime.deadlineSeconds * interferenceFactor() + sw) /
+           (1.0 - cfg_.utilizationMargin);
+}
+
+std::vector<int>
+MultiTaskScheduler::partitionedAssignment() const
+{
+    const int m = cfg_.cores;
+    std::vector<int> assign(static_cast<std::size_t>(numTasks()), -1);
+    std::vector<double> load(static_cast<std::size_t>(m), 0.0);
+    for (int i = 0; i < numTasks(); ++i) {
+        const double u = inflatedDemand(i) /
+                         tasks_[static_cast<std::size_t>(i)]
+                             ->def.periodSeconds;
+        int core;
+        if (i < static_cast<int>(cfg_.affinity.size()) &&
+            cfg_.affinity[static_cast<std::size_t>(i)] >= 0) {
+            core = cfg_.affinity[static_cast<std::size_t>(i)];
+            if (core >= m)
+                fatal("scheduler: task %d pinned to core %d of a "
+                      "%d-core chip",
+                      i, core, m);
+        } else {
+            // Worst-fit: the least-loaded core; strict < keeps the
+            // lowest id on ties, so placement is deterministic.
+            core = 0;
+            for (int c = 1; c < m; ++c)
+                if (load[static_cast<std::size_t>(c)] <
+                    load[static_cast<std::size_t>(core)])
+                    core = c;
+        }
+        assign[static_cast<std::size_t>(i)] = core;
+        load[static_cast<std::size_t>(core)] += u;
+    }
+    return assign;
+}
+
 std::string
 MultiTaskScheduler::admissionError() const
 {
     if (tasks_.empty())
         return "no tasks";
+    if (cfg_.cores < 1)
+        return "cores must be >= 1";
     std::vector<PeriodicTask> set;
     for (const auto &tp : tasks_) {
         const SchedTaskDef &d = tp->def;
@@ -151,20 +214,81 @@ MultiTaskScheduler::admissionError() const
         const double sw = 2.0 * switchSeconds(d.dvs->minFreq());
         set.push_back({budget + sw, d.periodSeconds});
     }
-    // The configured margin inflates demand rather than deflating the
-    // bound, so the reported utilization numbers stay recognizable.
-    for (PeriodicTask &pt : set)
-        pt.wcet /= (1.0 - cfg_.utilizationMargin);
-    if (cfg_.policy == SchedPolicy::Edf) {
-        if (!edfSchedulable(set))
-            return formatted("EDF: utilization %.3f of the inflated set "
-                             "exceeds 1",
-                             utilization(set));
-    } else {
-        if (!rmResponseTimeFeasible(set))
-            return formatted("RM: response-time analysis rejects the "
-                             "inflated set (utilization %.3f)",
-                             utilization(set));
+    if (cfg_.cores == 1) {
+        // The configured margin inflates demand rather than deflating
+        // the bound, so the reported utilization stays recognizable.
+        for (PeriodicTask &pt : set)
+            pt.wcet /= (1.0 - cfg_.utilizationMargin);
+        if (cfg_.policy == SchedPolicy::Edf) {
+            if (!edfSchedulable(set))
+                return formatted("EDF: utilization %.3f of the inflated "
+                                 "set exceeds 1",
+                                 utilization(set));
+        } else {
+            if (!rmResponseTimeFeasible(set))
+                return formatted("RM: response-time analysis rejects "
+                                 "the inflated set (utilization %.3f)",
+                                 utilization(set));
+        }
+        return "";
+    }
+
+    // Multi-core: compose the per-task single-core feasibility above
+    // with a placement-aware test over demands inflated by the
+    // cross-core shared-memory interference bound.
+    const int m = cfg_.cores;
+    for (std::size_t i = 0; i < cfg_.affinity.size(); ++i)
+        if (cfg_.affinity[i] >= m)
+            return formatted("affinity: task %d pinned to core %d of a "
+                             "%d-core chip",
+                             static_cast<int>(i), cfg_.affinity[i], m);
+    if (cfg_.placement == PlacementPolicy::Global) {
+        if (cfg_.policy != SchedPolicy::Edf)
+            return "global placement supports EDF only";
+        double total = 0.0;
+        double umax = 0.0;
+        for (int i = 0; i < numTasks(); ++i) {
+            const double u =
+                inflatedDemand(i) /
+                tasks_[static_cast<std::size_t>(i)]->def.periodSeconds;
+            if (u > 1.0)
+                return formatted(
+                    "G-EDF: task '%s': interference-inflated "
+                    "utilization %.3f exceeds 1",
+                    tasks_[static_cast<std::size_t>(i)]
+                        ->def.name.c_str(),
+                    u);
+            total += u;
+            umax = std::max(umax, u);
+        }
+        const double bound = m - (m - 1) * umax;
+        if (total > bound)
+            return formatted("G-EDF: inflated utilization %.3f exceeds "
+                             "the GFB bound %.3f (m=%d, Umax=%.3f)",
+                             total, bound, m, umax);
+        return "";
+    }
+    const std::vector<int> assign = partitionedAssignment();
+    for (int c = 0; c < m; ++c) {
+        std::vector<PeriodicTask> part;
+        for (int i = 0; i < numTasks(); ++i)
+            if (assign[static_cast<std::size_t>(i)] == c)
+                part.push_back(
+                    {inflatedDemand(i),
+                     tasks_[static_cast<std::size_t>(i)]
+                         ->def.periodSeconds});
+        if (part.empty())
+            continue;
+        if (cfg_.policy == SchedPolicy::Edf) {
+            if (!edfSchedulable(part))
+                return formatted("P-EDF: core %d: interference-inflated "
+                                 "utilization %.3f exceeds 1",
+                                 c, utilization(part));
+        } else if (!rmResponseTimeFeasible(part)) {
+            return formatted("P-RM: core %d: response-time analysis "
+                             "rejects the partition (utilization %.3f)",
+                             c, utilization(part));
+        }
     }
     return "";
 }
@@ -192,7 +316,7 @@ MultiTaskScheduler::pickReady() const
 }
 
 MHz
-MultiTaskScheduler::resolveFrequency(int next)
+MultiTaskScheduler::resolveFrequencyOn(int next, MHz &slot)
 {
     ManagedTask &t = *tasks_[next];
     const MHz requested = t.rt->requestedFrequency();
@@ -204,9 +328,9 @@ MultiTaskScheduler::resolveFrequency(int next)
     }
     if (f != requested)
         t.rt->overrideFrequency(f);
-    if (coreFreq_ != 0 && f != coreFreq_)
+    if (slot != 0 && f != slot)
         ++outcome_.freqChanges;
-    coreFreq_ = f;
+    slot = f;
     return f;
 }
 
@@ -218,6 +342,13 @@ MultiTaskScheduler::run(int jobs_per_task)
     const std::string err = admissionError();
     if (!err.empty())
         fatal("scheduler: task set rejected: %s", err.c_str());
+    if (cfg_.cores > 1)
+        return runMulti(jobs_per_task);
+    // Stale multi-core state (a prior runMulti) must not leak into the
+    // single-core stats.
+    bus_.reset();
+    assignment_.clear();
+    coreStats_.clear();
 
     jobs_.clear();
     outcome_ = ScheduleOutcome{};
@@ -329,7 +460,7 @@ MultiTaskScheduler::run(int jobs_per_task)
                                     job % t.def.induceMissEvery == 0;
                 t.rt->beginInstance(induce);
             }
-            const MHz f = resolveFrequency(next);
+            const MHz f = resolveFrequencyOn(next, coreFreq_);
             if (lastOnCore_ != next) {
                 // Context-switch cost: wall time only, charged to no
                 // task's CPU — it must not tick any watchdog.
@@ -424,6 +555,330 @@ MultiTaskScheduler::run(int jobs_per_task)
     return outcome_;
 }
 
+/**
+ * The multi-core engine: every core keeps its own wall clock (they are
+ * independent clock domains), and the chip is stepped by always letting
+ * the lowest-id core with runnable work at the earliest local time run
+ * one slice. Releases are observed lazily against each core's own
+ * clock — a core never sees a job released, or a migrated job
+ * suspended, in its local future — which keeps the interleaving a pure
+ * function of the task set (determinism the chip_suite pins down).
+ */
+ScheduleOutcome
+MultiTaskScheduler::runMulti(int jobs_per_task)
+{
+    const int m = cfg_.cores;
+    bus_ = std::make_unique<chip::ChipInterconnect>(m, cfg_.bus);
+    assignment_.assign(static_cast<std::size_t>(numTasks()), -1);
+    if (cfg_.placement == PlacementPolicy::Partitioned)
+        assignment_ = partitionedAssignment();
+
+    jobs_.clear();
+    outcome_ = ScheduleOutcome{};
+    coreStats_.assign(static_cast<std::size_t>(m), CoreStats{});
+    std::vector<double> cwall(static_cast<std::size_t>(m), 0.0);
+    std::vector<int> onCore(static_cast<std::size_t>(m), -1);
+    std::vector<int> lastOn(static_cast<std::size_t>(m), -1);
+    std::vector<MHz> cfreq(static_cast<std::size_t>(m), 0);
+    std::vector<int> taskCore(static_cast<std::size_t>(numTasks()), -1);
+    for (auto &t : tasks_)
+        t->avail = 0.0;
+
+    double horizon = 1e-3;
+    for (const auto &t : tasks_)
+        horizon = std::max(horizon,
+                           t->def.phaseSeconds +
+                               (jobs_per_task + 2) * t->def.periodSeconds);
+    horizon = 10.0 * horizon + 1.0;
+
+    Tracer *const tr = currentTracer();
+    const auto schedEvent = [&](int core, double w, EventKind k, int task,
+                                std::uint64_t b, std::uint64_t c) {
+        if (!tr)
+            return;
+        const Cycles off = tr->cycleOffset();
+        const int prevCore = tr->coreId();
+        tr->setCycleOffset(0);
+        tr->setCoreId(core);
+        tr->record(k, static_cast<Cycles>(std::llround(w * 1e9)),
+                   static_cast<std::uint64_t>(task), b, c, w);
+        tr->setCoreId(prevCore);
+        tr->setCycleOffset(off);
+    };
+
+    // Task @p i has an unreleased job pending?
+    const auto pendingRelease = [&](const ManagedTask &t) {
+        return t.released < jobs_per_task && t.done == t.released &&
+               !t.ready;
+    };
+    // May core @p c ever run task @p i?
+    const auto placedOn = [&](int i, int c) {
+        const int a = assignment_[static_cast<std::size_t>(i)];
+        return a < 0 || a == c;
+    };
+    // Release task @p i's next job, first observed due at wall @p w.
+    const auto release = [&](int i, double w) {
+        ManagedTask &t = *tasks_[static_cast<std::size_t>(i)];
+        t.releaseNominal = nominalRelease(t);
+        t.deadline = t.releaseNominal + t.def.periodSeconds;
+        t.ready = true;
+        t.avail = t.releaseNominal;
+        t.jobPreemptions = 0;
+        t.jobBusy = 0.0;
+        ++t.released;
+        schedEvent(-1, w, EventKind::SchedRelease, i,
+                   static_cast<std::uint64_t>(t.released - 1), 0);
+    };
+
+    for (;;) {
+        bool all_done = true;
+        for (const auto &t : tasks_)
+            if (t->released < jobs_per_task || t->done < t->released)
+                all_done = false;
+        if (all_done)
+            break;
+
+        // Visit cores in (local wall, id) order; the first one with a
+        // runnable job executes a slice this iteration.
+        std::vector<int> order(static_cast<std::size_t>(m));
+        for (int c = 0; c < m; ++c)
+            order[static_cast<std::size_t>(c)] = c;
+        std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+            return cwall[static_cast<std::size_t>(a)] <
+                   cwall[static_cast<std::size_t>(b)];
+        });
+
+        int core = -1;
+        int next = -1;
+        for (int c : order) {
+            const double w = cwall[static_cast<std::size_t>(c)];
+            for (int i = 0; i < numTasks(); ++i)
+                if (pendingRelease(*tasks_[static_cast<std::size_t>(i)]) &&
+                    nominalRelease(*tasks_[static_cast<std::size_t>(i)]) <=
+                        w + 1e-15)
+                    release(i, w);
+            int best = -1;
+            double best_key = 0.0;
+            for (int i = 0; i < numTasks(); ++i) {
+                const ManagedTask &t = *tasks_[static_cast<std::size_t>(i)];
+                if (!t.ready || !placedOn(i, c))
+                    continue;
+                const int host = taskCore[static_cast<std::size_t>(i)];
+                if (host != -1 && host != c)
+                    continue;    // its context is live on another core
+                if (t.avail > w + 1e-15)
+                    continue;    // released/suspended in c's future
+                const double key = cfg_.policy == SchedPolicy::Edf
+                    ? t.deadline
+                    : t.def.periodSeconds;
+                if (best < 0 || key < best_key) {
+                    best = i;
+                    best_key = key;
+                }
+            }
+            if (best >= 0) {
+                core = c;
+                next = best;
+                break;
+            }
+        }
+
+        if (core < 0) {
+            // Every core is idle at its local time: advance each to its
+            // next local event (a fresh release, or a suspended job
+            // becoming available to it).
+            bool advanced = false;
+            for (int c = 0; c < m; ++c) {
+                double tn = std::numeric_limits<double>::infinity();
+                for (int i = 0; i < numTasks(); ++i) {
+                    const ManagedTask &t =
+                        *tasks_[static_cast<std::size_t>(i)];
+                    if (!placedOn(i, c))
+                        continue;
+                    if (pendingRelease(t))
+                        tn = std::min(tn, nominalRelease(t));
+                    else if (t.ready &&
+                             taskCore[static_cast<std::size_t>(i)] == -1)
+                        tn = std::min(tn, t.avail);
+                }
+                double &w = cwall[static_cast<std::size_t>(c)];
+                if (std::isfinite(tn) && tn > w) {
+                    coreStats_[static_cast<std::size_t>(c)].idleSeconds +=
+                        tn - w;
+                    outcome_.idleSeconds += tn - w;
+                    w = tn;
+                    advanced = true;
+                }
+            }
+            if (!advanced)
+                fatal("scheduler: idle with no pending release");
+            continue;
+        }
+
+        ManagedTask &t = *tasks_[static_cast<std::size_t>(next)];
+        double &w = cwall[static_cast<std::size_t>(core)];
+        CoreStats &cs = coreStats_[static_cast<std::size_t>(core)];
+        if (tr)
+            tr->setCoreId(core);
+
+        if (onCore[static_cast<std::size_t>(core)] != next) {
+            const int out_i = onCore[static_cast<std::size_t>(core)];
+            if (out_i >= 0) {
+                ManagedTask &out = *tasks_[static_cast<std::size_t>(out_i)];
+                const StepResult d = out.rt->preemptDrain();
+                w += d.ranSeconds;
+                cs.busySeconds += d.ranSeconds;
+                out.jobBusy += d.ranSeconds;
+                out.stats.busySeconds += d.ranSeconds;
+                if (d.recovered) {
+                    ++out.stats.checkpointMisses;
+                    ++outcome_.checkpointMisses;
+                    schedEvent(core, w, EventKind::SchedRecovery, out_i,
+                               static_cast<std::uint64_t>(std::max(
+                                   0, out.rt->activeMissedSubtask())),
+                               0);
+                }
+                ++out.jobPreemptions;
+                ++out.stats.preemptions;
+                ++outcome_.preemptions;
+                // Suspended here: available to any core from this wall
+                // time on (its context ships with its private rig).
+                out.avail = w;
+                taskCore[static_cast<std::size_t>(out_i)] = -1;
+                schedEvent(core, w, EventKind::SchedPreempt, out_i,
+                           static_cast<std::uint64_t>(out.released - 1),
+                           static_cast<std::uint64_t>(next));
+            }
+            if (!t.rt->instanceActive()) {
+                const int job = t.released - 1;
+                if (t.def.forceMissEvery > 0 &&
+                    job % t.def.forceMissEvery == 0)
+                    t.rt->forceNextMiss(t.def.forceMissIncrement);
+                const bool induce = t.def.induceMissEvery > 0 &&
+                                    job > 0 &&
+                                    job % t.def.induceMissEvery == 0;
+                t.rt->beginInstance(induce);
+            }
+            const MHz f = resolveFrequencyOn(
+                next, cfreq[static_cast<std::size_t>(core)]);
+            if (lastOn[static_cast<std::size_t>(core)] != next) {
+                const double sw = switchSeconds(f);
+                w += sw;
+                outcome_.switchOverheadSeconds += sw;
+                ++outcome_.contextSwitches;
+                ++cs.contextSwitches;
+            }
+            onCore[static_cast<std::size_t>(core)] = next;
+            lastOn[static_cast<std::size_t>(core)] = next;
+            taskCore[static_cast<std::size_t>(next)] = core;
+            ++outcome_.dispatches;
+            ++cs.dispatches;
+            schedEvent(core, w, EventKind::SchedDispatch, next,
+                       static_cast<std::uint64_t>(t.released - 1),
+                       static_cast<std::uint64_t>(f));
+        }
+
+        // Route the task's misses through this core's bus port and
+        // re-anchor the bus clock to the core's wall; anchoring every
+        // slice bounds cycle-to-ns drift to one quantum.
+        t.memctrl.attachBus(bus_.get(), core);
+        bus_->syncCore(core, w * 1e9, t.cpu->cycles());
+
+        // Run to the next scheduling point: the earliest release that
+        // could preempt on this core, capped by the quantum.
+        double next_event = std::numeric_limits<double>::infinity();
+        for (int i = 0; i < numTasks(); ++i)
+            if (pendingRelease(*tasks_[static_cast<std::size_t>(i)]) &&
+                placedOn(i, core))
+                next_event = std::min(
+                    next_event,
+                    nominalRelease(*tasks_[static_cast<std::size_t>(i)]));
+        Cycles budget = cfg_.quantumCycles;
+        if (std::isfinite(next_event) && next_event > w) {
+            const MHz f = t.cpu->frequency();
+            const Cycles until = static_cast<Cycles>(
+                std::ceil((next_event - w) * f * 1e6));
+            budget = std::min(budget, std::max<Cycles>(until, 1));
+        }
+
+        const StepResult sr = t.rt->stepInstance(budget);
+        w += sr.ranSeconds;
+        cs.busySeconds += sr.ranSeconds;
+        t.jobBusy += sr.ranSeconds;
+        t.stats.busySeconds += sr.ranSeconds;
+        if (sr.recovered) {
+            ++t.stats.checkpointMisses;
+            ++outcome_.checkpointMisses;
+            schedEvent(core, w, EventKind::SchedRecovery, next,
+                       static_cast<std::uint64_t>(std::max(
+                           0, t.rt->activeMissedSubtask())),
+                       0);
+        }
+
+        if (sr.completed) {
+            const TaskStats ts = t.rt->finishInstance();
+            JobRecord jr;
+            jr.task = next;
+            jr.job = t.released - 1;
+            jr.releaseSeconds = t.releaseNominal;
+            jr.completionSeconds = w;
+            jr.deadlineSeconds = t.deadline;
+            jr.deadlineMet = w <= t.deadline + 1e-12;
+            jr.missedCheckpoint = ts.missedCheckpoint;
+            jr.preemptions = t.jobPreemptions;
+            jr.busySeconds = t.jobBusy;
+            jobs_.push_back(jr);
+            ++outcome_.jobs;
+
+            SchedTaskStats &st = t.stats;
+            ++st.jobs;
+            st.retired += ts.retired;
+            if (!jr.deadlineMet) {
+                ++st.deadlineMisses;
+                ++outcome_.deadlineMisses;
+            }
+            if (t.def.expectedChecksum &&
+                (!ts.checksumReported ||
+                 ts.checksum != t.def.expectedChecksum))
+                ++st.badChecksums;
+            const double slack = t.deadline - w;
+            if (st.jobs == 1 || slack < st.minSlackSeconds)
+                st.minSlackSeconds = slack;
+            st.maxResponseSeconds =
+                std::max(st.maxResponseSeconds, w - t.releaseNominal);
+
+            t.ready = false;
+            ++t.done;
+            schedEvent(core, w, EventKind::SchedComplete, next,
+                       static_cast<std::uint64_t>(jr.job),
+                       jr.deadlineMet ? 1 : 0);
+            onCore[static_cast<std::size_t>(core)] = -1;
+            taskCore[static_cast<std::size_t>(next)] = -1;
+        }
+
+        if (w > horizon)
+            fatal("scheduler: core %d wall clock %.3g s exceeded the "
+                  "runaway horizon %.3g s",
+                  core, w, horizon);
+    }
+
+    if (tr)
+        tr->setCoreId(-1);
+    double wmax = 0.0;
+    for (int c = 0; c < m; ++c) {
+        coreStats_[static_cast<std::size_t>(c)].wallSeconds =
+            cwall[static_cast<std::size_t>(c)];
+        wmax = std::max(wmax, cwall[static_cast<std::size_t>(c)]);
+    }
+    wall_ = wmax;
+    outcome_.wallSeconds = wmax;
+    // The rigs outlive this run; detach them from the bus (the bus
+    // itself stays alive for buildStats).
+    for (auto &t : tasks_)
+        t->memctrl.attachBus(nullptr);
+    return outcome_;
+}
+
 const SchedTaskStats &
 MultiTaskScheduler::taskStats(int task) const
 {
@@ -471,6 +926,17 @@ MultiTaskScheduler::buildStats(StatSet &set) const
               "core idle time");
     g.formula("utilization",
               [this] {
+                  // Multi-core: total execution over m x makespan
+                  // (per-core idle is measured against local walls, so
+                  // the single-core identity does not generalize).
+                  if (!coreStats_.empty()) {
+                      double busy = 0.0;
+                      for (const CoreStats &cs : coreStats_)
+                          busy += cs.busySeconds;
+                      return busy /
+                             (static_cast<double>(coreStats_.size()) *
+                              outcome_.wallSeconds);
+                  }
                   return (outcome_.wallSeconds - outcome_.idleSeconds) /
                          outcome_.wallSeconds;
               },
@@ -500,6 +966,37 @@ MultiTaskScheduler::buildStats(StatSet &set) const
                    [&t] { return t.stats.maxResponseSeconds; },
                    "worst observed response time");
     }
+    // Multi-core runs add per-core groups plus the shared-bus counters.
+    for (int c = 0; c < static_cast<int>(coreStats_.size()); ++c) {
+        const CoreStats &cs = coreStats_[static_cast<std::size_t>(c)];
+        StatGroup &cg = set.group("sched.core" + std::to_string(c));
+        cg.scalar("dispatches", "dispatch decisions on this core")
+            .set(static_cast<std::uint64_t>(cs.dispatches));
+        cg.scalar("context_switches", "running-task changes")
+            .set(static_cast<std::uint64_t>(cs.contextSwitches));
+        cg.formula("busy_seconds", [&cs] { return cs.busySeconds; },
+                   "execution time spent on this core");
+        cg.formula("idle_seconds", [&cs] { return cs.idleSeconds; },
+                   "idle time on this core");
+        cg.formula("wall_seconds", [&cs] { return cs.wallSeconds; },
+                   "this core's local schedule length");
+    }
+    if (bus_) {
+        StatGroup &bg = set.group("sched.bus");
+        bg.scalar("requests", "misses routed over the shared bus")
+            .set(bus_->requests());
+        bg.scalar("l2_hits", "shared-L2 tag hits").set(bus_->l2Hits());
+        bg.scalar("bank_conflicts", "requests that waited on a busy bank")
+            .set(bus_->bankConflicts());
+        bg.scalar("mshr_stalls", "requests that waited for a chip MSHR")
+            .set(bus_->mshrStalls());
+        bg.scalar("bank_wait_ns",
+                  "total queueing delay behind busy banks, ns")
+            .set(static_cast<std::uint64_t>(bus_->bankWaitNs()));
+        bg.scalar("mshr_wait_ns",
+                  "total stall waiting for a free chip MSHR, ns")
+            .set(static_cast<std::uint64_t>(bus_->mshrWaitNs()));
+    }
 }
 
 const char *
@@ -514,6 +1011,12 @@ governorPolicyName(GovernorPolicy p)
     return p == GovernorPolicy::PerTask ? "pertask" : "max";
 }
 
+const char *
+placementName(PlacementPolicy p)
+{
+    return p == PlacementPolicy::Partitioned ? "partitioned" : "global";
+}
+
 bool
 parseSchedPolicy(const std::string &name, SchedPolicy &out)
 {
@@ -523,6 +1026,22 @@ parseSchedPolicy(const std::string &name, SchedPolicy &out)
         out = SchedPolicy::RateMonotonic;
     else
         return false;
+    return true;
+}
+
+bool
+parseSchedPolicyEx(const std::string &name, SchedPolicy &pol,
+                   PlacementPolicy &pl)
+{
+    if (name == "pedf") {
+        pol = SchedPolicy::Edf;
+        pl = PlacementPolicy::Partitioned;
+    } else if (name == "gedf") {
+        pol = SchedPolicy::Edf;
+        pl = PlacementPolicy::Global;
+    } else {
+        return parseSchedPolicy(name, pol);
+    }
     return true;
 }
 

@@ -22,6 +22,17 @@
  * wall-time cost and models the context-switch cost at every change of
  * the running task. A shared DVS governor resolves the ready tasks'
  * per-task frequency requests into the single core frequency.
+ *
+ * With cores > 1 the engine scales out to a multi-core chip: each core
+ * keeps its own wall clock and DVS domain, tasks are placed either
+ * partitioned (P-EDF/P-RM: affinity pins, then worst-fit) or global
+ * (G-EDF with migration at scheduling points), complex-mode misses of
+ * the dispatched tasks contend on a shared chip bus
+ * (chip/interconnect.hh), and admission composes the per-task
+ * single-core feasibility with a cross-core shared-memory interference
+ * bound (see SchedulerConfig::memStallShare) before the per-core EDF/RM
+ * or Goossens-Funk-Baruah test. cores == 1 is the historical engine,
+ * bit-identical.
  */
 
 #ifndef VISA_CORE_SCHEDULER_HH
@@ -31,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "chip/interconnect.hh"
 #include "core/runtime.hh"
 #include "core/schedulability.hh"
 
@@ -42,6 +54,19 @@ enum class SchedPolicy
 {
     Edf,              ///< earliest absolute deadline first
     RateMonotonic,    ///< shortest period first (fixed priority)
+};
+
+/** How jobs map onto the cores of a multi-core chip (cores > 1). */
+enum class PlacementPolicy
+{
+    /** Every task is pinned to one core (affinity, else worst-fit by
+     *  inflated utilization); each core runs its partition under the
+     *  configured policy. Admission is per-core. */
+    Partitioned,
+    /** One chip-wide ready queue; a preempted job may resume on any
+     *  core (migration at scheduling points only). EDF only; admission
+     *  is the Goossens/Funk/Baruah bound. */
+    Global,
 };
 
 /** How per-task frequency requests map to the one core clock. */
@@ -101,6 +126,24 @@ struct SchedulerConfig
     Cycles quantumCycles = 20000;
     /** Core-utilization headroom the admission test reserves. */
     double utilizationMargin = 0.02;
+
+    // --- multi-core chip (cores > 1); cores == 1 is the historical
+    // --- single-core engine, bit-identical.
+    int cores = 1;
+    PlacementPolicy placement = PlacementPolicy::Partitioned;
+    /** Optional per-task core pins (task index -> core id; -1 = let
+     *  worst-fit place it). Partitioned placement only. */
+    std::vector<int> affinity;
+    /** Geometry of the shared bus + L2 the cores contend on. */
+    chip::ChipBusParams bus;
+    /**
+     * Admission-side interference bound: the fraction of a budget B_i
+     * assumed to be shared-memory stall time in the worst case. Each
+     * such access can queue behind every other core's in-flight access,
+     * so admission inflates B_i' = B_i * (1 + (m-1) * memStallShare *
+     * busOccupancyNs / memAccessNs) before the schedulability test.
+     */
+    double memStallShare = 0.2;
 };
 
 /** One completed job (task instance) in wall-clock terms. */
@@ -184,12 +227,27 @@ class MultiTaskScheduler
 
     /**
      * Contribute "sched" and per-task "sched.taskN" statistics groups
-     * to @p set. Formulas capture `this`; dump while alive.
+     * to @p set — plus "sched.coreN" and "sched.bus" groups after a
+     * multi-core run. Formulas capture `this`; dump while alive.
      */
     void buildStats(StatSet &set) const;
 
+    /** Task-to-core map of the last multi-core run (-1 under global
+     *  placement: jobs migrate). Empty before run() / single-core. */
+    const std::vector<int> &assignment() const { return assignment_; }
+
   private:
     struct ManagedTask;
+
+    /** Per-core accounting of a multi-core run. */
+    struct CoreStats
+    {
+        int dispatches = 0;
+        int contextSwitches = 0;
+        double busySeconds = 0.0;
+        double idleSeconds = 0.0;
+        double wallSeconds = 0.0;
+    };
 
     /** Wall seconds one switch takes at @p f. */
     double switchSeconds(MHz f) const;
@@ -197,8 +255,21 @@ class MultiTaskScheduler
     double nominalRelease(const ManagedTask &t) const;
     int pickReady() const;
     /** Resolve the governor for dispatching @p next; switches the
-     *  core (and possibly the task's runtime) to the result. */
-    MHz resolveFrequency(int next);
+     *  clock slot @p slot (and possibly the task's runtime). */
+    MHz resolveFrequencyOn(int next, MHz &slot);
+
+    /** B_i multiplier bounding cross-core shared-memory interference;
+     *  1.0 on a single core. */
+    double interferenceFactor() const;
+    /** Admission-side demand of task @p task: interference-inflated
+     *  budget plus two context switches, margin applied. */
+    double inflatedDemand(int task) const;
+    /** Deterministic partitioned placement (affinity pins, then
+     *  worst-fit by inflated utilization). Never fails; feasibility of
+     *  the result is admissionError()'s job. */
+    std::vector<int> partitionedAssignment() const;
+    /** The multi-core engine behind run() (cfg_.cores > 1). */
+    ScheduleOutcome runMulti(int jobs_per_task);
 
     SchedulerConfig cfg_;
     std::vector<std::unique_ptr<ManagedTask>> tasks_;
@@ -208,12 +279,24 @@ class MultiTaskScheduler
     int onCore_ = -1;        ///< task currently dispatched (-1 = idle)
     int lastOnCore_ = -1;    ///< last task whose context is loaded
     MHz coreFreq_ = 0;
+    // Multi-core state (cores > 1 runs only).
+    std::unique_ptr<chip::ChipInterconnect> bus_;
+    std::vector<int> assignment_;
+    std::vector<CoreStats> coreStats_;
 };
 
 const char *schedPolicyName(SchedPolicy p);
 const char *governorPolicyName(GovernorPolicy p);
+const char *placementName(PlacementPolicy p);
 /** Parse "edf" / "rm"; @return false on unknown names. */
 bool parseSchedPolicy(const std::string &name, SchedPolicy &out);
+/**
+ * Parse a policy name that may carry a placement: "edf" / "rm" (keep
+ * the current placement), "pedf" (EDF, partitioned), "gedf" (EDF,
+ * global). @return false on unknown names.
+ */
+bool parseSchedPolicyEx(const std::string &name, SchedPolicy &pol,
+                        PlacementPolicy &pl);
 /** Parse "pertask" / "max"; @return false on unknown names. */
 bool parseGovernorPolicy(const std::string &name, GovernorPolicy &out);
 

@@ -469,7 +469,8 @@ OooCpu::issueStage()
                                 } else {
                                     e.completeCycle =
                                         memctrl_.schedule(cycle_ + 2,
-                                                          freq_);
+                                                          freq_,
+                                                          e.info.effAddr);
                                     ++misses_outstanding;
                                     missFillTimes_.push_back(
                                         e.completeCycle);
@@ -589,7 +590,7 @@ OooCpu::retireStage()
             if (!hit) {
                 // Write-allocate through the write buffer: consumes
                 // memory bandwidth but does not stall retirement.
-                memctrl_.schedule(cycle_, freq_);
+                memctrl_.schedule(cycle_, freq_, e.info.effAddr);
             }
             // Stores retire in program order, so this store is the
             // ring's front.

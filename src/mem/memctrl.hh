@@ -19,6 +19,29 @@
 namespace visa
 {
 
+/**
+ * Chip-level interconnect seam. A multi-core chip attaches one of
+ * these to every core's MemController; complex-mode misses are then
+ * routed through the shared banked bus + L2 instead of the core's
+ * private channel model. Simple mode and the simple-fixed pipeline
+ * keep using the static worst-case penalty (stallCycles): their
+ * traffic rides a reserved TDM lane of the bus by construction, so
+ * the VISA's Table-1 bound — and every watchdog budget derived from
+ * it — survives the move to a shared memory system unchanged.
+ */
+class ChipBusPort
+{
+  public:
+    virtual ~ChipBusPort() = default;
+
+    /**
+     * Route a complex-mode miss from @p core, issued at core-local
+     * cycle @p now with the core clocked at @p f, for block address
+     * @p addr. @return the core-local cycle the fill completes.
+     */
+    virtual Cycles route(int core, Cycles now, MHz f, Addr addr) = 0;
+};
+
 /** Timing parameters of the memory controller. */
 struct MemCtrlParams
 {
@@ -61,11 +84,17 @@ class MemController
     /**
      * Schedule a request issued at absolute cycle @p now with frequency
      * @p f; @return the absolute cycle the fill completes. Applies the
-     * channel contention model.
+     * channel contention model — or, when this controller is attached
+     * to a chip bus (attachBus), the chip's shared banked-bus + L2
+     * model, keyed by the miss's block address @p addr. Detached
+     * controllers ignore @p addr, so single-core rigs are bit-identical
+     * to the historical model.
      */
     Cycles
-    schedule(Cycles now, MHz f)
+    schedule(Cycles now, MHz f, Addr addr = 0)
     {
+        if (bus_)
+            return bus_->route(coreId_, now, f, addr);
         Cycles start = now > channelFree_ ? now : channelFree_;
         channelFree_ = start + occupancyCycles(f);
         return start + stallCycles(f);
@@ -84,12 +113,29 @@ class MemController
     /** Forget channel state (e.g., across task boundaries). */
     void reset() { channelFree_ = 0; }
 
+    /**
+     * Attach this controller's complex-mode miss stream to a chip bus
+     * as @p core (detach with nullptr). A multi-core scheduler
+     * re-attaches a migrating task's controller with the new core id
+     * at dispatch.
+     */
+    void
+    attachBus(ChipBusPort *bus, int core = 0)
+    {
+        bus_ = bus;
+        coreId_ = core;
+    }
+    ChipBusPort *bus() const { return bus_; }
+    int busCore() const { return coreId_; }
+
     int maxOutstanding() const { return params_.maxOutstanding; }
     const MemCtrlParams &params() const { return params_; }
 
   private:
     MemCtrlParams params_;
     Cycles channelFree_ = 0;
+    ChipBusPort *bus_ = nullptr;    ///< null on every single-core path
+    int coreId_ = 0;
 };
 
 } // namespace visa

@@ -93,6 +93,22 @@ SimBuilder::blockCache(bool on)
 }
 
 SimBuilder &
+SimBuilder::cores(int n)
+{
+    if (n < 1)
+        fatal("SimBuilder: cores(%d): a chip has at least one core", n);
+    cores_ = n;
+    return *this;
+}
+
+SimBuilder &
+SimBuilder::chipBus(const chip::ChipBusParams &params)
+{
+    busParams_ = params;
+    return *this;
+}
+
+SimBuilder &
 SimBuilder::runtime(RuntimeKind kind, const WcetTable &wcet,
                     const DvsTable &dvs, RuntimeConfig cfg)
 {
@@ -103,61 +119,96 @@ SimBuilder::runtime(RuntimeKind kind, const WcetTable &wcet,
     return *this;
 }
 
-std::unique_ptr<Sim>
-SimBuilder::build()
+CpuKind
+SimBuilder::resolveKind() const
 {
-    if (!prog_)
-        fatal("SimBuilder: no program (use program/source/workload)");
-
-    CpuKind kind = cpuKind_;
     if (runtimeKind_ == RuntimeKind::Visa) {
         if (cpuKindSet_ && cpuKind_ != CpuKind::Complex)
             fatal("SimBuilder: the VISA runtime needs the complex "
                   "pipeline");
-        kind = CpuKind::Complex;
-    } else if (runtimeKind_ == RuntimeKind::SimpleFixed) {
+        return CpuKind::Complex;
+    }
+    if (runtimeKind_ == RuntimeKind::SimpleFixed) {
         if (cpuKindSet_ && cpuKind_ != CpuKind::Simple)
             fatal("SimBuilder: the simple-fixed runtime needs the "
                   "simple pipeline");
-        kind = CpuKind::Simple;
+        return CpuKind::Simple;
     }
+    return cpuKind_;
+}
+
+std::unique_ptr<chip::Chip>
+SimBuilder::makeChip()
+{
+    if (!prog_)
+        fatal("SimBuilder: no program (use program/source/workload)");
+    chip::ChipConfig cfg;
+    cfg.cores = cores_;
+    cfg.bus = busParams_;
+    auto built = std::make_unique<chip::Chip>(*prog_, cfg);
+    built->adoptProgram(std::move(ownedProg_), std::move(workload_));
+    return built;
+}
+
+/** The historical per-core construction dance, in its exact order:
+ *  construct, block-cache knob, reset, mode switch, frequency. */
+void
+SimBuilder::configureCore(chip::ChipCore &core, CpuKind kind)
+{
+    Cpu *cpu = nullptr;
+    if (kind == CpuKind::Simple)
+        cpu = &core.makeSimple();
+    else
+        cpu = &core.makeOoo();
+    if (blockCacheSet_)
+        cpu->execCore().setBlockCacheEnabled(blockCache_);
+    cpu->resetForTask();
+    if (kind == CpuKind::ComplexSimpleMode)
+        core.ooo().switchToSimple();
+    if (freq_)
+        cpu->setFrequency(freq_);
+}
+
+std::unique_ptr<Sim>
+SimBuilder::build()
+{
+    const CpuKind kind = resolveKind();
 
     // Sim has a private ctor; tie the ownership transfer together.
     std::unique_ptr<Sim> sim(new Sim);
-    sim->ownedProg_ = std::move(ownedProg_);
-    sim->workload_ = std::move(workload_);
-    sim->prog_ = prog_;
-    const Program &prog = *sim->prog_;
-
-    sim->mem_.loadProgram(prog);
+    sim->chip_ = makeChip();
+    chip::ChipCore &core0 = sim->chip_->core(0);
+    configureCore(core0, kind);
     if (kind == CpuKind::Simple) {
-        auto cpu = std::make_unique<SimpleCpu>(prog, sim->mem_,
-                                               sim->platform_,
-                                               sim->memctrl_);
-        sim->simple_ = cpu.get();
-        sim->cpu_ = std::move(cpu);
+        sim->simple_ = &core0.simple();
+        sim->cpu_ = sim->simple_;
     } else {
-        auto cpu = std::make_unique<OooCpu>(prog, sim->mem_,
-                                            sim->platform_,
-                                            sim->memctrl_);
-        sim->ooo_ = cpu.get();
-        sim->cpu_ = std::move(cpu);
+        sim->ooo_ = &core0.ooo();
+        sim->cpu_ = sim->ooo_;
     }
-    if (blockCacheSet_)
-        sim->cpu_->execCore().setBlockCacheEnabled(blockCache_);
-    sim->cpu_->resetForTask();
-    if (kind == CpuKind::ComplexSimpleMode)
-        sim->ooo_->switchToSimple();
-    if (freq_)
-        sim->cpu_->setFrequency(freq_);
 
+    const Program &prog = sim->program();
     if (runtimeKind_ == RuntimeKind::Visa)
         sim->runtime_ = std::make_unique<VisaComplexRuntime>(
-            *sim->ooo_, prog, sim->mem_, *wcet_, *dvs_, runtimeCfg_);
+            *sim->ooo_, prog, sim->mem(), *wcet_, *dvs_, runtimeCfg_);
     else if (runtimeKind_ == RuntimeKind::SimpleFixed)
         sim->runtime_ = std::make_unique<SimpleFixedRuntime>(
-            *sim->simple_, prog, sim->mem_, *wcet_, *dvs_, runtimeCfg_);
+            *sim->simple_, prog, sim->mem(), *wcet_, *dvs_, runtimeCfg_);
     return sim;
+}
+
+std::unique_ptr<chip::Chip>
+SimBuilder::buildChip()
+{
+    if (runtimeKind_ != RuntimeKind::None)
+        fatal("SimBuilder: buildChip() builds the bare chip; runtimes "
+              "are attached per core on top (use build() for the "
+              "single-runtime veneer)");
+    const CpuKind kind = resolveKind();
+    auto built = makeChip();
+    for (int i = 0; i < built->numCores(); ++i)
+        configureCore(built->core(i), kind);
+    return built;
 }
 
 } // namespace visa

@@ -11,10 +11,22 @@
  *                  .build();
  *   sim->runtime().runTask();
  *
- * The product (Sim) owns the whole rig — and the program, when built
- * from source text or a named workload — so lifetime mistakes (a CPU
- * outliving its memory, a program freed under the analyzer) cannot be
- * expressed.
+ * The construction target is a Chip (src/chip): N cores — each with
+ * its own Platform (watchdog + DVS domain) and SimpleCpu/OooCpu pair
+ * — in front of one shared MainMemory and a banked bus + shared L2.
+ * cores(1) (the default) is the historical single-core rig,
+ * bit-identical: the bus is only attached with two or more cores.
+ *
+ *   auto chip = SimBuilder().workload("cnt").cpu(CpuKind::Complex)
+ *                   .cores(4).buildChip();
+ *   chip->runAll(budget);
+ *
+ * build() wraps the chip in a Sim: the core-0 veneer every tool and
+ * test drives (cpu()/ooo()/simple()/runtime() are core 0), with the
+ * other cores reachable through chip(). The Sim owns the whole rig —
+ * and the program, when built from source text or a named workload —
+ * so lifetime mistakes (a CPU outliving its memory, a program freed
+ * under the analyzer) cannot be expressed.
  */
 
 #ifndef VISA_SIM_BUILDER_HH
@@ -23,6 +35,7 @@
 #include <memory>
 #include <string>
 
+#include "chip/chip.hh"
 #include "core/runtime.hh"
 #include "workloads/clab.hh"
 
@@ -44,10 +57,9 @@ enum class RuntimeKind
 };
 
 /**
- * A fully wired machine. Construction order is the member order below
- * (the CPU references mem/platform/memctrl; the runtime references the
- * CPU), so teardown is automatically safe. Not movable: the references
- * pin the rig in place.
+ * A fully wired machine: a Chip plus the core-0 accessors the
+ * single-core harnesses drive. Not movable: CPUs and runtimes hold
+ * references into the chip.
  */
 class Sim
 {
@@ -56,13 +68,16 @@ class Sim
     Sim(const Sim &) = delete;
     Sim &operator=(const Sim &) = delete;
 
-    const Program &program() const { return *prog_; }
+    const Program &program() const { return chip_->program(); }
     /** The built workload, or nullptr unless workload() was used. */
-    const Workload *workload() const { return workload_.get(); }
+    const Workload *workload() const { return chip_->workload(); }
 
-    MainMemory &mem() { return mem_; }
-    Platform &platform() { return platform_; }
-    MemController &memctrl() { return memctrl_; }
+    /** The whole chip (core 0 is the veneer below). */
+    chip::Chip &chip() { return *chip_; }
+
+    MainMemory &mem() { return chip_->mem(); }
+    Platform &platform() { return chip_->core(0).platform(); }
+    MemController &memctrl() { return chip_->core(0).memctrl(); }
 
     Cpu &cpu() { return *cpu_; }
     /** The pipeline as its concrete type; fatal on a kind mismatch. */
@@ -77,13 +92,8 @@ class Sim
     friend class SimBuilder;
     Sim() = default;
 
-    std::unique_ptr<Program> ownedProg_;
-    std::unique_ptr<Workload> workload_;
-    const Program *prog_ = nullptr;
-    MainMemory mem_;
-    Platform platform_;
-    MemController memctrl_;
-    std::unique_ptr<Cpu> cpu_;
+    std::unique_ptr<chip::Chip> chip_;
+    Cpu *cpu_ = nullptr;            ///< core 0's primary pipeline
     OooCpu *ooo_ = nullptr;
     SimpleCpu *simple_ = nullptr;
     std::unique_ptr<DvsRuntime> runtime_;
@@ -109,7 +119,7 @@ class SimBuilder
     SimBuilder &frequency(MHz f);
     /**
      * Enable or disable the functional core's basic-block translation
-     * cache for the built pipeline. Defaults to the process-wide
+     * cache for the built pipelines. Defaults to the process-wide
      * default (ExecCore::blockCacheDefault, flipped by the tools'
      * --no-block-cache flag); both settings are architecturally
      * identical, so this is an escape hatch and differential knob.
@@ -117,8 +127,18 @@ class SimBuilder
     SimBuilder &blockCache(bool on);
 
     /**
-     * Attach a DVS runtime. The runtime dictates the pipeline
-     * (Visa -> Complex, SimpleFixed -> Simple); an explicit
+     * Chip width: @p n cores in front of the shared bus + L2. One
+     * core (the default) keeps the historical private-channel memory
+     * model; two or more attach every core's MemController to the
+     * chip bus.
+     */
+    SimBuilder &cores(int n);
+    /** Bus/L2/MSHR-pool geometry for multi-core chips. */
+    SimBuilder &chipBus(const chip::ChipBusParams &params);
+
+    /**
+     * Attach a DVS runtime (to core 0). The runtime dictates the
+     * pipeline (Visa -> Complex, SimpleFixed -> Simple); an explicit
      * incompatible cpu() choice is fatal at build(). @p wcet, @p dvs
      * must outlive the Sim; the runtime's deadline and speculation
      * knobs ride in @p cfg.
@@ -127,13 +147,26 @@ class SimBuilder
                         const DvsTable &dvs, RuntimeConfig cfg);
 
     /**
-     * Wire everything (load memory, construct the pipeline, reset it
-     * for the first task, apply the frequency, attach the runtime).
-     * Single-shot: the builder's program ownership moves into the Sim.
+     * Wire everything (load memory, construct core 0's pipeline,
+     * reset it for the first task, apply the frequency, attach the
+     * runtime) and wrap the chip in its Sim veneer. Single-shot: the
+     * builder's program ownership moves into the Sim.
      */
     std::unique_ptr<Sim> build();
 
+    /**
+     * Wire the bare chip: every core gets the configured pipeline
+     * kind, built with the same dance as build() applies to core 0.
+     * No runtime (runtimes are per-core; attach them on top, the way
+     * the multi-core scheduler does). Single-shot, like build().
+     */
+    std::unique_ptr<chip::Chip> buildChip();
+
   private:
+    std::unique_ptr<chip::Chip> makeChip();
+    void configureCore(chip::ChipCore &core, CpuKind kind);
+    CpuKind resolveKind() const;
+
     std::unique_ptr<Program> ownedProg_;
     std::unique_ptr<Workload> workload_;
     const Program *prog_ = nullptr;
@@ -142,6 +175,8 @@ class SimBuilder
     MHz freq_ = 0;
     bool blockCache_ = true;
     bool blockCacheSet_ = false;
+    int cores_ = 1;
+    chip::ChipBusParams busParams_;
     RuntimeKind runtimeKind_ = RuntimeKind::None;
     const WcetTable *wcet_ = nullptr;
     const DvsTable *dvs_ = nullptr;

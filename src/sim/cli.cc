@@ -196,6 +196,62 @@ applyThreadsFlag(const std::string &value)
     setenv("VISA_THREADS", value.c_str(), 1);
 }
 
+std::string &
+addCoresFlag(CliParser &cli)
+{
+    return cli.flag("--cores", "N",
+                    "simulated chip width: cores in front of the shared "
+                    "bus + L2 (default 1, the single-core rig)");
+}
+
+int
+parseCoresFlag(const std::string &value)
+{
+    if (value.empty())
+        return 1;
+    const int n = std::stoi(value);
+    if (n < 1 || n > 64)
+        fatal("--cores must be in [1, 64] (got %d)", n);
+    return n;
+}
+
+std::string &
+addAffinityFlag(CliParser &cli)
+{
+    return cli.flag("--affinity", "LIST",
+                    "per-task core pins, e.g. 0,1,-1,0 (task index -> "
+                    "core; -1 = scheduler places it)");
+}
+
+std::vector<int>
+parseAffinityFlag(const std::string &value)
+{
+    std::vector<int> pins;
+    if (value.empty())
+        return pins;
+    std::size_t pos = 0;
+    for (;;) {
+        std::size_t comma = value.find(',', pos);
+        if (comma == std::string::npos)
+            comma = value.size();
+        const std::string item = value.substr(pos, comma - pos);
+        if (item.empty())
+            fatal("--affinity: empty entry in '%s'", value.c_str());
+        try {
+            pins.push_back(std::stoi(item));
+        } catch (const std::exception &) {
+            fatal("--affinity: '%s' is not an integer", item.c_str());
+        }
+        if (pins.back() < -1)
+            fatal("--affinity: core id %d is invalid (-1 = unpinned)",
+                  pins.back());
+        if (comma == value.size())
+            break;
+        pos = comma + 1;
+    }
+    return pins;
+}
+
 bool &
 addNoBlockCacheFlag(CliParser &cli)
 {

@@ -18,6 +18,7 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/trace.hh"
 
@@ -137,6 +138,23 @@ void applyThreadsFlag(const std::string &value);
  * rig (the CLI library sits below the CPU library and cannot call it).
  */
 bool &addNoBlockCacheFlag(CliParser &cli);
+
+/**
+ * Register --cores (simulated chip width); @return its slot. Shared by
+ * every tool that can build a multi-core chip (visa-sim, visa-fuzz,
+ * visa-prof, bench-report) so the spelling and bounds cannot drift.
+ */
+std::string &addCoresFlag(CliParser &cli);
+/** Parse a --cores value ("" = 1); fatal outside [1, 64]. */
+int parseCoresFlag(const std::string &value);
+
+/** Register --affinity (per-task core pins); @return its slot. */
+std::string &addAffinityFlag(CliParser &cli);
+/**
+ * Parse an --affinity list "0,1,-1,0" (task index -> core id; -1 lets
+ * the scheduler place the task). "" parses to an empty vector.
+ */
+std::vector<int> parseAffinityFlag(const std::string &value);
 
 /** Register --debug (help|flag[,flag...]). */
 std::string &addDebugFlag(CliParser &cli);

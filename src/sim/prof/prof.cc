@@ -7,6 +7,7 @@
 
 #include "isa/disassembler.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace visa::prof
 {
@@ -197,7 +198,8 @@ struct SubtaskAgg
 void
 BlockProfiler::writeJson(std::ostream &os) const
 {
-    os << "{\n\"schema\":2,\n\"kind\":\"visa-profile\",\n";
+    os << "{\n\"schema\":" << traceSchemaVersion
+       << ",\n\"kind\":\"visa-profile\",\n";
     os << "\"text_base\":" << base_ << ",\"text_words\":" << nwords_
        << ",\n";
     os << "\"total\":{\"insts\":" << totalInsts()
@@ -362,7 +364,7 @@ BlockProfiler::writeJson(std::ostream &os) const
 void
 BlockProfiler::writeChromeCounters(std::ostream &os) const
 {
-    os << "{\"schema\":2,\"traceEvents\":[\n";
+    os << "{\"schema\":" << traceSchemaVersion << ",\"traceEvents\":[\n";
     bool first = true;
     auto sep = [&] {
         if (!first)

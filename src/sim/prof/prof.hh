@@ -225,11 +225,11 @@ class BlockProfiler
     /** Per-word execution count (prefix-summed view; for tests). */
     std::vector<std::uint64_t> instCounts() const;
 
-    /** Contribute a "prof" group to the schema-v2 stats tree. */
+    /** Contribute a "prof" group to the versioned stats tree. */
     void buildStats(StatSet &set) const;
 
     /**
-     * Full profile document: hierarchical JSON (schema v2) with block
+     * Full profile document: hierarchical JSON (traceSchemaVersion-stamped) with block
      * table (with disassembly), edge list, per-phase cycles, checkpoint
      * records, slack aggregates and headroom histograms per DVS
      * frequency, and the bound-side attribution when provided.

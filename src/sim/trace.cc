@@ -129,14 +129,16 @@ Tracer::clear()
 void
 Tracer::writeJsonl(std::ostream &os) const
 {
-    // Schema header (v2): readers treat a missing header as v1. The
-    // event-line format is shared by both versions.
+    // Schema header (v3). Event lines gain "core" only on multi-core
+    // chips, so single-core bodies stay byte-identical to v2.
     os << "{\"schema\":" << traceSchemaVersion << "}\n";
     for (std::size_t i = 0; i < count_; ++i) {
         const TraceEvent &e = at(i);
         const EventKindInfo &info = eventKindInfo(e.kind);
         os << "{\"ev\":\"" << info.name << "\",\"cat\":\""
            << info.category << "\",\"cycle\":" << e.cycle;
+        if (e.core >= 0)
+            os << ",\"core\":" << e.core;
         for (int slot = 0; slot < 4; ++slot) {
             if (!info.args[slot])
                 continue;
@@ -199,9 +201,11 @@ Tracer::writeChromeTrace(std::ostream &os) const
             ph = "E";
 
         sep();
+        // Multi-core events group into one Perfetto process per core.
         os << "{\"name\":\"" << info.name << "\",\"cat\":\""
            << info.category << "\",\"ph\":\"" << ph
-           << "\",\"ts\":" << e.cycle << ",\"pid\":0,\"tid\":" << tid;
+           << "\",\"ts\":" << e.cycle << ",\"pid\":"
+           << (e.core >= 0 ? int(e.core) : 0) << ",\"tid\":" << tid;
         if (ph[0] == 'i')
             os << ",\"s\":\"t\"";
         bool has_args = false;

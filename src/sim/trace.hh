@@ -48,12 +48,17 @@ namespace visa
 /**
  * Version stamped into every exported trace (JSONL header line,
  * Chrome-JSON root key) and stats JSON document. History:
- *  - 1: PR 2 format (no version field; readers treat its absence as 1)
+ *  - 1: PR 2 format (no version field; readers treat its absence as 1).
+ *       No longer readable by visa-trace (the v1 shim was removed).
  *  - 2: adds the version field and the "sched" event category
+ *  - 3: adds the optional per-event "core" field (multi-core chips
+ *       stamp the emitting core on cpu/mem/sched events) and per-core
+ *       stat groups; single-core traces omit the field, so their event
+ *       bodies are byte-identical to v2
  * See TESTING.md ("JSON schema versioning") for the compatibility
  * contract.
  */
-inline constexpr int traceSchemaVersion = 2;
+inline constexpr int traceSchemaVersion = 3;
 
 /** Every event type the simulator can emit. */
 enum class EventKind : std::uint8_t
@@ -107,6 +112,10 @@ inline constexpr int numEventKinds =
 struct TraceEvent
 {
     EventKind kind{};
+    /** Emitting core id, or -1 outside a multi-core chip (the field
+     *  is then omitted from exports, keeping single-core traces
+     *  byte-compatible with schema v2 bodies). */
+    std::int16_t core = -1;
     Cycles cycle = 0;
     std::uint64_t a = 0;
     std::uint64_t b = 0;
@@ -177,6 +186,7 @@ class Tracer
             return;
         TraceEvent &e = ring_[wr_];
         e.kind = k;
+        e.core = coreId_;
         e.cycle = cycle + cycleOffset_;
         e.a = a;
         e.b = b;
@@ -197,6 +207,15 @@ class Tracer
      */
     void setCycleOffset(Cycles offset) { cycleOffset_ = offset; }
     Cycles cycleOffset() const { return cycleOffset_; }
+
+    /**
+     * Core id stamped on subsequently recorded events (-1, the
+     * default, leaves events unstamped). The multi-core scheduler sets
+     * this around each per-core slice so one tracer can carry a whole
+     * chip's timeline.
+     */
+    void setCoreId(int core) { coreId_ = static_cast<std::int16_t>(core); }
+    int coreId() const { return coreId_; }
 
     std::size_t capacity() const { return ring_.size(); }
     std::size_t size() const { return count_; }
@@ -230,6 +249,7 @@ class Tracer
     std::uint64_t dropped_ = 0;
     std::uint32_t mask_ = allKinds();
     Cycles cycleOffset_ = 0;
+    std::int16_t coreId_ = -1;
 };
 
 namespace detail

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 
+#include "chip/paired.hh"
 #include "core/runtime.hh"
 #include "cpu/ooo_cpu.hh"
 #include "cpu/simple_cpu.hh"
@@ -421,6 +422,39 @@ runInjectProgram(std::uint64_t seed, FaultClass cls,
         return res;
     }
 
+    // The plain twin (no AET instrumentation — cycle-counter reads
+    // legitimately differ across pipelines) carries its own injector,
+    // re-triggered inside the plain run's dynamic length. Built on
+    // first use; shared by the paired-core vote and the lockstep
+    // checker.
+    GenParams pp = gp;
+    pp.instrument = false;
+    std::unique_ptr<GeneratedProgram> plainTwin;
+    FaultSpec pspec = spec;
+    const auto plain = [&]() -> const GeneratedProgram & {
+        if (!plainTwin) {
+            plainTwin =
+                std::make_unique<GeneratedProgram>(generate(seed, pp));
+            const Golden pg = goldenRun(plainTwin->program);
+            pspec.triggerInstr =
+                spec.triggerInstr %
+                std::max<std::uint64_t>(1, pg.insts);
+        }
+        return *plainTwin;
+    };
+
+    // ---- paired-core vote (spare core, boundary-state compare) ----
+    // Runs on every fired fault (not only watchdog escapes) so its
+    // coverage is comparable against both detectors.
+    if (opts.pairedCheck) {
+        const Program &twin = plain().program;    // resolves pspec
+        FaultInjector pairedInj(pspec);
+        const chip::PairedCheckResult pc = chip::runPairedCheck(
+            twin, &pairedInj, 4 * opts.maxInstructions);
+        res.pairedChecked = true;
+        res.pairedDetected = pc.detected;
+    }
+
     if (trapped || ts.missedCheckpoint) {
         res.outcome = InjectOutcome::DetectedWatchdog;
         const Cycles fire = watchdogFireCycle(*tr, res.fault.cycle);
@@ -433,17 +467,7 @@ runInjectProgram(std::uint64_t seed, FaultClass cls,
     }
 
     // ---- phase B: architectural lockstep on the plain variant ----
-    // The instrumented variant reads the cycle counter (AET snippets),
-    // which legitimately differs across pipelines, so the checker runs
-    // the plain twin with its own injector, re-triggered inside the
-    // plain run's dynamic length.
-    GenParams pp = gp;
-    pp.instrument = false;
-    const GeneratedProgram plain = generate(seed, pp);
-    const Golden pgold = goldenRun(plain.program);
-    FaultSpec pspec = spec;
-    pspec.triggerInstr =
-        spec.triggerInstr % std::max<std::uint64_t>(1, pgold.insts);
+    const Program &twin = plain().program;
     FaultInjector pinj(pspec);
 
     LockstepOptions lo;
@@ -451,7 +475,7 @@ runInjectProgram(std::uint64_t seed, FaultClass cls,
     lo.prepareComplex = [&](OooCpu &c) { c.setFaultPort(&pinj); };
     bool caught = false;
     try {
-        const LockstepResult lr = runLockstep(plain.program, lo);
+        const LockstepResult lr = runLockstep(twin, lo);
         res.lockstepInstructions = lr.instructions;
         if (!lr.equivalent) {
             caught = true;
@@ -519,6 +543,11 @@ InjectClassCoverage::add(const InjectRunResult &r)
         ++silentCorruption;
         break;
     }
+    if (r.pairedChecked) {
+        ++pairedChecked;
+        if (r.pairedDetected)
+            ++pairedDetected;
+    }
     if (r.fault.fired && r.deadlineSeconds > 0 &&
         r.completionSeconds > 0) {
         const double frac = r.completionSeconds / r.deadlineSeconds;
@@ -573,14 +602,23 @@ runInjectCampaign(std::uint64_t first_seed, std::uint64_t count,
 std::string
 formatCoverageTable(const InjectCampaignResult &res)
 {
+    bool paired = false;
+    for (const InjectClassCoverage &c : res.classes)
+        paired = paired || c.pairedChecked > 0;
+
     std::string out;
     char line[256];
     std::snprintf(line, sizeof(line),
-                  "%-14s %7s %7s %9s %9s %8s %7s %10s %12s %9s\n",
+                  "%-14s %7s %7s %9s %9s %8s %7s %10s %12s %9s",
                   "class", "runs", "fired", "watchdog", "lockstep",
                   "benign", "sdc", "no-trig", "latency-avg",
                   "ddl-max");
     out += line;
+    if (paired) {
+        std::snprintf(line, sizeof(line), " %13s", "paired");
+        out += line;
+    }
+    out += '\n';
     for (const InjectClassCoverage &c : res.classes) {
         const std::uint64_t lat_n = c.watchdog;
         const double lat_avg =
@@ -589,7 +627,7 @@ formatCoverageTable(const InjectCampaignResult &res)
                 : 0.0;
         std::snprintf(
             line, sizeof(line),
-            "%-14s %7llu %7llu %9llu %9llu %8llu %7llu %10llu %12.0f %9.3f\n",
+            "%-14s %7llu %7llu %9llu %9llu %8llu %7llu %10llu %12.0f %9.3f",
             faultClassName(c.cls),
             static_cast<unsigned long long>(c.programs),
             static_cast<unsigned long long>(c.fired),
@@ -600,6 +638,14 @@ formatCoverageTable(const InjectCampaignResult &res)
             static_cast<unsigned long long>(c.noTrigger), lat_avg,
             c.deadlineFracMax);
         out += line;
+        if (paired) {
+            std::snprintf(
+                line, sizeof(line), " %6llu/%-6llu",
+                static_cast<unsigned long long>(c.pairedDetected),
+                static_cast<unsigned long long>(c.pairedChecked));
+            out += line;
+        }
+        out += '\n';
     }
     return out;
 }

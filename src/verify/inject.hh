@@ -204,6 +204,14 @@ struct InjectRunOptions
      *  seed-derived point (pairs with forceMiss for demo/trace runs). */
     bool triggerFirst = false;
     /**
+     * Also run the FlexStep-style paired-core vote (chip/paired.hh) on
+     * every fired fault: a spare core re-executes the plain twin in
+     * simple mode and the boundary states are compared. Measures the
+     * spare-core detector's coverage side by side with the watchdog
+     * and the per-instruction lockstep checker.
+     */
+    bool pairedCheck = false;
+    /**
      * Optional caller-owned tracer installed around the injected
      * (phase A) run; receives the fault_inject / fault_detect /
      * recovery_restart events plus whatever its mask admits.
@@ -237,6 +245,11 @@ struct InjectRunResult
      *  basic block containing the corruption site (0 when no fault). */
     Addr blockPc = 0;
     std::uint64_t blockEntries = 0;
+
+    /** Paired-core vote (only with InjectRunOptions::pairedCheck):
+     *  whether the vote ran on this fault, and whether it detected. */
+    bool pairedChecked = false;
+    bool pairedDetected = false;
 
     /** Generated source (kept so escapes can be saved as repros). */
     std::string source;
@@ -274,6 +287,10 @@ struct InjectClassCoverage
     double deadlineFracSum = 0.0;
     double deadlineFracMax = 0.0;
     std::uint64_t restarts = 0;
+
+    // paired-core vote (over runs where the vote ran)
+    std::uint64_t pairedChecked = 0;
+    std::uint64_t pairedDetected = 0;
 
     /** Fold one run into the aggregate. */
     void add(const InjectRunResult &r);

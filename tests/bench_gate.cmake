@@ -1,10 +1,12 @@
 # Performance gate: run the bench-report micro benchmarks and campaign
 # phases, then compare the load-bearing metrics against the checked-in
-# baseline (currently BENCH_PR6.json). The gate fails when a metric is more than
-# 25% worse than baseline:
+# baseline (-DBASELINE, currently BENCH_PR8.json). The gate fails when
+# a metric is more than 25% worse than baseline:
 #   - OooCpuRun    ns_per_op  (lower is better)
 #   - SimpleCpuRun ns_per_op  (lower is better)
 #   - visa_campaign sim_mips  (higher is better)
+#   - chip_campaign_c4 sim_mips (higher is better; the 4-core chip
+#     model sweep — skipped against baselines predating the phase)
 #
 # math(EXPR) has no floating point, so values compare as milli-unit
 # integers (45.559 -> 45559); the "1${frac} - 1000" dance below keeps
@@ -88,13 +90,34 @@ function(bench_metric json section name key out)
     message(FATAL_ERROR "bench_gate: '${name}' not found in ${section}")
 endfunction()
 
+# Like bench_metric, but sets <out> to "" when the entry is absent
+# (baselines predating a phase skip that phase's gate).
+function(bench_metric_optional json section name key out)
+    set(${out} "" PARENT_SCOPE)
+    string(JSON n LENGTH "${json}" ${section})
+    math(EXPR last "${n} - 1")
+    foreach(i RANGE ${last})
+        string(JSON nm GET "${json}" ${section} ${i} name)
+        if(nm STREQUAL name)
+            string(JSON v GET "${json}" ${section} ${i} ${key})
+            set(${out} ${v} PARENT_SCOPE)
+            return()
+        endif()
+    endforeach()
+endfunction()
+
 file(READ ${BASELINE} base_json)
 bench_metric("${base_json}" benchmarks OooCpuRun ns_per_op base_ooo)
 bench_metric("${base_json}" benchmarks SimpleCpuRun ns_per_op base_simple)
 bench_metric("${base_json}" campaign_phases visa_campaign sim_mips base_mips)
+bench_metric_optional("${base_json}" campaign_phases chip_campaign_c4
+    sim_mips base_chip)
 to_milli(${base_ooo} base_ooo_m)
 to_milli(${base_simple} base_simple_m)
 to_milli(${base_mips} base_mips_m)
+if(NOT base_chip STREQUAL "")
+    to_milli(${base_chip} base_chip_m)
+endif()
 
 if(DEFINED PROF_BASELINE)
     file(READ ${PROF_BASELINE} prof_base_json)
@@ -158,6 +181,11 @@ foreach(attempt RANGE 1 5)
     to_milli(${cur_ooo} cur_ooo_m)
     to_milli(${cur_simple} cur_simple_m)
     to_milli(${cur_mips} cur_mips_m)
+    if(NOT base_chip STREQUAL "")
+        bench_metric("${cur_json}" campaign_phases chip_campaign_c4
+            sim_mips cur_chip)
+        to_milli(${cur_chip} cur_chip_m)
+    endif()
 
     host_id("${cur_json}" cur_host)
     set(host_mismatch FALSE)
@@ -178,6 +206,12 @@ foreach(attempt RANGE 1 5)
     if(attempt EQUAL 1 OR cur_mips_m GREATER best_mips_m)
         set(best_mips_m ${cur_mips_m})
         set(best_mips ${cur_mips})
+    endif()
+    if(NOT base_chip STREQUAL "")
+        if(attempt EQUAL 1 OR cur_chip_m GREATER best_chip_m)
+            set(best_chip_m ${cur_chip_m})
+            set(best_chip ${cur_chip})
+        endif()
     endif()
     # The overhead gates track the best *paired* ratio: numerator and
     # denominator must come from the same attempt for host noise to
@@ -245,6 +279,15 @@ foreach(attempt RANGE 1 5)
     if(lhs LESS rhs)
         string(APPEND failures
             " visa_campaign ${best_mips} sim-MIPS vs baseline ${base_mips};")
+    endif()
+    if(NOT base_chip STREQUAL "")
+        math(EXPR lhs "${best_chip_m} * 100")
+        math(EXPR rhs "${base_chip_m} * 75")
+        if(lhs LESS rhs)
+            string(APPEND failures
+                " chip_campaign_c4 ${best_chip} sim-MIPS vs baseline"
+                " ${base_chip};")
+        endif()
     endif()
     # Profiling-off overhead: ExecCoreStep/MemoryRead within 2% of the
     # same ratio in the pre-profiling baseline (the hooks compile in

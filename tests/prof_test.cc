@@ -310,7 +310,7 @@ TEST(Prof, ProfileJsonParsesAndMatchesAccessors)
     prof.writeJson(os);
     const json::Value doc = json::Parser(os.str()).parse();
     EXPECT_EQ(doc.at("kind").string, "visa-profile");
-    EXPECT_EQ(static_cast<std::uint64_t>(doc.at("schema").number), 2u);
+    EXPECT_EQ(static_cast<std::uint64_t>(doc.at("schema").number), 3u);
     const json::Value &total = doc.at("total");
     EXPECT_EQ(static_cast<std::uint64_t>(total.at("insts").number),
               prof.totalInsts());

@@ -44,7 +44,7 @@ TEST(TraceFormat, JsonlGoldenBytes)
     std::ostringstream os;
     t.writeJsonl(os);
     EXPECT_EQ(os.str(),
-              "{\"schema\":2}\n"
+              "{\"schema\":3}\n"
               "{\"ev\":\"task_begin\",\"cat\":\"task\",\"cycle\":0,"
               "\"task\":3,\"fspec_mhz\":900,\"frec_mhz\":700,"
               "\"deadline_s\":0.000125}\n"
@@ -80,7 +80,7 @@ TEST(TraceFormat, ChromeTraceStructure)
     const std::string out = os.str();
     // Top-level object leading with the schema version, then the
     // traceEvents array and track names.
-    EXPECT_EQ(out.find("{\"schema\":2,\"traceEvents\":["), 0u);
+    EXPECT_EQ(out.find("{\"schema\":3,\"traceEvents\":["), 0u);
     EXPECT_NE(out.find("\"thread_name\""), std::string::npos);
     // The simple mode renders as a B/E duration slice.
     EXPECT_NE(out.find("\"ph\":\"B\""), std::string::npos);

@@ -17,6 +17,11 @@
  * the differential-verification harness): host wall-clock per phase
  * and simulated MIPS, under "campaign_phases". The traced arm quantifies the cost of turning the
  * tracer on; the untraced arms track the simulator's raw speed.
+ *
+ * chip_campaign_cN phases sweep the multi-core chip model: the clab6
+ * task set under partitioned EDF on 1, 2, ... --cores cores (powers of
+ * two), through the shared bus + L2. The cN curve tracks how sim-MIPS
+ * scales with simulated chip width.
  */
 
 #include <chrono>
@@ -201,7 +206,7 @@ runCampaign(const ExperimentSetup &setup, int tasks)
 }
 
 std::vector<Phase>
-profileCampaignPhases(int reps)
+profileCampaignPhases(int reps, int maxCores)
 {
     constexpr int tasks = 30;
     std::vector<Phase> phases;
@@ -255,6 +260,29 @@ profileCampaignPhases(int reps)
             insts += sched.taskStats(t).retired;
         return insts;
     }));
+    // Multi-core chip throughput: the six-task clab6 set under
+    // partitioned EDF on 1, 2, ... maxCores cores (powers of two),
+    // every core in front of the shared bus + L2. Same job count at
+    // every width, so the cN curve is the cost of simulating chip
+    // width, not of extra work.
+    const std::vector<SchedTaskDef> clab6 =
+        makeTaskSetDefs(parseTaskSet("clab6"), 0.85);
+    for (int m = 1; m <= maxCores; m *= 2) {
+        phases.push_back(profilePhase(
+            "chip_campaign_c" + std::to_string(m), reps, [&, m] {
+                SchedulerConfig cfg;
+                cfg.cores = m;
+                cfg.placement = PlacementPolicy::Partitioned;
+                MultiTaskScheduler sched(cfg);
+                for (const SchedTaskDef &d : clab6)
+                    sched.addTask(d);
+                sched.run(4);
+                std::uint64_t insts = 0;
+                for (int t = 0; t < sched.numTasks(); ++t)
+                    insts += sched.taskStats(t).retired;
+                return insts;
+            }));
+    }
     return phases;
 }
 
@@ -271,9 +299,13 @@ main(int argc, char **argv)
         cli.flag("--reps", "N", "repetitions per benchmark (fastest "
                                 "kept)", "5");
     std::string &threads_flag = addThreadsFlag(cli);
+    std::string &cores_flag = addCoresFlag(cli);
+    int max_cores = 4;    // widest chip in the chip_campaign sweep
     try {
         cli.parse(argc, argv);
         applyThreadsFlag(threads_flag);
+        if (!cores_flag.empty())
+            max_cores = parseCoresFlag(cores_flag);
     } catch (const FatalError &e) {
         fprintf(stderr, "error: %s\n", e.what());
         return 2;
@@ -377,7 +409,8 @@ main(int argc, char **argv)
         return programs;
     }));
 
-    const std::vector<Phase> phases = profileCampaignPhases(reps);
+    const std::vector<Phase> phases =
+        profileCampaignPhases(reps, max_cores);
 
     FILE *out = out_path ? fopen(out_path, "w") : stdout;
     if (!out) {

@@ -24,11 +24,16 @@
  * deadline-cost statistics; silent-data-corruption escapes are written
  * as corpus repros with --out. --trace-jsonl additionally records one
  * demo run's full fault/recovery event trace for the schema tools.
+ * With --cores 2 (or more) the campaign additionally runs the
+ * FlexStep-style paired-core vote on every fired fault — a spare core
+ * re-executes the sub-task in simple mode and the boundary states are
+ * compared — and the table gains a paired detected/checked column, so
+ * the spare-core detector's coverage can be read off against the
+ * watchdog and the lockstep checker.
  *
- * --inject-load-ext-bug is the deprecated alias for the oldest matrix
- * entry: a persistent subword-load sign-extension bug in the candidate
- * pipeline, demonstrating end-to-end detection and minimization
- * through the architectural lockstep.
+ * (The historical --inject-load-ext-bug alias was removed; use
+ * --inject load-ext, which is the same persistent subword-load
+ * sign-extension fault through the fault matrix.)
  *
  * --coverage switches the harness to coverage-guided exploration:
  * every program runs once on the in-order pipeline under a block
@@ -93,7 +98,6 @@ struct Options
     /** Run the timing oracle on every Kth program (0 = never). */
     std::uint64_t oracleEvery = 512;
     bool minimize = false;
-    bool injectBug = false;
     bool crossCheckTiming = false;
     bool coverage = false;
     std::string outDir;
@@ -103,6 +107,8 @@ struct Options
     std::string injectArg;
     /** Write the demo run's fault/recovery trace here (campaign only). */
     std::string traceJsonlPath;
+    /** Chip width; >= 2 arms the paired-core vote in --inject runs. */
+    int cores = 1;
 };
 
 /** One recorded failure, keyed by scan index for determinism. */
@@ -120,17 +126,6 @@ lockstepOptions(const Options &opts)
 {
     LockstepOptions lo;
     lo.maxInstructions = opts.maxInstructions;
-    if (opts.injectBug) {
-        // The deprecated alias maps onto the fault matrix: a
-        // persistent LoadExt fault through the FaultPort. The injector
-        // is owned by the capture, which LockstepOptions keeps alive
-        // for the duration of the run.
-        auto inj =
-            std::make_shared<FaultInjector>(loadExtBugSpec());
-        lo.prepareComplex = [inj](OooCpu &cpu) {
-            cpu.setFaultPort(inj.get());
-        };
-    }
     return lo;
 }
 
@@ -317,6 +312,9 @@ injectCampaign(const Options &opts)
     io.profile = opts.profile;
     io.statements = opts.statements;
     io.maxInstructions = opts.maxInstructions;
+    // A second core spares the paired-core detector: every fired fault
+    // is also voted at the sub-task boundary by a simple-mode twin.
+    io.pairedCheck = opts.cores >= 2;
 
     if (!opts.traceJsonlPath.empty()) {
         // Demo trace carrying every fault/recovery event kind. No
@@ -516,9 +514,7 @@ fuzz(const Options &opts)
         ReproCase rc;
         rc.seed = f.seed;
         rc.profile = profileName(opts.profile);
-        rc.note = f.kind +
-                  (opts.injectBug ? " (with --inject-load-ext-bug)"
-                                  : "");
+        rc.note = f.kind;
         rc.source = source;
         const std::string path = opts.outDir + "/seed_" +
                                  std::to_string(f.seed) + ".s";
@@ -567,10 +563,7 @@ main(int argc, char **argv)
     std::string &trace_jsonl = cli.flag(
         "--trace-jsonl", "FILE",
         "with --inject: record a demo run's fault/recovery trace");
-    bool &inject = cli.boolFlag(
-        "--inject-load-ext-bug",
-        "deprecated alias: persistent load-ext fault in the candidate "
-        "(use --inject load-ext)");
+    std::string &cores_flag = addCoresFlag(cli);
     bool &cross_timing = cli.boolFlag(
         "--cross-check-timing",
         "compare the event-driven core against the per-cycle "
@@ -605,18 +598,13 @@ main(int argc, char **argv)
         opts.oracleEvery =
             std::strtoull(oracle_every.c_str(), nullptr, 0);
         opts.minimize = minimize;
-        opts.injectBug = inject;
         opts.crossCheckTiming = cross_timing;
         opts.coverage = coverage;
         opts.outDir = out_dir;
         opts.replayPath = replay_path;
         opts.injectArg = inject_class;
         opts.traceJsonlPath = trace_jsonl;
-        if (opts.injectBug)
-            std::fprintf(stderr,
-                         "warning: --inject-load-ext-bug is deprecated; "
-                         "it now maps to the load-ext entry of the "
-                         "--inject fault matrix\n");
+        opts.cores = parseCoresFlag(cores_flag);
 
         if (!opts.replayPath.empty())
             return replay(opts);

@@ -376,6 +376,7 @@ main(int argc, char **argv)
                  "produce: pipeline for the run", "simple");
     std::string &freq =
         cli.flag("--freq", "MHZ", "produce: core clock", "1000");
+    std::string &cores = addCoresFlag(cli);
     std::string &out_path =
         cli.flag("--out", "FILE",
                  "produce: write the profile JSON here ('-' = stdout)");
@@ -398,10 +399,14 @@ main(int argc, char **argv)
                 kind = CpuKind::ComplexSimpleMode;
             else
                 fatal("unknown --cpu '%s'", cpu_kind.c_str());
+            // --cores N profiles core 0 of an N-core chip: the run
+            // goes through the shared bus + L2, so hot blocks shift
+            // with the contention model rather than the private rig.
             auto sim = SimBuilder()
                            .workload(workload)
                            .cpu(kind)
                            .frequency(static_cast<MHz>(std::stoul(freq)))
+                           .cores(parseCoresFlag(cores))
                            .build();
             prof::BlockProfiler profiler(sim->program());
             {

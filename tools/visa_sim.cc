@@ -21,6 +21,9 @@
  *   visa-sim --taskset trio --jobs 40 --util 0.6
  *                                           preemptive multi-task EDF
  *                                           schedule of a benchmark set
+ *   visa-sim --cores 4 --taskset clab6 --policy pedf
+ *                                           partitioned EDF over a
+ *                                           4-core chip (gedf = global)
  *   visa-sim --trace out.json ...           Chrome/Perfetto event trace
  *   visa-sim --trace-jsonl out.jsonl ...    flat JSONL event trace
  *   visa-sim --stats-json stats.json ...    hierarchical JSON stats
@@ -98,7 +101,10 @@ struct Options
                  "multi-task schedule: a named set (duo trio mixed "
                  "clab6) or wl[:scale],wl[:scale],...");
     std::string &policy =
-        cli.flag("--policy", "edf|rm", "dispatching policy", "edf");
+        cli.flag("--policy", "edf|rm|pedf|gedf",
+                 "dispatching policy (pedf/gedf: partitioned/global "
+                 "EDF over --cores)",
+                 "edf");
     std::string &governor =
         cli.flag("--governor", "pertask|max", "DVS governor policy",
                  "pertask");
@@ -124,6 +130,8 @@ struct Options
     std::string &prof_counters =
         cli.flag("--prof-counters", "FILE",
                  "Perfetto counter tracks of checkpoint slack/AET");
+    std::string &cores = addCoresFlag(cli);
+    std::string &affinity = addAffinityFlag(cli);
     TraceFlags trace{cli};
     std::string &stats_json = addStatsJsonFlag(cli);
     std::string &threads = addThreadsFlag(cli);
@@ -285,9 +293,12 @@ int
 runTaskSet(const Options &o)
 {
     SchedulerConfig cfg;
-    if (!parseSchedPolicy(o.policy, cfg.policy))
-        fatal("--policy must be 'edf' or 'rm', not '%s'",
+    if (!parseSchedPolicyEx(o.policy, cfg.policy, cfg.placement))
+        fatal("--policy must be 'edf', 'rm', 'pedf' or 'gedf', not "
+              "'%s'",
               o.policy.c_str());
+    cfg.cores = parseCoresFlag(o.cores);
+    cfg.affinity = parseAffinityFlag(o.affinity);
     if (!parseGovernorPolicy(o.governor, cfg.governor))
         fatal("--governor must be 'pertask' or 'max', not '%s'",
               o.governor.c_str());
@@ -336,13 +347,25 @@ runTaskSet(const Options &o)
 
     const ScheduleOutcome out = sched.run(std::stoi(o.jobs));
 
-    std::printf("scheduled %d tasks (%s, governor %s) for %d jobs "
-                "each: %.3f ms wall, %d preemptions, %d deadline "
-                "misses, %d checkpoint misses\n",
-                sched.numTasks(), schedPolicyName(cfg.policy),
-                governorPolicyName(cfg.governor), std::stoi(o.jobs),
-                out.wallSeconds * 1e3, out.preemptions,
-                out.deadlineMisses, out.checkpointMisses);
+    if (cfg.cores > 1)
+        std::printf("scheduled %d tasks on %d cores (%s %s, governor "
+                    "%s) for %d jobs each: %.3f ms wall, %d "
+                    "preemptions, %d deadline misses, %d checkpoint "
+                    "misses\n",
+                    sched.numTasks(), cfg.cores,
+                    placementName(cfg.placement),
+                    schedPolicyName(cfg.policy),
+                    governorPolicyName(cfg.governor), std::stoi(o.jobs),
+                    out.wallSeconds * 1e3, out.preemptions,
+                    out.deadlineMisses, out.checkpointMisses);
+    else
+        std::printf("scheduled %d tasks (%s, governor %s) for %d jobs "
+                    "each: %.3f ms wall, %d preemptions, %d deadline "
+                    "misses, %d checkpoint misses\n",
+                    sched.numTasks(), schedPolicyName(cfg.policy),
+                    governorPolicyName(cfg.governor), std::stoi(o.jobs),
+                    out.wallSeconds * 1e3, out.preemptions,
+                    out.deadlineMisses, out.checkpointMisses);
     int bad_checksums = 0;
     for (int i = 0; i < sched.numTasks(); ++i) {
         const SchedTaskStats &st = sched.taskStats(i);
@@ -355,6 +378,13 @@ runTaskSet(const Options &o)
                     sched.taskDef(i).periodSeconds * 1e6, st.jobs,
                     st.deadlineMisses, st.checkpointMisses,
                     st.preemptions, st.minSlackSeconds * 1e6);
+    }
+    if (cfg.cores > 1 && cfg.placement == PlacementPolicy::Partitioned) {
+        std::printf("  placement:");
+        for (int i = 0; i < sched.numTasks(); ++i)
+            std::printf(" %s->c%d", sched.taskDef(i).name.c_str(),
+                        sched.assignment()[static_cast<std::size_t>(i)]);
+        std::printf("\n");
     }
 
     StatSet stats;
@@ -389,6 +419,52 @@ runOnce(const Options &o, Program prog)
     else
         fatal("unknown --cpu '%s'", o.cpu_kind.c_str());
     const MHz freq = static_cast<MHz>(std::stoul(o.freq));
+    const int cores = parseCoresFlag(o.cores);
+
+    if (cores > 1) {
+        // Free-run the whole chip: every core executes the program on
+        // its complex pipeline, contending on the shared bus + L2.
+        if (kind != CpuKind::Complex)
+            fatal("--cores %d: the multi-core free run uses the "
+                  "complex pipeline (--cpu complex)",
+                  cores);
+        auto chip = SimBuilder()
+                        .program(std::move(prog))
+                        .cpu(kind)
+                        .frequency(freq)
+                        .cores(cores)
+                        .buildChip();
+        const chip::Chip::RunAllResult res =
+            chip->runAll(20'000'000'000ULL);
+        if (!res.allHalted)
+            fatal("a core did not halt within the cycle budget");
+        std::printf("\nran on %d cores @ %u MHz: %llu instructions "
+                    "total\n",
+                    cores, freq,
+                    static_cast<unsigned long long>(res.retired));
+        for (int c = 0; c < chip->numCores(); ++c) {
+            OooCpu &cpu = chip->core(c).ooo();
+            std::printf("  core %d: %llu cycles, %llu instructions "
+                        "(IPC %.2f)\n",
+                        c,
+                        static_cast<unsigned long long>(cpu.cycles()),
+                        static_cast<unsigned long long>(cpu.retired()),
+                        static_cast<double>(cpu.retired()) /
+                            static_cast<double>(cpu.cycles()));
+        }
+        StatSet stats;
+        chip->buildStats(stats);
+        if (o.do_stats) {
+            std::ostringstream os;
+            stats.dump(os);
+            std::fputs(os.str().c_str(), stdout);
+        }
+        if (!o.stats_json.empty())
+            withOutputStream(o.stats_json, [&](std::ostream &os) {
+                stats.dumpJson(os);
+            });
+        return 0;
+    }
 
     auto sim = SimBuilder()
                    .program(std::move(prog))

@@ -19,6 +19,11 @@
  * against the known counter names; event or counter names this build
  * does not know are *listed as warnings* rather than failing or being
  * skipped silently, so newer files degrade loudly but gracefully.
+ *
+ * Older files: schema-2 traces (pre multi-core, no per-event core
+ * field) are accepted with a warning; headerless schema-1 files are
+ * rejected — the v1 reader shim was removed along with the multi-core
+ * schema bump.
  */
 
 #include <algorithm>
@@ -102,13 +107,15 @@ const std::set<std::string> knownCounters = {
 };
 
 /**
- * Declared version of the file being read. Schema-1 files (PR 2
- * format) carry no version marker, so absence means 1; schema-2 files
- * lead with it (a `{"schema":2}` header line in JSONL, a root "schema"
- * key in Chrome traces). Files newer than this build's table are
- * rejected rather than mis-validated.
+ * Declared version of the file being read (0 until a header is seen).
+ * Schema-2+ files lead with it (a `{"schema":N}` header line in JSONL,
+ * a root "schema" key in Chrome traces). Headerless files are the PR 2
+ * schema-1 format, whose reader shim was removed: they are rejected
+ * with a pointer at re-recording. Schema-2 files (no per-event core
+ * field) are accepted with a warning; files newer than this build's
+ * table are rejected rather than mis-validated.
  */
-int fileSchemaVersion = 1;
+int fileSchemaVersion = 0;
 
 void
 noteSchemaVersion(double declared)
@@ -118,6 +125,25 @@ noteSchemaVersion(double declared)
         fatal("trace declares schema %d but this build understands "
               "up to %d",
               fileSchemaVersion, traceSchemaVersion);
+    if (fileSchemaVersion < 2)
+        fatal("trace declares schema %d: schema-1 files are no longer "
+              "readable (the v1 shim was removed); re-record with a "
+              "current visa-sim",
+              fileSchemaVersion);
+    if (fileSchemaVersion == 2)
+        schemaWarning("schema-2 trace (pre multi-core): accepted, but "
+                      "events carry no per-core 'core' field");
+}
+
+/** The v1 shim ("no header means schema 1") is gone: headerless files
+ *  are rejected after the sniff instead of silently mis-read. */
+void
+requireSchemaHeader()
+{
+    if (fileSchemaVersion == 0)
+        fatal("trace carries no schema header: schema-1 files are no "
+              "longer readable (the v1 shim was removed); re-record "
+              "with a current visa-sim");
 }
 
 void
@@ -212,6 +238,15 @@ loadJsonl(const std::string &text)
             cat->type != JsonValue::Type::String || !cycle ||
             cycle->type != JsonValue::Type::Number) {
             schemaError(lineno, "missing ev/cat/cycle fields%s", "");
+            continue;
+        }
+        // Schema 3: an optional per-event core id (multi-core traces;
+        // single-core events omit it).
+        const JsonValue *core = v.find("core");
+        if (core && (core->type != JsonValue::Type::Number ||
+                     core->number < 0)) {
+            schemaError(lineno, "non-numeric/negative 'core' field%s",
+                        "");
             continue;
         }
         // JSONL carries the arguments inline; the decoder looks them
@@ -535,6 +570,7 @@ main(int argc, char **argv)
             text.find("\"traceEvents\"") < 64;
         std::vector<DecodedEvent> events =
             chrome ? loadChrome(text) : loadJsonl(text);
+        requireSchemaHeader();
 
         if (schemaErrors) {
             printWarnings();
