@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
+#include "sim/trace.hh"
 
 namespace visa
 {
@@ -14,6 +16,19 @@ ChipCore::ChipCore(Chip &chip, int id)
 {
     if (chip.cfg_.attachBus && chip.cfg_.cores > 1)
         memctrl_.attachBus(&chip.bus_, id);
+    if (chip.cfg_.cores > 1) {
+        // SPMD replica (see the file comment): every core of a
+        // multi-core chip free-runs its own image of the program, so
+        // concurrent core threads never touch shared functional state.
+        privMem_ = std::make_unique<MainMemory>();
+        privMem_->loadProgram(chip.prog_);
+    }
+}
+
+MainMemory &
+ChipCore::mem()
+{
+    return privMem_ ? *privMem_ : chip_.mem_;
 }
 
 OooCpu &
@@ -21,7 +36,7 @@ ChipCore::makeOoo()
 {
     if (ooo_)
         fatal("ChipCore %d: complex pipeline already built", id_);
-    ooo_ = std::make_unique<OooCpu>(chip_.prog_, chip_.mem_, platform_,
+    ooo_ = std::make_unique<OooCpu>(chip_.prog_, mem(), platform_,
                                     memctrl_);
     return *ooo_;
 }
@@ -31,8 +46,8 @@ ChipCore::makeSimple()
 {
     if (simple_)
         fatal("ChipCore %d: simple pipeline already built", id_);
-    simple_ = std::make_unique<SimpleCpu>(chip_.prog_, chip_.mem_,
-                                          platform_, memctrl_);
+    simple_ = std::make_unique<SimpleCpu>(chip_.prog_, mem(), platform_,
+                                          memctrl_);
     return *simple_;
 }
 
@@ -70,25 +85,89 @@ Chip::runAll(Cycles maxCycles, Cycles window)
 {
     if (window < 1)
         window = 1;
-    std::vector<bool> done(cores_.size(), false);
-    Cycles spent = 0;
-    bool all = false;
-    while (!all && spent < maxCycles) {
-        const Cycles budget = std::min<Cycles>(window, maxCycles - spent);
-        all = true;
-        for (std::size_t i = 0; i < cores_.size(); ++i) {
-            if (done[i])
-                continue;
-            OooCpu &cpu = core(static_cast<int>(i)).ooo();
-            if (cpu.run(budget).reason == StopReason::Halted)
-                done[i] = true;
-            else
-                all = false;
-        }
-        spent += budget;
-    }
     RunAllResult res;
-    res.allHalted = all;
+
+    if (cores_.size() == 1) {
+        // The historical single-core fast path: one pipeline, no
+        // epochs, no per-core trace rings (events flow straight into
+        // the caller's tracer, unstamped — byte-compatible with the
+        // pre-chip rig).
+        OooCpu &cpu = core(0).ooo();
+        Cycles spent = 0;
+        bool halted = false;
+        while (!halted && spent < maxCycles) {
+            const Cycles budget =
+                std::min<Cycles>(window, maxCycles - spent);
+            const Cycles before = cpu.cycles();
+            halted = cpu.run(budget).reason == StopReason::Halted;
+            // Charge what actually ran: a mid-window halt must not
+            // burn the rest of the window's budget.
+            spent += std::min<Cycles>(budget, cpu.cycles() - before);
+        }
+        res.allHalted = halted;
+        res.retired = cpu.retired();
+        return res;
+    }
+
+    // Multi-core: build every core up front (construction is not
+    // thread-safe), then free-run them in window-cycle quanta over the
+    // worker pool with the bus in epoch-buffered mode. Within a
+    // quantum each core sees only the epoch-frozen bus snapshot plus
+    // its own requests, so the interleaving of host threads is
+    // unobservable; the barrier drain orders all requests by
+    // (ns, core id).
+    for (std::size_t i = 0; i < cores_.size(); ++i)
+        core(static_cast<int>(i)).ooo();
+
+    Tracer *const tr = currentTracer();
+    std::vector<Tracer> rings;
+    if (tr) {
+        rings.reserve(cores_.size());
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            rings.emplace_back(tr->capacity());
+            rings.back().setKindMask(tr->kindMask());
+            rings.back().setCoreId(static_cast<int>(i));
+        }
+    }
+
+    std::vector<std::size_t> live(cores_.size());
+    for (std::size_t i = 0; i < live.size(); ++i)
+        live[i] = i;
+    Cycles spent = 0;
+    while (!live.empty() && spent < maxCycles) {
+        const Cycles budget = std::min<Cycles>(window, maxCycles - spent);
+        std::vector<Cycles> used(live.size(), 0);
+        std::vector<char> halted(live.size(), 0);
+        bus_.beginEpoch();
+        parallelFor(live.size(), [&](std::size_t k) {
+            OooCpu &cpu = core(static_cast<int>(live[k])).ooo();
+            Tracer *const ring = tr ? &rings[live[k]] : nullptr;
+            Tracer *const prev = ring ? installTracer(ring) : nullptr;
+            const Cycles before = cpu.cycles();
+            halted[k] = cpu.run(budget).reason == StopReason::Halted;
+            used[k] = cpu.cycles() - before;
+            if (ring)
+                installTracer(prev);
+        });
+        bus_.drainEpoch();
+        if (tr)
+            Tracer::mergeInto(*tr, rings);
+        // Charge the longest actual run: when every live core halts
+        // mid-window this is less than the budget (the satellite fix);
+        // when any core ran out of budget it equals the budget.
+        Cycles maxUsed = 0;
+        for (std::size_t k = 0; k < live.size(); ++k)
+            maxUsed = std::max(maxUsed, used[k]);
+        spent += std::min<Cycles>(budget, std::max<Cycles>(maxUsed, 1));
+        // Halted cores leave the schedule.
+        std::vector<std::size_t> still;
+        still.reserve(live.size());
+        for (std::size_t k = 0; k < live.size(); ++k)
+            if (!halted[k])
+                still.push_back(live[k]);
+        live.swap(still);
+    }
+    res.allHalted = live.empty();
     for (const auto &c : cores_)
         if (c->hasOoo())
             res.retired += c->ooo_->retired();

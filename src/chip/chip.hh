@@ -3,19 +3,28 @@
  * The multi-core VISA chip: N cores — each with its own Platform
  * (watchdog, cycle counter, DVS registers: the per-core safety and
  * clock domain) and its own SimpleCpu/OooCpu pair sharing per-core
- * L1s — in front of one shared MainMemory and one ChipInterconnect
- * (banked bus + shared L2 + chip MSHR pool).
+ * L1s — in front of one ChipInterconnect (banked bus + shared L2 +
+ * chip MSHR pool).
  *
- * Sharing boundary, and why: MainMemory, the L2, and the bus are
- * per-chip objects (the scale-out the ROADMAP calls for); the
- * Platform stays per-core because it *is* the VISA watchdog — the
- * paper's safety argument needs one independent checkpoint counter
- * per execution domain, and a shared watchdog would let one core's
- * recovery mask another's missed checkpoint.
+ * Sharing boundary, and why: the L2 and the bus are per-chip objects
+ * (the scale-out the ROADMAP calls for); the Platform stays per-core
+ * because it *is* the VISA watchdog — the paper's safety argument
+ * needs one independent checkpoint counter per execution domain, and
+ * a shared watchdog would let one core's recovery mask another's
+ * missed checkpoint. On a multi-core chip each core also runs on its
+ * own functional memory image (a loadProgram replica of the chip's):
+ * free-running N copies of one program is SPMD replication — the same
+ * private-rig model the paired detector and the multi-task scheduler
+ * use — and private images are what lets the cores execute on
+ * concurrent host threads without the functional state racing. The
+ * single-core chip keeps the chip-level MainMemory, bit-identical to
+ * the historical rig.
  *
- * Cores are stepped deterministically: runAll() interleaves the cores
- * in ascending id order in fixed cycle windows, so a chip run is a
- * pure function of (program, config, window).
+ * Cores are stepped deterministically: runAll() executes the cores in
+ * fixed cycle windows with the interconnect in epoch-buffered mode, so
+ * a chip run is a pure function of (program, config, window) — the
+ * cores of one window may run serially or on worker threads
+ * (sim/parallel.hh) with bit-identical results.
  */
 
 #ifndef VISA_CHIP_CHIP_HH
@@ -63,6 +72,10 @@ class ChipCore
     int id() const { return id_; }
     Platform &platform() { return platform_; }
     MemController &memctrl() { return memctrl_; }
+    /** The functional memory this core's pipelines run on: its private
+     *  replica on a multi-core chip, the chip image on a single-core
+     *  one (see the file comment). */
+    MainMemory &mem();
 
     /** The complex (out-of-order) pipeline; built on first use. */
     OooCpu &ooo();
@@ -89,6 +102,8 @@ class ChipCore
     int id_;
     Platform platform_;
     MemController memctrl_;
+    /** Multi-core chips only: this core's functional image. */
+    std::unique_ptr<MainMemory> privMem_;
     std::unique_ptr<OooCpu> ooo_;
     std::unique_ptr<SimpleCpu> simple_;
 };
@@ -119,10 +134,20 @@ class Chip
 
     /**
      * Free-run the chip: every core executes the chip's program on its
-     * complex pipeline, interleaved in ascending core order in
-     * @p window-cycle slices until every core halts or a core exhausts
-     * @p maxCycles. Cores the caller never touched are built (and
-     * resetForTask) on first use here.
+     * complex pipeline in @p window-cycle synchronization quanta until
+     * every core halts or @p maxCycles is exhausted. Cores the caller
+     * never touched are built (and resetForTask) on first use here.
+     *
+     * Multi-core chips run each quantum's cores over the process-wide
+     * worker pool with the interconnect in epoch-buffered mode, and
+     * merge per-core trace rings at every quantum barrier by
+     * (cycle, core id): the result — stats, traces, RunAllResult — is
+     * bit-identical for any VISA_THREADS setting. A single-core chip
+     * takes the historical serial path untouched. Only the cycles the
+     * cores actually consume are charged against @p maxCycles (a
+     * quantum in which every live core halts early charges the longest
+     * actual run, not the whole window), and halted cores leave the
+     * schedule instead of being re-scanned every quantum.
      */
     RunAllResult runAll(Cycles maxCycles, Cycles window = 4096);
 

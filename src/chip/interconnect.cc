@@ -19,11 +19,12 @@ ChipInterconnect::ChipInterconnect(int cores, const ChipBusParams &params)
         fatal("ChipInterconnect: need at least one bank (got %d)",
               params_.banks);
     clocks_.resize(static_cast<std::size_t>(cores));
+    lanes_.resize(static_cast<std::size_t>(cores));
     bankFreeNs_.assign(static_cast<std::size_t>(params_.banks), 0.0);
 }
 
-Cycles
-ChipInterconnect::route(int core, Cycles now, MHz f, Addr addr)
+double
+ChipInterconnect::advanceClock(int core, Cycles now, MHz f)
 {
     CoreClock &ck = clocks_[static_cast<std::size_t>(core)];
     // Advance the core's shared-timeline position. Frequency changes
@@ -34,8 +35,12 @@ ChipInterconnect::route(int core, Cycles now, MHz f, Addr addr)
         ck.ns += static_cast<double>(now - ck.lastCycle) * 1000.0 /
                  static_cast<double>(f);
     ck.lastCycle = now;
-    const double reqNs = ck.ns;
+    return ck.ns;
+}
 
+double
+ChipInterconnect::replay(double reqNs, Addr addr)
+{
     // Retire fills that completed before this request arrived.
     auto drained = std::upper_bound(fills_.begin(), fills_.end(), reqNs);
     fills_.erase(fills_.begin(), drained);
@@ -71,6 +76,63 @@ ChipInterconnect::route(int core, Cycles now, MHz f, Addr addr)
     ++requests_;
     if (hit)
         ++l2Hits_;
+    return fillNs;
+}
+
+double
+ChipInterconnect::laneRoute(EpochLane &lane, double reqNs, Addr addr)
+{
+    // The same MSHR -> bank -> L2 pipeline as replay(), but against
+    // the lane's private snapshot-plus-own-traffic view, and counting
+    // nothing: the drain's replay is the single source of stats, so
+    // totals are independent of the epoch structure's thread layout.
+    auto drained =
+        std::upper_bound(lane.fills.begin(), lane.fills.end(), reqNs);
+    lane.fills.erase(lane.fills.begin(), drained);
+
+    double startNs = reqNs;
+    while (static_cast<int>(lane.fills.size()) >= params_.mshrs) {
+        startNs = std::max(startNs, lane.fills.front());
+        lane.fills.erase(lane.fills.begin());
+    }
+
+    const Addr block = addr >> l2_.blockShift();
+    const std::size_t bank =
+        static_cast<std::size_t>(block % static_cast<Addr>(params_.banks));
+    const double grantNs = std::max(startNs, lane.bankFree[bank]);
+    lane.bankFree[bank] = grantNs + params_.busOccupancyNs;
+
+    // L2 view: the epoch-frozen tags (probe() is a read-only scan, so
+    // concurrent lanes share them safely) plus this core's own fills.
+    bool hit = l2_.probe(addr);
+    if (!hit)
+        hit = std::find(lane.filledBlocks.begin(),
+                        lane.filledBlocks.end(),
+                        block) != lane.filledBlocks.end();
+    if (!hit)
+        lane.filledBlocks.push_back(block);
+    const double fillNs =
+        grantNs + (hit ? params_.l2HitNs : params_.memAccessNs);
+    lane.fills.insert(std::upper_bound(lane.fills.begin(),
+                                       lane.fills.end(), fillNs),
+                      fillNs);
+    return fillNs;
+}
+
+Cycles
+ChipInterconnect::route(int core, Cycles now, MHz f, Addr addr)
+{
+    const double reqNs = advanceClock(core, now, f);
+
+    double fillNs;
+    if (epochActive_) {
+        EpochLane &lane = lanes_[static_cast<std::size_t>(core)];
+        lane.reqNs.push_back(reqNs);
+        lane.addrs.push_back(addr);
+        fillNs = laneRoute(lane, reqNs, addr);
+    } else {
+        fillNs = replay(reqNs, addr);
+    }
 
     // Back to the core's cycle domain: the fill lands ceil(delay * f)
     // core cycles after issue (at least the L2 hit time, so a routed
@@ -90,12 +152,74 @@ ChipInterconnect::syncCore(int core, double wallNs, Cycles coreCycle)
 }
 
 void
+ChipInterconnect::beginEpoch()
+{
+    if (epochActive_)
+        fatal("ChipInterconnect: beginEpoch() inside an open epoch");
+    epochActive_ = true;
+    for (EpochLane &lane : lanes_) {
+        lane.reqNs.clear();
+        lane.addrs.clear();
+        lane.filledBlocks.clear();
+        lane.fills = fills_;
+        lane.bankFree = bankFreeNs_;
+    }
+}
+
+void
+ChipInterconnect::drainEpoch()
+{
+    if (!epochActive_)
+        fatal("ChipInterconnect: drainEpoch() without beginEpoch()");
+    epochActive_ = false;
+    // K-way merge of the per-core streams (each already ascending in
+    // request ns) keyed by (request ns, core id): the replay order —
+    // and with it every counter and every future epoch's snapshot — is
+    // a pure function of the request streams.
+    std::vector<std::size_t> idx(lanes_.size(), 0);
+    for (;;) {
+        int pick = -1;
+        double pickNs = 0.0;
+        for (std::size_t c = 0; c < lanes_.size(); ++c) {
+            const EpochLane &lane = lanes_[c];
+            if (idx[c] >= lane.reqNs.size())
+                continue;
+            const double ns = lane.reqNs[idx[c]];
+            if (pick < 0 || ns < pickNs) {
+                pick = static_cast<int>(c);
+                pickNs = ns;
+            }
+        }
+        if (pick < 0)
+            break;
+        EpochLane &lane = lanes_[static_cast<std::size_t>(pick)];
+        replay(pickNs, lane.addrs[idx[static_cast<std::size_t>(pick)]]);
+        ++idx[static_cast<std::size_t>(pick)];
+    }
+    for (EpochLane &lane : lanes_) {
+        lane.reqNs.clear();
+        lane.addrs.clear();
+        lane.filledBlocks.clear();
+        lane.fills.clear();
+        lane.bankFree.clear();
+    }
+}
+
+void
 ChipInterconnect::reset()
 {
     for (CoreClock &ck : clocks_)
         ck = CoreClock{};
     std::fill(bankFreeNs_.begin(), bankFreeNs_.end(), 0.0);
     fills_.clear();
+    for (EpochLane &lane : lanes_) {
+        lane.reqNs.clear();
+        lane.addrs.clear();
+        lane.filledBlocks.clear();
+        lane.fills.clear();
+        lane.bankFree.clear();
+    }
+    epochActive_ = false;
     l2_.flush();
     l2_.resetStats();
     requests_ = 0;

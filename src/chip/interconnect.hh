@@ -18,6 +18,27 @@
  * scheduling quantum. All contention state (bank free times, fill
  * completion times) lives in nanoseconds, so cores at different DVS
  * operating points contend on one timeline.
+ *
+ * Execution modes (PR 10):
+ *
+ *  - synchronous (the default): route() charges the request against
+ *    the shared state immediately. Correct whenever one host thread
+ *    drives all cores in timestamp order (the single-core rig, the
+ *    serial G-EDF engine, unit tests).
+ *
+ *  - epoch-buffered (between beginEpoch() and drainEpoch()): each
+ *    core's route() calls see a private lane — a snapshot of the
+ *    shared bank/MSHR/L2 state frozen at the epoch boundary plus the
+ *    core's own in-epoch requests — and buffer the request instead of
+ *    touching shared state. drainEpoch() then replays every buffered
+ *    request against the authoritative state in (request ns, core id)
+ *    order. Because a core's observed latency is a pure function of
+ *    the frozen snapshot and its own request stream, the lanes can be
+ *    driven from concurrent host threads and the run is bit-identical
+ *    no matter how many threads execute it; cross-core contention
+ *    lands in the shared counters (and in later epochs' snapshots)
+ *    with at most one epoch of lag — the same drift concession the
+ *    per-dispatch clock anchoring already makes.
  */
 
 #ifndef VISA_CHIP_INTERCONNECT_HH
@@ -54,9 +75,9 @@ struct ChipBusParams
 
 /**
  * The shared banked bus + L2 + MSHR pool. Deterministic: state is a
- * pure function of the route()/syncCore() call sequence, and the
- * multi-core scheduler steps cores in ascending id order inside each
- * wall window.
+ * pure function of the route()/syncCore() call sequence (synchronous
+ * mode) or of the per-core request streams and the epoch boundaries
+ * (epoch mode) — thread interleaving is unobservable in either.
  */
 class ChipInterconnect final : public ChipBusPort
 {
@@ -68,7 +89,10 @@ class ChipInterconnect final : public ChipBusPort
      * the chip MSHR pool (a full pool stalls the request until the
      * earliest outstanding fill completes), bank arbitration (the
      * block's bank must be free for busOccupancyNs), and the L2 lookup
-     * (hit: l2HitNs, miss: memAccessNs beyond the grant).
+     * (hit: l2HitNs, miss: memAccessNs beyond the grant). Inside an
+     * epoch the same pipeline runs against the caller's private lane;
+     * only the per-core clock and lane are touched, so concurrent
+     * calls from different cores are race-free.
      */
     Cycles route(int core, Cycles now, MHz f, Addr addr) override;
 
@@ -76,9 +100,28 @@ class ChipInterconnect final : public ChipBusPort
      * Re-anchor @p core's clock: core-local cycle @p coreCycle is
      * declared to be at @p wallNs on the shared timeline. Called by
      * the scheduler at every dispatch boundary (and whenever a task
-     * migrates onto @p core with its own cycle domain).
+     * migrates onto @p core with its own cycle domain). Touches only
+     * @p core's slot — safe from that core's epoch thread.
      */
     void syncCore(int core, double wallNs, Cycles coreCycle);
+
+    /**
+     * Enter epoch-buffered mode: freeze a per-core snapshot of the
+     * bank/MSHR state (the L2 is snapshot by leaving it untouched —
+     * lanes probe its tags read-only) and start buffering requests.
+     */
+    void beginEpoch();
+
+    /**
+     * Leave epoch mode: replay every buffered request against the
+     * authoritative shared state in (request ns, core id) order,
+     * counting all contention stats there. Must be called from one
+     * thread after all cores' epoch work joined.
+     */
+    void drainEpoch();
+
+    /** True between beginEpoch() and drainEpoch(). */
+    bool epochActive() const { return epochActive_; }
 
     /** Forget all contention and L2 state (between campaigns). */
     void reset();
@@ -108,12 +151,43 @@ class ChipInterconnect final : public ChipBusPort
         Cycles lastCycle = 0;
     };
 
+    /**
+     * One core's private epoch view: the bank/MSHR state frozen at
+     * beginEpoch() evolved by this core's own requests, plus the
+     * buffered request stream for the drain. Thread-confined to the
+     * core's host thread for the duration of the epoch.
+     */
+    struct EpochLane
+    {
+        std::vector<double> reqNs;       ///< buffered request times
+        std::vector<Addr> addrs;         ///< buffered request addrs
+        std::vector<double> fills;       ///< lane view of fills_
+        std::vector<double> bankFree;    ///< lane view of bankFreeNs_
+        /** Blocks this core filled into the L2 during the epoch (its
+         *  own refills hit; other cores' land next epoch). */
+        std::vector<Addr> filledBlocks;
+    };
+
+    /**
+     * The shared-state pipeline of one request (MSHR pool -> bank
+     * arbitration -> L2), mutating fills_/bankFreeNs_/l2_ and all
+     * counters. @return the fill completion time, ns.
+     */
+    double replay(double reqNs, Addr addr);
+    /** The same pipeline against @p lane's private view; counts
+     *  nothing (the drain's replay owns the stats). */
+    double laneRoute(EpochLane &lane, double reqNs, Addr addr);
+    /** Advance @p core's clock to @p now at @p f; @return its ns. */
+    double advanceClock(int core, Cycles now, MHz f);
+
     ChipBusParams params_;
     Cache l2_;
     std::vector<CoreClock> clocks_;
     std::vector<double> bankFreeNs_;
     /** Outstanding fill completion times, ns, ascending. */
     std::vector<double> fills_;
+    std::vector<EpochLane> lanes_;
+    bool epochActive_ = false;
 
     std::uint64_t requests_ = 0;
     std::uint64_t l2Hits_ = 0;

@@ -9,6 +9,8 @@
 #include "cpu/ooo_cpu.hh"
 #include "cpu/simple_cpu.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
+#include "sim/trace.hh"
 
 namespace visa
 {
@@ -61,18 +63,39 @@ runPairedCheck(const Program &prog, FaultPort *victimPort,
 {
     PairedCheckResult res;
 
+    // The two arms are fully private rigs, so they can run on
+    // concurrent workers (nested fine inside a campaign's own
+    // parallelFor arm — the pool lets arms claim indices on their own
+    // stack). Only with a tracer installed do they stay serial: two
+    // arms must not interleave one ring, and a detector check is a
+    // rare, traced-for-debugging path, not the campaign hot loop.
     CoreRig<SimpleCpu> spare(prog);
-    spare.cpu->run(maxCycles);
-    res.spareRetired = spare.cpu->retired();
-
     CoreRig<OooCpu> victim(prog);
     victim.cpu->setFaultPort(victimPort);
-    try {
-        victim.cpu->run(maxCycles);
-    } catch (const std::exception &) {
-        // A corrupted pc/operand drove the pipeline into a panic
-        // (unmapped fetch, malformed instruction): the spare's clean
-        // completion against a dead victim is an immediate detection.
+    bool trapped = false;
+    const auto arm = [&](std::size_t i) {
+        if (i == 0) {
+            spare.cpu->run(maxCycles);
+            return;
+        }
+        try {
+            victim.cpu->run(maxCycles);
+        } catch (const std::exception &) {
+            // A corrupted pc/operand drove the pipeline into a panic
+            // (unmapped fetch, malformed instruction): the spare's
+            // clean completion against a dead victim is an immediate
+            // detection.
+            trapped = true;
+        }
+    };
+    if (currentTracer()) {
+        arm(0);
+        arm(1);
+    } else {
+        parallelFor(2, arm);
+    }
+    res.spareRetired = spare.cpu->retired();
+    if (trapped) {
         res.victimTrapped = true;
         res.detected = true;
         res.report = "victim trapped before the boundary\n";

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 namespace visa
 {
@@ -343,7 +344,9 @@ MultiTaskScheduler::run(int jobs_per_task)
     if (!err.empty())
         fatal("scheduler: task set rejected: %s", err.c_str());
     if (cfg_.cores > 1)
-        return runMulti(jobs_per_task);
+        return cfg_.placement == PlacementPolicy::Partitioned
+            ? runPartitioned(jobs_per_task)
+            : runMulti(jobs_per_task);
     // Stale multi-core state (a prior runMulti) must not leak into the
     // single-core stats.
     bus_.reset();
@@ -874,6 +877,404 @@ MultiTaskScheduler::runMulti(int jobs_per_task)
     outcome_.wallSeconds = wmax;
     // The rigs outlive this run; detach them from the bus (the bus
     // itself stays alive for buildStats).
+    for (auto &t : tasks_)
+        t->memctrl.attachBus(nullptr);
+    return outcome_;
+}
+
+/**
+ * The partitioned engine: every core owns a disjoint partition, so the
+ * per-core schedules are independent except for shared-bus contention
+ * (resolved by epoch-buffered routing: within one epochSeconds quantum
+ * a core sees only the barrier-frozen bus plus its own traffic, and the
+ * barrier drain replays all requests in (ns, core id) order) and the
+ * output streams (per-core job lists, counters and trace rings, merged
+ * in deterministic order at the barriers / at the end). Every per-core
+ * quantity has exactly one writer, so the epoch's cores can run on
+ * concurrent worker threads — and because nothing a core computes
+ * depends on how the host interleaved them, the result is bit-identical
+ * for any VISA_THREADS setting, including 1.
+ */
+ScheduleOutcome
+MultiTaskScheduler::runPartitioned(int jobs_per_task)
+{
+    const int m = cfg_.cores;
+    bus_ = std::make_unique<chip::ChipInterconnect>(m, cfg_.bus);
+    assignment_ = partitionedAssignment();
+
+    jobs_.clear();
+    outcome_ = ScheduleOutcome{};
+    coreStats_.assign(static_cast<std::size_t>(m), CoreStats{});
+    for (auto &t : tasks_)
+        t->avail = 0.0;
+
+    double horizon = 1e-3;
+    for (const auto &t : tasks_)
+        horizon = std::max(horizon,
+                           t->def.phaseSeconds +
+                               (jobs_per_task + 2) * t->def.periodSeconds);
+    horizon = 10.0 * horizon + 1.0;
+    const double epoch =
+        cfg_.epochSeconds > 0.0 ? cfg_.epochSeconds : 1e-3;
+
+    Tracer *const tr = currentTracer();
+    std::vector<Tracer> rings;
+    if (tr) {
+        rings.reserve(static_cast<std::size_t>(m));
+        for (int c = 0; c < m; ++c) {
+            rings.emplace_back(tr->capacity());
+            rings.back().setKindMask(tr->kindMask());
+            rings.back().setCoreId(c);
+        }
+    }
+
+    /** One core's whole engine state; written only by its own arm. */
+    struct CoreEngine
+    {
+        std::vector<int> members;    ///< task indices of the partition
+        double w = 0.0;              ///< local wall clock
+        int onCore = -1;
+        int lastOn = -1;
+        MHz freq = 0;
+        bool done = false;
+        ScheduleOutcome out;         ///< this core's counter shares
+        std::vector<JobRecord> jobs;
+    };
+    std::vector<CoreEngine> eng(static_cast<std::size_t>(m));
+    for (int i = 0; i < numTasks(); ++i)
+        eng[static_cast<std::size_t>(assignment_[static_cast<std::size_t>(
+                i)])]
+            .members.push_back(i);
+
+    // Stamp @p k on @p ring at wall @p w; @p core overrides the ring's
+    // standing core id (releases stay unstamped, core -1, like the
+    // serial engines').
+    const auto ringEvent = [](Tracer *ring, int core, double w,
+                              EventKind k, int task, std::uint64_t b,
+                              std::uint64_t c) {
+        if (!ring)
+            return;
+        const Cycles off = ring->cycleOffset();
+        const int prevCore = ring->coreId();
+        ring->setCycleOffset(0);
+        ring->setCoreId(core);
+        ring->record(k, static_cast<Cycles>(std::llround(w * 1e9)),
+                     static_cast<std::uint64_t>(task), b, c, w);
+        ring->setCoreId(prevCore);
+        ring->setCycleOffset(off);
+    };
+    const auto pendingRelease = [&](const ManagedTask &t) {
+        return t.released < jobs_per_task && t.done == t.released &&
+               !t.ready;
+    };
+
+    // Advance core @p c's schedule to @p epochEnd (or to completion of
+    // its partition). Runs on a worker thread; touches only this
+    // core's engine, its own tasks' rigs/stats, its coreStats_ slot,
+    // its bus lane/clock, and its trace ring.
+    const auto advanceTo = [&](int c, double epochEnd) {
+        CoreEngine &e = eng[static_cast<std::size_t>(c)];
+        if (e.done)
+            return;
+        CoreStats &cs = coreStats_[static_cast<std::size_t>(c)];
+        Tracer *const ring =
+            tr ? &rings[static_cast<std::size_t>(c)] : nullptr;
+        Tracer *const prev = ring ? installTracer(ring) : nullptr;
+
+        for (;;) {
+            bool all_done = true;
+            for (int i : e.members) {
+                const ManagedTask &t = *tasks_[static_cast<std::size_t>(i)];
+                if (t.released < jobs_per_task || t.done < t.released) {
+                    all_done = false;
+                    break;
+                }
+            }
+            if (all_done) {
+                e.done = true;
+                break;
+            }
+            if (e.w >= epochEnd)
+                break;
+
+            // Release every own job due at the local wall.
+            for (int i : e.members) {
+                ManagedTask &t = *tasks_[static_cast<std::size_t>(i)];
+                if (pendingRelease(t) &&
+                    nominalRelease(t) <= e.w + 1e-15) {
+                    t.releaseNominal = nominalRelease(t);
+                    t.deadline = t.releaseNominal + t.def.periodSeconds;
+                    t.ready = true;
+                    t.avail = t.releaseNominal;
+                    t.jobPreemptions = 0;
+                    t.jobBusy = 0.0;
+                    ++t.released;
+                    ringEvent(ring, -1, e.w, EventKind::SchedRelease, i,
+                              static_cast<std::uint64_t>(t.released - 1),
+                              0);
+                }
+            }
+
+            // Highest-priority ready own job; lowest index on ties.
+            int next = -1;
+            double best_key = 0.0;
+            for (int i : e.members) {
+                const ManagedTask &t = *tasks_[static_cast<std::size_t>(i)];
+                if (!t.ready || t.avail > e.w + 1e-15)
+                    continue;
+                const double key = cfg_.policy == SchedPolicy::Edf
+                    ? t.deadline
+                    : t.def.periodSeconds;
+                if (next < 0 || key < best_key) {
+                    next = i;
+                    best_key = key;
+                }
+            }
+
+            if (next < 0) {
+                // Idle to the next own event, capped at the barrier.
+                double tn = std::numeric_limits<double>::infinity();
+                for (int i : e.members) {
+                    const ManagedTask &t =
+                        *tasks_[static_cast<std::size_t>(i)];
+                    if (pendingRelease(t))
+                        tn = std::min(tn, nominalRelease(t));
+                    else if (t.ready)
+                        tn = std::min(tn, t.avail);
+                }
+                if (!std::isfinite(tn))
+                    fatal("scheduler: core %d idle with no pending "
+                          "release",
+                          c);
+                const double target = std::min(tn, epochEnd);
+                if (target > e.w) {
+                    cs.idleSeconds += target - e.w;
+                    e.out.idleSeconds += target - e.w;
+                    e.w = target;
+                }
+                if (tn > epochEnd)
+                    break;    // nothing more until after the barrier
+                continue;
+            }
+
+            ManagedTask &t = *tasks_[static_cast<std::size_t>(next)];
+            if (e.onCore != next) {
+                if (e.onCore >= 0) {
+                    ManagedTask &out =
+                        *tasks_[static_cast<std::size_t>(e.onCore)];
+                    const StepResult d = out.rt->preemptDrain();
+                    e.w += d.ranSeconds;
+                    cs.busySeconds += d.ranSeconds;
+                    out.jobBusy += d.ranSeconds;
+                    out.stats.busySeconds += d.ranSeconds;
+                    if (d.recovered) {
+                        ++out.stats.checkpointMisses;
+                        ++e.out.checkpointMisses;
+                        ringEvent(ring, c, e.w, EventKind::SchedRecovery,
+                                  e.onCore,
+                                  static_cast<std::uint64_t>(std::max(
+                                      0, out.rt->activeMissedSubtask())),
+                                  0);
+                    }
+                    ++out.jobPreemptions;
+                    ++out.stats.preemptions;
+                    ++e.out.preemptions;
+                    out.avail = e.w;
+                    ringEvent(ring, c, e.w, EventKind::SchedPreempt,
+                              e.onCore,
+                              static_cast<std::uint64_t>(out.released - 1),
+                              static_cast<std::uint64_t>(next));
+                }
+                if (!t.rt->instanceActive()) {
+                    const int job = t.released - 1;
+                    if (t.def.forceMissEvery > 0 &&
+                        job % t.def.forceMissEvery == 0)
+                        t.rt->forceNextMiss(t.def.forceMissIncrement);
+                    const bool induce = t.def.induceMissEvery > 0 &&
+                                        job > 0 &&
+                                        job % t.def.induceMissEvery == 0;
+                    t.rt->beginInstance(induce);
+                }
+                // Per-partition governor: on a partitioned chip each
+                // core is its own DVS domain, so MaxRequest maximizes
+                // over the partition's ready tasks only.
+                const MHz requested = t.rt->requestedFrequency();
+                MHz f = requested;
+                if (cfg_.governor == GovernorPolicy::MaxRequest) {
+                    for (int i : e.members) {
+                        const ManagedTask &u =
+                            *tasks_[static_cast<std::size_t>(i)];
+                        if (u.ready && u.rt->instanceActive())
+                            f = std::max(f, u.rt->requestedFrequency());
+                    }
+                }
+                if (f != requested)
+                    t.rt->overrideFrequency(f);
+                if (e.freq != 0 && f != e.freq)
+                    ++e.out.freqChanges;
+                e.freq = f;
+                if (e.lastOn != next) {
+                    const double sw = switchSeconds(f);
+                    e.w += sw;
+                    e.out.switchOverheadSeconds += sw;
+                    ++e.out.contextSwitches;
+                    ++cs.contextSwitches;
+                }
+                e.onCore = next;
+                e.lastOn = next;
+                ++e.out.dispatches;
+                ++cs.dispatches;
+                ringEvent(ring, c, e.w, EventKind::SchedDispatch, next,
+                          static_cast<std::uint64_t>(t.released - 1),
+                          static_cast<std::uint64_t>(f));
+            }
+
+            t.memctrl.attachBus(bus_.get(), c);
+            bus_->syncCore(c, e.w * 1e9, t.cpu->cycles());
+
+            // Slice to the next scheduling point: the earliest own
+            // release or the barrier, capped by the quantum.
+            double next_event = epochEnd;
+            for (int i : e.members) {
+                const ManagedTask &u =
+                    *tasks_[static_cast<std::size_t>(i)];
+                if (pendingRelease(u))
+                    next_event = std::min(next_event, nominalRelease(u));
+            }
+            Cycles budget = cfg_.quantumCycles;
+            if (next_event > e.w) {
+                const MHz f = t.cpu->frequency();
+                const Cycles until = static_cast<Cycles>(
+                    std::ceil((next_event - e.w) * f * 1e6));
+                budget = std::min(budget, std::max<Cycles>(until, 1));
+            }
+
+            const StepResult sr = t.rt->stepInstance(budget);
+            e.w += sr.ranSeconds;
+            cs.busySeconds += sr.ranSeconds;
+            t.jobBusy += sr.ranSeconds;
+            t.stats.busySeconds += sr.ranSeconds;
+            if (sr.recovered) {
+                ++t.stats.checkpointMisses;
+                ++e.out.checkpointMisses;
+                ringEvent(ring, c, e.w, EventKind::SchedRecovery, next,
+                          static_cast<std::uint64_t>(std::max(
+                              0, t.rt->activeMissedSubtask())),
+                          0);
+            }
+
+            if (sr.completed) {
+                const TaskStats ts = t.rt->finishInstance();
+                JobRecord jr;
+                jr.task = next;
+                jr.job = t.released - 1;
+                jr.releaseSeconds = t.releaseNominal;
+                jr.completionSeconds = e.w;
+                jr.deadlineSeconds = t.deadline;
+                jr.deadlineMet = e.w <= t.deadline + 1e-12;
+                jr.missedCheckpoint = ts.missedCheckpoint;
+                jr.preemptions = t.jobPreemptions;
+                jr.busySeconds = t.jobBusy;
+                e.jobs.push_back(jr);
+                ++e.out.jobs;
+
+                SchedTaskStats &st = t.stats;
+                ++st.jobs;
+                st.retired += ts.retired;
+                if (!jr.deadlineMet) {
+                    ++st.deadlineMisses;
+                    ++e.out.deadlineMisses;
+                }
+                if (t.def.expectedChecksum &&
+                    (!ts.checksumReported ||
+                     ts.checksum != t.def.expectedChecksum))
+                    ++st.badChecksums;
+                const double slack = t.deadline - e.w;
+                if (st.jobs == 1 || slack < st.minSlackSeconds)
+                    st.minSlackSeconds = slack;
+                st.maxResponseSeconds = std::max(st.maxResponseSeconds,
+                                                 e.w - t.releaseNominal);
+
+                t.ready = false;
+                ++t.done;
+                ringEvent(ring, c, e.w, EventKind::SchedComplete, next,
+                          static_cast<std::uint64_t>(jr.job),
+                          jr.deadlineMet ? 1 : 0);
+                e.onCore = -1;
+            }
+
+            if (e.w > horizon)
+                fatal("scheduler: core %d wall clock %.3g s exceeded "
+                      "the runaway horizon %.3g s",
+                      c, e.w, horizon);
+        }
+
+        if (ring)
+            installTracer(prev);
+    };
+
+    // The epoch loop: barrier-synchronized quanta until every
+    // partition's schedule completes.
+    for (double epochStart = 0.0;; epochStart += epoch) {
+        bool any = false;
+        for (const CoreEngine &e : eng)
+            if (!e.done)
+                any = true;
+        if (!any)
+            break;
+        if (epochStart > horizon)
+            fatal("scheduler: epoch clock %.3g s exceeded the runaway "
+                  "horizon %.3g s",
+                  epochStart, horizon);
+        const double epochEnd = epochStart + epoch;
+        bus_->beginEpoch();
+        parallelFor(static_cast<std::size_t>(m), [&](std::size_t c) {
+            advanceTo(static_cast<int>(c), epochEnd);
+        });
+        bus_->drainEpoch();
+        if (tr)
+            Tracer::mergeInto(*tr, rings);
+    }
+
+    // Deterministic merges, all in core order: counters summed, the
+    // job lists k-way merged by (completion, core).
+    double wmax = 0.0;
+    for (int c = 0; c < m; ++c) {
+        const CoreEngine &e = eng[static_cast<std::size_t>(c)];
+        coreStats_[static_cast<std::size_t>(c)].wallSeconds = e.w;
+        wmax = std::max(wmax, e.w);
+        outcome_.jobs += e.out.jobs;
+        outcome_.dispatches += e.out.dispatches;
+        outcome_.preemptions += e.out.preemptions;
+        outcome_.contextSwitches += e.out.contextSwitches;
+        outcome_.freqChanges += e.out.freqChanges;
+        outcome_.switchOverheadSeconds += e.out.switchOverheadSeconds;
+        outcome_.idleSeconds += e.out.idleSeconds;
+        outcome_.deadlineMisses += e.out.deadlineMisses;
+        outcome_.checkpointMisses += e.out.checkpointMisses;
+    }
+    std::vector<std::size_t> idx(static_cast<std::size_t>(m), 0);
+    for (;;) {
+        int pick = -1;
+        double pickT = 0.0;
+        for (int c = 0; c < m; ++c) {
+            const CoreEngine &e = eng[static_cast<std::size_t>(c)];
+            const std::size_t i = idx[static_cast<std::size_t>(c)];
+            if (i >= e.jobs.size())
+                continue;
+            if (pick < 0 || e.jobs[i].completionSeconds < pickT) {
+                pick = c;
+                pickT = e.jobs[i].completionSeconds;
+            }
+        }
+        if (pick < 0)
+            break;
+        jobs_.push_back(eng[static_cast<std::size_t>(pick)]
+                            .jobs[idx[static_cast<std::size_t>(pick)]]);
+        ++idx[static_cast<std::size_t>(pick)];
+    }
+    wall_ = wmax;
+    outcome_.wallSeconds = wmax;
     for (auto &t : tasks_)
         t->memctrl.attachBus(nullptr);
     return outcome_;

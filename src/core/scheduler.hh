@@ -144,6 +144,17 @@ struct SchedulerConfig
      * busOccupancyNs / memAccessNs) before the schedulability test.
      */
     double memStallShare = 0.2;
+    /**
+     * Synchronization quantum of the partitioned multi-core engine:
+     * between two barriers every core advances its local schedule up to
+     * this much wall time with the shared bus in epoch-buffered mode
+     * (cores may run on concurrent worker threads; the barrier drain
+     * replays all bus traffic in deterministic order). Smaller epochs
+     * tighten cross-core contention lag; larger ones amortize the
+     * barrier. Partitioned placement only — global placement keeps the
+     * serial migrating engine.
+     */
+    double epochSeconds = 1e-3;
 };
 
 /** One completed job (task instance) in wall-clock terms. */
@@ -268,8 +279,15 @@ class MultiTaskScheduler
      *  worst-fit by inflated utilization). Never fails; feasibility of
      *  the result is admissionError()'s job. */
     std::vector<int> partitionedAssignment() const;
-    /** The multi-core engine behind run() (cfg_.cores > 1). */
+    /** The serial migrating multi-core engine (global placement). */
     ScheduleOutcome runMulti(int jobs_per_task);
+    /**
+     * The partitioned multi-core engine: one independent per-core
+     * schedule per partition, advanced in epochSeconds quanta over the
+     * worker pool (sim/parallel.hh) with the shared bus epoch-buffered.
+     * Deterministic for any VISA_THREADS setting.
+     */
+    ScheduleOutcome runPartitioned(int jobs_per_task);
 
     SchedulerConfig cfg_;
     std::vector<std::unique_ptr<ManagedTask>> tasks_;

@@ -75,7 +75,10 @@ class Sim
     /** The whole chip (core 0 is the veneer below). */
     chip::Chip &chip() { return *chip_; }
 
-    MainMemory &mem() { return chip_->mem(); }
+    // Core 0's image, not the chip's: on a multi-core chip each core
+    // runs on a private memory replica, and the runtimes this builder
+    // wires up must observe the image core 0 actually executes on.
+    MainMemory &mem() { return chip_->core(0).mem(); }
     Platform &platform() { return chip_->core(0).platform(); }
     MemController &memctrl() { return chip_->core(0).memctrl(); }
 

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "sim/logging.hh"
 
@@ -209,7 +210,15 @@ parseCoresFlag(const std::string &value)
 {
     if (value.empty())
         return 1;
-    const int n = std::stoi(value);
+    int n = 0;
+    try {
+        std::size_t used = 0;
+        n = std::stoi(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument(value);
+    } catch (const std::exception &) {
+        fatal("--cores: '%s' is not a core count", value.c_str());
+    }
     if (n < 1 || n > 64)
         fatal("--cores must be in [1, 64] (got %d)", n);
     return n;
@@ -250,6 +259,19 @@ parseAffinityFlag(const std::string &value)
         pos = comma + 1;
     }
     return pins;
+}
+
+void
+validateAffinity(const std::vector<int> &pins, int cores)
+{
+    // Fail at the CLI with the offending value, not deep inside chip
+    // construction: every tool that accepts both flags calls this
+    // right after parsing them.
+    for (std::size_t i = 0; i < pins.size(); ++i)
+        if (pins[i] >= cores)
+            fatal("--affinity: task %d pinned to core %d of a %d-core "
+                  "chip",
+                  static_cast<int>(i), pins[i], cores);
 }
 
 bool &

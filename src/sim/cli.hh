@@ -155,6 +155,12 @@ std::string &addAffinityFlag(CliParser &cli);
  * the scheduler place the task). "" parses to an empty vector.
  */
 std::vector<int> parseAffinityFlag(const std::string &value);
+/**
+ * Cross-check parsed --affinity pins against the parsed --cores count:
+ * fatal (naming the task and the offending core id) if any pin
+ * references a core the chip does not have.
+ */
+void validateAffinity(const std::vector<int> &pins, int cores);
 
 /** Register --debug (help|flag[,flag...]). */
 std::string &addDebugFlag(CliParser &cli);

@@ -127,6 +127,42 @@ Tracer::clear()
 }
 
 void
+Tracer::mergeInto(Tracer &dst, std::vector<Tracer> &perCore)
+{
+    // K-way merge keyed by (cycle, source order): each source ring is
+    // one core's chronological stream, and the source vector is in
+    // core-id order, so ties between cores at the same cycle resolve
+    // to the lower core id — the exact order a serial interleaving in
+    // ascending core order would have produced.
+    std::vector<std::size_t> idx(perCore.size(), 0);
+    for (;;) {
+        int pick = -1;
+        Cycles pickCycle = 0;
+        for (std::size_t c = 0; c < perCore.size(); ++c) {
+            if (idx[c] >= perCore[c].size())
+                continue;
+            const Cycles cyc = perCore[c].at(idx[c]).cycle;
+            if (pick < 0 || cyc < pickCycle) {
+                pick = static_cast<int>(c);
+                pickCycle = cyc;
+            }
+        }
+        if (pick < 0)
+            break;
+        Tracer &src = perCore[static_cast<std::size_t>(pick)];
+        dst.append(src.at(idx[static_cast<std::size_t>(pick)]));
+        ++idx[static_cast<std::size_t>(pick)];
+    }
+    for (Tracer &src : perCore) {
+        // Source drops are destination drops: the merged ring lost
+        // those events just as surely as its own wraparound would
+        // have, and the overflow warning must still fire.
+        dst.dropped_ += src.dropped();
+        src.clear();
+    }
+}
+
+void
 Tracer::writeJsonl(std::ostream &os) const
 {
     // Schema header (v3). Event lines gain "core" only on multi-core

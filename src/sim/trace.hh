@@ -201,6 +201,35 @@ class Tracer
     }
 
     /**
+     * Append an already-stamped event verbatim: no mask, no cycle
+     * offset, no core restamp — ring drop semantics only. The merge of
+     * per-core epoch rings uses this (the source ring already applied
+     * mask/offset/core when the event was recorded).
+     */
+    void
+    append(const TraceEvent &e)
+    {
+        ring_[wr_] = e;
+        if (++wr_ == ring_.size())
+            wr_ = 0;
+        if (count_ < ring_.size())
+            ++count_;
+        else
+            ++dropped_;
+    }
+
+    /**
+     * Merge the per-core rings @p perCore into @p dst ordered by
+     * (cycle, core id), preserving each ring's own event order, then
+     * empty the sources (their masks/offsets/core ids survive for the
+     * next epoch). Threaded chip execution records each core's events
+     * into its own ring and merges at every quantum barrier, so the
+     * destination ring's contents are byte-identical to a serial run
+     * no matter how many host threads recorded them.
+     */
+    static void mergeInto(Tracer &dst, std::vector<Tracer> &perCore);
+
+    /**
      * Per-task cycle counters reset to zero each instance; the run-time
      * system banks the finished instance's cycles here so events from
      * consecutive tasks land on one monotonic timeline.

@@ -1,12 +1,15 @@
 # Performance gate: run the bench-report micro benchmarks and campaign
 # phases, then compare the load-bearing metrics against the checked-in
-# baseline (-DBASELINE, currently BENCH_PR8.json). The gate fails when
+# baseline (-DBASELINE, currently BENCH_PR10.json). The gate fails when
 # a metric is more than 25% worse than baseline:
 #   - OooCpuRun    ns_per_op  (lower is better)
 #   - SimpleCpuRun ns_per_op  (lower is better)
 #   - visa_campaign sim_mips  (higher is better)
 #   - chip_campaign_c4 sim_mips (higher is better; the 4-core chip
 #     model sweep — skipped against baselines predating the phase)
+#   - chip_parallel_speedup speedup (higher is better; serial vs
+#     threaded wall clock of the widest chip campaign — skipped
+#     against baselines predating the phase)
 #
 # math(EXPR) has no floating point, so values compare as milli-unit
 # integers (45.559 -> 45559); the "1${frac} - 1000" dance below keeps
@@ -112,11 +115,21 @@ bench_metric("${base_json}" benchmarks SimpleCpuRun ns_per_op base_simple)
 bench_metric("${base_json}" campaign_phases visa_campaign sim_mips base_mips)
 bench_metric_optional("${base_json}" campaign_phases chip_campaign_c4
     sim_mips base_chip)
+# Parallel chip-execution speedup (higher is better). Gated relative to
+# the baseline rather than against an absolute bar: the achievable
+# ratio is a property of the recording host (a single-CPU container
+# tops out near 1.0x; a 4-way host near 4x), and the host-mismatch
+# downgrade below already covers cross-machine comparisons.
+bench_metric_optional("${base_json}" campaign_phases chip_parallel_speedup
+    speedup base_spd)
 to_milli(${base_ooo} base_ooo_m)
 to_milli(${base_simple} base_simple_m)
 to_milli(${base_mips} base_mips_m)
 if(NOT base_chip STREQUAL "")
     to_milli(${base_chip} base_chip_m)
+endif()
+if(NOT base_spd STREQUAL "")
+    to_milli(${base_spd} base_spd_m)
 endif()
 
 if(DEFINED PROF_BASELINE)
@@ -186,6 +199,11 @@ foreach(attempt RANGE 1 5)
             sim_mips cur_chip)
         to_milli(${cur_chip} cur_chip_m)
     endif()
+    if(NOT base_spd STREQUAL "")
+        bench_metric("${cur_json}" campaign_phases chip_parallel_speedup
+            speedup cur_spd)
+        to_milli(${cur_spd} cur_spd_m)
+    endif()
 
     host_id("${cur_json}" cur_host)
     set(host_mismatch FALSE)
@@ -211,6 +229,12 @@ foreach(attempt RANGE 1 5)
         if(attempt EQUAL 1 OR cur_chip_m GREATER best_chip_m)
             set(best_chip_m ${cur_chip_m})
             set(best_chip ${cur_chip})
+        endif()
+    endif()
+    if(NOT base_spd STREQUAL "")
+        if(attempt EQUAL 1 OR cur_spd_m GREATER best_spd_m)
+            set(best_spd_m ${cur_spd_m})
+            set(best_spd ${cur_spd})
         endif()
     endif()
     # The overhead gates track the best *paired* ratio: numerator and
@@ -287,6 +311,15 @@ foreach(attempt RANGE 1 5)
             string(APPEND failures
                 " chip_campaign_c4 ${best_chip} sim-MIPS vs baseline"
                 " ${base_chip};")
+        endif()
+    endif()
+    if(NOT base_spd STREQUAL "")
+        math(EXPR lhs "${best_spd_m} * 100")
+        math(EXPR rhs "${base_spd_m} * 75")
+        if(lhs LESS rhs)
+            string(APPEND failures
+                " chip_parallel_speedup ${best_spd}x vs baseline"
+                " ${base_spd}x;")
         endif()
     endif()
     # Profiling-off overhead: ExecCoreStep/MemoryRead within 2% of the

@@ -27,6 +27,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -145,6 +146,7 @@ struct Phase
     double wallSeconds = 0.0;
     std::uint64_t instructions = 0;
     double simMips = 0.0;    ///< simulated Minsts / host second (0 = n/a)
+    double speedup = 0.0;    ///< serial / threaded wall ratio (0 = n/a)
 };
 
 /**
@@ -267,7 +269,9 @@ profileCampaignPhases(int reps, int maxCores)
     // width, not of extra work.
     const std::vector<SchedTaskDef> clab6 =
         makeTaskSetDefs(parseTaskSet("clab6"), 0.85);
+    int wide = 1;
     for (int m = 1; m <= maxCores; m *= 2) {
+        wide = m;
         phases.push_back(profilePhase(
             "chip_campaign_c" + std::to_string(m), reps, [&, m] {
                 SchedulerConfig cfg;
@@ -282,6 +286,52 @@ profileCampaignPhases(int reps, int maxCores)
                     insts += sched.taskStats(t).retired;
                 return insts;
             }));
+    }
+    // Parallel chip execution: the widest chip campaign pinned to one
+    // worker thread, then to one thread per core. The engine is
+    // bit-identical in both configurations (the epoch barriers order
+    // all cross-core effects), so the wall-clock ratio is pure host
+    // parallelism — the speedup figure bench_gate tracks.
+    if (wide > 1) {
+        const auto campaign = [&] {
+            SchedulerConfig cfg;
+            cfg.cores = wide;
+            cfg.placement = PlacementPolicy::Partitioned;
+            MultiTaskScheduler sched(cfg);
+            for (const SchedTaskDef &d : clab6)
+                sched.addTask(d);
+            sched.run(4);
+            std::uint64_t insts = 0;
+            for (int t = 0; t < sched.numTasks(); ++t)
+                insts += sched.taskStats(t).retired;
+            return insts;
+        };
+        const char *prevEnv = std::getenv("VISA_THREADS");
+        const std::string prev = prevEnv ? prevEnv : "";
+        setenv("VISA_THREADS", "1", 1);
+        const Phase serial = profilePhase(
+            "chip_campaign_c" + std::to_string(wide) + "_t1", reps,
+            campaign);
+        setenv("VISA_THREADS", std::to_string(wide).c_str(), 1);
+        const Phase threaded = profilePhase(
+            "chip_campaign_c" + std::to_string(wide) + "_t" +
+                std::to_string(wide),
+            reps, campaign);
+        if (prevEnv)
+            setenv("VISA_THREADS", prev.c_str(), 1);
+        else
+            unsetenv("VISA_THREADS");
+        Phase sp;
+        sp.name = "chip_parallel_speedup";
+        sp.wallSeconds = threaded.wallSeconds;
+        if (threaded.wallSeconds > 0.0)
+            sp.speedup = serial.wallSeconds / threaded.wallSeconds;
+        fprintf(stderr, "%-24s %10.2fx (%0.3f s -> %0.3f s)\n",
+                sp.name.c_str(), sp.speedup, serial.wallSeconds,
+                threaded.wallSeconds);
+        phases.push_back(serial);
+        phases.push_back(threaded);
+        phases.push_back(sp);
     }
     return phases;
 }
@@ -438,7 +488,13 @@ main(int argc, char **argv)
         // Phases that simulate no instructions report wall time only:
         // a "sim_mips": 0.00 entry reads as a measured-but-terrible
         // rate, not as not-applicable.
-        if (p.instructions)
+        if (p.speedup > 0.0)
+            fprintf(out,
+                    "    {\"name\": \"%s\", \"wall_s\": %.4f, "
+                    "\"speedup\": %.3f}%s\n",
+                    p.name.c_str(), p.wallSeconds, p.speedup,
+                    i + 1 < phases.size() ? "," : "");
+        else if (p.instructions)
             fprintf(out,
                     "    {\"name\": \"%s\", \"wall_s\": %.4f, "
                     "\"instructions\": %llu, \"sim_mips\": %.2f}%s\n",

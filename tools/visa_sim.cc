@@ -299,6 +299,7 @@ runTaskSet(const Options &o)
               o.policy.c_str());
     cfg.cores = parseCoresFlag(o.cores);
     cfg.affinity = parseAffinityFlag(o.affinity);
+    validateAffinity(cfg.affinity, cfg.cores);
     if (!parseGovernorPolicy(o.governor, cfg.governor))
         fatal("--governor must be 'pertask' or 'max', not '%s'",
               o.governor.c_str());
